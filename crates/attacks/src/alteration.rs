@@ -1,0 +1,381 @@
+//! Attack (A): data alteration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmx_xml::{Document, NodeId, NodeKind};
+use wmx_xpath::Query;
+
+/// Randomized value/structure alteration.
+///
+/// With intensity α the attack touches a fraction α of the target value
+/// nodes: numeric values are shifted by a random offset in
+/// `[min_shift, max_shift]` (both directions), text values are rewritten
+/// to a scrambled form, and (optionally) a fraction α of deletable child
+/// elements is removed and decoy elements inserted. Higher α destroys
+/// more of the watermark — and, with it, more of the data's usability,
+/// which is exactly the trade-off the demo plots.
+#[derive(Debug, Clone)]
+pub struct AlterationAttack {
+    /// Fraction of value nodes altered (0.0–1.0).
+    pub fraction: f64,
+    /// Queries selecting the value nodes under attack (e.g. `//year`).
+    pub value_paths: Vec<String>,
+    /// Minimum absolute numeric shift (≥ 1 recommended: beyond the
+    /// owner's tolerance).
+    pub min_shift: i64,
+    /// Maximum absolute numeric shift.
+    pub max_shift: i64,
+    /// Also delete this fraction of the *elements* selected by
+    /// `delete_paths`.
+    pub delete_fraction: f64,
+    /// Queries selecting deletable elements.
+    pub delete_paths: Vec<String>,
+    /// Insert this many decoy children under the root.
+    pub insert_decoys: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AlterationAttack {
+    /// A pure value-perturbation attack of intensity `fraction` on the
+    /// given paths.
+    pub fn values(fraction: f64, value_paths: Vec<String>, seed: u64) -> Self {
+        AlterationAttack {
+            fraction,
+            value_paths,
+            min_shift: 2,
+            max_shift: 20,
+            delete_fraction: 0.0,
+            delete_paths: Vec::new(),
+            insert_decoys: 0,
+            seed,
+        }
+    }
+
+    /// Applies the attack in place. Returns the number of altered nodes
+    /// (values changed + elements deleted + decoys inserted).
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut touched = 0usize;
+
+        for path in &self.value_paths {
+            let Ok(query) = Query::compile(path) else {
+                continue;
+            };
+            for node in query.select(doc) {
+                if rng.random_range(0.0..1.0) >= self.fraction {
+                    continue;
+                }
+                let value = node.string_value(doc);
+                let new_value = self.alter_value(&value, &mut rng);
+                if new_value != value {
+                    let _ = write_back(doc, &node, &new_value);
+                    touched += 1;
+                }
+            }
+        }
+
+        if self.delete_fraction > 0.0 {
+            for path in &self.delete_paths {
+                let Ok(query) = Query::compile(path) else {
+                    continue;
+                };
+                for node in query.select(doc) {
+                    if rng.random_range(0.0..1.0) >= self.delete_fraction {
+                        continue;
+                    }
+                    if let wmx_xpath::NodeRef::Node(id) = node {
+                        doc.detach(id);
+                        touched += 1;
+                    }
+                }
+            }
+        }
+
+        if self.insert_decoys > 0 {
+            if let Some(root) = doc.root_element() {
+                for i in 0..self.insert_decoys {
+                    let decoy = doc.create_element("decoy");
+                    let text = doc.create_text(format!("noise-{}-{}", self.seed, i));
+                    doc.append_child(decoy, text);
+                    doc.append_child(root, decoy);
+                    touched += 1;
+                }
+            }
+        }
+        touched
+    }
+
+    fn alter_value(&self, value: &str, rng: &mut StdRng) -> String {
+        if let Ok(n) = value.trim().parse::<i64>() {
+            let magnitude = rng.random_range(self.min_shift..=self.max_shift.max(self.min_shift));
+            let sign = if rng.random_range(0..2) == 0 { 1 } else { -1 };
+            return (n + sign * magnitude).to_string();
+        }
+        if let Ok(x) = value.trim().parse::<f64>() {
+            let magnitude =
+                rng.random_range(self.min_shift as f64..=self.max_shift.max(self.min_shift) as f64);
+            let sign = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+            return format!("{:.2}", x + sign * magnitude);
+        }
+        // Text: scramble by appending an adversarial suffix (normalized
+        // comparison still differs → genuinely destroys the value).
+        format!("{}-x{}", value.trim_end(), rng.random_range(0..100))
+    }
+}
+
+fn write_back(
+    doc: &mut Document,
+    node: &wmx_xpath::NodeRef,
+    value: &str,
+) -> Result<(), ()> {
+    match node {
+        wmx_xpath::NodeRef::Node(id) => {
+            if doc.is_element(*id) {
+                doc.set_text_content(*id, value);
+                Ok(())
+            } else if matches!(doc.kind(*id), NodeKind::Text(_) | NodeKind::CData(_)) {
+                doc.set_text(*id, value);
+                Ok(())
+            } else {
+                Err(())
+            }
+        }
+        wmx_xpath::NodeRef::Attribute { element, name } => doc
+            .set_attribute(*element, name.clone(), value)
+            .map_err(|_| ()),
+    }
+}
+
+/// Counts elements named `name` (test/report helper).
+pub fn count_elements(doc: &Document, name: &str) -> usize {
+    doc.descendant_elements(doc.document_node())
+        .filter(|&n| doc.name(n) == Some(name))
+        .count()
+}
+
+/// Reports nodes of `doc` reachable as `NodeId`s under `path`
+/// (test/report helper).
+pub fn select_ids(doc: &Document, path: &str) -> Vec<NodeId> {
+    Query::compile(path)
+        .map(|q| {
+            q.select(doc)
+                .into_iter()
+                .filter_map(|n| match n {
+                    wmx_xpath::NodeRef::Node(id) => Some(id),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_data::publications::{generate, PublicationsConfig};
+    use wmx_xml::to_canonical_string;
+
+    fn doc() -> Document {
+        generate(&PublicationsConfig {
+            records: 100,
+            ..PublicationsConfig::default()
+        })
+        .doc
+    }
+
+    #[test]
+    fn zero_fraction_changes_nothing() {
+        let mut d = doc();
+        let before = to_canonical_string(&d);
+        let attack = AlterationAttack::values(0.0, vec!["//year".into()], 1);
+        assert_eq!(attack.apply(&mut d), 0);
+        assert_eq!(to_canonical_string(&d), before);
+    }
+
+    #[test]
+    fn full_fraction_changes_all_numeric_values() {
+        let mut d = doc();
+        let before: Vec<String> = Query::compile("//year")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        let attack = AlterationAttack::values(1.0, vec!["//year".into()], 1);
+        let touched = attack.apply(&mut d);
+        assert_eq!(touched, before.len());
+        let after: Vec<String> = Query::compile("//year")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            let (b, a): (i64, i64) = (b.parse().unwrap(), a.parse().unwrap());
+            assert!((b - a).abs() >= 2, "shift must exceed owner tolerance");
+        }
+    }
+
+    #[test]
+    fn partial_fraction_touches_roughly_that_share() {
+        let mut d = doc();
+        let total = Query::compile("//year").unwrap().select(&d).len();
+        let attack = AlterationAttack::values(0.3, vec!["//year".into()], 7);
+        let touched = attack.apply(&mut d);
+        let expected = total as f64 * 0.3;
+        assert!(
+            (touched as f64 - expected).abs() < total as f64 * 0.15,
+            "touched {touched} of {total}"
+        );
+    }
+
+    #[test]
+    fn attack_is_deterministic() {
+        let mut a = doc();
+        let mut b = doc();
+        let attack = AlterationAttack::values(0.5, vec!["//year".into()], 99);
+        attack.apply(&mut a);
+        attack.apply(&mut b);
+        assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn deletion_and_decoys() {
+        let mut d = doc();
+        let before = count_elements(&d, "book");
+        let attack = AlterationAttack {
+            fraction: 0.0,
+            value_paths: vec![],
+            min_shift: 2,
+            max_shift: 5,
+            delete_fraction: 0.2,
+            delete_paths: vec!["//book/editor".into()],
+            insert_decoys: 5,
+            seed: 3,
+        };
+        attack.apply(&mut d);
+        assert_eq!(count_elements(&d, "book"), before);
+        assert_eq!(count_elements(&d, "decoy"), 5);
+        assert!(count_elements(&d, "editor") < before);
+    }
+
+    #[test]
+    fn text_alteration_changes_normalized_value() {
+        let mut d = doc();
+        let attack = AlterationAttack::values(1.0, vec!["//book/author".into()], 11);
+        attack.apply(&mut d);
+        let authors = Query::compile("//book/author").unwrap().select(&d);
+        assert!(authors
+            .iter()
+            .all(|n| n.string_value(&d).contains("-x")));
+    }
+}
+
+/// The rounding attack: snap every numeric value selected by
+/// `value_paths` to the nearest multiple of `granularity`.
+///
+/// This is the classic anti-LSB maneuver: rounding to a multiple of 2
+/// moves each value by at most 1 — *within* a ±1 owner tolerance, so
+/// usability survives — while forcing every parity to zero, erasing
+/// parity-embedded marks wholesale. It defeats numeric value marks at
+/// zero usability cost; text, image, and sibling-order marks are
+/// unaffected (see experiment E10 for the measured trade-off and the
+/// mitigation discussion).
+#[derive(Debug, Clone)]
+pub struct RoundingAttack {
+    /// Round to the nearest multiple of this.
+    pub granularity: i64,
+    /// Queries selecting numeric value nodes.
+    pub value_paths: Vec<String>,
+}
+
+impl RoundingAttack {
+    /// Creates the attack.
+    pub fn new(granularity: i64, value_paths: Vec<String>) -> Self {
+        assert!(granularity >= 1, "granularity must be positive");
+        RoundingAttack {
+            granularity,
+            value_paths,
+        }
+    }
+
+    /// Applies in place; returns the number of values changed.
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let mut changed = 0usize;
+        for path in &self.value_paths {
+            let Ok(query) = Query::compile(path) else {
+                continue;
+            };
+            for node in query.select(doc) {
+                let value = node.string_value(doc);
+                let Ok(n) = value.trim().parse::<i64>() else {
+                    continue;
+                };
+                let g = self.granularity;
+                // Round half away from zero to the nearest multiple of g.
+                let rounded = ((n as f64 / g as f64).round() as i64) * g;
+                if rounded != n && write_back(doc, &node, &rounded.to_string()).is_ok() {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod rounding_tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    #[test]
+    fn rounds_to_granularity() {
+        let mut d = parse("<db><v>1997</v><v>1998</v><v>2001</v></db>").unwrap();
+        let changed = RoundingAttack::new(2, vec!["//v".into()]).apply(&mut d);
+        assert_eq!(changed, 2); // 1997 -> 1998 (wait: 1997/2=998.5 -> 999*2=1998), 2001 -> 2002 wait 2001/2=1000.5->1001*2=2002... hmm 1998 already even
+        let values: Vec<String> = Query::compile("//v")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        for v in &values {
+            assert_eq!(v.parse::<i64>().unwrap() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn movement_bounded_by_half_granularity() {
+        let mut d = parse("<db><v>100</v><v>103</v><v>105</v><v>-7</v></db>").unwrap();
+        let before: Vec<i64> = Query::compile("//v")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d).parse().unwrap())
+            .collect();
+        RoundingAttack::new(4, vec!["//v".into()]).apply(&mut d);
+        let after: Vec<i64> = Query::compile("//v")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d).parse().unwrap())
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() <= 2, "{b} moved to {a}");
+            assert_eq!(a.rem_euclid(4), 0);
+        }
+    }
+
+    #[test]
+    fn non_numeric_values_untouched() {
+        let mut d = parse("<db><v>hello</v></db>").unwrap();
+        assert_eq!(RoundingAttack::new(2, vec!["//v".into()]).apply(&mut d), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_rejected() {
+        RoundingAttack::new(0, vec![]);
+    }
+}

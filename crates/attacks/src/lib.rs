@@ -1,0 +1,32 @@
+//! The adversary toolkit — the four attack families of the paper's
+//! demonstration (§4, part 2):
+//!
+//! * **(A) [alteration]** — "modify the elements or the structures of the
+//!   semi-structured data to destroy the embedded watermark": random
+//!   value perturbation, element deletion, and decoy insertion, with a
+//!   tunable intensity;
+//! * **(B) [reduction]** — "selectively use a subset of the
+//!   semi-structured data and discard the rest": keep a random fraction
+//!   of entity instances;
+//! * **(C) [reorganization]** — "reorganize the data according to a new
+//!   schema and reorder the data elements": mapping-driven restructuring
+//!   (via `wmx-rewrite`), sibling shuffling, and element renaming;
+//! * **(D) [redundancy]** — "identify and remove redundancies within the
+//!   data": unify every FD-duplicate group to a single consensus value,
+//!   erasing minority marks.
+//!
+//! All attacks are deterministic given their seed, so experiments are
+//! reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alteration;
+pub mod reduction;
+pub mod reorganization;
+pub mod redundancy;
+
+pub use alteration::{AlterationAttack, RoundingAttack};
+pub use reduction::ReductionAttack;
+pub use redundancy::RedundancyRemovalAttack;
+pub use reorganization::{RenameAttack, ReorganizationAttack, ShuffleAttack};

@@ -1,0 +1,113 @@
+//! Attack (B): data reduction — keep a subset, discard the rest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmx_xml::Document;
+use wmx_xpath::Query;
+
+/// Keeps a random fraction of the elements selected by `record_path`
+/// (typically the entity instances) and detaches the rest.
+#[derive(Debug, Clone)]
+pub struct ReductionAttack {
+    /// Fraction of records kept (0.0–1.0).
+    pub keep_fraction: f64,
+    /// Query selecting the record elements (e.g. `/db/book`).
+    pub record_path: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReductionAttack {
+    /// Creates the attack.
+    pub fn new(keep_fraction: f64, record_path: &str, seed: u64) -> Self {
+        ReductionAttack {
+            keep_fraction,
+            record_path: record_path.to_string(),
+            seed,
+        }
+    }
+
+    /// Applies in place; returns the number of records removed.
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let Ok(query) = Query::compile(&self.record_path) else {
+            return 0;
+        };
+        let records = query.select(doc);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut removed = 0usize;
+        for node in records {
+            if rng.random_range(0.0..1.0) < self.keep_fraction {
+                continue;
+            }
+            if let wmx_xpath::NodeRef::Node(id) = node {
+                doc.detach(id);
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_data::publications::{generate, PublicationsConfig};
+
+    fn doc() -> Document {
+        generate(&PublicationsConfig {
+            records: 200,
+            ..PublicationsConfig::default()
+        })
+        .doc
+    }
+
+    fn count_books(doc: &Document) -> usize {
+        Query::compile("/db/book").unwrap().select(doc).len()
+    }
+
+    #[test]
+    fn keep_all_removes_nothing() {
+        let mut d = doc();
+        assert_eq!(ReductionAttack::new(1.0, "/db/book", 1).apply(&mut d), 0);
+        assert_eq!(count_books(&d), 200);
+    }
+
+    #[test]
+    fn keep_none_removes_everything() {
+        let mut d = doc();
+        assert_eq!(ReductionAttack::new(0.0, "/db/book", 1).apply(&mut d), 200);
+        assert_eq!(count_books(&d), 0);
+    }
+
+    #[test]
+    fn keep_half_removes_roughly_half() {
+        let mut d = doc();
+        let removed = ReductionAttack::new(0.5, "/db/book", 42).apply(&mut d);
+        assert!(removed > 60 && removed < 140, "removed {removed}");
+        assert_eq!(count_books(&d), 200 - removed);
+    }
+
+    #[test]
+    fn surviving_records_are_intact() {
+        let mut d = doc();
+        ReductionAttack::new(0.3, "/db/book", 5).apply(&mut d);
+        for book in Query::compile("/db/book").unwrap().select(&d) {
+            let title = Query::compile("title")
+                .unwrap()
+                .select_from(&d, book.clone());
+            assert_eq!(title.len(), 1, "surviving book lost its title");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = doc();
+        let mut b = doc();
+        ReductionAttack::new(0.4, "/db/book", 9).apply(&mut a);
+        ReductionAttack::new(0.4, "/db/book", 9).apply(&mut b);
+        assert_eq!(
+            wmx_xml::to_canonical_string(&a),
+            wmx_xml::to_canonical_string(&b)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Attack (D): redundancy removal.
+//!
+//! The adversary mines the functional dependencies (assumed public — they
+//! follow from the domain, not from the secret key) and "make[s] all the
+//! duplicates identical": every FD-duplicate group is unified to a single
+//! consensus value. Marks embedded *independently* into duplicates are
+//! majority-voted away; marks embedded once per group (WmXML) are merely
+//! copied onto every duplicate and survive.
+
+use std::collections::HashMap;
+use wmx_schema::{discover_groups, Fd};
+use wmx_xml::Document;
+
+/// How the unified value is chosen within each duplicate group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnifyStrategy {
+    /// The most frequent value among the duplicates (ties: smallest).
+    /// This is the strongest erasure: minority (marked) variants vanish.
+    MajorityValue,
+    /// The first duplicate's value in document order.
+    FirstValue,
+}
+
+/// The redundancy-removal attack.
+#[derive(Debug, Clone)]
+pub struct RedundancyRemovalAttack {
+    /// The (mined) FDs whose redundancy is removed.
+    pub fds: Vec<Fd>,
+    /// Unification strategy.
+    pub strategy: UnifyStrategy,
+}
+
+impl RedundancyRemovalAttack {
+    /// Creates the attack.
+    pub fn new(fds: Vec<Fd>, strategy: UnifyStrategy) -> Self {
+        RedundancyRemovalAttack { fds, strategy }
+    }
+
+    /// Applies in place; returns the number of duplicate nodes rewritten.
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let groups = discover_groups(doc, &self.fds);
+        let mut rewritten = 0usize;
+        for group in groups {
+            if group.members.len() < 2 {
+                continue;
+            }
+            let values: Vec<String> = group
+                .members
+                .iter()
+                .map(|m| m.string_value(doc))
+                .collect();
+            let unified = match self.strategy {
+                UnifyStrategy::FirstValue => values[0].clone(),
+                UnifyStrategy::MajorityValue => {
+                    let mut counts: HashMap<&str, usize> = HashMap::new();
+                    for v in &values {
+                        *counts.entry(v.as_str()).or_default() += 1;
+                    }
+                    let mut best: Vec<(&str, usize)> = counts.into_iter().collect();
+                    // Most frequent first; ties resolved by value order so
+                    // the attack stays deterministic.
+                    best.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+                    best[0].0.to_string()
+                }
+            };
+            for (member, value) in group.members.iter().zip(&values) {
+                if value != &unified {
+                    write_back(doc, member, &unified);
+                    rewritten += 1;
+                }
+            }
+        }
+        rewritten
+    }
+}
+
+fn write_back(doc: &mut Document, node: &wmx_xpath::NodeRef, value: &str) {
+    match node {
+        wmx_xpath::NodeRef::Node(id) => {
+            if doc.is_element(*id) {
+                doc.set_text_content(*id, value);
+            } else if doc.is_text(*id) {
+                doc.set_text(*id, value);
+            }
+        }
+        wmx_xpath::NodeRef::Attribute { element, name } => {
+            let _ = doc.set_attribute(*element, name.clone(), value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+    use wmx_xpath::Query;
+
+    fn fd() -> Fd {
+        Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    #[test]
+    fn unifies_divergent_duplicates_to_majority() {
+        // Three duplicates: two say mkp, one (marked) says mkp2.
+        let mut d = parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>P</editor></book>
+                <book publisher="mkp2"><title>B</title><editor>P</editor></book>
+                <book publisher="mkp"><title>C</title><editor>P</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        let rewritten =
+            RedundancyRemovalAttack::new(vec![fd()], UnifyStrategy::MajorityValue).apply(&mut d);
+        assert_eq!(rewritten, 1);
+        let values: Vec<String> = Query::compile("//book/@publisher")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        assert_eq!(values, vec!["mkp", "mkp", "mkp"]);
+    }
+
+    #[test]
+    fn consistent_groups_untouched() {
+        let mut d = parse(
+            r#"<db>
+                <book publisher="acm"><title>A</title><editor>G</editor></book>
+                <book publisher="acm"><title>B</title><editor>G</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        let before = wmx_xml::to_canonical_string(&d);
+        let rewritten =
+            RedundancyRemovalAttack::new(vec![fd()], UnifyStrategy::MajorityValue).apply(&mut d);
+        assert_eq!(rewritten, 0);
+        assert_eq!(wmx_xml::to_canonical_string(&d), before);
+    }
+
+    #[test]
+    fn first_value_strategy() {
+        let mut d = parse(
+            r#"<db>
+                <book publisher="x1"><title>A</title><editor>P</editor></book>
+                <book publisher="x2"><title>B</title><editor>P</editor></book>
+                <book publisher="x2"><title>C</title><editor>P</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        RedundancyRemovalAttack::new(vec![fd()], UnifyStrategy::FirstValue).apply(&mut d);
+        let values: std::collections::BTreeSet<String> = Query::compile("//book/@publisher")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        assert_eq!(values.len(), 1);
+        assert!(values.contains("x1"));
+    }
+
+    #[test]
+    fn singleton_groups_ignored() {
+        let mut d = parse(
+            r#"<db><book publisher="mkp"><title>A</title><editor>Solo</editor></book></db>"#,
+        )
+        .unwrap();
+        let rewritten =
+            RedundancyRemovalAttack::new(vec![fd()], UnifyStrategy::MajorityValue).apply(&mut d);
+        assert_eq!(rewritten, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Attack (C): data re-organization — new schema, reordered elements,
+//! renamed tags.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use wmx_rewrite::transform::Layout;
+use wmx_rewrite::{reorganize, RewriteError, SchemaBinding};
+use wmx_xml::Document;
+
+/// Restructures the document under a new schema via the logical-record
+/// extraction/composition machinery of `wmx-rewrite` — the db1→db2
+/// transformation of the paper's Fig. 1.
+#[derive(Debug, Clone)]
+pub struct ReorganizationAttack {
+    /// The entity to restructure around.
+    pub entity: String,
+    /// The new root element name.
+    pub root: String,
+    /// The target layout.
+    pub layout: Layout,
+}
+
+impl ReorganizationAttack {
+    /// Creates the attack.
+    pub fn new(entity: &str, root: &str, layout: Layout) -> Self {
+        ReorganizationAttack {
+            entity: entity.to_string(),
+            root: root.to_string(),
+            layout,
+        }
+    }
+
+    /// Produces the reorganized document (the original is untouched —
+    /// the adversary redistributes a copy).
+    pub fn apply(
+        &self,
+        doc: &Document,
+        source_binding: &SchemaBinding,
+    ) -> Result<Document, RewriteError> {
+        reorganize(doc, source_binding, &self.entity, &self.root, &self.layout)
+    }
+}
+
+/// Randomly permutes the children of every element ("reorder the data
+/// elements"). Key-based identification is order-independent, so WmXML
+/// survives this; position-based schemes do not.
+#[derive(Debug, Clone)]
+pub struct ShuffleAttack {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShuffleAttack {
+    /// Creates the attack.
+    pub fn new(seed: u64) -> Self {
+        ShuffleAttack { seed }
+    }
+
+    /// Shuffles in place; returns the number of parents reordered.
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let parents: Vec<_> = doc
+            .descendant_elements(doc.document_node())
+            .filter(|&n| doc.children(n).len() > 1)
+            .collect();
+        let mut shuffled = 0usize;
+        for parent in parents {
+            let len = doc.children(parent).len();
+            let mut permutation: Vec<usize> = (0..len).collect();
+            permutation.shuffle(&mut rng);
+            doc.reorder_children(parent, &permutation);
+            shuffled += 1;
+        }
+        shuffled
+    }
+}
+
+/// Renames elements/attributes ("redesign the schema" in its mildest
+/// form). Mappings: `(old element name, new element name)`.
+#[derive(Debug, Clone)]
+pub struct RenameAttack {
+    /// Element renames.
+    pub element_renames: Vec<(String, String)>,
+}
+
+impl RenameAttack {
+    /// Creates the attack.
+    pub fn new(element_renames: Vec<(&str, &str)>) -> Self {
+        RenameAttack {
+            element_renames: element_renames
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Applies in place; returns the number of elements renamed.
+    pub fn apply(&self, doc: &mut Document) -> usize {
+        let mut renamed = 0usize;
+        let nodes: Vec<_> = doc.descendant_elements(doc.document_node()).collect();
+        for node in nodes {
+            let Some(name) = doc.name(node).map(str::to_string) else {
+                continue;
+            };
+            if let Some((_, to)) = self
+                .element_renames
+                .iter()
+                .find(|(from, _)| from == &name)
+            {
+                doc.set_name(node, to.clone()).expect("element rename");
+                renamed += 1;
+            }
+        }
+        renamed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_data::publications::{binding, generate, PublicationsConfig};
+    use wmx_rewrite::transform::FieldPlacement;
+    use wmx_xpath::Query;
+
+    fn dataset_doc() -> Document {
+        generate(&PublicationsConfig {
+            records: 50,
+            editors: 5,
+            ..PublicationsConfig::default()
+        })
+        .doc
+    }
+
+    fn grouped_layout() -> Layout {
+        Layout::GroupBy {
+            attr: "publisher".into(),
+            element: "publisher".into(),
+            label: FieldPlacement::Attribute("name".into()),
+            inner: Box::new(Layout::GroupBy {
+                attr: "author".into(),
+                element: "author".into(),
+                label: FieldPlacement::Attribute("name".into()),
+                inner: Box::new(Layout::Flat {
+                    record_element: "book".into(),
+                    fields: vec![
+                        ("title".into(), FieldPlacement::SelfText),
+                    ],
+                }),
+            }),
+        }
+    }
+
+    #[test]
+    fn reorganization_changes_shape_but_keeps_information() {
+        let doc = dataset_doc();
+        let attack = ReorganizationAttack::new("book", "db", grouped_layout());
+        let reorganized = attack.apply(&doc, &binding()).unwrap();
+        // New shape.
+        assert!(Query::compile("/db/book").unwrap().select(&reorganized).is_empty());
+        assert!(!Query::compile("/db/publisher/author/book")
+            .unwrap()
+            .select(&reorganized)
+            .is_empty());
+        // Every original title is still present as a book leaf.
+        let titles_before = Query::compile("/db/book/title").unwrap().select(&doc).len();
+        let distinct_titles_after: std::collections::BTreeSet<String> =
+            Query::compile("//book")
+                .unwrap()
+                .select(&reorganized)
+                .iter()
+                .map(|n| n.string_value(&reorganized))
+                .collect();
+        assert_eq!(titles_before, distinct_titles_after.len());
+    }
+
+    #[test]
+    fn shuffle_preserves_content_changes_order() {
+        let mut d = dataset_doc();
+        let before_titles: std::collections::BTreeSet<String> = Query::compile("//title")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        let first_before = Query::compile("/db/book[1]/title")
+            .unwrap()
+            .select_string(&d)
+            .unwrap();
+        ShuffleAttack::new(1234).apply(&mut d);
+        let after_titles: std::collections::BTreeSet<String> = Query::compile("//title")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        assert_eq!(before_titles, after_titles);
+        let first_after = Query::compile("/db/book[1]/title")
+            .unwrap()
+            .select_string(&d)
+            .unwrap();
+        // With 50 books the first one almost surely moved.
+        assert_ne!(first_before, first_after);
+    }
+
+    #[test]
+    fn rename_attack_renames_all_occurrences() {
+        let mut d = dataset_doc();
+        let renamed = RenameAttack::new(vec![("year", "published"), ("editor", "curator")])
+            .apply(&mut d);
+        assert_eq!(renamed, 100); // 50 years + 50 editors
+        assert!(Query::compile("//year").unwrap().select(&d).is_empty());
+        assert_eq!(Query::compile("//published").unwrap().select(&d).len(), 50);
+        assert_eq!(Query::compile("//curator").unwrap().select(&d).len(), 50);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a = dataset_doc();
+        let mut b = dataset_doc();
+        ShuffleAttack::new(7).apply(&mut a);
+        ShuffleAttack::new(7).apply(&mut b);
+        assert_eq!(
+            wmx_xml::to_canonical_string(&a),
+            wmx_xml::to_canonical_string(&b)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Bench: the attack suite (experiments E2/E3/E5) — adversary cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wmx_attacks::redundancy::UnifyStrategy;
+use wmx_attacks::{AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ShuffleAttack};
+use wmx_bench::workloads::marked_publications;
+
+fn bench_attacks(c: &mut Criterion) {
+    let w = marked_publications(500, 10, 2, 1);
+    let mut group = c.benchmark_group("attacks_500rec");
+    group.sample_size(20);
+
+    group.bench_function("alteration_30pct", |b| {
+        let attack = AlterationAttack::values(0.3, vec!["//book/year".into()], 7);
+        b.iter(|| {
+            let mut doc = w.marked.clone();
+            attack.apply(&mut doc)
+        });
+    });
+
+    group.bench_function("reduction_keep_half", |b| {
+        let attack = ReductionAttack::new(0.5, "/db/book", 7);
+        b.iter(|| {
+            let mut doc = w.marked.clone();
+            attack.apply(&mut doc)
+        });
+    });
+
+    group.bench_function("shuffle_all_siblings", |b| {
+        let attack = ShuffleAttack::new(7);
+        b.iter(|| {
+            let mut doc = w.marked.clone();
+            attack.apply(&mut doc)
+        });
+    });
+
+    group.bench_function("redundancy_removal", |b| {
+        let attack =
+            RedundancyRemovalAttack::new(w.dataset.fds.clone(), UnifyStrategy::MajorityValue);
+        b.iter(|| {
+            let mut doc = w.marked.clone();
+            attack.apply(&mut doc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

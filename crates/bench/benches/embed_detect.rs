@@ -1,0 +1,79 @@
+//! Bench: the core pipeline — unit enumeration, embedding, detection
+//! (experiments E1/E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wmx_bench::workloads::marked_publications;
+use wmx_core::{detect, embed, enumerate_units, DetectionInput};
+use wmx_data::publications::{generate, PublicationsConfig};
+
+fn bench_enumerate(c: &mut Criterion) {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 1,
+        gamma: 3,
+    });
+    c.bench_function("enumerate_units_500rec", |b| {
+        b.iter(|| {
+            enumerate_units(
+                black_box(&dataset.doc),
+                &dataset.binding,
+                &dataset.fds,
+                &dataset.config,
+            )
+            .expect("enumerates")
+        });
+    });
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed");
+    group.sample_size(20);
+    for records in [100usize, 500, 1000] {
+        let w = marked_publications(records, 10, 3, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &w, |b, w| {
+            b.iter(|| {
+                let mut doc = w.original.clone();
+                embed(
+                    &mut doc,
+                    &w.dataset.binding,
+                    &w.dataset.fds,
+                    &w.dataset.config,
+                    &w.key,
+                    &w.watermark,
+                )
+                .expect("embeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    for records in [100usize, 500] {
+        let w = marked_publications(records, 10, 3, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(records), &w, |b, w| {
+            b.iter(|| {
+                let report = detect(
+                    black_box(&w.marked),
+                    &DetectionInput {
+                        queries: &w.report.queries,
+                        key: w.key.clone(),
+                        watermark: w.watermark.clone(),
+                        threshold: 0.85,
+                        mapping: None,
+                    },
+                );
+                assert!(report.detected);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate, bench_embed, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench: XML substrate — parse and serialize (supports experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use wmx_data::publications::{generate, PublicationsConfig};
+use wmx_xml::{parse, to_canonical_string, to_pretty_string, to_string};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    for records in [100usize, 500, 1000] {
+        let dataset = generate(&PublicationsConfig {
+            records,
+            editors: 10,
+            seed: 1,
+            gamma: 3,
+        });
+        let text = to_string(&dataset.doc);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(records), &text, |b, text| {
+            b.iter(|| parse(black_box(text)).expect("parses"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 1,
+        gamma: 3,
+    });
+    let mut group = c.benchmark_group("xml_serialize");
+    group.bench_function("compact", |b| {
+        b.iter(|| to_string(black_box(&dataset.doc)));
+    });
+    group.bench_function("pretty", |b| {
+        b.iter(|| to_pretty_string(black_box(&dataset.doc)));
+    });
+    group.bench_function("canonical", |b| {
+        b.iter(|| to_canonical_string(black_box(&dataset.doc)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_serialize);
+criterion_main!(benches);

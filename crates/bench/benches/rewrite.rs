@@ -1,0 +1,65 @@
+//! Bench: schema mapping machinery (experiment E4) — record extraction,
+//! reorganization, and query rewriting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmx_data::publications::{db2_binding, db2_layout, generate, PublicationsConfig};
+use wmx_rewrite::rewrite::rewrite_query;
+use wmx_rewrite::transform::{extract_records, reorganize};
+use wmx_rewrite::LogicalQuery;
+use wmx_xpath::Query;
+
+fn bench_transform(c: &mut Criterion) {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 1,
+        gamma: 3,
+    });
+    let mut group = c.benchmark_group("reorganize_500rec");
+    group.sample_size(10);
+    group.bench_function("extract_records", |b| {
+        b.iter(|| {
+            extract_records(black_box(&dataset.doc), &dataset.binding, "book").expect("extracts")
+        });
+    });
+    group.bench_function("db1_to_db2", |b| {
+        b.iter(|| {
+            reorganize(
+                black_box(&dataset.doc),
+                &dataset.binding,
+                "book",
+                "db",
+                &db2_layout(),
+            )
+            .expect("reorganizes")
+        });
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let dataset = generate(&PublicationsConfig {
+        records: 100,
+        editors: 5,
+        seed: 1,
+        gamma: 3,
+    });
+    let from = dataset.binding.clone();
+    let to = db2_binding();
+    let concrete =
+        Query::compile("/db/book[title = 'Readings in Database Systems 17']/year").unwrap();
+    let logical = LogicalQuery::new("book", "Readings in Database Systems 17", "year");
+
+    let mut group = c.benchmark_group("query_rewriting");
+    group.bench_function("concrete_rewrite", |b| {
+        b.iter(|| rewrite_query(black_box(&concrete), &from, &to).expect("rewrites"));
+    });
+    group.bench_function("logical_compile", |b| {
+        b.iter(|| black_box(&logical).compile(&to).expect("compiles"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bench: query engine — compilation and evaluation shapes used by the
+//! encoder/decoder (supports experiment E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wmx_data::publications::{generate, PublicationsConfig};
+use wmx_xpath::Query;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xpath_compile");
+    for (name, text) in [
+        ("simple", "/db/book/year"),
+        (
+            "key_predicate",
+            "/db/book[title = 'Readings in Database Systems 17']/year",
+        ),
+        (
+            "complex",
+            "db/book[year >= 1990 and @publisher='mkp']/author | db/book/editor",
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Query::compile(black_box(text)).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 1,
+        gamma: 3,
+    });
+    let doc = &dataset.doc;
+    // A real key from the generated data, for the identity-query shape.
+    let first_title = Query::compile("/db/book[1]/title")
+        .unwrap()
+        .select_string(doc)
+        .unwrap();
+    let identity = Query::compile(&format!("/db/book[title = '{first_title}']/year")).unwrap();
+    let child_scan = Query::compile("/db/book/year").unwrap();
+    let descendant = Query::compile("//year").unwrap();
+    let filtered = Query::compile("/db/book[year >= 1990]/title").unwrap();
+    let count = Query::compile("count(//book)").unwrap();
+
+    let mut group = c.benchmark_group("xpath_select_500rec");
+    group.bench_function("identity_query", |b| {
+        b.iter(|| black_box(&identity).select(doc));
+    });
+    group.bench_function("child_scan", |b| {
+        b.iter(|| black_box(&child_scan).select(doc));
+    });
+    group.bench_function("descendant_scan", |b| {
+        b.iter(|| black_box(&descendant).select(doc));
+    });
+    group.bench_function("predicate_filter", |b| {
+        b.iter(|| black_box(&filtered).select(doc));
+    });
+    group.bench_function("count_function", |b| {
+        b.iter(|| black_box(&count).evaluate(doc).expect("evaluates"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_select);
+criterion_main!(benches);

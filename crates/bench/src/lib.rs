@@ -1,0 +1,11 @@
+//! Shared workload setup and table rendering for the experiment harness
+//! and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+pub use workloads::{marked_publications, MarkedWorkload};

@@ -1,0 +1,66 @@
+//! Canonical experiment workloads.
+
+use wmx_core::{embed, EmbedReport, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::publications::{generate, PublicationsConfig};
+use wmx_data::Dataset;
+use wmx_xml::Document;
+
+/// A marked publications workload shared by experiments and benches.
+pub struct MarkedWorkload {
+    /// The dataset (original document + semantics).
+    pub dataset: Dataset,
+    /// The original document (same as `dataset.doc`).
+    pub original: Document,
+    /// The marked document.
+    pub marked: Document,
+    /// Embedding report (query set etc.).
+    pub report: EmbedReport,
+    /// The secret key.
+    pub key: SecretKey,
+    /// The watermark.
+    pub watermark: Watermark,
+}
+
+/// Generates and watermarks a publications database.
+pub fn marked_publications(records: usize, editors: usize, gamma: u32, seed: u64) -> MarkedWorkload {
+    let dataset = generate(&PublicationsConfig {
+        records,
+        editors,
+        seed,
+        gamma,
+    });
+    let original = dataset.doc.clone();
+    let key = SecretKey::from_passphrase("bench-key");
+    let watermark = Watermark::from_message("© bench owner", 24);
+    let mut marked = original.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &watermark,
+    )
+    .expect("embedding succeeds on generated data");
+    MarkedWorkload {
+        dataset,
+        original,
+        marked,
+        report,
+        key,
+        watermark,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_is_marked() {
+        let w = marked_publications(50, 5, 2, 7);
+        assert!(w.report.marked_units > 0);
+        assert_eq!(w.dataset.name, "publications");
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// Flag → value map (flags without values get `"true"`).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses an argument vector (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, ArgsError> {
+        let mut iter = argv.iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgsError("missing subcommand".to_string()))?
+            .clone();
+        if command.starts_with('-') {
+            return Err(ArgsError(format!(
+                "expected a subcommand, found flag {command:?}"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(flag) = arg.strip_prefix("--") else {
+                return Err(ArgsError(format!("unexpected positional argument {arg:?}")));
+            };
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let v = (*next).clone();
+                    iter.next();
+                    v
+                }
+                _ => "true".to_string(),
+            };
+            if options.insert(flag.to_string(), value).is_some() {
+                return Err(ArgsError(format!("flag --{flag} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn required(&self, flag: &str) -> Result<&str, ArgsError> {
+        self.options
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgsError(format!("missing required flag --{flag}")))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgsError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgsError(format!("flag --{flag} has invalid value {raw:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = Args::parse(&argv(&[
+            "embed", "--in", "db.xml", "--bits", "24", "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "embed");
+        assert_eq!(args.required("in").unwrap(), "db.xml");
+        assert_eq!(args.parsed_or::<usize>("bits", 0).unwrap(), 24);
+        assert_eq!(args.optional("verbose"), Some("true"));
+        assert_eq!(args.optional("missing"), None);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = Args::parse(&argv(&["detect"])).unwrap();
+        assert_eq!(args.parsed_or::<f64>("threshold", 0.85).unwrap(), 0.85);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv(&["--flag"])).is_err());
+        assert!(Args::parse(&argv(&["cmd", "stray"])).is_err());
+        assert!(Args::parse(&argv(&["cmd", "--a", "1", "--a", "2"])).is_err());
+        let args = Args::parse(&argv(&["cmd", "--bits", "abc"])).unwrap();
+        assert!(args.parsed_or::<usize>("bits", 1).is_err());
+        assert!(args.required("nope").is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::profile::{resolve, PROFILE_NAMES};
+use crate::queryfile;
+use std::fs;
+use wmx_attacks::redundancy::UnifyStrategy;
+use wmx_attacks::{AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ShuffleAttack};
+use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::{jobs, library, publications};
+use wmx_xml::{parse, to_pretty_string};
+
+/// Runs a parsed command; returns the process exit code.
+pub fn run(args: &Args) -> Result<i32, String> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "embed" => cmd_embed(args),
+        "detect" => cmd_detect(args),
+        "attack" => cmd_attack(args),
+        "validate" => cmd_validate(args),
+        "inspect" => cmd_inspect(args),
+        "help" | "--help" => {
+            println!("{}", usage());
+            Ok(0)
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    format!(
+        "wmxml — WmXML watermarking system (VLDB 2005 reproduction)
+
+USAGE: wmxml <command> [--flag value ...]
+
+COMMANDS
+  generate  --profile P --records N [--seed S] --out FILE
+            synthesize a dataset document
+  embed     --profile P --in FILE --key K --message M [--bits N]
+            [--gamma G] --out FILE --queries FILE
+            watermark a document; writes the marked XML and the query set
+  detect    --in FILE --key K --message M [--bits N] [--threshold T]
+            --queries FILE
+            detect the watermark (exit 0 = detected, 2 = not detected)
+  attack    --in FILE --kind alteration|reduction|shuffle|redundancy
+            [--intensity X] [--seed S] [--profile P] --out FILE
+            apply a demo attack
+  validate  --profile P --in FILE
+            validate against the profile schema, keys, and FDs
+  inspect   --in FILE
+            print document statistics
+
+PROFILES: {}",
+        PROFILE_NAMES.join(", ")
+    )
+}
+
+fn read_doc(path: &str) -> Result<wmx_xml::Document, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_file(path: &str, content: &str) -> Result<(), String> {
+    fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn load_profile(args: &Args) -> Result<crate::profile::Profile, String> {
+    let name = args.required("profile").map_err(|e| e.to_string())?;
+    resolve(name).ok_or_else(|| {
+        format!(
+            "unknown profile {name:?}; available: {}",
+            PROFILE_NAMES.join(", ")
+        )
+    })
+}
+
+fn watermark_from(args: &Args) -> Result<Watermark, String> {
+    let message = args.required("message").map_err(|e| e.to_string())?;
+    let bits: usize = args.parsed_or("bits", 24).map_err(|e| e.to_string())?;
+    if bits == 0 {
+        return Err("--bits must be positive".to_string());
+    }
+    Ok(Watermark::from_message(message, bits))
+}
+
+fn cmd_generate(args: &Args) -> Result<i32, String> {
+    let profile = args.required("profile").map_err(|e| e.to_string())?;
+    let records: usize = args.parsed_or("records", 200).map_err(|e| e.to_string())?;
+    let seed: u64 = args.parsed_or("seed", 2005).map_err(|e| e.to_string())?;
+    let out = args.required("out").map_err(|e| e.to_string())?;
+    let doc = match profile {
+        "publications" => {
+            publications::generate(&publications::PublicationsConfig {
+                records,
+                editors: (records / 20).max(2),
+                seed,
+                gamma: 3,
+            })
+            .doc
+        }
+        "jobs" => {
+            jobs::generate(&jobs::JobsConfig {
+                records,
+                companies: (records / 25).max(2),
+                seed,
+                gamma: 3,
+            })
+            .doc
+        }
+        "library" => {
+            library::generate(&library::LibraryConfig {
+                records,
+                image_size: 16,
+                seed,
+                gamma: 2,
+            })
+            .doc
+        }
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    write_file(out, &to_pretty_string(&doc))?;
+    println!("wrote {records} {profile} records to {out}");
+    Ok(0)
+}
+
+fn cmd_embed(args: &Args) -> Result<i32, String> {
+    let profile = load_profile(args)?;
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let out_path = args.required("out").map_err(|e| e.to_string())?;
+    let queries_path = args.required("queries").map_err(|e| e.to_string())?;
+    let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
+    let watermark = watermark_from(args)?;
+
+    let original = read_doc(in_path)?;
+    let mut config = profile.config.clone();
+    config.gamma = args
+        .parsed_or("gamma", config.gamma)
+        .map_err(|e| e.to_string())?;
+
+    let issues = wmx_schema::validate(&original, &profile.schema);
+    if !issues.is_empty() {
+        eprintln!("warning: document has {} schema issue(s); first:", issues.len());
+        eprintln!("  {}", issues[0]);
+    }
+
+    let mut marked = original.clone();
+    let report = embed(
+        &mut marked,
+        &profile.binding,
+        &profile.fds,
+        &config,
+        &key,
+        &watermark,
+    )
+    .map_err(|e| format!("embedding failed: {e}"))?;
+
+    let usability = measure_usability(
+        &original,
+        &profile.binding,
+        &marked,
+        &profile.binding,
+        &profile.templates,
+        &config,
+    )
+    .map_err(|e| format!("usability check failed: {e}"))?;
+
+    write_file(out_path, &to_pretty_string(&marked))?;
+    write_file(queries_path, &queryfile::to_string(&report.queries))?;
+    println!(
+        "embedded {} marks across {} units (γ={}, utilization {:.1}%)",
+        report.marked_units,
+        report.total_units,
+        config.gamma,
+        100.0 * report.capacity_utilization()
+    );
+    println!(
+        "usability after embedding: {:.1}%",
+        100.0 * usability.overall()
+    );
+    println!("marked document: {out_path}");
+    println!("query set (keep with your key!): {queries_path}");
+    Ok(0)
+}
+
+fn cmd_detect(args: &Args) -> Result<i32, String> {
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let queries_path = args.required("queries").map_err(|e| e.to_string())?;
+    let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
+    let watermark = watermark_from(args)?;
+    let threshold: f64 = args.parsed_or("threshold", 0.85).map_err(|e| e.to_string())?;
+
+    let doc = read_doc(in_path)?;
+    let queries_text =
+        fs::read_to_string(queries_path).map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let queries = queryfile::from_string(&queries_text).map_err(|e| e.to_string())?;
+
+    let report = detect(
+        &doc,
+        &DetectionInput {
+            queries: &queries,
+            key,
+            watermark,
+            threshold,
+            mapping: None,
+        },
+    );
+    println!(
+        "queries located: {}/{}; bits matched {}/{} ({:.1}%); p-value {:.2e}",
+        report.located_queries,
+        report.total_queries,
+        report.matched_bits,
+        report.voted_bits,
+        100.0 * report.match_fraction(),
+        report.p_value
+    );
+    if report.detected {
+        println!("WATERMARK DETECTED (τ = {threshold})");
+        Ok(0)
+    } else {
+        println!("watermark NOT detected (τ = {threshold})");
+        Ok(2)
+    }
+}
+
+fn cmd_attack(args: &Args) -> Result<i32, String> {
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let out_path = args.required("out").map_err(|e| e.to_string())?;
+    let kind = args.required("kind").map_err(|e| e.to_string())?;
+    let intensity: f64 = args.parsed_or("intensity", 0.3).map_err(|e| e.to_string())?;
+    let seed: u64 = args.parsed_or("seed", 7).map_err(|e| e.to_string())?;
+
+    let mut doc = read_doc(in_path)?;
+    let touched = match kind {
+        "alteration" => AlterationAttack::values(
+            intensity,
+            vec!["//*[not(*)]".to_string()], // all leaf elements
+            seed,
+        )
+        .apply(&mut doc),
+        "reduction" => {
+            // Reduce the root's child records.
+            let root_name = doc
+                .root_element()
+                .and_then(|r| doc.name(r))
+                .unwrap_or("db")
+                .to_string();
+            let record_path = format!("/{root_name}/*");
+            ReductionAttack::new(intensity, &record_path, seed).apply(&mut doc)
+        }
+        "shuffle" => ShuffleAttack::new(seed).apply(&mut doc),
+        "redundancy" => {
+            let profile = load_profile(args)?;
+            RedundancyRemovalAttack::new(profile.fds, UnifyStrategy::MajorityValue).apply(&mut doc)
+        }
+        other => {
+            return Err(format!(
+                "unknown attack kind {other:?}; use alteration|reduction|shuffle|redundancy"
+            ))
+        }
+    };
+    write_file(out_path, &to_pretty_string(&doc))?;
+    println!("attack {kind} touched {touched} node(s); wrote {out_path}");
+    Ok(0)
+}
+
+fn cmd_validate(args: &Args) -> Result<i32, String> {
+    let profile = load_profile(args)?;
+    let doc = read_doc(args.required("in").map_err(|e| e.to_string())?)?;
+    let issues = wmx_schema::validate(&doc, &profile.schema);
+    for issue in &issues {
+        println!("schema: {issue}");
+    }
+    let mut violations = 0usize;
+    for key in &profile.keys {
+        for v in key.verify(&doc) {
+            println!("key: {v}");
+            violations += 1;
+        }
+    }
+    for fd in &profile.fds {
+        for v in fd.verify(&doc) {
+            println!("fd: {v}");
+            violations += 1;
+        }
+    }
+    if issues.is_empty() && violations == 0 {
+        println!("document is valid under profile {}", profile.name);
+        Ok(0)
+    } else {
+        println!(
+            "{} schema issue(s), {} key/FD violation(s)",
+            issues.len(),
+            violations
+        );
+        Ok(2)
+    }
+}
+
+fn cmd_inspect(args: &Args) -> Result<i32, String> {
+    let doc = read_doc(args.required("in").map_err(|e| e.to_string())?)?;
+    let root = doc.root_element();
+    println!(
+        "root element: {}",
+        root.and_then(|r| doc.name(r)).unwrap_or("(none)")
+    );
+    println!("elements: {}", doc.element_count());
+    if let Some(root) = root {
+        let mut by_name: std::collections::BTreeMap<String, usize> = Default::default();
+        for e in doc.descendant_elements(root) {
+            *by_name
+                .entry(doc.name(e).unwrap_or("?").to_string())
+                .or_default() += 1;
+        }
+        let mut entries: Vec<_> = by_name.into_iter().collect();
+        entries.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        for (name, count) in entries.into_iter().take(12) {
+            println!("  <{name}>: {count}");
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("wmxml-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn end_to_end_generate_embed_detect() {
+        let db = tmp("db.xml");
+        let marked = tmp("marked.xml");
+        let queries = tmp("q.wmxq");
+
+        assert_eq!(
+            run(&args(&[
+                "generate", "--profile", "publications", "--records", "120", "--out", &db
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&args(&[
+                "embed", "--profile", "publications", "--in", &db, "--key", "cli-secret",
+                "--message", "© cli", "--out", &marked, "--queries", &queries
+            ]))
+            .unwrap(),
+            0
+        );
+        // Correct key detects.
+        assert_eq!(
+            run(&args(&[
+                "detect", "--in", &marked, "--key", "cli-secret", "--message", "© cli",
+                "--queries", &queries
+            ]))
+            .unwrap(),
+            0
+        );
+        // Wrong key does not (exit code 2).
+        assert_eq!(
+            run(&args(&[
+                "detect", "--in", &marked, "--key", "oops", "--message", "© cli",
+                "--queries", &queries
+            ]))
+            .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn attack_then_detect_roundtrip() {
+        let db = tmp("db2.xml");
+        let marked = tmp("marked2.xml");
+        let queries = tmp("q2.wmxq");
+        let attacked = tmp("attacked2.xml");
+
+        run(&args(&[
+            "generate", "--profile", "jobs", "--records", "200", "--out", &db
+        ]))
+        .unwrap();
+        run(&args(&[
+            "embed", "--profile", "jobs", "--in", &db, "--key", "k", "--message", "m",
+            "--out", &marked, "--queries", &queries
+        ]))
+        .unwrap();
+        assert_eq!(
+            run(&args(&[
+                "attack", "--in", &marked, "--kind", "shuffle", "--out", &attacked
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&args(&[
+                "detect", "--in", &attacked, "--key", "k", "--message", "m", "--queries",
+                &queries
+            ]))
+            .unwrap(),
+            0,
+            "shuffle must not defeat detection"
+        );
+    }
+
+    #[test]
+    fn validate_generated_documents() {
+        let db = tmp("db3.xml");
+        run(&args(&[
+            "generate", "--profile", "library", "--records", "30", "--out", &db
+        ]))
+        .unwrap();
+        assert_eq!(
+            run(&args(&["validate", "--profile", "library", "--in", &db])).unwrap(),
+            0
+        );
+        assert_eq!(run(&args(&["inspect", "--in", &db])).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_command_and_profile_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&args(&[
+            "generate", "--profile", "nope", "--records", "1", "--out", "/tmp/x.xml"
+        ]))
+        .is_err());
+    }
+}

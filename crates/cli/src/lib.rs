@@ -1,0 +1,25 @@
+//! Library backing the `wmxml` command-line tool.
+//!
+//! The demo paper walks a user through: pick a dataset, declare its
+//! semantics, embed a watermark, save the query set, attack the data,
+//! detect. The CLI packages that flow:
+//!
+//! ```text
+//! wmxml generate --profile publications --records 500 --out db.xml
+//! wmxml embed    --profile publications --in db.xml --key K \
+//!                --message "© me" --bits 24 --out marked.xml --queries q.wmxq
+//! wmxml attack   --in marked.xml --kind alteration --intensity 0.3 --out stolen.xml
+//! wmxml detect   --profile publications --in stolen.xml --key K \
+//!                --message "© me" --bits 24 --queries q.wmxq
+//! ```
+//!
+//! [`queryfile`] defines the on-disk format of the safeguarded query set
+//! (the artifact the paper says the user keeps together with the key).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod profile;
+pub mod queryfile;

@@ -1,0 +1,26 @@
+//! `wmxml` — command-line entry point.
+
+use wmx_cli::args::Args;
+use wmx_cli::commands::{run, usage};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        println!("{}", usage());
+        std::process::exit(1);
+    }
+    let args = match Args::parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(1);
+        }
+    };
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Dataset profiles: the semantic package (binding, keys, FDs,
+//! templates, encoder config) for each supported document family.
+//!
+//! A profile is what the demo user "discovers from the schema of the
+//! copyrighted semi-structured data" and types into the UI; the CLI
+//! ships the three demo families built in.
+
+use wmx_core::EncoderConfig;
+use wmx_core::QueryTemplate;
+use wmx_data::{jobs, library, publications};
+use wmx_rewrite::SchemaBinding;
+use wmx_schema::{Fd, Key, Schema};
+
+/// A named semantic package.
+pub struct Profile {
+    /// Profile name.
+    pub name: &'static str,
+    /// Structural schema.
+    pub schema: Schema,
+    /// Binding of logical entities.
+    pub binding: SchemaBinding,
+    /// Keys.
+    pub keys: Vec<Key>,
+    /// Functional dependencies.
+    pub fds: Vec<Fd>,
+    /// Usability templates.
+    pub templates: Vec<QueryTemplate>,
+    /// Default encoder configuration.
+    pub config: EncoderConfig,
+}
+
+/// Resolves a profile by name.
+pub fn resolve(name: &str) -> Option<Profile> {
+    match name {
+        "publications" => Some(Profile {
+            name: "publications",
+            schema: publications::schema(),
+            binding: publications::binding(),
+            keys: vec![Key::new("book-title", "/db/book", &["title"]).expect("static key")],
+            fds: vec![publications::editor_publisher_fd()],
+            templates: publications::templates(),
+            config: default_config("publications"),
+        }),
+        "jobs" => Some(Profile {
+            name: "jobs",
+            schema: jobs::schema(),
+            binding: jobs::binding(),
+            keys: vec![Key::new("listing-ref", "/jobs/listing", &["@ref"]).expect("static key")],
+            fds: vec![jobs::company_hq_fd()],
+            templates: jobs::templates(),
+            config: default_config("jobs"),
+        }),
+        "library" => Some(Profile {
+            name: "library",
+            schema: library::schema(),
+            binding: library::binding(),
+            keys: vec![Key::new("item-id", "/library/item", &["@id"]).expect("static key")],
+            fds: Vec::new(),
+            templates: library::templates(),
+            config: default_config("library"),
+        }),
+        _ => None,
+    }
+}
+
+/// Names of all built-in profiles.
+pub const PROFILE_NAMES: &[&str] = &["publications", "jobs", "library"];
+
+fn default_config(name: &str) -> EncoderConfig {
+    use wmx_core::MarkableAttr;
+    match name {
+        "publications" => EncoderConfig::new(
+            3,
+            vec![
+                MarkableAttr::integer("book", "year", 1),
+                MarkableAttr::text("book", "publisher"),
+            ],
+        ),
+        "jobs" => EncoderConfig::new(
+            3,
+            vec![
+                MarkableAttr::integer("listing", "salary", 50),
+                MarkableAttr::integer("listing", "posted", 1),
+                MarkableAttr::text("listing", "hq"),
+                MarkableAttr::text("listing", "summary"),
+            ],
+        ),
+        _ => EncoderConfig::new(
+            2,
+            vec![
+                MarkableAttr::integer("item", "pages", 1),
+                MarkableAttr::decimal("item", "price", 0.02),
+                MarkableAttr::text("item", "abstract"),
+                MarkableAttr::image("item", "cover"),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_resolve() {
+        for name in PROFILE_NAMES {
+            let p = resolve(name).unwrap_or_else(|| panic!("profile {name} missing"));
+            assert_eq!(p.name, *name);
+            assert!(!p.templates.is_empty());
+            assert!(!p.config.markable.is_empty());
+        }
+        assert!(resolve("unknown").is_none());
+    }
+
+    #[test]
+    fn profile_configs_match_generated_data() {
+        let ds = wmx_data::publications::generate(&Default::default());
+        let p = resolve("publications").unwrap();
+        // The profile's binding reads the generated document.
+        let entity = p.binding.entity("book").unwrap();
+        assert!(!entity.instances(&ds.doc).is_empty());
+        // Keys and FDs hold.
+        for key in &p.keys {
+            assert!(key.verify(&ds.doc).is_empty());
+        }
+        for fd in &p.fds {
+            assert!(fd.verify(&ds.doc).is_empty());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! On-disk format for the safeguarded query set (`.wmxq`).
+//!
+//! §2.2: the user must "safeguard the set of queries (denoted by Q)
+//! along with the secret key". This module gives that artifact a stable,
+//! human-auditable representation: a versioned header followed by one
+//! tab-separated record per query:
+//!
+//! ```text
+//! #wmxq v1
+//! int<TAB>key:book|DB Design|attr=year<TAB>/db/book[title = 'DB Design']/year
+//! ```
+//!
+//! Unit ids and query texts are escaped (`\t`, `\n`, `\\`) so arbitrary
+//! key values survive the round trip.
+
+use wmx_core::{MarkKind, StoredQuery};
+use wmx_schema::DataType;
+
+/// Errors raised while reading a query file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFileError {
+    /// 1-based line number (0 for file-level errors).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for QueryFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for QueryFileError {}
+
+const HEADER: &str = "#wmxq v1";
+
+fn mark_tag(mark: MarkKind) -> &'static str {
+    match mark {
+        MarkKind::Value(DataType::Integer) => "int",
+        MarkKind::Value(DataType::Decimal) => "dec",
+        MarkKind::Value(DataType::Text) => "text",
+        MarkKind::Value(DataType::Base64Image) => "img",
+        MarkKind::SiblingOrder => "ord",
+    }
+}
+
+fn parse_mark(tag: &str) -> Option<MarkKind> {
+    Some(match tag {
+        "int" => MarkKind::Value(DataType::Integer),
+        "dec" => MarkKind::Value(DataType::Decimal),
+        "text" => MarkKind::Value(DataType::Text),
+        "img" => MarkKind::Value(DataType::Base64Image),
+        "ord" => MarkKind::SiblingOrder,
+        _ => return None,
+    })
+}
+
+fn escape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Serializes a query set.
+pub fn to_string(queries: &[StoredQuery]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for q in queries {
+        out.push_str(mark_tag(q.mark));
+        out.push('\t');
+        out.push_str(&escape(&q.unit_id));
+        out.push('\t');
+        out.push_str(&escape(&q.xpath));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a query set. The logical form is not persisted; detection on a
+/// reorganized schema must recover it via `wmx-rewrite` with the
+/// original binding.
+pub fn from_string(text: &str) -> Result<Vec<StoredQuery>, QueryFileError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == HEADER => {}
+        Some((_, first)) => {
+            return Err(QueryFileError {
+                line: 1,
+                message: format!("expected header {HEADER:?}, found {first:?}"),
+            })
+        }
+        None => {
+            return Err(QueryFileError {
+                line: 0,
+                message: "empty query file".to_string(),
+            })
+        }
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(tag), Some(unit_id), Some(xpath)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(QueryFileError {
+                line: idx + 1,
+                message: "expected three tab-separated fields".to_string(),
+            });
+        };
+        let Some(mark) = parse_mark(tag) else {
+            return Err(QueryFileError {
+                line: idx + 1,
+                message: format!("unknown mark kind {tag:?}"),
+            });
+        };
+        let xpath = unescape(xpath);
+        if wmx_xpath::Query::compile(&xpath).is_err() {
+            return Err(QueryFileError {
+                line: idx + 1,
+                message: format!("query does not compile: {xpath}"),
+            });
+        }
+        out.push(StoredQuery {
+            unit_id: unescape(unit_id),
+            xpath,
+            logical: None,
+            mark,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<StoredQuery> {
+        vec![
+            StoredQuery {
+                unit_id: "key:book|DB Design|attr=year".into(),
+                xpath: "/db/book[title = 'DB Design']/year".into(),
+                logical: None,
+                mark: MarkKind::Value(DataType::Integer),
+            },
+            StoredQuery {
+                unit_id: "fd:editor-publisher|lhs=Potter".into(),
+                xpath: "/db/book[editor = 'Potter']/@publisher".into(),
+                logical: None,
+                mark: MarkKind::Value(DataType::Text),
+            },
+            StoredQuery {
+                unit_id: "ord:book|A|attr=author".into(),
+                xpath: "/db/book[title = 'A']/author".into(),
+                logical: None,
+                mark: MarkKind::SiblingOrder,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = to_string(&sample());
+        let back = from_string(&text).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn weird_key_values_roundtrip() {
+        let queries = vec![StoredQuery {
+            unit_id: "key:book|Tab\there\nand newline|attr=year".into(),
+            xpath: "/db/book[title = 'x']/year".into(),
+            logical: None,
+            mark: MarkKind::Value(DataType::Integer),
+        }];
+        let back = from_string(&to_string(&queries)).unwrap();
+        assert_eq!(back, queries);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_lines() {
+        assert!(from_string("").is_err());
+        assert!(from_string("not a header\n").is_err());
+        assert!(from_string("#wmxq v1\nonly-one-field\n").is_err());
+        assert!(from_string("#wmxq v1\nzzz\tid\t/db/x\n").is_err());
+        assert!(from_string("#wmxq v1\nint\tid\t/db/book[\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "#wmxq v1\n\n# a comment\nint\tid\t/db/book/year\n";
+        assert_eq!(from_string(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn all_mark_kinds_roundtrip() {
+        for mark in [
+            MarkKind::Value(DataType::Integer),
+            MarkKind::Value(DataType::Decimal),
+            MarkKind::Value(DataType::Text),
+            MarkKind::Value(DataType::Base64Image),
+            MarkKind::SiblingOrder,
+        ] {
+            let q = vec![StoredQuery {
+                unit_id: "u".into(),
+                xpath: "/a/b".into(),
+                logical: None,
+                mark,
+            }];
+            assert_eq!(from_string(&to_string(&q)).unwrap()[0].mark, mark);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The semantics-free **value-identified** baseline scheme.
+//!
+//! Challenge (A) of the paper: "If we identify each `<year>` element by
+//! its value (i.e., 1998), we lose the distinction between the two
+//! `<year>` elements under the two different books. This significantly
+//! reduces the amount of watermark bandwidth." This module implements
+//! exactly that naive scheme so the experiments can show both predicted
+//! weaknesses:
+//!
+//! * **bandwidth collapse** — units are distinct `(element, value)`
+//!   pairs, so duplicated values merge into one unit (E1);
+//! * **fragility under re-organization** — identity queries are physical
+//!   (`//year[. = '1999']`); renaming or restructuring the schema leaves
+//!   them dangling, and no rewriting is possible without semantics (E4).
+//!
+//! It shares the keyed selection and majority-vote detection math with
+//! WmXML so comparisons isolate the identification strategy.
+
+use crate::decoder::BitVotes;
+use crate::embed::plugin_for;
+use crate::wm::Watermark;
+use crate::{write_value, WmError};
+use std::collections::BTreeMap;
+use wmx_crypto::{Prf, SecretKey};
+use wmx_schema::DataType;
+use wmx_xml::Document;
+use wmx_xpath::{NodeRef, Query};
+
+/// A markable physical path for the baseline, e.g. `("//year",
+/// Integer)`.
+#[derive(Debug, Clone)]
+pub struct BaselinePath {
+    /// Absolute query selecting value nodes.
+    pub path: String,
+    /// Their data type.
+    pub data_type: DataType,
+}
+
+/// Baseline configuration.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Paths with watermark capacity.
+    pub paths: Vec<BaselinePath>,
+    /// Selection density (one unit in γ).
+    pub gamma: u32,
+}
+
+/// A persisted baseline identity query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineQuery {
+    /// Unit id (PRF input): `val:<element>=<original value>`.
+    pub unit_id: String,
+    /// Identity query by *marked* value.
+    pub xpath: String,
+    /// Data type for extraction.
+    pub data_type: DataType,
+}
+
+/// Baseline embedding outcome.
+#[derive(Debug, Clone)]
+pub struct BaselineEmbedReport {
+    /// Distinct units (collapsed by value!).
+    pub total_units: usize,
+    /// Value nodes behind those units.
+    pub total_nodes: usize,
+    /// Units selected by the PRF.
+    pub selected_units: usize,
+    /// Units marked.
+    pub marked_units: usize,
+    /// The query set to safeguard.
+    pub queries: Vec<BaselineQuery>,
+}
+
+impl BaselineEmbedReport {
+    /// Bandwidth loss to value collapsing: `1 - units/nodes`.
+    pub fn collapse_fraction(&self) -> f64 {
+        if self.total_nodes == 0 {
+            0.0
+        } else {
+            1.0 - self.total_units as f64 / self.total_nodes as f64
+        }
+    }
+}
+
+/// Embeds `watermark` with the value-identified scheme.
+pub fn baseline_embed(
+    doc: &mut Document,
+    config: &BaselineConfig,
+    key: &SecretKey,
+    watermark: &Watermark,
+) -> Result<BaselineEmbedReport, WmError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit"));
+    }
+    let prf = Prf::new(key.clone());
+    let mut report = BaselineEmbedReport {
+        total_units: 0,
+        total_nodes: 0,
+        selected_units: 0,
+        marked_units: 0,
+        queries: Vec::new(),
+    };
+
+    for bp in &config.paths {
+        let query = Query::compile(&bp.path)?;
+        let nodes = query.select(doc);
+        report.total_nodes += nodes.len();
+
+        // Units are (node name, value) — duplicates collapse.
+        let mut units: BTreeMap<(String, String), Vec<NodeRef>> = BTreeMap::new();
+        for node in nodes {
+            let name = node.node_name(doc);
+            let value = node.string_value(doc);
+            units.entry((name, value)).or_default().push(node);
+        }
+        report.total_units += units.len();
+
+        for ((name, value), members) in units {
+            let unit_id = format!("val:{name}={value}");
+            if !prf.is_selected(&unit_id, config.gamma) {
+                continue;
+            }
+            report.selected_units += 1;
+            let bit =
+                watermark.bit(prf.bit_index(&unit_id, watermark.len())) ^ prf.whiten_bit(&unit_id);
+            let nonce = prf.value_nonce(&unit_id);
+            let plugin = plugin_for(bp.data_type);
+            let Some(marked_value) = plugin.embed(&value, bit, nonce) else {
+                continue;
+            };
+            for node in &members {
+                if marked_value != value {
+                    write_value(doc, node, &marked_value)?;
+                }
+            }
+            report.marked_units += 1;
+            report.queries.push(BaselineQuery {
+                unit_id,
+                xpath: identity_query_text(&members[0], doc, &marked_value),
+                data_type: bp.data_type,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// The physical identity query: `//name[. = 'value']` for elements,
+/// `//owner[@name = 'value']/@name` for attributes.
+fn identity_query_text(node: &NodeRef, doc: &Document, marked_value: &str) -> String {
+    let quoted = if marked_value.contains('\'') {
+        format!("\"{marked_value}\"")
+    } else {
+        format!("'{marked_value}'")
+    };
+    match node {
+        NodeRef::Node(id) => {
+            let name = doc.name(*id).unwrap_or("node");
+            format!("//{name}[. = {quoted}]")
+        }
+        NodeRef::Attribute { element, name } => {
+            let owner = doc.name(*element).unwrap_or("node");
+            format!("//{owner}[@{name} = {quoted}]/@{name}")
+        }
+    }
+}
+
+/// Baseline detection outcome (same vote math as the main decoder).
+#[derive(Debug, Clone)]
+pub struct BaselineDetectionReport {
+    /// Queries executed.
+    pub total_queries: usize,
+    /// Queries that located nodes.
+    pub located_queries: usize,
+    /// Voted bits.
+    pub voted_bits: usize,
+    /// Matched bits.
+    pub matched_bits: usize,
+    /// Detection decision at the given threshold.
+    pub detected: bool,
+}
+
+impl BaselineDetectionReport {
+    /// Matched fraction over voted bits.
+    pub fn match_fraction(&self) -> f64 {
+        if self.voted_bits == 0 {
+            0.0
+        } else {
+            self.matched_bits as f64 / self.voted_bits as f64
+        }
+    }
+}
+
+/// Runs baseline detection.
+pub fn baseline_detect(
+    doc: &Document,
+    queries: &[BaselineQuery],
+    key: &SecretKey,
+    watermark: &Watermark,
+    threshold: f64,
+) -> BaselineDetectionReport {
+    let prf = Prf::new(key.clone());
+    let mut bit_votes = vec![BitVotes::default(); watermark.len()];
+    let mut located = 0usize;
+
+    for stored in queries {
+        let Ok(query) = Query::compile(&stored.xpath) else {
+            continue;
+        };
+        let nodes = query.select(doc);
+        if nodes.is_empty() {
+            continue;
+        }
+        located += 1;
+        let bit_index = prf.bit_index(&stored.unit_id, watermark.len());
+        let nonce = prf.value_nonce(&stored.unit_id);
+        let whiten = prf.whiten_bit(&stored.unit_id);
+        let plugin = plugin_for(stored.data_type);
+        for node in nodes {
+            if let Some(raw) = plugin.extract(&node.string_value(doc), nonce) {
+                if raw ^ whiten {
+                    bit_votes[bit_index].ones += 1;
+                } else {
+                    bit_votes[bit_index].zeros += 1;
+                }
+            }
+        }
+    }
+
+    let mut voted = 0usize;
+    let mut matched = 0usize;
+    for (i, votes) in bit_votes.iter().enumerate() {
+        if votes.ones + votes.zeros > 0 {
+            voted += 1;
+            if votes.majority() == Some(watermark.bit(i)) {
+                matched += 1;
+            }
+        }
+    }
+    BaselineDetectionReport {
+        total_queries: queries.len(),
+        located_queries: located,
+        voted_bits: voted,
+        matched_bits: matched,
+        detected: voted > 0 && (matched as f64 / voted as f64) >= threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    fn doc_with_duplicates() -> Document {
+        // Four books, only two distinct years: bandwidth collapses 4 → 2.
+        parse(
+            r#"<db>
+                <book><title>A</title><year>1998</year></book>
+                <book><title>B</title><year>1998</year></book>
+                <book><title>C</title><year>2000</year></book>
+                <book><title>D</title><year>2000</year></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            paths: vec![BaselinePath {
+                path: "//year".into(),
+                data_type: DataType::Integer,
+            }],
+            gamma: 1,
+        }
+    }
+
+    #[test]
+    fn bandwidth_collapses_on_duplicate_values() {
+        let mut d = doc_with_duplicates();
+        let report = baseline_embed(
+            &mut d,
+            &config(),
+            &SecretKey::from_passphrase("k"),
+            &Watermark::parse("1011").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(report.total_nodes, 4);
+        assert_eq!(report.total_units, 2);
+        assert_eq!(report.collapse_fraction(), 0.5);
+    }
+
+    #[test]
+    fn roundtrip_detection_on_untouched_document() {
+        let mut d = doc_with_duplicates();
+        let key = SecretKey::from_passphrase("k");
+        let wm = Watermark::parse("1011").unwrap();
+        let report = baseline_embed(&mut d, &config(), &key, &wm).unwrap();
+        let detection = baseline_detect(&d, &report.queries, &key, &wm, 0.85);
+        assert!(detection.detected);
+        assert_eq!(detection.match_fraction(), 1.0);
+        assert_eq!(detection.located_queries, report.queries.len());
+    }
+
+    #[test]
+    fn rename_attack_breaks_baseline() {
+        let mut d = doc_with_duplicates();
+        let key = SecretKey::from_passphrase("k");
+        let wm = Watermark::parse("1011").unwrap();
+        let report = baseline_embed(&mut d, &config(), &key, &wm).unwrap();
+        // Adversary renames <year> to <published> — information preserved,
+        // physical queries dead.
+        for node in Query::compile("//year").unwrap().select(&d) {
+            if let NodeRef::Node(id) = node {
+                d.set_name(id, "published").unwrap();
+            }
+        }
+        let detection = baseline_detect(&d, &report.queries, &key, &wm, 0.85);
+        assert!(!detection.detected);
+        assert_eq!(detection.located_queries, 0);
+    }
+
+    #[test]
+    fn attribute_valued_baseline_units() {
+        let mut d = parse(
+            r#"<db><book publisher="mkp"><title>A</title></book><book publisher="acm"><title>B</title></book></db>"#,
+        )
+        .unwrap();
+        let cfg = BaselineConfig {
+            paths: vec![BaselinePath {
+                path: "//book/@publisher".into(),
+                data_type: DataType::Text,
+            }],
+            gamma: 1,
+        };
+        let key = SecretKey::from_passphrase("k");
+        let wm = Watermark::parse("10").unwrap();
+        let report = baseline_embed(&mut d, &cfg, &key, &wm).unwrap();
+        assert_eq!(report.total_units, 2);
+        let detection = baseline_detect(&d, &report.queries, &key, &wm, 0.85);
+        assert!(detection.detected);
+    }
+
+    #[test]
+    fn marked_units_consistent_across_duplicates() {
+        let mut d = doc_with_duplicates();
+        let key = SecretKey::from_passphrase("k");
+        let wm = Watermark::parse("1011").unwrap();
+        baseline_embed(&mut d, &config(), &key, &wm).unwrap();
+        // Duplicate years moved together (same unit → same mark).
+        let years: Vec<String> = Query::compile("//year")
+            .unwrap()
+            .select(&d)
+            .iter()
+            .map(|n| n.string_value(&d))
+            .collect();
+        assert_eq!(years[0], years[1]);
+        assert_eq!(years[2], years[3]);
+    }
+}

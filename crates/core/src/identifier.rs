@@ -1,0 +1,554 @@
+//! Identifier creation (§2.3): enumerating markable units and building
+//! their identity queries from keys and functional dependencies.
+//!
+//! The three criteria of §2.3, and how this module meets them:
+//!
+//! 1. *Differentiate different data elements* — per-entity units are
+//!    identified by the entity **key** (`key:book|Readings|attr=year`),
+//!    never by physical position, so two `<year>1998</year>` elements
+//!    under different books are distinct units.
+//! 2. *Identify data redundancies* — values determined by an FD are
+//!    lifted out of their entities into **FD-group units** identified by
+//!    the FD name and determinant tuple; every duplicate carries the same
+//!    mark, so unifying duplicates cannot erase it.
+//! 3. *Stay close to data usability* — identity queries are built from
+//!    the same key/attribute accesses the usability templates use, so an
+//!    attack cannot disable the identifiers without breaking the
+//!    templates themselves.
+
+use crate::config::EncoderConfig;
+use crate::WmError;
+use std::collections::HashSet;
+use wmx_rewrite::{LogicalQuery, SchemaBinding};
+use wmx_schema::{discover_groups, DataType, Fd};
+use wmx_xml::Document;
+use wmx_xpath::ast::Expr;
+use wmx_xpath::{NodeRef, Query};
+
+/// What kind of unit this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitKind {
+    /// An entity-attribute value identified by the entity key.
+    KeyAttr {
+        /// Logical entity.
+        entity: String,
+        /// The instance's key value.
+        key_value: String,
+        /// The marked logical attribute.
+        attr: String,
+    },
+    /// An FD-redundancy group identified by the determinant tuple.
+    FdGroup {
+        /// FD name.
+        fd_name: String,
+        /// Determinant tuple.
+        lhs: Vec<String>,
+    },
+    /// A structure unit: the sibling order of a multi-valued attribute.
+    SiblingOrder {
+        /// Logical entity.
+        entity: String,
+        /// The instance's key value.
+        key_value: String,
+        /// The multi-valued logical attribute.
+        attr: String,
+    },
+}
+
+/// How the unit physically carries its bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkKind {
+    /// The bit is embedded into the value via the plug-in for this type.
+    Value(DataType),
+    /// The bit is the relative order of the first two values (ascending
+    /// lexicographic = 0, descending = 1).
+    SiblingOrder,
+}
+
+/// One markable unit: a stable identity, the nodes currently holding the
+/// value, and the identity query that will re-locate them at detection.
+#[derive(Debug, Clone)]
+pub struct MarkUnit {
+    /// Stable unit id (input to the keyed PRF).
+    pub unit_id: String,
+    /// Unit kind.
+    pub kind: UnitKind,
+    /// Value nodes (≥ 1; > 1 for FD groups and multi-valued attributes).
+    pub nodes: Vec<NodeRef>,
+    /// How the bit is carried (value plug-in vs sibling order).
+    pub mark: MarkKind,
+    /// Concrete identity query (under the embedding-time binding).
+    pub query: Query,
+    /// Logical form, when the unit is key-identified (enables automated
+    /// rewriting after re-organization).
+    pub logical: Option<LogicalQuery>,
+}
+
+/// Enumerates all markable units of `doc` under `binding`, honouring
+/// `config` (markable attributes, FD-group switch) and `fds`.
+///
+/// # Errors
+/// Fails if a markable attribute is an entity key (keys identify units
+/// and must stay unperturbed), or if bindings/queries are inconsistent.
+pub fn enumerate_units(
+    doc: &Document,
+    binding: &SchemaBinding,
+    fds: &[Fd],
+    config: &EncoderConfig,
+) -> Result<Vec<MarkUnit>, WmError> {
+    let mut units = Vec::new();
+    let mut fd_covered: HashSet<NodeRef> = HashSet::new();
+
+    if config.use_fd_groups {
+        units.extend(fd_group_units(doc, binding, fds, config, &mut fd_covered)?);
+    }
+
+    // Structure units: sibling order of multi-valued attributes.
+    for structural in &config.structural {
+        let Some(entity) = binding.entity(&structural.entity) else {
+            return Err(WmError::new(format!(
+                "structural attribute {}/{} references an entity not bound by {}",
+                structural.entity, structural.attr, binding.name
+            )));
+        };
+        if entity.attr(&structural.attr).is_none() {
+            return Err(WmError::new(format!(
+                "structural attribute {}/{} is not bound by {}",
+                structural.entity, structural.attr, binding.name
+            )));
+        }
+        for instance in entity.instances(doc) {
+            let Some(key_value) = entity.key_of(doc, &instance) else {
+                continue;
+            };
+            let nodes = entity.attr_nodes(doc, &instance, &structural.attr);
+            // An order bit needs at least two distinct sibling values.
+            if nodes.len() < 2 {
+                continue;
+            }
+            let logical = LogicalQuery::new(&structural.entity, &key_value, &structural.attr);
+            let query = logical.compile(binding)?;
+            units.push(MarkUnit {
+                unit_id: format!(
+                    "ord:{}|{}|attr={}",
+                    structural.entity, key_value, structural.attr
+                ),
+                kind: UnitKind::SiblingOrder {
+                    entity: structural.entity.clone(),
+                    key_value,
+                    attr: structural.attr.clone(),
+                },
+                nodes,
+                mark: MarkKind::SiblingOrder,
+                query,
+                logical: Some(logical),
+            });
+        }
+    }
+
+    // Key-identified per-entity units.
+    for markable in &config.markable {
+        let Some(entity) = binding.entity(&markable.entity) else {
+            return Err(WmError::new(format!(
+                "markable attribute {}/{} references an entity not bound by {}",
+                markable.entity, markable.attr, binding.name
+            )));
+        };
+        if markable.attr == entity.key_attr {
+            return Err(WmError::new(format!(
+                "attribute {}/{} is the entity key and cannot carry marks",
+                markable.entity, markable.attr
+            )));
+        }
+        if entity.attr(&markable.attr).is_none() {
+            return Err(WmError::new(format!(
+                "markable attribute {}/{} is not bound by {}",
+                markable.entity, markable.attr, binding.name
+            )));
+        }
+        for instance in entity.instances(doc) {
+            let Some(key_value) = entity.key_of(doc, &instance) else {
+                continue; // keyless instances cannot be identified
+            };
+            let nodes: Vec<NodeRef> = entity
+                .attr_nodes(doc, &instance, &markable.attr)
+                .into_iter()
+                .filter(|n| !fd_covered.contains(n))
+                .collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            let logical = LogicalQuery::new(&markable.entity, &key_value, &markable.attr);
+            let query = logical.compile(binding)?;
+            units.push(MarkUnit {
+                unit_id: format!(
+                    "key:{}|{}|attr={}",
+                    markable.entity, key_value, markable.attr
+                ),
+                kind: UnitKind::KeyAttr {
+                    entity: markable.entity.clone(),
+                    key_value,
+                    attr: markable.attr.clone(),
+                },
+                nodes,
+                mark: MarkKind::Value(markable.data_type),
+                query,
+                logical: Some(logical),
+            });
+        }
+    }
+    Ok(units)
+}
+
+/// Builds FD-group units and records which value nodes they cover.
+fn fd_group_units(
+    doc: &Document,
+    binding: &SchemaBinding,
+    fds: &[Fd],
+    config: &EncoderConfig,
+    fd_covered: &mut HashSet<NodeRef>,
+) -> Result<Vec<MarkUnit>, WmError> {
+    let mut units = Vec::new();
+    let groups = discover_groups(doc, fds);
+    for group in groups {
+        let fd = fds
+            .iter()
+            .find(|f| f.name == group.fd_name)
+            .expect("group came from this fd list");
+        // The FD's dependent must correspond to a markable attribute so
+        // we know its type/tolerance; otherwise the group is not marked.
+        let Some(markable) = markable_for_fd(binding, fds, &group.fd_name, config) else {
+            continue;
+        };
+        // All group members carry the mark, even singleton groups: the
+        // unit identity must not depend on how many duplicates exist.
+        let nodes: Vec<NodeRef> = group.members.clone();
+        if nodes.is_empty() {
+            continue;
+        }
+        for n in &nodes {
+            fd_covered.insert(n.clone());
+        }
+        let query = fd_group_query(fd, &group.lhs)?;
+        units.push(MarkUnit {
+            unit_id: group.unit_id(),
+            kind: UnitKind::FdGroup {
+                fd_name: group.fd_name.clone(),
+                lhs: group.lhs.clone(),
+            },
+            nodes,
+            mark: MarkKind::Value(markable.data_type),
+            query,
+            logical: None,
+        });
+    }
+    Ok(units)
+}
+
+/// Finds the markable declaration whose bound access path equals the
+/// FD's dependent path (the FD is expressed physically, markables
+/// logically; the binding connects them).
+fn markable_for_fd<'c>(
+    binding: &SchemaBinding,
+    fds: &[Fd],
+    fd_name: &str,
+    config: &'c EncoderConfig,
+) -> Option<&'c crate::config::MarkableAttr> {
+    let fd = fds.iter().find(|f| f.name == fd_name)?;
+    if fd.rhs.len() != 1 {
+        return None; // multi-attribute dependents are split into several FDs
+    }
+    let rhs_text = fd.rhs[0].to_string();
+    let entity_text = fd.entity.to_string();
+    for markable in &config.markable {
+        let Some(entity) = binding.entity(&markable.entity) else {
+            continue;
+        };
+        let Some(attr_binding) = entity.attr(&markable.attr) else {
+            continue;
+        };
+        if queries_equal(&entity.instance_path, &entity_text)
+            && queries_equal(&attr_binding.to_path_text(), &rhs_text)
+        {
+            return Some(markable);
+        }
+    }
+    None
+}
+
+/// Compares two query texts modulo reparsing (normalizes `//x` vs
+/// `/descendant-or-self::node()/x` and whitespace).
+fn queries_equal(a: &str, b: &str) -> bool {
+    match (Query::compile(a), Query::compile(b)) {
+        (Ok(qa), Ok(qb)) => qa.expr() == qb.expr(),
+        _ => a == b,
+    }
+}
+
+/// Builds the identity query of an FD group:
+/// `entity_path[lhs1 = 'v1' and …]/rhs_path` — selecting *all* duplicate
+/// value nodes at once.
+fn fd_group_query(fd: &Fd, lhs_values: &[String]) -> Result<Query, WmError> {
+    let Expr::Path(entity_path) = fd.entity.expr() else {
+        return Err(WmError::new(format!(
+            "fd {}: entity selector is not a path",
+            fd.name
+        )));
+    };
+    let mut path = entity_path.clone();
+    let last = path
+        .steps
+        .last_mut()
+        .ok_or_else(|| WmError::new(format!("fd {}: empty entity path", fd.name)))?;
+    for (lhs_query, value) in fd.lhs.iter().zip(lhs_values) {
+        let Expr::Path(lhs_path) = lhs_query.expr() else {
+            return Err(WmError::new(format!(
+                "fd {}: determinant selector is not a path",
+                fd.name
+            )));
+        };
+        last.predicates.push(Expr::eq(
+            Expr::Path(lhs_path.clone()),
+            Expr::Literal(value.clone()),
+        ));
+    }
+    let Expr::Path(rhs_path) = fd.rhs[0].expr() else {
+        return Err(WmError::new(format!(
+            "fd {}: dependent selector is not a path",
+            fd.name
+        )));
+    };
+    path.steps.extend(rhs_path.steps.clone());
+    Ok(Query::from_expr(Expr::Path(path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarkableAttr;
+    use wmx_rewrite::binding::{AttrBinding, EntityBinding};
+    use wmx_xml::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>Potter</editor><year>1998</year></book>
+                <book publisher="mkp"><title>B</title><editor>Potter</editor><year>2000</year></book>
+                <book publisher="acm"><title>C</title><editor>Gamer</editor><year>2002</year></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn binding() -> SchemaBinding {
+        SchemaBinding::new(
+            "db1",
+            vec![EntityBinding::new(
+                "book",
+                "/db/book",
+                "title",
+                vec![
+                    ("title", AttrBinding::ChildText("title".into())),
+                    ("editor", AttrBinding::ChildText("editor".into())),
+                    ("year", AttrBinding::ChildText("year".into())),
+                    ("publisher", AttrBinding::Attribute("publisher".into())),
+                ],
+            )
+            .unwrap()],
+        )
+    }
+
+    fn editor_publisher_fd() -> Fd {
+        Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    #[test]
+    fn key_units_enumerated_per_instance() {
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
+        let units = enumerate_units(&doc(), &binding(), &[], &config).unwrap();
+        assert_eq!(units.len(), 3);
+        let ids: Vec<&str> = units.iter().map(|u| u.unit_id.as_str()).collect();
+        assert!(ids.contains(&"key:book|A|attr=year"));
+        assert!(ids.contains(&"key:book|B|attr=year"));
+        assert!(ids.contains(&"key:book|C|attr=year"));
+        for u in &units {
+            assert_eq!(u.nodes.len(), 1);
+            assert!(u.logical.is_some());
+            // Identity query re-selects exactly the unit's nodes.
+            assert_eq!(u.query.select(&doc()), u.nodes);
+        }
+    }
+
+    #[test]
+    fn fd_groups_absorb_dependent_values() {
+        let config = EncoderConfig::new(
+            1,
+            vec![
+                MarkableAttr::integer("book", "year", 1),
+                MarkableAttr::text("book", "publisher"),
+            ],
+        );
+        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
+
+        let fd_units: Vec<&MarkUnit> = units
+            .iter()
+            .filter(|u| matches!(u.kind, UnitKind::FdGroup { .. }))
+            .collect();
+        assert_eq!(fd_units.len(), 2); // Potter group, Gamer group
+        let potter = fd_units
+            .iter()
+            .find(|u| u.unit_id.contains("Potter"))
+            .unwrap();
+        assert_eq!(potter.nodes.len(), 2);
+        assert_eq!(
+            potter.query.to_string(),
+            "/db/book[editor = 'Potter']/@publisher"
+        );
+        // The query selects both duplicates.
+        assert_eq!(potter.query.select(&doc()).len(), 2);
+
+        // publisher values are NOT also enumerated as key units.
+        let key_publisher_units = units
+            .iter()
+            .filter(|u| matches!(&u.kind, UnitKind::KeyAttr { attr, .. } if attr == "publisher"))
+            .count();
+        assert_eq!(key_publisher_units, 0);
+
+        // year units remain key-identified.
+        let year_units = units
+            .iter()
+            .filter(|u| matches!(&u.kind, UnitKind::KeyAttr { attr, .. } if attr == "year"))
+            .count();
+        assert_eq!(year_units, 3);
+    }
+
+    #[test]
+    fn fd_groups_disabled_leaves_per_entity_units() {
+        let config = EncoderConfig::new(
+            1,
+            vec![MarkableAttr::text("book", "publisher")],
+        )
+        .without_fd_groups();
+        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
+        assert_eq!(units.len(), 3);
+        assert!(units
+            .iter()
+            .all(|u| matches!(u.kind, UnitKind::KeyAttr { .. })));
+    }
+
+    #[test]
+    fn marking_the_key_is_rejected() {
+        let config = EncoderConfig::new(1, vec![MarkableAttr::text("book", "title")]);
+        let err = enumerate_units(&doc(), &binding(), &[], &config).unwrap_err();
+        assert!(err.message.contains("entity key"));
+    }
+
+    #[test]
+    fn unbound_attribute_is_rejected() {
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "isbn", 1)]);
+        assert!(enumerate_units(&doc(), &binding(), &[], &config).is_err());
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("journal", "year", 1)]);
+        assert!(enumerate_units(&doc(), &binding(), &[], &config).is_err());
+    }
+
+    #[test]
+    fn unit_ids_stable_under_sibling_reorder() {
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
+        let d1 = doc();
+        let mut d2 = doc();
+        let root = d2.root_element().unwrap();
+        d2.reorder_children(root, &[2, 0, 1]);
+        let ids = |d: &Document| -> std::collections::BTreeSet<String> {
+            enumerate_units(d, &binding(), &[], &config)
+                .unwrap()
+                .into_iter()
+                .map(|u| u.unit_id)
+                .collect()
+        };
+        assert_eq!(ids(&d1), ids(&d2));
+    }
+
+    #[test]
+    fn fd_group_without_matching_markable_is_skipped() {
+        // FD on a dependent that is not declared markable → no FD units.
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
+        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
+        assert!(units
+            .iter()
+            .all(|u| matches!(u.kind, UnitKind::KeyAttr { .. })));
+    }
+
+    fn doc_multi_author() -> Document {
+        wmx_xml::parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><author>Zed</author><author>Ann</author><year>1998</year></book>
+                <book publisher="mkp"><title>B</title><author>Solo</author><year>2000</year></book>
+                <book publisher="acm"><title>C</title><author>Bo</author><author>Cy</author><author>Al</author><year>2002</year></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn binding_with_author() -> SchemaBinding {
+        SchemaBinding::new(
+            "db1",
+            vec![EntityBinding::new(
+                "book",
+                "/db/book",
+                "title",
+                vec![
+                    ("title", AttrBinding::ChildText("title".into())),
+                    ("author", AttrBinding::ChildText("author".into())),
+                    ("year", AttrBinding::ChildText("year".into())),
+                ],
+            )
+            .unwrap()],
+        )
+    }
+
+    #[test]
+    fn structural_units_require_two_values() {
+        let config = EncoderConfig::new(1, vec![]).with_structural("book", "author");
+        let units =
+            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).unwrap();
+        // Books A and C have ≥ 2 authors; B has one.
+        assert_eq!(units.len(), 2);
+        assert!(units
+            .iter()
+            .all(|u| matches!(u.kind, UnitKind::SiblingOrder { .. })));
+        assert!(units.iter().all(|u| u.mark == MarkKind::SiblingOrder));
+        let ids: Vec<&str> = units.iter().map(|u| u.unit_id.as_str()).collect();
+        assert!(ids.contains(&"ord:book|A|attr=author"));
+        assert!(ids.contains(&"ord:book|C|attr=author"));
+    }
+
+    #[test]
+    fn structural_units_coexist_with_value_units() {
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)])
+            .with_structural("book", "author");
+        let units =
+            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).unwrap();
+        let value = units
+            .iter()
+            .filter(|u| matches!(u.mark, MarkKind::Value(_)))
+            .count();
+        let order = units
+            .iter()
+            .filter(|u| u.mark == MarkKind::SiblingOrder)
+            .count();
+        assert_eq!(value, 3);
+        assert_eq!(order, 2);
+    }
+
+    #[test]
+    fn structural_unit_on_unbound_attr_rejected() {
+        let config = EncoderConfig::new(1, vec![]).with_structural("book", "translator");
+        assert!(
+            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).is_err()
+        );
+        let config = EncoderConfig::new(1, vec![]).with_structural("journal", "author");
+        assert!(
+            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).is_err()
+        );
+    }
+}

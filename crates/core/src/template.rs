@@ -1,0 +1,182 @@
+//! Usability query templates.
+//!
+//! §2.1: "A set of query templates, e.g. `db/book[title]/author`, are
+//! specified by user to depict data usability." A template is an entity
+//! access parameterized by the entity key: instantiating it with a key
+//! value yields a concrete query; the collection of all instantiations
+//! and their answers is the ground truth that the usability metric
+//! compares against after watermarking or attack.
+
+use crate::WmError;
+use std::collections::BTreeMap;
+use std::fmt;
+use wmx_rewrite::{LogicalQuery, SchemaBinding};
+use wmx_xml::Document;
+
+/// A usability query template: *given a key value, return attribute
+/// `result_attr` of entity `entity`*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTemplate {
+    /// Template name for reports.
+    pub name: String,
+    /// Logical entity.
+    pub entity: String,
+    /// The logical attribute the template returns.
+    pub result_attr: String,
+}
+
+impl QueryTemplate {
+    /// Creates a template.
+    pub fn new(name: &str, entity: &str, result_attr: &str) -> Self {
+        QueryTemplate {
+            name: name.to_string(),
+            entity: entity.to_string(),
+            result_attr: result_attr.to_string(),
+        }
+    }
+
+    /// Instantiates the template with a key value.
+    pub fn instantiate(&self, key_value: &str) -> LogicalQuery {
+        LogicalQuery::new(&self.entity, key_value, &self.result_attr)
+    }
+
+    /// The paper-style rendering under a binding, e.g.
+    /// `"/db/book[title]/author"`.
+    pub fn render(&self, binding: &SchemaBinding) -> String {
+        match binding.entity(&self.entity) {
+            Some(e) => {
+                let key = e.key_binding().to_path_text();
+                let attr = e
+                    .attr(&self.result_attr)
+                    .map(|a| a.to_path_text())
+                    .unwrap_or_else(|| format!("<unbound {}>", self.result_attr));
+                format!("{}[{}]/{}", e.instance_path, key, attr)
+            }
+            None => format!("<unbound entity {}>", self.entity),
+        }
+    }
+
+    /// Evaluates the template over every instance of the entity: a map
+    /// from key value to the (sorted) multiset of result values.
+    ///
+    /// Instances without a key are skipped; instances that share a key
+    /// pool their results (as a rewritten query would see them).
+    pub fn ground_truth(
+        &self,
+        doc: &Document,
+        binding: &SchemaBinding,
+    ) -> Result<BTreeMap<String, Vec<String>>, WmError> {
+        let entity = binding.entity(&self.entity).ok_or_else(|| {
+            WmError::new(format!(
+                "binding {} does not bind entity {}",
+                binding.name, self.entity
+            ))
+        })?;
+        let mut truth: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for instance in entity.instances(doc) {
+            let Some(key) = entity.key_of(doc, &instance) else {
+                continue;
+            };
+            let results = entity.attr_values(doc, &instance, &self.result_attr);
+            let slot = truth.entry(key).or_default();
+            for r in results {
+                if !slot.contains(&r) {
+                    slot.push(r);
+                }
+            }
+        }
+        for values in truth.values_mut() {
+            values.sort();
+        }
+        Ok(truth)
+    }
+}
+
+impl fmt::Display for QueryTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}[key]/{}", self.name, self.entity, self.result_attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_rewrite::binding::{paper_db1_binding, paper_db2_binding};
+    use wmx_xml::parse;
+
+    fn db1_doc() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp">
+                    <title>Readings</title>
+                    <author>Stonebraker</author>
+                    <author>Hellerstein</author>
+                    <year>1998</year>
+                </book>
+                <book publisher="acm">
+                    <title>DB Design</title>
+                    <author>Berstein</author>
+                    <year>1998</year>
+                </book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_paper_style() {
+        let t = QueryTemplate::new("who-wrote", "book", "author");
+        assert_eq!(t.render(&paper_db1_binding()), "/db/book[title]/author");
+    }
+
+    #[test]
+    fn ground_truth_maps_keys_to_results() {
+        let t = QueryTemplate::new("who-wrote", "book", "author");
+        let truth = t.ground_truth(&db1_doc(), &paper_db1_binding()).unwrap();
+        assert_eq!(truth.len(), 2);
+        assert_eq!(
+            truth["Readings"],
+            vec!["Hellerstein".to_string(), "Stonebraker".to_string()]
+        );
+        assert_eq!(truth["DB Design"], vec!["Berstein".to_string()]);
+    }
+
+    #[test]
+    fn ground_truth_is_schema_independent() {
+        // §2.1: db1 and db2 are equally usable — templates evaluated
+        // under each binding agree on shared attributes.
+        let db1 = db1_doc();
+        let db2 = parse(
+            r#"<db>
+                <publisher name="mkp">
+                    <author name="Stonebraker"><book>Readings</book></author>
+                    <author name="Hellerstein"><book>Readings</book></author>
+                </publisher>
+                <publisher name="acm">
+                    <author name="Berstein"><book>DB Design</book></author>
+                </publisher>
+            </db>"#,
+        )
+        .unwrap();
+        let t = QueryTemplate::new("who-wrote", "book", "author");
+        let a = t.ground_truth(&db1, &paper_db1_binding()).unwrap();
+        let b = t.ground_truth(&db2, &paper_db2_binding()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instantiation_produces_logical_query() {
+        let t = QueryTemplate::new("who-wrote", "book", "author");
+        let q = t.instantiate("DB Design");
+        assert_eq!(
+            q.compile(&paper_db1_binding()).unwrap().to_string(),
+            "/db/book[title = 'DB Design']/author"
+        );
+    }
+
+    #[test]
+    fn unbound_entity_errors() {
+        let t = QueryTemplate::new("x", "journal", "issue");
+        assert!(t.ground_truth(&db1_doc(), &paper_db1_binding()).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The usability metric.
+//!
+//! §2.1: "WmXML uses the correctness of query results to measure the
+//! usability of XML data. … After watermarking or attacks, if a certain
+//! fraction of the results to these query templates are destroyed, the
+//! usability of the XML data is regarded destroyed."
+//!
+//! [`measure_usability`] evaluates every template instantiation on the
+//! original document (ground truth) and on the modified document, and
+//! reports the fraction still answered correctly. Comparison respects
+//! the owner's declared [tolerances](crate::config::Tolerance): a year
+//! moved by ±1 or an image with flipped LSBs still *answers the query
+//! correctly* in the owner's terms — that is precisely what makes the
+//! watermark imperceptible.
+
+use crate::config::{EncoderConfig, Tolerance};
+use crate::template::QueryTemplate;
+use crate::WmError;
+use wmx_rewrite::SchemaBinding;
+use wmx_xml::Document;
+
+/// Usability of one template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateUsability {
+    /// Template name.
+    pub template: String,
+    /// Number of instantiations (distinct key values in the original).
+    pub instantiations: usize,
+    /// Instantiations still answered correctly.
+    pub correct: usize,
+}
+
+impl TemplateUsability {
+    /// Correct fraction (1.0 for templates with no instantiations).
+    pub fn fraction(&self) -> f64 {
+        if self.instantiations == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.instantiations as f64
+        }
+    }
+}
+
+/// Usability report across all templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsabilityReport {
+    /// Per-template results.
+    pub per_template: Vec<TemplateUsability>,
+}
+
+impl UsabilityReport {
+    /// Overall usability: correct instantiations over all instantiations.
+    pub fn overall(&self) -> f64 {
+        let total: usize = self.per_template.iter().map(|t| t.instantiations).sum();
+        let correct: usize = self.per_template.iter().map(|t| t.correct).sum();
+        if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Whether usability clears `threshold` (e.g. 0.9).
+    pub fn is_usable(&self, threshold: f64) -> bool {
+        self.overall() >= threshold
+    }
+}
+
+/// Measures usability of `modified` relative to `original`.
+///
+/// The two documents may live under different schemas (re-organization
+/// attack): pass each document's own binding. The tolerance for each
+/// template's result attribute is taken from `config` (attributes not
+/// declared markable are compared exactly).
+pub fn measure_usability(
+    original: &Document,
+    original_binding: &SchemaBinding,
+    modified: &Document,
+    modified_binding: &SchemaBinding,
+    templates: &[QueryTemplate],
+    config: &EncoderConfig,
+) -> Result<UsabilityReport, WmError> {
+    let mut per_template = Vec::with_capacity(templates.len());
+    for template in templates {
+        let truth = template.ground_truth(original, original_binding)?;
+        // The modified document may not even bind the entity (violent
+        // restructuring): every instantiation is then destroyed.
+        let after = template.ground_truth(modified, modified_binding).ok();
+        let tolerance = config
+            .markable_for(&template.entity, &template.result_attr)
+            .map(|m| m.tolerance.clone())
+            .unwrap_or(Tolerance::Exact);
+
+        let mut correct = 0usize;
+        if let Some(after) = &after {
+            for (key, expected) in &truth {
+                if let Some(found) = after.get(key) {
+                    if multiset_matches(expected, found, &tolerance) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        per_template.push(TemplateUsability {
+            template: template.name.clone(),
+            instantiations: truth.len(),
+            correct,
+        });
+    }
+    Ok(UsabilityReport { per_template })
+}
+
+/// Multiset equality under a tolerance: every expected value matches a
+/// distinct found value and no extras remain.
+fn multiset_matches(expected: &[String], found: &[String], tolerance: &Tolerance) -> bool {
+    if expected.len() != found.len() {
+        return false;
+    }
+    let mut used = vec![false; found.len()];
+    for e in expected {
+        let mut matched = false;
+        for (i, f) in found.iter().enumerate() {
+            if !used[i] && tolerance.matches(e, f) {
+                used[i] = true;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MarkableAttr;
+    use wmx_rewrite::binding::paper_db1_binding;
+    use wmx_xml::parse;
+
+    fn doc(years: (&str, &str)) -> Document {
+        parse(&format!(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><author>X</author><year>{}</year></book>
+                <book publisher="acm"><title>B</title><author>Y</author><year>{}</year></book>
+            </db>"#,
+            years.0, years.1
+        ))
+        .unwrap()
+    }
+
+    fn config() -> EncoderConfig {
+        EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)])
+    }
+
+    fn templates() -> Vec<QueryTemplate> {
+        vec![
+            QueryTemplate::new("who-wrote", "book", "author"),
+            QueryTemplate::new("published-when", "book", "year"),
+        ]
+    }
+
+    #[test]
+    fn identical_documents_are_fully_usable() {
+        let a = doc(("1998", "2001"));
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &a, &binding, &templates(), &config()).unwrap();
+        assert_eq!(report.overall(), 1.0);
+        assert!(report.is_usable(0.99));
+    }
+
+    #[test]
+    fn tolerated_perturbation_keeps_usability() {
+        let a = doc(("1998", "2001"));
+        let b = doc(("1999", "2000")); // each year moved by 1
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &b, &binding, &templates(), &config()).unwrap();
+        assert_eq!(report.overall(), 1.0);
+    }
+
+    #[test]
+    fn excess_perturbation_destroys_results() {
+        let a = doc(("1998", "2001"));
+        let b = doc(("2005", "2001")); // first year moved beyond tolerance
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &b, &binding, &templates(), &config()).unwrap();
+        // who-wrote: 2/2 correct; published-when: 1/2 correct.
+        assert_eq!(report.overall(), 0.75);
+        let yr = report
+            .per_template
+            .iter()
+            .find(|t| t.template == "published-when")
+            .unwrap();
+        assert_eq!(yr.correct, 1);
+        assert_eq!(yr.fraction(), 0.5);
+    }
+
+    #[test]
+    fn unmarked_attributes_compared_exactly() {
+        let a = doc(("1998", "2001"));
+        let mut b_doc = doc(("1998", "2001"));
+        // Change an author (exact attribute): destroys that instantiation.
+        let root = b_doc.root_element().unwrap();
+        let book = b_doc.child_elements_named(root, "book").next().unwrap();
+        let author = b_doc.first_child_element(book, "author").unwrap();
+        b_doc.set_text_content(author, "Z");
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &b_doc, &binding, &templates(), &config()).unwrap();
+        assert_eq!(report.overall(), 0.75);
+    }
+
+    #[test]
+    fn missing_records_destroy_instantiations() {
+        let a = doc(("1998", "2001"));
+        let b = parse(
+            r#"<db><book publisher="mkp"><title>A</title><author>X</author><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &b, &binding, &templates(), &config()).unwrap();
+        assert_eq!(report.overall(), 0.5);
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let t = Tolerance::Exact;
+        assert!(multiset_matches(
+            &["a".into(), "b".into()],
+            &["b".into(), "a".into()],
+            &t
+        ));
+        assert!(!multiset_matches(&["a".into()], &["a".into(), "a".into()], &t));
+        assert!(!multiset_matches(
+            &["a".into(), "a".into()],
+            &["a".into(), "b".into()],
+            &t
+        ));
+        // Tolerance-based matching consumes each found value once.
+        let t = Tolerance::IntegerDelta(1);
+        assert!(multiset_matches(
+            &["10".into(), "11".into()],
+            &["11".into(), "10".into()],
+            &t
+        ));
+        assert!(!multiset_matches(
+            &["10".into(), "10".into()],
+            &["11".into(), "13".into()],
+            &t
+        ));
+    }
+
+    #[test]
+    fn totally_destroyed_document_scores_zero() {
+        let a = doc(("1998", "2001"));
+        let b = parse("<other/>").unwrap();
+        let binding = paper_db1_binding();
+        let report =
+            measure_usability(&a, &binding, &b, &binding, &templates(), &config()).unwrap();
+        assert_eq!(report.overall(), 0.0);
+        assert!(!report.is_usable(0.5));
+    }
+}

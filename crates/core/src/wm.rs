@@ -1,0 +1,159 @@
+//! Multi-bit watermarks.
+
+use std::fmt;
+use wmx_crypto::sha256::Sha256;
+
+/// A watermark: an ordered bit string the owner embeds and later proves
+/// knowledge of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Watermark {
+    bits: Vec<bool>,
+}
+
+impl Watermark {
+    /// Creates a watermark from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Watermark { bits }
+    }
+
+    /// Parses a bit string like `"101101"`.
+    ///
+    /// # Errors
+    /// Returns an error message if the string is empty or contains
+    /// characters other than `0`/`1`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text.is_empty() {
+            return Err("watermark bit string is empty".to_string());
+        }
+        let bits = text
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(format!("invalid watermark character {other:?}")),
+            })
+            .collect::<Result<Vec<bool>, String>>()?;
+        Ok(Watermark { bits })
+    }
+
+    /// Derives a deterministic `len`-bit watermark from an owner message
+    /// (e.g. `"© 2005 ACME Publishing"`), by expanding SHA-256 output.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn from_message(message: &str, len: usize) -> Self {
+        assert!(len > 0, "watermark length must be positive");
+        let mut bits = Vec::with_capacity(len);
+        let mut counter = 0u64;
+        while bits.len() < len {
+            let mut h = Sha256::new();
+            h.update(message.as_bytes());
+            h.update(&counter.to_be_bytes());
+            let digest = h.finalize();
+            for byte in digest {
+                for i in (0..8).rev() {
+                    if bits.len() == len {
+                        break;
+                    }
+                    bits.push((byte >> i) & 1 == 1);
+                }
+            }
+            counter += 1;
+        }
+        Watermark { bits }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the watermark has no bits (never true for constructed
+    /// watermarks; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bit at `index`.
+    pub fn bit(&self, index: usize) -> bool {
+        self.bits[index]
+    }
+
+    /// All bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Fraction of positions on which `self` and `other` agree
+    /// (`None` when lengths differ).
+    pub fn match_fraction(&self, other: &Watermark) -> Option<f64> {
+        if self.len() != other.len() {
+            return None;
+        }
+        let matches = self
+            .bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a == b)
+            .count();
+        Some(matches as f64 / self.len() as f64)
+    }
+}
+
+impl fmt::Display for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bits {
+            write!(f, "{}", if *b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let wm = Watermark::parse("10110").unwrap();
+        assert_eq!(wm.len(), 5);
+        assert!(wm.bit(0));
+        assert!(!wm.bit(1));
+        assert_eq!(wm.to_string(), "10110");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Watermark::parse("").is_err());
+        assert!(Watermark::parse("10a1").is_err());
+    }
+
+    #[test]
+    fn from_message_is_deterministic_and_spreads() {
+        let a = Watermark::from_message("© ACME", 64);
+        let b = Watermark::from_message("© ACME", 64);
+        assert_eq!(a, b);
+        let c = Watermark::from_message("© EVIL", 64);
+        assert_ne!(a, c);
+        // Not all-zero / all-one.
+        let ones = a.bits().iter().filter(|b| **b).count();
+        assert!(ones > 8 && ones < 56);
+    }
+
+    #[test]
+    fn from_message_lengths() {
+        for len in [1, 7, 8, 9, 255, 256, 300] {
+            assert_eq!(Watermark::from_message("m", len).len(), len);
+        }
+    }
+
+    #[test]
+    fn match_fraction() {
+        let a = Watermark::parse("1100").unwrap();
+        let b = Watermark::parse("1010").unwrap();
+        assert_eq!(a.match_fraction(&b), Some(0.5));
+        assert_eq!(a.match_fraction(&a), Some(1.0));
+        let c = Watermark::parse("11").unwrap();
+        assert_eq!(a.match_fraction(&c), None);
+    }
+}

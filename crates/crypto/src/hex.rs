@@ -1,0 +1,97 @@
+//! Lowercase hexadecimal encoding/decoding for digests and keys.
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length is odd.
+    OddLength,
+    /// A non-hex character was encountered.
+    InvalidChar {
+        /// Offset of the offending byte.
+        position: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex input has odd length"),
+            HexError::InvalidChar { position, byte } => {
+                write!(f, "invalid hex byte 0x{byte:02x} at offset {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Encodes `data` as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+fn nibble(byte: u8, position: usize) -> Result<u8, HexError> {
+    match byte {
+        b'0'..=b'9' => Ok(byte - b'0'),
+        b'a'..=b'f' => Ok(byte - b'a' + 10),
+        b'A'..=b'F' => Ok(byte - b'A' + 10),
+        _ => Err(HexError::InvalidChar { position, byte }),
+    }
+}
+
+/// Decodes hexadecimal text (either case) to bytes.
+pub fn decode(text: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(decode("00ff10").unwrap(), vec![0x00, 0xff, 0x10]);
+        assert_eq!(decode("00FF10").unwrap(), vec![0x00, 0xff, 0x10]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert!(matches!(
+            decode("zz"),
+            Err(HexError::InvalidChar { position: 0, byte: b'z' })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

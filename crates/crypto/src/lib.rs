@@ -1,0 +1,35 @@
+//! Keyed cryptographic primitives for WmXML.
+//!
+//! The WmXML watermarking scheme needs a small set of deterministic keyed
+//! primitives:
+//!
+//! * [`sha256`](mod@sha256) — the FIPS 180-4 SHA-256 compression function, used as the
+//!   base hash for everything else;
+//! * [`hmac`] — RFC 2104 HMAC-SHA256, the keyed MAC that drives watermark
+//!   unit selection (`HMAC(K, unit-id)`), exactly as in the
+//!   Agrawal–Kiernan lineage the paper builds on;
+//! * [`prf`] — a thin pseudo-random-function facade over HMAC providing
+//!   the three decisions the encoder makes per unit: *is this unit
+//!   selected* (1/γ), *which watermark bit index does it carry*, and
+//!   *which embedding nonce perturbs its value*;
+//! * [`base64`] / [`hex`] — codecs used to embed binary payloads (images)
+//!   inside XML text content and to print keys and digests.
+//!
+//! None of the approved offline dependencies provide a hash function, so
+//! SHA-256 is implemented from scratch and verified against the FIPS
+//! 180-4 and RFC 4231 test vectors in the unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+pub mod hex;
+pub mod hmac;
+pub mod prf;
+pub mod sha256;
+
+pub use base64::{decode as base64_decode, encode as base64_encode, Base64Error};
+pub use hex::{decode as hex_decode, encode as hex_encode, HexError};
+pub use hmac::{hmac_sha256, HmacSha256};
+pub use prf::{Prf, SecretKey};
+pub use sha256::{sha256, Sha256, DIGEST_LEN};

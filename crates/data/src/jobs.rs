@@ -1,0 +1,222 @@
+//! The job-agent dataset — the paper's §1 motivating example: "a job
+//! agent's web site, who would like to prevent his job advertisements
+//! from being stolen and posted on other web sites."
+//!
+//! Structure per record:
+//!
+//! ```xml
+//! <listing ref="J01234">
+//!   <company>Acme Analytics</company>
+//!   <role>Data Engineer</role>
+//!   <location>Singapore</location>
+//!   <hq>San Francisco</hq>
+//!   <salary>84000</salary>
+//!   <posted>38215</posted>
+//! </listing>
+//! ```
+//!
+//! Semantics: the `ref` code is the key; `company → hq` is the FD (a
+//! company's headquarters is the same in every listing). Markable
+//! capacity: `salary` (integer ±50), `posted` (day number, ±1), and `hq`
+//! (text through the FD group).
+
+use crate::text::{pick, sentence, CITIES, COMPANIES, JOB_TITLES};
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmx_core::{EncoderConfig, MarkableAttr, QueryTemplate};
+use wmx_rewrite::{AttrBinding, EntityBinding, SchemaBinding};
+use wmx_schema::{child, DataType, ElementDecl, Fd, Key, Occurs, Schema};
+use wmx_xml::ElementBuilder;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct JobsConfig {
+    /// Number of listings.
+    pub records: usize,
+    /// Number of distinct companies (FD group count).
+    pub companies: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Selection density γ.
+    pub gamma: u32,
+}
+
+impl Default for JobsConfig {
+    fn default() -> Self {
+        JobsConfig {
+            records: 300,
+            companies: 10,
+            seed: 1318,
+            gamma: 3,
+        }
+    }
+}
+
+/// Generates the job-listings dataset.
+pub fn generate(config: &JobsConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let companies: Vec<(String, String)> = (0..config.companies.max(1))
+        .map(|i| {
+            (
+                format!("{} {i}", pick(&mut rng, COMPANIES)),
+                pick(&mut rng, CITIES).to_string(),
+            )
+        })
+        .collect();
+
+    let mut jobs = ElementBuilder::new("jobs");
+    for i in 0..config.records {
+        let (company, hq) = companies[rng.random_range(0..companies.len())].clone();
+        let salary = rng.random_range(40..180) * 1000 + rng.random_range(0..1000);
+        let posted = rng.random_range(38000..38400); // day numbers around 2004/2005
+        let listing = ElementBuilder::new("listing")
+            .attr("ref", format!("J{i:05}"))
+            .leaf("company", company)
+            .leaf("role", pick(&mut rng, JOB_TITLES))
+            .leaf("location", pick(&mut rng, CITIES))
+            .leaf("hq", hq)
+            .leaf("salary", salary.to_string())
+            .leaf("posted", posted.to_string())
+            .leaf("summary", sentence(&mut rng, 10));
+        jobs = jobs.child(listing);
+    }
+
+    Dataset {
+        name: "jobs".to_string(),
+        doc: jobs.into_document(),
+        schema: schema(),
+        binding: binding(),
+        keys: vec![Key::new("listing-ref", "/jobs/listing", &["@ref"]).expect("static key")],
+        fds: vec![company_hq_fd()],
+        templates: templates(),
+        config: EncoderConfig::new(
+            config.gamma,
+            vec![
+                MarkableAttr::integer("listing", "salary", 50),
+                MarkableAttr::integer("listing", "posted", 1),
+                MarkableAttr::text("listing", "hq"),
+                MarkableAttr::text("listing", "summary"),
+            ],
+        ),
+    }
+}
+
+/// The structural schema of the jobs documents.
+pub fn schema() -> Schema {
+    Schema::new("jobs-v1", "jobs")
+        .declare(ElementDecl::parent(
+            "jobs",
+            vec![child("listing", Occurs::ZeroOrMore)],
+        ))
+        .declare(
+            ElementDecl::parent(
+                "listing",
+                vec![
+                    child("company", Occurs::One),
+                    child("role", Occurs::One),
+                    child("location", Occurs::One),
+                    child("hq", Occurs::One),
+                    child("salary", Occurs::One),
+                    child("posted", Occurs::One),
+                    child("summary", Occurs::One),
+                ],
+            )
+            .with_attr("ref", true, DataType::Text),
+        )
+        .declare(ElementDecl::leaf("company", DataType::Text))
+        .declare(ElementDecl::leaf("role", DataType::Text))
+        .declare(ElementDecl::leaf("location", DataType::Text))
+        .declare(ElementDecl::leaf("hq", DataType::Text))
+        .declare(ElementDecl::leaf("salary", DataType::Integer))
+        .declare(ElementDecl::leaf("posted", DataType::Integer))
+        .declare(ElementDecl::leaf("summary", DataType::Text))
+}
+
+/// The binding of the logical listing entity.
+pub fn binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "jobs-flat",
+        vec![EntityBinding::new(
+            "listing",
+            "/jobs/listing",
+            "ref",
+            vec![
+                ("ref", AttrBinding::Attribute("ref".into())),
+                ("company", AttrBinding::ChildText("company".into())),
+                ("role", AttrBinding::ChildText("role".into())),
+                ("location", AttrBinding::ChildText("location".into())),
+                ("hq", AttrBinding::ChildText("hq".into())),
+                ("salary", AttrBinding::ChildText("salary".into())),
+                ("posted", AttrBinding::ChildText("posted".into())),
+                ("summary", AttrBinding::ChildText("summary".into())),
+            ],
+        )
+        .expect("static binding")],
+    )
+}
+
+/// `company → hq`.
+pub fn company_hq_fd() -> Fd {
+    Fd::new("company-hq", "/jobs/listing", &["company"], &["hq"]).expect("static fd")
+}
+
+/// Usability templates: what does listing X pay, where is it, who posts
+/// it, and when was it posted.
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new("salary-of", "listing", "salary"),
+        QueryTemplate::new("location-of", "listing", "location"),
+        QueryTemplate::new("company-of", "listing", "company"),
+        QueryTemplate::new("posted-on", "listing", "posted"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_schema::validate;
+
+    #[test]
+    fn generated_document_is_schema_valid() {
+        let ds = generate(&JobsConfig::default());
+        assert_eq!(validate(&ds.doc, &ds.schema), vec![]);
+    }
+
+    #[test]
+    fn keys_and_fds_hold() {
+        let ds = generate(&JobsConfig {
+            records: 250,
+            companies: 6,
+            ..JobsConfig::default()
+        });
+        for key in &ds.keys {
+            assert!(key.verify(&ds.doc).is_empty());
+        }
+        for fd in &ds.fds {
+            assert!(fd.verify(&ds.doc).is_empty());
+        }
+    }
+
+    #[test]
+    fn salaries_are_integers() {
+        let ds = generate(&JobsConfig::default());
+        let listing = ds.binding.entity("listing").unwrap();
+        for instance in listing.instances(&ds.doc).iter().take(20) {
+            let salary = listing.attr_value(&ds.doc, instance, "salary").unwrap();
+            assert!(salary.parse::<u64>().is_ok(), "bad salary {salary}");
+        }
+    }
+
+    #[test]
+    fn company_groups_are_redundant() {
+        let ds = generate(&JobsConfig {
+            records: 120,
+            companies: 4,
+            ..JobsConfig::default()
+        });
+        let groups = wmx_schema::discover_groups(&ds.doc, &ds.fds);
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.is_redundant()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic synthetic datasets for the WmXML demonstration.
+//!
+//! The demo applies the system to "a few sets of real world
+//! semi-structured data"; these generators produce structurally
+//! equivalent data, seeded and reproducible:
+//!
+//! * [`publications`] — the paper's own db1.xml publications database
+//!   (Fig. 1a), with the `editor → publisher` FD that drives the
+//!   redundancy experiments;
+//! * [`jobs`] — the §1 motivating example: a job agent's listings, with a
+//!   `company → hq` FD and salary/posted-date numeric capacity;
+//! * [`library`] — a commercial digital library: records with page
+//!   counts, prices, text abstracts, and base64 cover images (one markable
+//!   attribute per plug-in type);
+//! * [`image`] — the tiny `WMIMG` raster payload format used for image
+//!   capacity.
+//!
+//! Every generator returns a [`Dataset`]: the document plus the semantic
+//! package a WmXML user supplies (binding, keys, FDs, usability
+//! templates, encoder config).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod jobs;
+pub mod library;
+pub mod publications;
+pub mod text;
+
+use wmx_core::{EncoderConfig, QueryTemplate};
+use wmx_rewrite::SchemaBinding;
+use wmx_schema::{Fd, Key, Schema};
+use wmx_xml::Document;
+
+/// A generated document together with its semantic package.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short dataset name.
+    pub name: String,
+    /// The document.
+    pub doc: Document,
+    /// Structural schema.
+    pub schema: Schema,
+    /// Binding of logical entities onto the document's schema.
+    pub binding: SchemaBinding,
+    /// Declared keys.
+    pub keys: Vec<Key>,
+    /// Declared functional dependencies.
+    pub fds: Vec<Fd>,
+    /// Usability query templates.
+    pub templates: Vec<QueryTemplate>,
+    /// Default encoder configuration (γ, markable attributes).
+    pub config: EncoderConfig,
+}

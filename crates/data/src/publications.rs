@@ -1,0 +1,285 @@
+//! The publications database — the paper's own db1.xml (Fig. 1a), scaled.
+//!
+//! Structure per record:
+//!
+//! ```xml
+//! <book publisher="mkp">
+//!   <title>Readings in Database Systems 17</title>
+//!   <author>Stonebraker</author>
+//!   <author>Hellerstein</author>
+//!   <editor>Gray</editor>
+//!   <year>1998</year>
+//! </book>
+//! ```
+//!
+//! Semantics: `title` is the key of `book`; each editor works for exactly
+//! one publisher (`editor → publisher`), which generates the redundancy
+//! the redundancy-removal attack targets. Markable capacity: `year`
+//! (integer, ±1) and `publisher` (text, via the FD group).
+
+use crate::text::{pick, SURNAMES, TITLE_NOUNS, TITLE_WORDS};
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wmx_core::{EncoderConfig, MarkableAttr, QueryTemplate};
+use wmx_rewrite::{AttrBinding, EntityBinding, SchemaBinding};
+use wmx_schema::{child, DataType, ElementDecl, Fd, Key, Occurs, Schema};
+use wmx_xml::ElementBuilder;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct PublicationsConfig {
+    /// Number of book records.
+    pub records: usize,
+    /// Number of distinct editors (each bound to one publisher). Smaller
+    /// values create larger FD-redundancy groups.
+    pub editors: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Selection density γ for the default encoder config.
+    pub gamma: u32,
+}
+
+impl Default for PublicationsConfig {
+    fn default() -> Self {
+        PublicationsConfig {
+            records: 200,
+            editors: 12,
+            seed: 2005,
+            gamma: 3,
+        }
+    }
+}
+
+/// Generates the publications dataset.
+pub fn generate(config: &PublicationsConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Editors are assigned a publisher once; books inherit it through
+    // their editor (guaranteeing the FD holds by construction).
+    let editors: Vec<(String, String)> = (0..config.editors.max(1))
+        .map(|i| {
+            let editor = format!("{}-{i}", pick(&mut rng, SURNAMES));
+            let publisher = crate::text::PUBLISHERS[i % crate::text::PUBLISHERS.len()].to_string();
+            (editor, publisher)
+        })
+        .collect();
+
+    let mut db = ElementBuilder::new("db");
+    for i in 0..config.records {
+        let title = format!(
+            "{} {} {i}",
+            pick(&mut rng, TITLE_WORDS),
+            pick(&mut rng, TITLE_NOUNS)
+        );
+        let (editor, publisher) = editors[rng.random_range(0..editors.len())].clone();
+        let year = rng.random_range(1970..=2004);
+        let author_count = rng.random_range(1..=3);
+        let mut book = ElementBuilder::new("book")
+            .attr("publisher", publisher)
+            .leaf("title", title);
+        for _ in 0..author_count {
+            book = book.leaf("author", pick(&mut rng, SURNAMES));
+        }
+        book = book.leaf("editor", editor).leaf("year", year.to_string());
+        db = db.child(book);
+    }
+
+    Dataset {
+        name: "publications".to_string(),
+        doc: db.into_document(),
+        schema: schema(),
+        binding: binding(),
+        keys: vec![Key::new("book-title", "/db/book", &["title"]).expect("static key")],
+        fds: vec![editor_publisher_fd()],
+        templates: templates(),
+        config: EncoderConfig::new(
+            config.gamma,
+            vec![
+                MarkableAttr::integer("book", "year", 1),
+                MarkableAttr::text("book", "publisher"),
+            ],
+        ),
+    }
+}
+
+/// The structural schema of db1-style documents.
+pub fn schema() -> Schema {
+    Schema::new("publications-v1", "db")
+        .declare(ElementDecl::parent(
+            "db",
+            vec![child("book", Occurs::ZeroOrMore)],
+        ))
+        .declare(
+            ElementDecl::parent(
+                "book",
+                vec![
+                    child("title", Occurs::One),
+                    child("author", Occurs::OneOrMore),
+                    child("editor", Occurs::One),
+                    child("year", Occurs::One),
+                ],
+            )
+            .with_attr("publisher", true, DataType::Text),
+        )
+        .declare(ElementDecl::leaf("title", DataType::Text))
+        .declare(ElementDecl::leaf("author", DataType::Text))
+        .declare(ElementDecl::leaf("editor", DataType::Text))
+        .declare(ElementDecl::leaf("year", DataType::Integer))
+}
+
+/// The binding of the logical book entity onto db1-style documents.
+pub fn binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "publications-db1",
+        vec![EntityBinding::new(
+            "book",
+            "/db/book",
+            "title",
+            vec![
+                ("title", AttrBinding::ChildText("title".into())),
+                ("author", AttrBinding::ChildText("author".into())),
+                ("editor", AttrBinding::ChildText("editor".into())),
+                ("year", AttrBinding::ChildText("year".into())),
+                ("publisher", AttrBinding::Attribute("publisher".into())),
+            ],
+        )
+        .expect("static binding")],
+    )
+}
+
+/// `editor → publisher` (the paper's §2.3 example).
+pub fn editor_publisher_fd() -> Fd {
+    Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).expect("static fd")
+}
+
+/// The binding for db2-style reorganized documents (the paper's Fig. 1b
+/// shape with renamed tags: titles as `@name`, year as `<published>`).
+pub fn db2_binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "publications-db2",
+        vec![EntityBinding::new(
+            "book",
+            "/db/publisher/author/book",
+            "title",
+            vec![
+                ("title", AttrBinding::Attribute("name".into())),
+                ("year", AttrBinding::ChildText("published".into())),
+                ("author", AttrBinding::Path("../@name".into())),
+                ("publisher", AttrBinding::Path("../../@name".into())),
+            ],
+        )
+        .expect("static binding")],
+    )
+}
+
+/// The adversary's db2 target layout matching [`db2_binding`].
+pub fn db2_layout() -> wmx_rewrite::transform::Layout {
+    use wmx_rewrite::transform::{FieldPlacement, Layout};
+    Layout::GroupBy {
+        attr: "publisher".into(),
+        element: "publisher".into(),
+        label: FieldPlacement::Attribute("name".into()),
+        inner: Box::new(Layout::GroupBy {
+            attr: "author".into(),
+            element: "author".into(),
+            label: FieldPlacement::Attribute("name".into()),
+            inner: Box::new(Layout::Flat {
+                record_element: "book".into(),
+                fields: vec![
+                    ("title".into(), FieldPlacement::Attribute("name".into())),
+                    ("year".into(), FieldPlacement::ChildText("published".into())),
+                ],
+            }),
+        }),
+    }
+}
+
+/// The usability templates of the demo: who wrote X, when was X
+/// published, who published X, who edited X.
+pub fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::new("who-wrote", "book", "author"),
+        QueryTemplate::new("published-when", "book", "year"),
+        QueryTemplate::new("published-by", "book", "publisher"),
+        QueryTemplate::new("edited-by", "book", "editor"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_schema::validate;
+    use wmx_xml::to_canonical_string;
+
+    #[test]
+    fn generated_document_is_schema_valid() {
+        let ds = generate(&PublicationsConfig::default());
+        assert_eq!(validate(&ds.doc, &ds.schema), vec![]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&PublicationsConfig::default());
+        let b = generate(&PublicationsConfig::default());
+        assert_eq!(to_canonical_string(&a.doc), to_canonical_string(&b.doc));
+        let c = generate(&PublicationsConfig {
+            seed: 1,
+            ..PublicationsConfig::default()
+        });
+        assert_ne!(to_canonical_string(&a.doc), to_canonical_string(&c.doc));
+    }
+
+    #[test]
+    fn keys_hold_by_construction() {
+        let ds = generate(&PublicationsConfig::default());
+        for key in &ds.keys {
+            assert!(key.verify(&ds.doc).is_empty());
+        }
+    }
+
+    #[test]
+    fn fd_holds_by_construction() {
+        let ds = generate(&PublicationsConfig {
+            records: 400,
+            editors: 8,
+            ..PublicationsConfig::default()
+        });
+        for fd in &ds.fds {
+            assert!(fd.verify(&ds.doc).is_empty());
+        }
+    }
+
+    #[test]
+    fn record_count_matches() {
+        let ds = generate(&PublicationsConfig {
+            records: 57,
+            ..PublicationsConfig::default()
+        });
+        let book = ds.binding.entity("book").unwrap();
+        assert_eq!(book.instances(&ds.doc).len(), 57);
+    }
+
+    #[test]
+    fn redundancy_groups_exist() {
+        let ds = generate(&PublicationsConfig {
+            records: 100,
+            editors: 5,
+            ..PublicationsConfig::default()
+        });
+        let groups = wmx_schema::discover_groups(&ds.doc, &ds.fds);
+        assert!(groups.iter().any(|g| g.is_redundant()));
+    }
+
+    #[test]
+    fn templates_have_ground_truth() {
+        let ds = generate(&PublicationsConfig {
+            records: 30,
+            ..PublicationsConfig::default()
+        });
+        for t in &ds.templates {
+            let truth = t.ground_truth(&ds.doc, &ds.binding).unwrap();
+            assert_eq!(truth.len(), 30, "template {} missing keys", t.name);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Word pools and deterministic pickers for the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Surnames used for authors, editors, and contacts.
+pub const SURNAMES: &[&str] = &[
+    "Stonebraker", "Hellerstein", "Bernstein", "Newcomer", "Gray", "Codd", "Date", "Ullman",
+    "Widom", "DeWitt", "Selinger", "Chamberlin", "Astrahan", "Bachman", "Chen", "Abiteboul",
+    "Buneman", "Suciu", "Tan", "Pang", "Zhou", "Mangla", "Agrawal", "Kiernan", "Sion", "Atallah",
+    "Prabhakar", "Naughton", "Carey", "Franklin", "Ioannidis", "Ramakrishnan",
+];
+
+/// Title words for generated publications.
+pub const TITLE_WORDS: &[&str] = &[
+    "Readings", "Principles", "Foundations", "Advanced", "Practical", "Distributed", "Parallel",
+    "Relational", "Semistructured", "Temporal", "Spatial", "Secure", "Adaptive", "Scalable",
+    "Streaming", "Probabilistic",
+];
+
+/// Title nouns for generated publications.
+pub const TITLE_NOUNS: &[&str] = &[
+    "Database Systems", "Query Processing", "Data Integration", "Transaction Management",
+    "Information Retrieval", "XML Processing", "Data Mining", "Storage Engines",
+    "Concurrency Control", "Access Methods", "Data Warehousing", "Schema Design",
+];
+
+/// Publisher codes.
+pub const PUBLISHERS: &[&str] = &[
+    "mkp", "acm", "ieee", "springer", "elsevier", "vldb-press", "usenix", "siam",
+];
+
+/// Company names for the job-agent dataset.
+pub const COMPANIES: &[&str] = &[
+    "Acme Analytics", "Initech", "Globex", "Umbrella Data", "Stark Databases", "Wayne Systems",
+    "Tyrell Info", "Hooli", "Aperture Query", "Vandelay Imports", "Wonka Storage", "Cyberdyne DB",
+];
+
+/// Cities (company headquarters, job locations).
+pub const CITIES: &[&str] = &[
+    "Singapore", "Trondheim", "Hanover", "San Francisco", "New York", "London", "Tokyo",
+    "Sydney", "Berlin", "Toronto", "Zurich", "Seoul",
+];
+
+/// Job titles.
+pub const JOB_TITLES: &[&str] = &[
+    "Database Administrator", "Data Engineer", "Backend Developer", "Systems Analyst",
+    "Storage Engineer", "Query Optimizer Engineer", "Data Architect", "Site Reliability Engineer",
+];
+
+/// Abstract/description filler words.
+pub const FILLER: &[&str] = &[
+    "system", "design", "robust", "efficient", "novel", "approach", "evaluation", "framework",
+    "semantics", "structure", "index", "performance", "scalable", "secure", "watermark",
+    "protection", "copyright", "publish", "exchange", "integrate",
+];
+
+/// Picks a deterministic element of `pool`.
+pub fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// Builds a short deterministic sentence of `words` filler words.
+pub fn sentence(rng: &mut StdRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, FILLER));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(pick(&mut a, SURNAMES), pick(&mut b, SURNAMES));
+        }
+    }
+
+    #[test]
+    fn sentences_have_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 8);
+        assert_eq!(s.split_whitespace().count(), 8);
+    }
+}

@@ -1,0 +1,316 @@
+//! Schema bindings: logical entities/attributes → concrete access paths.
+
+use crate::RewriteError;
+use std::collections::BTreeMap;
+use wmx_xml::Document;
+use wmx_xpath::{NodeRef, Query};
+
+/// How a logical attribute is reached from an entity instance node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrBinding {
+    /// The text content of a child element with this name.
+    ChildText(String),
+    /// An XML attribute on the instance element itself.
+    Attribute(String),
+    /// The instance element's own text content (for leaf entities, like
+    /// `book` in the paper's db2.xml).
+    SelfText,
+    /// A general relative XPath (e.g. `"../../@name"` to reach the
+    /// grouping publisher's name from a db2 book leaf).
+    Path(String),
+}
+
+impl AttrBinding {
+    /// The relative XPath text for this binding.
+    pub fn to_path_text(&self) -> String {
+        match self {
+            AttrBinding::ChildText(name) => name.clone(),
+            AttrBinding::Attribute(name) => format!("@{name}"),
+            AttrBinding::SelfText => ".".to_string(),
+            AttrBinding::Path(p) => p.clone(),
+        }
+    }
+
+    /// Compiles the relative query.
+    pub fn to_query(&self) -> Result<Query, RewriteError> {
+        Query::compile(&self.to_path_text()).map_err(RewriteError::from)
+    }
+}
+
+/// Binding of one logical entity onto a physical schema.
+#[derive(Debug, Clone)]
+pub struct EntityBinding {
+    /// Logical entity name, e.g. `"book"`.
+    pub entity: String,
+    /// Absolute path selecting the instances, e.g. `"/db/book"`.
+    pub instance_path: String,
+    /// Name of the logical attribute acting as the entity key.
+    pub key_attr: String,
+    /// Logical attribute name → access path.
+    pub attrs: BTreeMap<String, AttrBinding>,
+    instance_query: Query,
+}
+
+impl EntityBinding {
+    /// Creates a binding; `attrs` must contain `key_attr`.
+    pub fn new(
+        entity: &str,
+        instance_path: &str,
+        key_attr: &str,
+        attrs: Vec<(&str, AttrBinding)>,
+    ) -> Result<Self, RewriteError> {
+        let attrs: BTreeMap<String, AttrBinding> = attrs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        if !attrs.contains_key(key_attr) {
+            return Err(RewriteError::new(format!(
+                "entity {entity}: key attribute {key_attr:?} is not bound"
+            )));
+        }
+        let instance_query = Query::compile(instance_path)?;
+        Ok(EntityBinding {
+            entity: entity.to_string(),
+            instance_path: instance_path.to_string(),
+            key_attr: key_attr.to_string(),
+            attrs,
+            instance_query,
+        })
+    }
+
+    /// All instances of the entity in `doc`, in document order.
+    pub fn instances(&self, doc: &Document) -> Vec<NodeRef> {
+        self.instance_query.select(doc)
+    }
+
+    /// The binding of a logical attribute.
+    pub fn attr(&self, name: &str) -> Option<&AttrBinding> {
+        self.attrs.get(name)
+    }
+
+    /// The binding of the key attribute.
+    pub fn key_binding(&self) -> &AttrBinding {
+        self.attrs
+            .get(&self.key_attr)
+            .expect("validated at construction")
+    }
+
+    /// Value nodes of a logical attribute for one instance.
+    pub fn attr_nodes(&self, doc: &Document, instance: &NodeRef, name: &str) -> Vec<NodeRef> {
+        match self.attr(name) {
+            Some(binding) => match binding.to_query() {
+                Ok(q) => q.select_from(doc, instance.clone()),
+                Err(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// First value of a logical attribute for one instance.
+    pub fn attr_value(&self, doc: &Document, instance: &NodeRef, name: &str) -> Option<String> {
+        self.attr_nodes(doc, instance, name)
+            .first()
+            .map(|n| n.string_value(doc))
+    }
+
+    /// All values of a logical attribute for one instance.
+    pub fn attr_values(&self, doc: &Document, instance: &NodeRef, name: &str) -> Vec<String> {
+        self.attr_nodes(doc, instance, name)
+            .iter()
+            .map(|n| n.string_value(doc))
+            .collect()
+    }
+
+    /// The key value of one instance.
+    pub fn key_of(&self, doc: &Document, instance: &NodeRef) -> Option<String> {
+        self.attr_value(doc, instance, &self.key_attr)
+    }
+}
+
+/// A named set of entity bindings describing one physical schema.
+#[derive(Debug, Clone)]
+pub struct SchemaBinding {
+    /// Binding name, e.g. `"db1"`.
+    pub name: String,
+    /// Entity name → binding.
+    pub entities: BTreeMap<String, EntityBinding>,
+}
+
+impl SchemaBinding {
+    /// Creates a binding set.
+    pub fn new(name: &str, entities: Vec<EntityBinding>) -> Self {
+        SchemaBinding {
+            name: name.to_string(),
+            entities: entities
+                .into_iter()
+                .map(|e| (e.entity.clone(), e))
+                .collect(),
+        }
+    }
+
+    /// Looks up an entity binding.
+    pub fn entity(&self, name: &str) -> Option<&EntityBinding> {
+        self.entities.get(name)
+    }
+}
+
+/// The paper's db1.xml binding (Fig. 1a): books are records with
+/// publisher attribute, title/author/editor/year children.
+pub fn paper_db1_binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "db1",
+        vec![EntityBinding::new(
+            "book",
+            "/db/book",
+            "title",
+            vec![
+                ("title", AttrBinding::ChildText("title".into())),
+                ("author", AttrBinding::ChildText("author".into())),
+                ("editor", AttrBinding::ChildText("editor".into())),
+                ("year", AttrBinding::ChildText("year".into())),
+                ("publisher", AttrBinding::Attribute("publisher".into())),
+            ],
+        )
+        .expect("static binding is valid")],
+    )
+}
+
+/// The paper's db2.xml binding (Fig. 1b): books are leaves grouped under
+/// publisher/author; publisher and author are reached via parent steps.
+pub fn paper_db2_binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "db2",
+        vec![EntityBinding::new(
+            "book",
+            "/db/publisher/author/book",
+            "title",
+            vec![
+                ("title", AttrBinding::SelfText),
+                ("author", AttrBinding::Path("../@name".into())),
+                ("publisher", AttrBinding::Path("../../@name".into())),
+            ],
+        )
+        .expect("static binding is valid")],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    fn db1_doc() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp">
+                    <title>Readings in Database Systems</title>
+                    <author>Stonebraker</author>
+                    <author>Hellerstein</author>
+                    <editor>Harrypotter</editor>
+                    <year>1998</year>
+                </book>
+                <book publisher="acm">
+                    <title>Database Design</title>
+                    <author>Berstein</author>
+                    <editor>Gamer</editor>
+                    <year>1998</year>
+                </book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn db2_doc() -> Document {
+        parse(
+            r#"<db>
+                <publisher name="mkp">
+                    <author name="Stonebraker">
+                        <book>Readings in Database Systems</book>
+                    </author>
+                    <author name="Hellerstein">
+                        <book>Readings in Database Systems</book>
+                    </author>
+                </publisher>
+                <publisher name="acm">
+                    <author name="Berstein">
+                        <book>Database Design</book>
+                    </author>
+                </publisher>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn db1_binding_reads_attributes() {
+        let doc = db1_doc();
+        let binding = paper_db1_binding();
+        let book = binding.entity("book").unwrap();
+        let instances = book.instances(&doc);
+        assert_eq!(instances.len(), 2);
+        assert_eq!(
+            book.key_of(&doc, &instances[0]).unwrap(),
+            "Readings in Database Systems"
+        );
+        assert_eq!(
+            book.attr_value(&doc, &instances[0], "publisher").unwrap(),
+            "mkp"
+        );
+        assert_eq!(
+            book.attr_values(&doc, &instances[0], "author"),
+            vec!["Stonebraker", "Hellerstein"]
+        );
+        assert_eq!(book.attr_value(&doc, &instances[1], "year").unwrap(), "1998");
+    }
+
+    #[test]
+    fn db2_binding_reads_same_logical_data() {
+        let doc = db2_doc();
+        let binding = paper_db2_binding();
+        let book = binding.entity("book").unwrap();
+        let instances = book.instances(&doc);
+        assert_eq!(instances.len(), 3); // one per (author, book) pair
+        assert_eq!(
+            book.key_of(&doc, &instances[0]).unwrap(),
+            "Readings in Database Systems"
+        );
+        assert_eq!(
+            book.attr_value(&doc, &instances[0], "publisher").unwrap(),
+            "mkp"
+        );
+        assert_eq!(
+            book.attr_value(&doc, &instances[0], "author").unwrap(),
+            "Stonebraker"
+        );
+        assert_eq!(
+            book.attr_value(&doc, &instances[2], "publisher").unwrap(),
+            "acm"
+        );
+    }
+
+    #[test]
+    fn missing_attribute_yields_none() {
+        let doc = db1_doc();
+        let binding = paper_db1_binding();
+        let book = binding.entity("book").unwrap();
+        let instances = book.instances(&doc);
+        assert_eq!(book.attr_value(&doc, &instances[0], "missing"), None);
+    }
+
+    #[test]
+    fn key_attr_must_be_bound() {
+        let err = EntityBinding::new("x", "/a/x", "id", vec![]).unwrap_err();
+        assert!(err.message.contains("key attribute"));
+    }
+
+    #[test]
+    fn attr_binding_path_text() {
+        assert_eq!(AttrBinding::ChildText("t".into()).to_path_text(), "t");
+        assert_eq!(AttrBinding::Attribute("a".into()).to_path_text(), "@a");
+        assert_eq!(AttrBinding::SelfText.to_path_text(), ".");
+        assert_eq!(
+            AttrBinding::Path("../@name".into()).to_path_text(),
+            "../@name"
+        );
+    }
+}

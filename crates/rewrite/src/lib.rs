@@ -1,0 +1,69 @@
+//! Schema bindings, mappings, query rewriting, and mapping-driven
+//! document reorganization.
+//!
+//! The paper's Fig. 2 shows detection queries being *rewritten* through
+//! schema mappings when an adversary reorganizes a document (db1.xml →
+//! db2.xml in its Fig. 1). The original system did this semi-manually
+//! ("the query rewriter still needs human intervention"); this crate
+//! mechanizes it:
+//!
+//! * [`binding`] — a [`SchemaBinding`] maps *logical* entities and
+//!   attributes (book, title, publisher, …) to concrete access paths in
+//!   one physical schema. db1 and db2 are two bindings of the same
+//!   logical model.
+//! * [`logical`] — a [`LogicalQuery`] is the schema-independent form of
+//!   an identity query: *attribute A of the entity E whose key is k*.
+//!   Compiling it under a binding yields a concrete XPath query.
+//! * [`mapping`] — a [`SchemaMapping`] pairs two bindings of the same
+//!   logical model and checks they are compatible.
+//! * [`rewrite`] — rewrites a *concrete* XPath identity query from one
+//!   binding to another by recovering its logical form (the automated
+//!   counterpart of the paper's by-hand rewriting).
+//! * [`transform`] — extracts the logical records behind a binding and
+//!   recomposes them under a different layout: the db1→db2 reorganizer,
+//!   which doubles as the re-organization attack (demo attack C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod logical;
+pub mod mapping;
+pub mod rewrite;
+pub mod transform;
+
+pub use binding::{AttrBinding, EntityBinding, SchemaBinding};
+pub use logical::LogicalQuery;
+pub use mapping::SchemaMapping;
+pub use rewrite::rewrite_query;
+pub use transform::{extract_records, reorganize, FieldPlacement, Layout, Record};
+
+/// Errors raised by binding construction, rewriting, or transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RewriteError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        RewriteError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<wmx_xpath::XPathError> for RewriteError {
+    fn from(e: wmx_xpath::XPathError) -> Self {
+        RewriteError::new(format!("query error: {e}"))
+    }
+}

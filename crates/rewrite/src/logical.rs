@@ -1,0 +1,163 @@
+//! Logical (schema-independent) identity queries.
+//!
+//! A [`LogicalQuery`] captures *what* an identity query retrieves —
+//! "attribute `A` of the entity `E` whose key is `k`" — without fixing
+//! *how* it is navigated. Compiling under a [`SchemaBinding`] produces
+//! the concrete XPath form; compiling the same logical query under the
+//! attacker's reorganized binding *is* query rewriting (paper Fig. 2).
+
+use crate::binding::{AttrBinding, SchemaBinding};
+use crate::RewriteError;
+use std::fmt;
+use wmx_xpath::ast::{Expr, PathExpr};
+use wmx_xpath::parser::parse_path;
+use wmx_xpath::Query;
+
+/// A schema-independent identity query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalQuery {
+    /// Logical entity name.
+    pub entity: String,
+    /// The key value selecting one instance (or one redundancy-free
+    /// instance group).
+    pub key_value: String,
+    /// The logical attribute to retrieve.
+    pub attr: String,
+}
+
+impl LogicalQuery {
+    /// Creates a logical query.
+    pub fn new(entity: &str, key_value: &str, attr: &str) -> Self {
+        LogicalQuery {
+            entity: entity.to_string(),
+            key_value: key_value.to_string(),
+            attr: attr.to_string(),
+        }
+    }
+
+    /// Compiles to a concrete query under `binding`:
+    /// `instance_path[key_path = 'key_value']/attr_path`.
+    pub fn compile(&self, binding: &SchemaBinding) -> Result<Query, RewriteError> {
+        let entity = binding.entity(&self.entity).ok_or_else(|| {
+            RewriteError::new(format!(
+                "binding {} does not bind entity {}",
+                binding.name, self.entity
+            ))
+        })?;
+        let attr_binding = entity.attr(&self.attr).ok_or_else(|| {
+            RewriteError::new(format!(
+                "binding {}: entity {} has no attribute {}",
+                binding.name, self.entity, self.attr
+            ))
+        })?;
+
+        let mut path: PathExpr = parse_path(&entity.instance_path)?;
+        let key_rel: PathExpr = parse_path(&entity.key_binding().to_path_text())?;
+        let predicate = Expr::eq(Expr::Path(key_rel), Expr::Literal(self.key_value.clone()));
+        let last = path
+            .steps
+            .last_mut()
+            .ok_or_else(|| RewriteError::new("entity instance path has no steps"))?;
+        last.predicates.push(predicate);
+
+        // Append the attribute access path, unless it is the instance
+        // itself (SelfText), in which case the instance node is returned.
+        if !matches!(attr_binding, AttrBinding::SelfText) {
+            let attr_rel: PathExpr = parse_path(&attr_binding.to_path_text())?;
+            path.steps.extend(attr_rel.steps);
+        }
+        Ok(Query::from_expr(Expr::Path(path)))
+    }
+}
+
+impl fmt::Display for LogicalQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[key = {:?}].{}",
+            self.entity, self.key_value, self.attr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{paper_db1_binding, paper_db2_binding};
+    use wmx_xml::parse;
+
+    #[test]
+    fn compiles_paper_query_under_db1() {
+        let q = LogicalQuery::new("book", "DB Design", "author");
+        let compiled = q.compile(&paper_db1_binding()).unwrap();
+        assert_eq!(compiled.to_string(), "/db/book[title = 'DB Design']/author");
+    }
+
+    #[test]
+    fn compiles_paper_query_under_db2() {
+        let q = LogicalQuery::new("book", "DB Design", "author");
+        let compiled = q.compile(&paper_db2_binding()).unwrap();
+        assert_eq!(
+            compiled.to_string(),
+            "/db/publisher/author/book[. = 'DB Design']/../@name"
+        );
+    }
+
+    #[test]
+    fn compiled_queries_retrieve_same_logical_value() {
+        // The paper's §2.1 usability argument: both documents answer
+        // "who wrote DB Design" identically.
+        let db1 = parse(
+            r#"<db><book publisher="acm"><title>DB Design</title><author>Berstein</author><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        let db2 = parse(
+            r#"<db><publisher name="acm"><author name="Berstein"><book>DB Design</book></author></publisher></db>"#,
+        )
+        .unwrap();
+        let q = LogicalQuery::new("book", "DB Design", "author");
+        let v1 = q
+            .compile(&paper_db1_binding())
+            .unwrap()
+            .select_string(&db1)
+            .unwrap();
+        let v2 = q
+            .compile(&paper_db2_binding())
+            .unwrap()
+            .select_string(&db2)
+            .unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(v1, "Berstein");
+    }
+
+    #[test]
+    fn self_text_attribute_selects_instance() {
+        let q = LogicalQuery::new("book", "DB Design", "title");
+        let compiled = q.compile(&paper_db2_binding()).unwrap();
+        assert_eq!(
+            compiled.to_string(),
+            "/db/publisher/author/book[. = 'DB Design']"
+        );
+    }
+
+    #[test]
+    fn unknown_entity_and_attr_rejected() {
+        let binding = paper_db1_binding();
+        assert!(LogicalQuery::new("journal", "x", "title")
+            .compile(&binding)
+            .is_err());
+        assert!(LogicalQuery::new("book", "x", "isbn")
+            .compile(&binding)
+            .is_err());
+    }
+
+    #[test]
+    fn key_values_with_quotes_compile() {
+        let q = LogicalQuery::new("book", "O'Reilly's Guide", "year");
+        let compiled = q.compile(&paper_db1_binding()).unwrap();
+        // Double-quoted literal in the rendered form.
+        assert!(compiled.to_string().contains("\"O'Reilly's Guide\""));
+        // And it must re-compile.
+        assert!(Query::compile(&compiled.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! Schema mappings: pairs of bindings over the same logical model.
+
+use crate::binding::SchemaBinding;
+use crate::logical::LogicalQuery;
+use crate::RewriteError;
+use wmx_xpath::Query;
+
+/// A mapping between two physical schemas of the same logical data.
+///
+/// This is the machine-readable form of the "mapping" arrows in the
+/// paper's Fig. 2: enough information to rewrite any identity query
+/// issued against `from` into an equivalent query against `to`.
+#[derive(Debug, Clone)]
+pub struct SchemaMapping {
+    /// The source binding (the schema the queries were created against).
+    pub from: SchemaBinding,
+    /// The target binding (the reorganized schema).
+    pub to: SchemaBinding,
+}
+
+impl SchemaMapping {
+    /// Creates a mapping, checking that `to` binds every entity of
+    /// `from` with at least the key attribute and that entity keys agree.
+    pub fn new(from: SchemaBinding, to: SchemaBinding) -> Result<Self, RewriteError> {
+        for (name, src) in &from.entities {
+            let Some(dst) = to.entity(name) else {
+                return Err(RewriteError::new(format!(
+                    "mapping {} -> {}: entity {name} is not bound on the target side",
+                    from.name, to.name
+                )));
+            };
+            if src.key_attr != dst.key_attr {
+                return Err(RewriteError::new(format!(
+                    "mapping {} -> {}: entity {name} keys differ ({} vs {})",
+                    from.name, to.name, src.key_attr, dst.key_attr
+                )));
+            }
+        }
+        Ok(SchemaMapping { from, to })
+    }
+
+    /// Attributes of `entity` representable on both sides (rewritable
+    /// identity queries can only target these).
+    pub fn shared_attrs(&self, entity: &str) -> Vec<String> {
+        let (Some(src), Some(dst)) = (self.from.entity(entity), self.to.entity(entity)) else {
+            return Vec::new();
+        };
+        src.attrs
+            .keys()
+            .filter(|a| dst.attrs.contains_key(*a))
+            .cloned()
+            .collect()
+    }
+
+    /// Rewrites a logical query to the target schema (compilation under
+    /// the target binding).
+    pub fn rewrite_logical(&self, query: &LogicalQuery) -> Result<Query, RewriteError> {
+        query.compile(&self.to)
+    }
+
+    /// The inverse mapping.
+    pub fn inverse(&self) -> SchemaMapping {
+        SchemaMapping {
+            from: self.to.clone(),
+            to: self.from.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{paper_db1_binding, paper_db2_binding, AttrBinding, EntityBinding};
+
+    #[test]
+    fn paper_mapping_constructs() {
+        let m = SchemaMapping::new(paper_db1_binding(), paper_db2_binding()).unwrap();
+        let shared = m.shared_attrs("book");
+        assert!(shared.contains(&"title".to_string()));
+        assert!(shared.contains(&"publisher".to_string()));
+        assert!(shared.contains(&"author".to_string()));
+        // editor/year exist only in db1.
+        assert!(!shared.contains(&"editor".to_string()));
+    }
+
+    #[test]
+    fn rewrite_logical_targets_to_side() {
+        let m = SchemaMapping::new(paper_db1_binding(), paper_db2_binding()).unwrap();
+        let q = LogicalQuery::new("book", "DB Design", "publisher");
+        assert_eq!(
+            m.rewrite_logical(&q).unwrap().to_string(),
+            "/db/publisher/author/book[. = 'DB Design']/../../@name"
+        );
+    }
+
+    #[test]
+    fn inverse_swaps_sides() {
+        let m = SchemaMapping::new(paper_db1_binding(), paper_db2_binding()).unwrap();
+        let inv = m.inverse();
+        assert_eq!(inv.from.name, "db2");
+        assert_eq!(inv.to.name, "db1");
+    }
+
+    #[test]
+    fn missing_target_entity_rejected() {
+        let empty = SchemaBinding::new("empty", vec![]);
+        assert!(SchemaMapping::new(paper_db1_binding(), empty).is_err());
+    }
+
+    #[test]
+    fn key_mismatch_rejected() {
+        let other = SchemaBinding::new(
+            "other",
+            vec![EntityBinding::new(
+                "book",
+                "/db/book",
+                "isbn",
+                vec![("isbn", AttrBinding::Attribute("isbn".into()))],
+            )
+            .unwrap()],
+        );
+        let err = SchemaMapping::new(paper_db1_binding(), other).unwrap_err();
+        assert!(err.message.contains("keys differ"));
+    }
+}

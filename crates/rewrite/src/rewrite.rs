@@ -1,0 +1,245 @@
+//! Concrete query rewriting: recover the logical form of an XPath
+//! identity query under a source binding, then compile it under the
+//! target binding.
+//!
+//! This automates the step the paper left to a human: given the query
+//! `db/book[title='DB Design']/author` and the db1↔db2 mapping, produce
+//! `db/publisher/author[book='DB Design']/@name` (we emit the equivalent
+//! `/db/publisher/author/book[. = 'DB Design']/../@name`, which selects
+//! the same nodes — navigation order differs, result does not).
+
+use crate::binding::SchemaBinding;
+use crate::logical::LogicalQuery;
+use crate::mapping::SchemaMapping;
+use crate::RewriteError;
+use wmx_xpath::ast::{Axis, Expr, NodeTest, PathExpr, Step};
+use wmx_xpath::parser::parse_path;
+use wmx_xpath::Query;
+
+/// Rewrites `query` (an identity query created against `from`) into an
+/// equivalent query against `to`.
+pub fn rewrite_query(
+    query: &Query,
+    from: &SchemaBinding,
+    to: &SchemaBinding,
+) -> Result<Query, RewriteError> {
+    let logical = recover_logical(query, from)?;
+    logical.compile(to)
+}
+
+/// Convenience: rewrite through a [`SchemaMapping`].
+pub fn rewrite_through(query: &Query, mapping: &SchemaMapping) -> Result<Query, RewriteError> {
+    rewrite_query(query, &mapping.from, &mapping.to)
+}
+
+/// Recovers the [`LogicalQuery`] behind a concrete identity query, if it
+/// matches the shape `instance_path[key = 'value']/attr_path` for some
+/// entity of `binding`.
+pub fn recover_logical(
+    query: &Query,
+    binding: &SchemaBinding,
+) -> Result<LogicalQuery, RewriteError> {
+    let Expr::Path(path) = query.expr() else {
+        return Err(RewriteError::new(format!(
+            "query {query} is not a location path"
+        )));
+    };
+
+    for entity in binding.entities.values() {
+        let instance: PathExpr = parse_path(&entity.instance_path)?;
+        let n = instance.steps.len();
+        if path.steps.len() < n {
+            continue;
+        }
+        // Steps before the instance step must match exactly (no
+        // predicates); the instance step must match modulo predicates.
+        let prefix_matches = path.steps[..n - 1]
+            .iter()
+            .zip(&instance.steps[..n - 1])
+            .all(|(a, b)| steps_equal_no_predicates(a, b))
+            && step_matches_ignoring_predicates(&path.steps[n - 1], &instance.steps[n - 1]);
+        if !prefix_matches {
+            continue;
+        }
+
+        // Extract the key value from the instance step's predicates.
+        let key_rel: PathExpr = parse_path(&entity.key_binding().to_path_text())?;
+        let Some(key_value) = extract_key_value(&path.steps[n - 1].predicates, &key_rel) else {
+            continue;
+        };
+
+        // The remaining steps must equal one bound attribute's path.
+        let suffix = &path.steps[n..];
+        for (attr_name, attr_binding) in &entity.attrs {
+            let attr_rel: PathExpr = parse_path(&attr_binding.to_path_text())?;
+            let attr_steps: &[Step] = match attr_binding {
+                crate::binding::AttrBinding::SelfText => &[],
+                _ => &attr_rel.steps,
+            };
+            let matches = suffix.len() == attr_steps.len()
+                && suffix
+                    .iter()
+                    .zip(attr_steps)
+                    .all(|(a, b)| steps_equal_no_predicates(a, b));
+            // SelfText also matches a single `self::node()` step.
+            let self_match = attr_steps.is_empty()
+                && suffix.len() == 1
+                && suffix[0].axis == Axis::SelfAxis
+                && suffix[0].test == NodeTest::AnyNode;
+            if matches || self_match {
+                return Ok(LogicalQuery::new(&entity.entity, &key_value, attr_name));
+            }
+        }
+    }
+    Err(RewriteError::new(format!(
+        "query {query} does not match any identity-query pattern of binding {}",
+        binding.name
+    )))
+}
+
+fn steps_equal_no_predicates(a: &Step, b: &Step) -> bool {
+    a.axis == b.axis && a.test == b.test && a.predicates.is_empty() && b.predicates.is_empty()
+}
+
+fn step_matches_ignoring_predicates(query_step: &Step, pattern: &Step) -> bool {
+    query_step.axis == pattern.axis && query_step.test == pattern.test
+}
+
+/// Finds `key_rel = 'literal'` (either operand order) among predicates.
+fn extract_key_value(predicates: &[Expr], key_rel: &PathExpr) -> Option<String> {
+    for p in predicates {
+        if let Expr::Binary {
+            op: wmx_xpath::ast::BinaryOp::Eq,
+            lhs,
+            rhs,
+        } = p
+        {
+            let candidates = [(lhs.as_ref(), rhs.as_ref()), (rhs.as_ref(), lhs.as_ref())];
+            for (path_side, value_side) in candidates {
+                if let (Expr::Path(pp), Expr::Literal(v)) = (path_side, value_side) {
+                    if paths_equivalent(pp, key_rel) {
+                        return Some(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Paths are equivalent for key matching when their steps agree; a bare
+/// `.` (self::node()) matches the SelfText binding's empty-step form.
+fn paths_equivalent(a: &PathExpr, b: &PathExpr) -> bool {
+    if a.absolute != b.absolute {
+        return false;
+    }
+    let norm = |p: &PathExpr| -> Vec<Step> {
+        p.steps
+            .iter()
+            .filter(|s| !(s.axis == Axis::SelfAxis && s.test == NodeTest::AnyNode))
+            .cloned()
+            .collect()
+    };
+    let (na, nb) = (norm(a), norm(b));
+    na.len() == nb.len()
+        && na
+            .iter()
+            .zip(&nb)
+            .all(|(x, y)| steps_equal_no_predicates(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{paper_db1_binding, paper_db2_binding};
+    use wmx_xml::parse;
+
+    fn db1_doc() -> wmx_xml::Document {
+        parse(
+            r#"<db><book publisher="acm"><title>DB Design</title><author>Berstein</author><year>1998</year></book></db>"#,
+        )
+        .unwrap()
+    }
+
+    fn db2_doc() -> wmx_xml::Document {
+        parse(
+            r#"<db><publisher name="acm"><author name="Berstein"><book>DB Design</book></author></publisher></db>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recovers_logical_form() {
+        let q = Query::compile("/db/book[title='DB Design']/author").unwrap();
+        let logical = recover_logical(&q, &paper_db1_binding()).unwrap();
+        assert_eq!(logical, LogicalQuery::new("book", "DB Design", "author"));
+    }
+
+    #[test]
+    fn recovers_with_reversed_predicate_operands() {
+        let q = Query::compile("/db/book['DB Design' = title]/year").unwrap();
+        let logical = recover_logical(&q, &paper_db1_binding()).unwrap();
+        assert_eq!(logical.attr, "year");
+    }
+
+    #[test]
+    fn rewrites_paper_example_end_to_end() {
+        // The paper's §2.2 scenario: query created on db1, data
+        // reorganized to db2, rewritten query retrieves the same value.
+        let q1 = Query::compile("/db/book[title='DB Design']/author").unwrap();
+        let original = q1.select_string(&db1_doc()).unwrap();
+
+        let q2 = rewrite_query(&q1, &paper_db1_binding(), &paper_db2_binding()).unwrap();
+        let rewritten = q2.select_string(&db2_doc()).unwrap();
+        assert_eq!(original, rewritten);
+        assert_eq!(rewritten, "Berstein");
+    }
+
+    #[test]
+    fn rewrites_attribute_valued_query() {
+        let q1 = Query::compile("/db/book[title='DB Design']/@publisher").unwrap();
+        assert_eq!(q1.select_string(&db1_doc()).unwrap(), "acm");
+        let q2 = rewrite_query(&q1, &paper_db1_binding(), &paper_db2_binding()).unwrap();
+        assert_eq!(q2.select_string(&db2_doc()).unwrap(), "acm");
+    }
+
+    #[test]
+    fn rewrites_key_selection_itself() {
+        let q1 = Query::compile("/db/book[title='DB Design']/title").unwrap();
+        let q2 = rewrite_query(&q1, &paper_db1_binding(), &paper_db2_binding()).unwrap();
+        assert_eq!(q2.select_string(&db2_doc()).unwrap(), "DB Design");
+    }
+
+    #[test]
+    fn reverse_direction_rewrite() {
+        let q2 = Query::compile("/db/publisher/author/book[. = 'DB Design']/../@name").unwrap();
+        assert_eq!(q2.select_string(&db2_doc()).unwrap(), "Berstein");
+        let q1 = rewrite_query(&q2, &paper_db2_binding(), &paper_db1_binding()).unwrap();
+        assert_eq!(q1.select_string(&db1_doc()).unwrap(), "Berstein");
+    }
+
+    #[test]
+    fn unrewritable_attr_reports_error() {
+        // editor is not bound in db2.
+        let q = Query::compile("/db/book[title='DB Design']/editor").unwrap();
+        let err = rewrite_query(&q, &paper_db1_binding(), &paper_db2_binding()).unwrap_err();
+        assert!(err.message.contains("editor") || err.message.contains("attribute"));
+    }
+
+    #[test]
+    fn non_identity_queries_rejected() {
+        let binding = paper_db1_binding();
+        for text in [
+            "count(//book)",
+            "/db/book/author",                 // no key predicate
+            "/other/book[title='X']/author",   // wrong prefix
+            "/db/book[year='1998']/author",    // predicate not on the key
+        ] {
+            let q = Query::compile(text).unwrap();
+            assert!(
+                recover_logical(&q, &binding).is_err(),
+                "{text} should not be rewritable"
+            );
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Functional dependencies over XML entities.
+//!
+//! The paper's example (§2.3, challenge (C)): "If each editor only works
+//! for one publisher, there also exists functional dependency
+//! `editor → publisher`." Such FDs create *redundancy* — the same
+//! publisher value repeated across many books sharing an editor — which
+//! an adversary can exploit by unifying the duplicates. WmXML therefore
+//! treats each FD-determined value group as one logical unit (see
+//! [`crate::redundancy`]).
+
+use crate::SchemaError;
+use std::collections::HashMap;
+use std::fmt;
+use wmx_xml::Document;
+use wmx_xpath::{NodeRef, Query};
+
+/// A functional dependency `lhs → rhs` scoped to an entity.
+#[derive(Debug, Clone)]
+pub struct Fd {
+    /// Human-readable name, e.g. `"editor-publisher"`.
+    pub name: String,
+    /// Absolute query selecting the entity instances in scope.
+    pub entity: Query,
+    /// Determinant paths, relative to an instance.
+    pub lhs: Vec<Query>,
+    /// Dependent paths, relative to an instance.
+    pub rhs: Vec<Query>,
+}
+
+impl Fd {
+    /// Builds an FD from query strings.
+    pub fn new(name: &str, entity: &str, lhs: &[&str], rhs: &[&str]) -> Result<Self, SchemaError> {
+        if lhs.is_empty() || rhs.is_empty() {
+            return Err(SchemaError::new(format!(
+                "fd {name} needs at least one determinant and one dependent path"
+            )));
+        }
+        Ok(Fd {
+            name: name.to_string(),
+            entity: Query::compile(entity)?,
+            lhs: lhs
+                .iter()
+                .map(|p| Query::compile(p))
+                .collect::<Result<_, _>>()?,
+            rhs: rhs
+                .iter()
+                .map(|p| Query::compile(p))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// The determinant tuple of an instance (`None` if any part missing).
+    pub fn lhs_of(&self, doc: &Document, instance: &NodeRef) -> Option<Vec<String>> {
+        tuple_of(doc, instance, &self.lhs)
+    }
+
+    /// The dependent tuple of an instance (`None` if any part missing).
+    pub fn rhs_of(&self, doc: &Document, instance: &NodeRef) -> Option<Vec<String>> {
+        tuple_of(doc, instance, &self.rhs)
+    }
+
+    /// The dependent *value nodes* of an instance (the nodes a watermark
+    /// mark would be written into).
+    pub fn rhs_nodes(&self, doc: &Document, instance: &NodeRef) -> Vec<NodeRef> {
+        self.rhs
+            .iter()
+            .flat_map(|q| q.select_from(doc, instance.clone()))
+            .collect()
+    }
+
+    /// Verifies the FD: instances sharing a determinant tuple must share
+    /// the dependent tuple.
+    pub fn verify(&self, doc: &Document) -> Vec<FdViolation> {
+        let mut violations = Vec::new();
+        let mut groups: HashMap<Vec<String>, (usize, Vec<String>)> = HashMap::new();
+        for (i, instance) in self.entity.select(doc).iter().enumerate() {
+            let (Some(lhs), Some(rhs)) = (self.lhs_of(doc, instance), self.rhs_of(doc, instance))
+            else {
+                continue; // instances missing either side are out of scope
+            };
+            match groups.get(&lhs) {
+                None => {
+                    groups.insert(lhs, (i, rhs));
+                }
+                Some((first, expected)) if *expected != rhs => {
+                    violations.push(FdViolation {
+                        fd: self.name.clone(),
+                        lhs,
+                        first_index: *first,
+                        conflicting_index: i,
+                        expected: expected.clone(),
+                        found: rhs,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+}
+
+fn tuple_of(doc: &Document, instance: &NodeRef, parts: &[Query]) -> Option<Vec<String>> {
+    let mut tuple = Vec::with_capacity(parts.len());
+    for part in parts {
+        let hits = part.select_from(doc, instance.clone());
+        let first = hits.first()?;
+        tuple.push(first.string_value(doc));
+    }
+    Some(tuple)
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |qs: &[Query]| {
+            qs.iter()
+                .map(|q| q.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "fd {}: {} ⟨{} → {}⟩",
+            self.name,
+            self.entity,
+            join(&self.lhs),
+            join(&self.rhs)
+        )
+    }
+}
+
+/// An FD violation: two instances agree on the determinant but differ on
+/// the dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdViolation {
+    /// FD name.
+    pub fd: String,
+    /// Shared determinant tuple.
+    pub lhs: Vec<String>,
+    /// Index of the first instance in the group.
+    pub first_index: usize,
+    /// Index of the conflicting instance.
+    pub conflicting_index: usize,
+    /// Dependent tuple of the first instance.
+    pub expected: Vec<String>,
+    /// Dependent tuple of the conflicting instance.
+    pub found: Vec<String>,
+}
+
+impl fmt::Display for FdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fd {}: instances #{} and #{} share {:?} but map to {:?} vs {:?}",
+            self.fd, self.first_index, self.conflicting_index, self.lhs, self.expected, self.found
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    /// db1-style data where editor → publisher holds.
+    fn consistent() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>Potter</editor></book>
+                <book publisher="mkp"><title>B</title><editor>Potter</editor></book>
+                <book publisher="acm"><title>C</title><editor>Gamer</editor></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn editor_publisher() -> Fd {
+        Fd::new("editor-publisher", "//book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    #[test]
+    fn holds_on_consistent_data() {
+        assert!(editor_publisher().verify(&consistent()).is_empty());
+    }
+
+    #[test]
+    fn violation_detected() {
+        let doc = parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>Potter</editor></book>
+                <book publisher="acm"><title>B</title><editor>Potter</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        let violations = editor_publisher().verify(&doc);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].lhs, vec!["Potter"]);
+        assert_eq!(violations[0].expected, vec!["mkp"]);
+        assert_eq!(violations[0].found, vec!["acm"]);
+    }
+
+    #[test]
+    fn rhs_nodes_point_at_value_nodes() {
+        let doc = consistent();
+        let fd = editor_publisher();
+        let instances = fd.entity.select(&doc);
+        let nodes = fd.rhs_nodes(&doc, &instances[0]);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].string_value(&doc), "mkp");
+        assert!(matches!(nodes[0], NodeRef::Attribute { .. }));
+    }
+
+    #[test]
+    fn instances_missing_either_side_skipped() {
+        let doc = parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title></book>
+                <book><title>B</title><editor>Potter</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        assert!(editor_publisher().verify(&doc).is_empty());
+    }
+
+    #[test]
+    fn composite_determinant() {
+        let doc = parse(
+            r#"<db>
+                <job><company>Acme</company><city>SF</city><office>101 Main</office></job>
+                <job><company>Acme</company><city>SF</city><office>101 Main</office></job>
+                <job><company>Acme</company><city>NY</city><office>5th Ave</office></job>
+            </db>"#,
+        )
+        .unwrap();
+        let fd = Fd::new("office", "//job", &["company", "city"], &["office"]).unwrap();
+        assert!(fd.verify(&doc).is_empty());
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(Fd::new("x", "//a", &[], &["b"]).is_err());
+        assert!(Fd::new("x", "//a", &["b"], &[]).is_err());
+        assert!(Fd::new("x", "//a[", &["b"], &["c"]).is_err());
+    }
+
+    #[test]
+    fn display_form() {
+        let fd = editor_publisher();
+        assert_eq!(
+            fd.to_string(),
+            "fd editor-publisher: //book ⟨editor → @publisher⟩"
+        );
+    }
+}

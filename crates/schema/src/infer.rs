@@ -1,0 +1,274 @@
+//! Schema inference from an instance document.
+//!
+//! The demo lets a user point WmXML at "a few sets of real world
+//! semi-structured data"; inference bootstraps a structural schema from
+//! such data so keys/FDs can be declared against it. The inferred schema
+//! is intentionally conservative: multiplicities are the loosest observed
+//! (`?`/`*` when absent somewhere, `+`/`*` when repeated somewhere), and
+//! leaf types are the narrowest type accepted by *all* observed values
+//! (integer ⊂ decimal ⊂ text).
+
+use crate::model::{AttrDecl, ChildDecl, ContentModel, DataType, ElementDecl, Occurs, Schema};
+use std::collections::{BTreeMap, BTreeSet};
+use wmx_xml::{Document, NodeId};
+
+#[derive(Default)]
+struct ElementStats {
+    /// Child name → (min occurrences across instances, max occurrences).
+    child_counts: BTreeMap<String, (usize, usize)>,
+    /// Orders in which children were first seen, to keep declaration
+    /// order stable and human-readable.
+    child_order: Vec<String>,
+    /// Attribute name → seen-on-every-instance?
+    attrs: BTreeMap<String, bool>,
+    attr_order: Vec<String>,
+    attr_values: BTreeMap<String, Vec<String>>,
+    /// Number of instances seen.
+    instances: usize,
+    /// Text values observed (leaf candidates).
+    text_values: Vec<String>,
+    /// Did any instance have element children?
+    has_element_children: bool,
+    /// Did any instance have non-whitespace text?
+    has_text: bool,
+}
+
+/// Infers a structural schema from `doc`.
+pub fn infer_schema(doc: &Document, schema_name: &str) -> Schema {
+    let Some(root) = doc.root_element() else {
+        return Schema::new(schema_name, "empty");
+    };
+    let mut stats: BTreeMap<String, ElementStats> = BTreeMap::new();
+    collect(doc, root, &mut stats);
+
+    let root_name = doc.name(root).unwrap_or("root").to_string();
+    let mut schema = Schema::new(schema_name, root_name);
+    for (name, stat) in &stats {
+        schema = schema.declare(build_decl(name, stat));
+    }
+    schema
+}
+
+fn collect(doc: &Document, element: NodeId, stats: &mut BTreeMap<String, ElementStats>) {
+    let name = doc.name(element).unwrap_or_default().to_string();
+
+    // Per-instance child counts.
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for c in doc.child_elements(element) {
+        let child_name = doc.name(c).unwrap_or_default().to_string();
+        if !counts.contains_key(&child_name) {
+            order.push(child_name.clone());
+        }
+        *counts.entry(child_name).or_default() += 1;
+    }
+    let has_element_children = !counts.is_empty();
+    let text = doc.text_content(element);
+    let has_text = !text.chars().all(char::is_whitespace);
+
+    let stat = stats.entry(name).or_default();
+    stat.instances += 1;
+    stat.has_element_children |= has_element_children;
+    if has_text && !has_element_children {
+        stat.has_text = true;
+        stat.text_values.push(text);
+    }
+    for child_name in order {
+        if !stat.child_counts.contains_key(&child_name) {
+            stat.child_order.push(child_name.clone());
+        }
+    }
+    // Merge child counts: children absent in this instance get min 0.
+    let all_names: BTreeSet<String> = stat
+        .child_counts
+        .keys()
+        .cloned()
+        .chain(counts.keys().cloned())
+        .collect();
+    let first_instance = stat.instances == 1;
+    for child_name in all_names {
+        let here = counts.get(&child_name).copied().unwrap_or(0);
+        // A child first observed on a later instance was absent before,
+        // so its minimum is 0 regardless of this instance's count.
+        let fresh_min = if first_instance { usize::MAX } else { 0 };
+        let entry = stat
+            .child_counts
+            .entry(child_name)
+            .or_insert((fresh_min, 0));
+        entry.0 = entry.0.min(here);
+        entry.1 = entry.1.max(here);
+    }
+
+    // Attributes.
+    let present: BTreeSet<String> = doc
+        .attributes(element)
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    for attr in doc.attributes(element) {
+        if !stat.attrs.contains_key(&attr.name) {
+            stat.attr_order.push(attr.name.clone());
+            // Required so far only if this is the first instance.
+            stat.attrs.insert(attr.name.clone(), stat.instances == 1);
+        }
+        stat.attr_values
+            .entry(attr.name.clone())
+            .or_default()
+            .push(attr.value.clone());
+    }
+    // Attributes previously thought required but absent here: demote.
+    let known: Vec<String> = stat.attrs.keys().cloned().collect();
+    for name in known {
+        if !present.contains(&name) {
+            stat.attrs.insert(name, false);
+        }
+    }
+
+    for c in doc.child_elements(element) {
+        collect(doc, c, stats);
+    }
+}
+
+fn narrowest_type(values: &[String]) -> DataType {
+    if !values.is_empty() && values.iter().all(|v| DataType::Integer.accepts(v)) {
+        DataType::Integer
+    } else if !values.is_empty() && values.iter().all(|v| DataType::Decimal.accepts(v)) {
+        DataType::Decimal
+    } else {
+        DataType::Text
+    }
+}
+
+fn build_decl(name: &str, stat: &ElementStats) -> ElementDecl {
+    let attributes: Vec<AttrDecl> = stat
+        .attr_order
+        .iter()
+        .map(|attr_name| AttrDecl {
+            name: attr_name.clone(),
+            required: stat.attrs.get(attr_name).copied().unwrap_or(false),
+            data_type: narrowest_type(
+                stat.attr_values
+                    .get(attr_name)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[]),
+            ),
+        })
+        .collect();
+
+    let content = if stat.has_element_children {
+        let children = stat
+            .child_order
+            .iter()
+            .map(|child_name| {
+                let (min, max) = stat.child_counts[child_name];
+                let occurs = match (min, max) {
+                    (0, 0 | 1) => Occurs::Optional,
+                    (0, _) => Occurs::ZeroOrMore,
+                    (_, 1) => Occurs::One,
+                    _ => Occurs::OneOrMore,
+                };
+                ChildDecl {
+                    name: child_name.clone(),
+                    occurs,
+                }
+            })
+            .collect();
+        ContentModel::Children(children)
+    } else if stat.has_text {
+        ContentModel::Leaf(narrowest_type(&stat.text_values))
+    } else {
+        ContentModel::Empty
+    };
+
+    ElementDecl {
+        name: name.to_string(),
+        attributes,
+        content,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use wmx_xml::parse;
+
+    #[test]
+    fn infers_paper_db1_shape() {
+        let doc = parse(
+            r#"<db>
+                <book publisher="mkp">
+                    <title>Readings</title>
+                    <author>Stonebraker</author>
+                    <author>Hellerstein</author>
+                    <editor>Harrypotter</editor>
+                    <year>1998</year>
+                </book>
+                <book publisher="acm">
+                    <title>Database Design</title>
+                    <editor>Gamer</editor>
+                    <year>1998</year>
+                </book>
+            </db>"#,
+        )
+        .unwrap();
+        let schema = infer_schema(&doc, "inferred");
+        assert_eq!(schema.root, "db");
+
+        let db = schema.element("db").unwrap();
+        assert_eq!(db.child("book").unwrap().occurs, Occurs::OneOrMore);
+
+        let book = schema.element("book").unwrap();
+        assert_eq!(book.child("title").unwrap().occurs, Occurs::One);
+        // author: absent in book 2 but repeated in book 1 → ZeroOrMore.
+        assert_eq!(book.child("author").unwrap().occurs, Occurs::ZeroOrMore);
+        assert_eq!(book.child("editor").unwrap().occurs, Occurs::One);
+        assert!(book.attr("publisher").unwrap().required);
+
+        let year = schema.element("year").unwrap();
+        assert_eq!(year.content, ContentModel::Leaf(DataType::Integer));
+        let title = schema.element("title").unwrap();
+        assert_eq!(title.content, ContentModel::Leaf(DataType::Text));
+    }
+
+    #[test]
+    fn inferred_schema_validates_source_document() {
+        let doc = parse(
+            r#"<catalog><item sku="a1"><price>9.99</price></item><item sku="b2"><price>12.00</price><note/></item></catalog>"#,
+        )
+        .unwrap();
+        let schema = infer_schema(&doc, "cat");
+        assert_eq!(validate(&doc, &schema), vec![]);
+    }
+
+    #[test]
+    fn numeric_type_narrowing() {
+        let doc = parse("<r><v>1</v><v>2.5</v></r>").unwrap();
+        let schema = infer_schema(&doc, "s");
+        assert_eq!(
+            schema.element("v").unwrap().content,
+            ContentModel::Leaf(DataType::Decimal)
+        );
+
+        let doc = parse("<r><v>1</v><v>x</v></r>").unwrap();
+        let schema = infer_schema(&doc, "s");
+        assert_eq!(
+            schema.element("v").unwrap().content,
+            ContentModel::Leaf(DataType::Text)
+        );
+    }
+
+    #[test]
+    fn optional_attribute_detected() {
+        let doc = parse(r#"<r><i a="1"/><i/></r>"#).unwrap();
+        let schema = infer_schema(&doc, "s");
+        assert!(!schema.element("i").unwrap().attr("a").unwrap().required);
+    }
+
+    #[test]
+    fn empty_elements_inferred_empty() {
+        let doc = parse("<r><sep/><sep/></r>").unwrap();
+        let schema = infer_schema(&doc, "s");
+        assert_eq!(schema.element("sep").unwrap().content, ContentModel::Empty);
+    }
+}

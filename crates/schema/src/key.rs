@@ -1,0 +1,232 @@
+//! XML keys.
+//!
+//! A key pairs an *entity selector* (an absolute query choosing the
+//! entity instances, e.g. `//book`) with one or more *key parts*
+//! (relative queries whose string-values identify an instance, e.g.
+//! `title` or `@id`). The paper's running example: "attribute title could
+//! work as the key of element book, as the title of each publication is
+//! usually unique" (§2.3).
+//!
+//! Keys are what let WmXML's identity queries *differentiate* data
+//! elements — challenge (A) — without relying on physical position.
+
+use crate::SchemaError;
+use std::fmt;
+use wmx_xml::Document;
+use wmx_xpath::{NodeRef, Query};
+
+/// An XML key declaration.
+#[derive(Debug, Clone)]
+pub struct Key {
+    /// Human-readable name, e.g. `"book-title"`.
+    pub name: String,
+    /// Absolute query selecting entity instances.
+    pub entity: Query,
+    /// Relative queries (from an instance) whose combined string-values
+    /// form the key tuple.
+    pub parts: Vec<Query>,
+}
+
+impl Key {
+    /// Builds a key from query strings.
+    pub fn new(name: &str, entity: &str, parts: &[&str]) -> Result<Self, SchemaError> {
+        if parts.is_empty() {
+            return Err(SchemaError::new(format!("key {name} needs at least one part")));
+        }
+        Ok(Key {
+            name: name.to_string(),
+            entity: Query::compile(entity)?,
+            parts: parts
+                .iter()
+                .map(|p| Query::compile(p))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// All entity instances in `doc`.
+    pub fn instances(&self, doc: &Document) -> Vec<NodeRef> {
+        self.entity.select(doc)
+    }
+
+    /// The key tuple of one instance, or `None` when a part is missing.
+    pub fn key_of(&self, doc: &Document, instance: &NodeRef) -> Option<Vec<String>> {
+        let mut tuple = Vec::with_capacity(self.parts.len());
+        for part in &self.parts {
+            let hits = part.select_from(doc, instance.clone());
+            let first = hits.first()?;
+            tuple.push(first.string_value(doc));
+        }
+        Some(tuple)
+    }
+
+    /// Verifies the key over `doc`: every instance has a key tuple and no
+    /// two instances share one.
+    pub fn verify(&self, doc: &Document) -> Vec<KeyViolation> {
+        let mut violations = Vec::new();
+        let mut seen: std::collections::HashMap<Vec<String>, usize> =
+            std::collections::HashMap::new();
+        for (i, instance) in self.instances(doc).iter().enumerate() {
+            match self.key_of(doc, instance) {
+                None => violations.push(KeyViolation::MissingKey {
+                    key: self.name.clone(),
+                    instance_index: i,
+                }),
+                Some(tuple) => {
+                    if let Some(&first) = seen.get(&tuple) {
+                        violations.push(KeyViolation::Duplicate {
+                            key: self.name.clone(),
+                            tuple: tuple.clone(),
+                            first_index: first,
+                            duplicate_index: i,
+                        });
+                    } else {
+                        seen.insert(tuple, i);
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key {}: {} ⟨", self.name, self.entity)?;
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A key constraint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyViolation {
+    /// An instance is missing one of the key parts.
+    MissingKey {
+        /// Key name.
+        key: String,
+        /// Index of the offending instance in entity-selector order.
+        instance_index: usize,
+    },
+    /// Two instances share the same key tuple.
+    Duplicate {
+        /// Key name.
+        key: String,
+        /// The shared tuple.
+        tuple: Vec<String>,
+        /// Index of the first instance with this tuple.
+        first_index: usize,
+        /// Index of the duplicate.
+        duplicate_index: usize,
+    },
+}
+
+impl fmt::Display for KeyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyViolation::MissingKey { key, instance_index } => {
+                write!(f, "key {key}: instance #{instance_index} has no key value")
+            }
+            KeyViolation::Duplicate {
+                key,
+                tuple,
+                first_index,
+                duplicate_index,
+            } => write!(
+                f,
+                "key {key}: instances #{first_index} and #{duplicate_index} share key {tuple:?}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    fn db1() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp"><title>Readings</title><year>1998</year></book>
+                <book publisher="acm"><title>Database Design</title><year>1998</year></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn title_is_key_of_book() {
+        let key = Key::new("book-title", "//book", &["title"]).unwrap();
+        let doc = db1();
+        assert_eq!(key.instances(&doc).len(), 2);
+        assert!(key.verify(&doc).is_empty());
+        let first = &key.instances(&doc)[0];
+        assert_eq!(key.key_of(&doc, first).unwrap(), vec!["Readings"]);
+    }
+
+    #[test]
+    fn duplicate_keys_detected() {
+        let doc = parse(
+            r#"<db><book><title>Same</title></book><book><title>Same</title></book></db>"#,
+        )
+        .unwrap();
+        let key = Key::new("book-title", "//book", &["title"]).unwrap();
+        let violations = key.verify(&doc);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(&violations[0], KeyViolation::Duplicate { tuple, .. } if tuple == &vec!["Same".to_string()]));
+    }
+
+    #[test]
+    fn missing_key_detected() {
+        let doc = parse("<db><book><title>A</title></book><book/></db>").unwrap();
+        let key = Key::new("book-title", "//book", &["title"]).unwrap();
+        let violations = key.verify(&doc);
+        assert_eq!(
+            violations,
+            vec![KeyViolation::MissingKey {
+                key: "book-title".into(),
+                instance_index: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn composite_key() {
+        let doc = parse(
+            r#"<db>
+                <listing><company>Acme</company><role>DBA</role></listing>
+                <listing><company>Acme</company><role>Dev</role></listing>
+                <listing><company>Initech</company><role>DBA</role></listing>
+            </db>"#,
+        )
+        .unwrap();
+        let key = Key::new("listing", "//listing", &["company", "role"]).unwrap();
+        assert!(key.verify(&doc).is_empty());
+        let tuple = key.key_of(&doc, &key.instances(&doc)[1]).unwrap();
+        assert_eq!(tuple, vec!["Acme", "Dev"]);
+    }
+
+    #[test]
+    fn attribute_key_part() {
+        let doc = parse(r#"<db><item sku="a"/><item sku="b"/></db>"#).unwrap();
+        let key = Key::new("item-sku", "//item", &["@sku"]).unwrap();
+        assert!(key.verify(&doc).is_empty());
+    }
+
+    #[test]
+    fn empty_parts_rejected() {
+        assert!(Key::new("bad", "//x", &[]).is_err());
+        assert!(Key::new("bad", "//x[", &["y"]).is_err());
+    }
+
+    #[test]
+    fn display_form() {
+        let key = Key::new("book-title", "//book", &["title"]).unwrap();
+        assert_eq!(key.to_string(), "key book-title: //book ⟨title⟩");
+    }
+}

@@ -1,0 +1,69 @@
+//! Schema semantics for WmXML.
+//!
+//! The paper's identifier construction (§2.3) is driven by *essential
+//! semantics*: the structural schema the data is validated against, the
+//! **keys** that differentiate entity instances, and the **functional
+//! dependencies** that generate redundancy. This crate makes those three
+//! notions first-class:
+//!
+//! * [`model`] / [`validate`](mod@validate) — a structural schema (element content
+//!   models, typed leaves, attribute declarations) and instance
+//!   validation, corresponding to the paper's "specify a schema and
+//!   validate the XML data according to the schema";
+//! * [`infer`] — schema inference from an instance document, for the demo
+//!   flow where the user starts from data rather than a schema;
+//! * [`key`] — XML keys: an entity selector plus key paths whose values
+//!   uniquely identify each instance (e.g. `title` is the key of `book`);
+//! * [`fd`] — functional dependencies `X → Y` scoped to an entity (e.g.
+//!   `editor → publisher` among books);
+//! * [`redundancy`] — FD-induced duplicate groups: the sets of value
+//!   nodes that must carry one consistent watermark mark, WmXML's answer
+//!   to the paper's challenge (C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fd;
+pub mod infer;
+pub mod key;
+pub mod model;
+pub mod redundancy;
+pub mod validate;
+
+pub use fd::{Fd, FdViolation};
+pub use infer::infer_schema;
+pub use key::{Key, KeyViolation};
+pub use model::{child, AttrDecl, ChildDecl, ContentModel, DataType, ElementDecl, Occurs, Schema};
+pub use redundancy::{discover_groups, RedundancyGroup};
+pub use validate::{validate, ValidationIssue};
+
+/// Errors raised while constructing schema artifacts (bad selector
+/// queries and the like).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SchemaError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        SchemaError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<wmx_xpath::XPathError> for SchemaError {
+    fn from(e: wmx_xpath::XPathError) -> Self {
+        SchemaError::new(format!("selector query error: {e}"))
+    }
+}

@@ -1,0 +1,313 @@
+//! Structural schema model: element declarations, content models, typed
+//! leaves, and attribute declarations.
+//!
+//! This is deliberately a *Rust-native* schema representation (built with
+//! a fluent API or inferred from instances) rather than a DTD/XSD parser:
+//! WmXML consumes the schema as a data structure, and the demo's schemas
+//! are small. The model captures exactly what validation and watermark
+//! capacity analysis need: which elements exist where, how often they may
+//! repeat, and what type of data each leaf/attribute carries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How many times a child element may occur within its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly once.
+    One,
+    /// Zero or one.
+    Optional,
+    /// One or more.
+    OneOrMore,
+    /// Zero or more.
+    ZeroOrMore,
+}
+
+impl Occurs {
+    /// Whether `count` occurrences satisfy this multiplicity.
+    pub fn admits(self, count: usize) -> bool {
+        match self {
+            Occurs::One => count == 1,
+            Occurs::Optional => count <= 1,
+            Occurs::OneOrMore => count >= 1,
+            Occurs::ZeroOrMore => true,
+        }
+    }
+
+    /// Whether more than one occurrence is allowed.
+    pub fn repeatable(self) -> bool {
+        matches!(self, Occurs::OneOrMore | Occurs::ZeroOrMore)
+    }
+}
+
+impl fmt::Display for Occurs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Occurs::One => "1",
+            Occurs::Optional => "?",
+            Occurs::OneOrMore => "+",
+            Occurs::ZeroOrMore => "*",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The data type of a leaf element's text or an attribute value.
+///
+/// Types matter to WmXML because each type is served by a different
+/// watermark embedding plug-in (the `WA_i` boxes of the paper's Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// Free text.
+    Text,
+    /// An integer (embedding perturbs low-order digits within tolerance).
+    Integer,
+    /// A decimal number.
+    Decimal,
+    /// A base64-encoded grayscale raster image (see `wmx-data::image`).
+    Base64Image,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Text => "text",
+            DataType::Integer => "integer",
+            DataType::Decimal => "decimal",
+            DataType::Base64Image => "base64-image",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl DataType {
+    /// Whether `value` conforms to the type.
+    pub fn accepts(self, value: &str) -> bool {
+        match self {
+            DataType::Text => true,
+            DataType::Integer => value.trim().parse::<i64>().is_ok(),
+            DataType::Decimal => value.trim().parse::<f64>().is_ok(),
+            DataType::Base64Image => wmx_crypto_free_base64_check(value),
+        }
+    }
+}
+
+/// Validates base64 text without pulling `wmx-crypto` into this crate:
+/// the alphabet check is enough for schema validation (payload decoding
+/// happens in the image plug-in).
+fn wmx_crypto_free_base64_check(value: &str) -> bool {
+    let stripped: Vec<u8> = value
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    if stripped.len() % 4 != 0 {
+        return false;
+    }
+    stripped
+        .iter()
+        .all(|&b| b.is_ascii_alphanumeric() || b == b'+' || b == b'/' || b == b'=')
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Whether the attribute must be present.
+    pub required: bool,
+    /// Value type.
+    pub data_type: DataType,
+}
+
+/// What an element may contain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentModel {
+    /// No content.
+    Empty,
+    /// Text content of the given type.
+    Leaf(DataType),
+    /// Element-only content: the listed children, in any order.
+    Children(Vec<ChildDecl>),
+}
+
+/// A child slot in an element-only content model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildDecl {
+    /// Name of the child element (declared in [`Schema::elements`]).
+    pub name: String,
+    /// Allowed multiplicity.
+    pub occurs: Occurs,
+}
+
+/// Declaration of one element type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementDecl {
+    /// Element name.
+    pub name: String,
+    /// Declared attributes.
+    pub attributes: Vec<AttrDecl>,
+    /// Content model.
+    pub content: ContentModel,
+}
+
+impl ElementDecl {
+    /// Creates a leaf element declaration.
+    pub fn leaf(name: impl Into<String>, data_type: DataType) -> Self {
+        ElementDecl {
+            name: name.into(),
+            attributes: Vec::new(),
+            content: ContentModel::Leaf(data_type),
+        }
+    }
+
+    /// Creates an element-only declaration.
+    pub fn parent(name: impl Into<String>, children: Vec<ChildDecl>) -> Self {
+        ElementDecl {
+            name: name.into(),
+            attributes: Vec::new(),
+            content: ContentModel::Children(children),
+        }
+    }
+
+    /// Adds an attribute declaration.
+    pub fn with_attr(mut self, name: impl Into<String>, required: bool, data_type: DataType) -> Self {
+        self.attributes.push(AttrDecl {
+            name: name.into(),
+            required,
+            data_type,
+        });
+        self
+    }
+
+    /// Looks up a declared attribute.
+    pub fn attr(&self, name: &str) -> Option<&AttrDecl> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a declared child slot (for element-only content).
+    pub fn child(&self, name: &str) -> Option<&ChildDecl> {
+        match &self.content {
+            ContentModel::Children(children) => children.iter().find(|c| c.name == name),
+            _ => None,
+        }
+    }
+}
+
+/// A child slot shorthand constructor.
+pub fn child(name: impl Into<String>, occurs: Occurs) -> ChildDecl {
+    ChildDecl {
+        name: name.into(),
+        occurs,
+    }
+}
+
+/// A named structural schema: a root element name plus one declaration
+/// per element name.
+///
+/// Element names are global (no local types): the demo schemas — and the
+/// vast majority of data-centric XML — use one meaning per tag name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Schema identifier, e.g. `"publications-v1"`.
+    pub name: String,
+    /// Name of the root element.
+    pub root: String,
+    /// Declarations keyed by element name.
+    pub elements: BTreeMap<String, ElementDecl>,
+}
+
+impl Schema {
+    /// Creates a schema with the given root; declarations are added with
+    /// [`Schema::declare`].
+    pub fn new(name: impl Into<String>, root: impl Into<String>) -> Self {
+        Schema {
+            name: name.into(),
+            root: root.into(),
+            elements: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) an element declaration.
+    pub fn declare(mut self, decl: ElementDecl) -> Self {
+        self.elements.insert(decl.name.clone(), decl);
+        self
+    }
+
+    /// Looks up an element declaration.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    /// The root element declaration, if declared.
+    pub fn root_element(&self) -> Option<&ElementDecl> {
+        self.elements.get(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurs_admits() {
+        assert!(Occurs::One.admits(1));
+        assert!(!Occurs::One.admits(0));
+        assert!(!Occurs::One.admits(2));
+        assert!(Occurs::Optional.admits(0));
+        assert!(!Occurs::Optional.admits(2));
+        assert!(Occurs::OneOrMore.admits(3));
+        assert!(!Occurs::OneOrMore.admits(0));
+        assert!(Occurs::ZeroOrMore.admits(0));
+        assert!(Occurs::ZeroOrMore.admits(100));
+    }
+
+    #[test]
+    fn data_type_accepts() {
+        assert!(DataType::Integer.accepts("1998"));
+        assert!(DataType::Integer.accepts(" -5 "));
+        assert!(!DataType::Integer.accepts("19.98"));
+        assert!(DataType::Decimal.accepts("19.98"));
+        assert!(!DataType::Decimal.accepts("abc"));
+        assert!(DataType::Text.accepts("anything"));
+        assert!(DataType::Base64Image.accepts("Zm9vYmFy"));
+        assert!(DataType::Base64Image.accepts("Zm9v\nYmFy"));
+        assert!(!DataType::Base64Image.accepts("not base64!"));
+        assert!(!DataType::Base64Image.accepts("abc"));
+    }
+
+    #[test]
+    fn schema_building_and_lookup() {
+        let schema = Schema::new("pubs", "db")
+            .declare(ElementDecl::parent(
+                "db",
+                vec![child("book", Occurs::ZeroOrMore)],
+            ))
+            .declare(
+                ElementDecl::parent(
+                    "book",
+                    vec![
+                        child("title", Occurs::One),
+                        child("author", Occurs::OneOrMore),
+                        child("year", Occurs::One),
+                    ],
+                )
+                .with_attr("publisher", true, DataType::Text),
+            )
+            .declare(ElementDecl::leaf("title", DataType::Text))
+            .declare(ElementDecl::leaf("author", DataType::Text))
+            .declare(ElementDecl::leaf("year", DataType::Integer));
+
+        let book = schema.element("book").unwrap();
+        assert!(book.attr("publisher").unwrap().required);
+        assert_eq!(book.child("author").unwrap().occurs, Occurs::OneOrMore);
+        assert!(book.child("missing").is_none());
+        assert_eq!(schema.root_element().unwrap().name, "db");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Occurs::OneOrMore.to_string(), "+");
+        assert_eq!(DataType::Integer.to_string(), "integer");
+    }
+}

@@ -1,0 +1,164 @@
+//! FD-induced redundancy groups.
+//!
+//! For an FD `X → Y`, all entity instances sharing a determinant tuple
+//! hold *copies of the same logical `Y` value*. The paper's challenge (C)
+//! observes that if those copies were watermarked independently, "the
+//! watermark can be erased easily by making all the duplicates identical".
+//! A [`RedundancyGroup`] materializes one such duplicate set so the
+//! encoder can (a) treat it as a *single* watermark unit identified by
+//! the FD name and determinant tuple (not by any entity key), and (b)
+//! write the *same* mark into every member.
+
+use crate::fd::Fd;
+use std::collections::BTreeMap;
+use wmx_xml::Document;
+use wmx_xpath::NodeRef;
+
+/// One group of FD-duplicated value nodes.
+#[derive(Debug, Clone)]
+pub struct RedundancyGroup {
+    /// Name of the FD that generates the duplication.
+    pub fd_name: String,
+    /// The shared determinant tuple.
+    pub lhs: Vec<String>,
+    /// The logical dependent tuple (from the first instance).
+    pub rhs_value: Vec<String>,
+    /// All value nodes holding copies of the dependent tuple, across all
+    /// instances in the group (instance-major order).
+    pub members: Vec<NodeRef>,
+    /// Number of entity instances contributing to the group.
+    pub instance_count: usize,
+}
+
+impl RedundancyGroup {
+    /// A stable identity for the group, independent of which or how many
+    /// duplicates survive an attack: the FD name plus determinant tuple.
+    pub fn unit_id(&self) -> String {
+        format!("fd:{}|lhs={}", self.fd_name, self.lhs.join("\u{1f}"))
+    }
+
+    /// Whether the group actually contains duplicates (≥ 2 members).
+    pub fn is_redundant(&self) -> bool {
+        self.members.len() >= 2
+    }
+}
+
+/// Discovers all redundancy groups induced by `fds` over `doc`.
+///
+/// Instances missing the determinant or dependent are skipped (they are
+/// outside the FD's scope). Groups are returned in deterministic order
+/// (by FD, then determinant tuple).
+pub fn discover_groups(doc: &Document, fds: &[Fd]) -> Vec<RedundancyGroup> {
+    let mut out = Vec::new();
+    for fd in fds {
+        let mut groups: BTreeMap<Vec<String>, RedundancyGroup> = BTreeMap::new();
+        for instance in fd.entity.select(doc) {
+            let (Some(lhs), Some(rhs)) = (fd.lhs_of(doc, &instance), fd.rhs_of(doc, &instance))
+            else {
+                continue;
+            };
+            let members = fd.rhs_nodes(doc, &instance);
+            let group = groups.entry(lhs.clone()).or_insert_with(|| RedundancyGroup {
+                fd_name: fd.name.clone(),
+                lhs,
+                rhs_value: rhs,
+                members: Vec::new(),
+                instance_count: 0,
+            });
+            group.members.extend(members);
+            group.instance_count += 1;
+        }
+        out.extend(groups.into_values());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    fn doc() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>Potter</editor></book>
+                <book publisher="mkp"><title>B</title><editor>Potter</editor></book>
+                <book publisher="mkp"><title>C</title><editor>Potter</editor></book>
+                <book publisher="acm"><title>D</title><editor>Gamer</editor></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn fd() -> Fd {
+        Fd::new("editor-publisher", "//book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    #[test]
+    fn groups_by_determinant() {
+        let doc = doc();
+        let groups = discover_groups(&doc, &[fd()]);
+        assert_eq!(groups.len(), 2);
+        let potter = groups.iter().find(|g| g.lhs == vec!["Potter"]).unwrap();
+        assert_eq!(potter.members.len(), 3);
+        assert_eq!(potter.instance_count, 3);
+        assert_eq!(potter.rhs_value, vec!["mkp"]);
+        assert!(potter.is_redundant());
+
+        let gamer = groups.iter().find(|g| g.lhs == vec!["Gamer"]).unwrap();
+        assert_eq!(gamer.members.len(), 1);
+        assert!(!gamer.is_redundant());
+    }
+
+    #[test]
+    fn unit_id_is_entity_independent() {
+        let doc = doc();
+        let groups = discover_groups(&doc, &[fd()]);
+        let potter = groups.iter().find(|g| g.lhs == vec!["Potter"]).unwrap();
+        let id = potter.unit_id();
+        assert!(id.contains("editor-publisher"));
+        assert!(id.contains("Potter"));
+        // Removing one duplicate must not change the unit id.
+        let smaller = parse(
+            r#"<db>
+                <book publisher="mkp"><title>A</title><editor>Potter</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        let groups2 = discover_groups(&smaller, &[fd()]);
+        assert_eq!(groups2[0].unit_id(), id);
+    }
+
+    #[test]
+    fn group_members_are_value_nodes() {
+        let doc = doc();
+        let groups = discover_groups(&doc, &[fd()]);
+        for g in &groups {
+            for m in &g.members {
+                assert_eq!(m.string_value(&doc), g.rhs_value[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_fds_yield_separate_groups() {
+        let doc = parse(
+            r#"<db>
+                <book publisher="mkp" country="us"><title>A</title><editor>P</editor></book>
+                <book publisher="mkp" country="us"><title>B</title><editor>P</editor></book>
+            </db>"#,
+        )
+        .unwrap();
+        let fd1 = Fd::new("ed-pub", "//book", &["editor"], &["@publisher"]).unwrap();
+        let fd2 = Fd::new("pub-country", "//book", &["@publisher"], &["@country"]).unwrap();
+        let groups = discover_groups(&doc, &[fd1, fd2]);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().any(|g| g.fd_name == "ed-pub"));
+        assert!(groups.iter().any(|g| g.fd_name == "pub-country"));
+    }
+
+    #[test]
+    fn empty_without_fds() {
+        assert!(discover_groups(&doc(), &[]).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Instance validation against a [`Schema`].
+//!
+//! Validation is the first step of the watermarking pipeline (§2.2 step
+//! 1: "Specify a schema and validate the XML data according to the
+//! schema"). It returns *all* issues rather than failing fast, because
+//! the demo UI reports them as a list.
+
+use crate::model::{ContentModel, DataType, Schema};
+use std::collections::BTreeMap;
+use wmx_xml::{Document, NodeId, NodeKind};
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Path of the offending element (e.g. `/db/book`).
+    pub path: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// Validates `doc` against `schema`, returning all issues found (empty
+/// means valid).
+pub fn validate(doc: &Document, schema: &Schema) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let Some(root) = doc.root_element() else {
+        issues.push(ValidationIssue {
+            path: "/".into(),
+            message: "document has no root element".into(),
+        });
+        return issues;
+    };
+    let root_name = doc.name(root).unwrap_or_default();
+    if root_name != schema.root {
+        issues.push(ValidationIssue {
+            path: format!("/{root_name}"),
+            message: format!(
+                "root element is <{root_name}>, schema {} expects <{}>",
+                schema.name, schema.root
+            ),
+        });
+        return issues;
+    }
+    validate_element(doc, root, schema, &mut issues);
+    issues
+}
+
+fn validate_element(
+    doc: &Document,
+    element: NodeId,
+    schema: &Schema,
+    issues: &mut Vec<ValidationIssue>,
+) {
+    let name = doc.name(element).unwrap_or_default().to_string();
+    let path = doc.path_of(element).unwrap_or_else(|| format!("<{name}>"));
+    let Some(decl) = schema.element(&name) else {
+        issues.push(ValidationIssue {
+            path,
+            message: format!("element <{name}> is not declared in schema {}", schema.name),
+        });
+        return;
+    };
+
+    // Attributes: required present, declared types respected. Undeclared
+    // attributes are reported (data-centric schemas are closed).
+    for attr in decl.attributes.iter().filter(|a| a.required) {
+        if doc.attribute(element, &attr.name).is_none() {
+            issues.push(ValidationIssue {
+                path: path.clone(),
+                message: format!("missing required attribute \"{}\"", attr.name),
+            });
+        }
+    }
+    for present in doc.attributes(element) {
+        match decl.attr(&present.name) {
+            None => issues.push(ValidationIssue {
+                path: path.clone(),
+                message: format!("undeclared attribute \"{}\"", present.name),
+            }),
+            Some(d) if !d.data_type.accepts(&present.value) => issues.push(ValidationIssue {
+                path: path.clone(),
+                message: format!(
+                    "attribute \"{}\" value {:?} is not a valid {}",
+                    present.name, present.value, d.data_type
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    match &decl.content {
+        ContentModel::Empty => {
+            if doc.children(element).iter().any(|&c| match doc.kind(c) {
+                NodeKind::Element { .. } => true,
+                NodeKind::Text(t) | NodeKind::CData(t) => {
+                    !t.chars().all(char::is_whitespace)
+                }
+                _ => false,
+            }) {
+                issues.push(ValidationIssue {
+                    path,
+                    message: format!("element <{name}> must be empty"),
+                });
+            }
+        }
+        ContentModel::Leaf(data_type) => {
+            if doc.child_elements(element).next().is_some() {
+                issues.push(ValidationIssue {
+                    path: path.clone(),
+                    message: format!("leaf element <{name}> contains child elements"),
+                });
+            }
+            let text = doc.text_content(element);
+            if !data_type.accepts(&text) {
+                let shown: String = text.chars().take(24).collect();
+                issues.push(ValidationIssue {
+                    path,
+                    message: format!("text {shown:?} is not a valid {data_type}"),
+                });
+            }
+        }
+        ContentModel::Children(children) => {
+            // Count child elements by name; text is not allowed here.
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+            for &c in doc.children(element) {
+                match doc.kind(c) {
+                    NodeKind::Element { name, .. } => {
+                        *counts.entry(name.as_str()).or_default() += 1;
+                    }
+                    NodeKind::Text(t) | NodeKind::CData(t)
+                        if !t.chars().all(char::is_whitespace) =>
+                    {
+                        issues.push(ValidationIssue {
+                            path: path.clone(),
+                            message: format!("unexpected text content in element-only <{name}>"),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            for slot in children {
+                let count = counts.remove(slot.name.as_str()).unwrap_or(0);
+                if !slot.occurs.admits(count) {
+                    issues.push(ValidationIssue {
+                        path: path.clone(),
+                        message: format!(
+                            "child <{}> occurs {count} times, multiplicity is {}",
+                            slot.name, slot.occurs
+                        ),
+                    });
+                }
+            }
+            for (unexpected, count) in counts {
+                issues.push(ValidationIssue {
+                    path: path.clone(),
+                    message: format!("unexpected child <{unexpected}> ({count}x)"),
+                });
+            }
+            for c in doc.child_elements(element) {
+                validate_element(doc, c, schema, issues);
+            }
+        }
+    }
+    // Leaf datatype Base64Image exercises the same path as text leaves.
+    let _ = DataType::Text;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{child, ElementDecl, Occurs, Schema};
+    use wmx_xml::parse;
+
+    fn pubs_schema() -> Schema {
+        Schema::new("pubs", "db")
+            .declare(ElementDecl::parent(
+                "db",
+                vec![child("book", Occurs::ZeroOrMore)],
+            ))
+            .declare(
+                ElementDecl::parent(
+                    "book",
+                    vec![
+                        child("title", Occurs::One),
+                        child("author", Occurs::OneOrMore),
+                        child("editor", Occurs::Optional),
+                        child("year", Occurs::One),
+                    ],
+                )
+                .with_attr("publisher", true, DataType::Text),
+            )
+            .declare(ElementDecl::leaf("title", DataType::Text))
+            .declare(ElementDecl::leaf("author", DataType::Text))
+            .declare(ElementDecl::leaf("editor", DataType::Text))
+            .declare(ElementDecl::leaf("year", DataType::Integer))
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = parse(
+            r#"<db><book publisher="mkp"><title>T</title><author>A</author><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&doc, &pubs_schema()), vec![]);
+    }
+
+    #[test]
+    fn wrong_root_reported() {
+        let doc = parse("<catalog/>").unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("expects <db>"));
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let doc =
+            parse("<db><book><title>T</title><author>A</author><year>1998</year></book></db>")
+                .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("missing required attribute")));
+    }
+
+    #[test]
+    fn undeclared_attribute_and_element() {
+        let doc = parse(
+            r#"<db><book publisher="mkp" isbn="1"><title>T</title><author>A</author><year>1998</year><price>9</price></book></db>"#,
+        )
+        .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().any(|i| i.message.contains("undeclared attribute")));
+        assert!(issues.iter().any(|i| i.message.contains("unexpected child <price>")));
+    }
+
+    #[test]
+    fn multiplicity_violations() {
+        let doc = parse(
+            r#"<db><book publisher="mkp"><title>T</title><title>T2</title><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().any(|i| i.message.contains("<title> occurs 2")));
+        assert!(issues.iter().any(|i| i.message.contains("<author> occurs 0")));
+    }
+
+    #[test]
+    fn leaf_type_violation() {
+        let doc = parse(
+            r#"<db><book publisher="mkp"><title>T</title><author>A</author><year>next year</year></book></db>"#,
+        )
+        .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().any(|i| i.message.contains("not a valid integer")));
+    }
+
+    #[test]
+    fn leaf_with_children_reported() {
+        let doc = parse(
+            r#"<db><book publisher="mkp"><title><b>T</b></title><author>A</author><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().any(|i| i.message.contains("contains child elements")));
+    }
+
+    #[test]
+    fn text_in_element_only_content() {
+        let doc = parse(
+            r#"<db>stray<book publisher="mkp"><title>T</title><author>A</author><year>1998</year></book></db>"#,
+        )
+        .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().any(|i| i.message.contains("unexpected text")));
+    }
+
+    #[test]
+    fn issue_paths_point_at_elements() {
+        let doc =
+            parse("<db><book><title>T</title><author>A</author><year>1998</year></book></db>")
+                .unwrap();
+        let issues = validate(&doc, &pubs_schema());
+        assert!(issues.iter().all(|i| i.path.starts_with("/db")));
+    }
+}

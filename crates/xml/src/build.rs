@@ -1,0 +1,171 @@
+//! Fluent builder for constructing documents programmatically.
+//!
+//! Used heavily by the dataset generators in `wmx-data` and by tests:
+//!
+//! ```
+//! use wmx_xml::build::ElementBuilder;
+//!
+//! let doc = ElementBuilder::new("db")
+//!     .child(
+//!         ElementBuilder::new("book")
+//!             .attr("publisher", "mkp")
+//!             .child(ElementBuilder::new("title").text("Readings in Database Systems"))
+//!             .child(ElementBuilder::new("year").text("1998")),
+//!     )
+//!     .into_document();
+//! assert_eq!(doc.element_count(), 4);
+//! ```
+
+use crate::dom::{Document, NodeId};
+
+/// A pending element and its subtree, assembled before being committed
+/// into a [`Document`].
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<BuildNode>,
+}
+
+#[derive(Debug, Clone)]
+enum BuildNode {
+    Element(ElementBuilder),
+    Text(String),
+    CData(String),
+    Comment(String),
+}
+
+impl ElementBuilder {
+    /// Starts building an element named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ElementBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element.
+    pub fn child(mut self, child: ElementBuilder) -> Self {
+        self.children.push(BuildNode::Element(child));
+        self
+    }
+
+    /// Adds child elements from an iterator.
+    pub fn children(mut self, children: impl IntoIterator<Item = ElementBuilder>) -> Self {
+        self.children
+            .extend(children.into_iter().map(BuildNode::Element));
+        self
+    }
+
+    /// Adds a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(BuildNode::Text(text.into()));
+        self
+    }
+
+    /// Adds a CDATA child.
+    pub fn cdata(mut self, text: impl Into<String>) -> Self {
+        self.children.push(BuildNode::CData(text.into()));
+        self
+    }
+
+    /// Adds a comment child.
+    pub fn comment(mut self, text: impl Into<String>) -> Self {
+        self.children.push(BuildNode::Comment(text.into()));
+        self
+    }
+
+    /// Shorthand: adds `<name>text</name>` as a child.
+    pub fn leaf(self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.child(ElementBuilder::new(name).text(text))
+    }
+
+    /// Commits this builder into `doc`, returning the new detached
+    /// element's id.
+    pub fn build(self, doc: &mut Document) -> NodeId {
+        let element = doc.create_element(self.name);
+        for (name, value) in self.attributes {
+            doc.set_attribute(element, name, value)
+                .expect("fresh element accepts attributes");
+        }
+        for child in self.children {
+            let id = match child {
+                BuildNode::Element(builder) => builder.build(doc),
+                BuildNode::Text(t) => doc.create_text(t),
+                BuildNode::CData(t) => doc.create_cdata(t),
+                BuildNode::Comment(t) => doc.create_comment(t),
+            };
+            doc.append_child(element, id);
+        }
+        element
+    }
+
+    /// Builds a whole document with this element as the root.
+    pub fn into_document(self) -> Document {
+        let mut doc = Document::new();
+        let root = self.build(&mut doc);
+        let doc_node = doc.document_node();
+        doc.append_child(doc_node, root);
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_string;
+
+    #[test]
+    fn builds_nested_structure() {
+        let doc = ElementBuilder::new("db")
+            .child(
+                ElementBuilder::new("book")
+                    .attr("publisher", "mkp")
+                    .leaf("title", "DB Design")
+                    .leaf("year", "1998"),
+            )
+            .into_document();
+        assert_eq!(
+            to_string(&doc),
+            "<db><book publisher=\"mkp\"><title>DB Design</title><year>1998</year></book></db>"
+        );
+    }
+
+    #[test]
+    fn children_from_iterator() {
+        let doc = ElementBuilder::new("db")
+            .children((0..3).map(|i| ElementBuilder::new("item").attr("id", i.to_string())))
+            .into_document();
+        let db = doc.root_element().unwrap();
+        assert_eq!(doc.child_elements_named(db, "item").count(), 3);
+    }
+
+    #[test]
+    fn mixed_children() {
+        let doc = ElementBuilder::new("p")
+            .text("Hello ")
+            .child(ElementBuilder::new("b").text("world"))
+            .text("!")
+            .comment("nb")
+            .into_document();
+        let p = doc.root_element().unwrap();
+        assert_eq!(doc.text_content(p), "Hello world!");
+        assert_eq!(doc.children(p).len(), 4);
+    }
+
+    #[test]
+    fn build_into_existing_document() {
+        let mut doc = ElementBuilder::new("db").into_document();
+        let root = doc.root_element().unwrap();
+        let extra = ElementBuilder::new("book").leaf("title", "New").build(&mut doc);
+        doc.append_child(root, extra);
+        assert_eq!(doc.element_count(), 3);
+    }
+}

@@ -1,0 +1,856 @@
+//! Arena-based mutable document object model.
+//!
+//! A [`Document`] owns all nodes in a flat arena; nodes are addressed by
+//! copyable [`NodeId`]s. A virtual *document node* (always id 0) holds the
+//! prolog (comments/PIs), the single root element, and any epilog nodes,
+//! which keeps tree navigation uniform.
+//!
+//! Mutation is index-based: children are stored as ordered `Vec<NodeId>`
+//! per parent, which makes the operations the watermark encoder needs —
+//! value rewrites, sibling reordering, subtree insertion/removal — cheap
+//! and simple. Detached subtrees stay in the arena until
+//! [`Document::compact`] is called; all navigation starts from the
+//! document node, so detached nodes are simply unreachable.
+
+use crate::error::{XmlError, XmlErrorKind};
+use std::fmt;
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("document exceeds u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named attribute with an unescaped value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Unescaped value.
+    pub value: String,
+}
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The virtual document node (arena id 0, exactly one per document).
+    Document,
+    /// An element with a name and ordered attributes.
+    Element {
+        /// Element (tag) name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A run of character data.
+    Text(String),
+    /// A CDATA section (serialized back as CDATA).
+    CData(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    Pi {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    kind: NodeKind,
+}
+
+/// A mutable XML document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    /// Content of the `<?xml ...?>` declaration, if present.
+    pub xml_decl: Option<String>,
+    /// Content of the `<!DOCTYPE ...>` declaration, if present.
+    pub doctype: Option<String>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Creates an empty document containing only the document node.
+    pub fn new() -> Self {
+        Document {
+            nodes: vec![Node {
+                parent: None,
+                children: Vec::new(),
+                kind: NodeKind::Document,
+            }],
+            xml_decl: None,
+            doctype: None,
+        }
+    }
+
+    /// The virtual document node.
+    pub fn document_node(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The root element, if the document has one.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.nodes[0]
+            .children
+            .iter()
+            .copied()
+            .find(|&id| self.is_element(id))
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Whether `id` indexes a live slot of this document's arena.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// Total number of arena slots (including detached nodes).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Node creation
+    // ------------------------------------------------------------------
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            parent: None,
+            children: Vec::new(),
+            kind,
+        });
+        id
+    }
+
+    /// Creates a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Element {
+            name: name.into(),
+            attributes: Vec::new(),
+        })
+    }
+
+    /// Creates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text(text.into()))
+    }
+
+    /// Creates a detached CDATA node.
+    pub fn create_cdata(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::CData(text.into()))
+    }
+
+    /// Creates a detached comment node.
+    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Comment(text.into()))
+    }
+
+    /// Creates a detached processing-instruction node.
+    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Pi {
+            target: target.into(),
+            data: data.into(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// Appends `child` (which must be detached) to `parent`'s children.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        self.insert_child(parent, self.node(parent).children.len(), child);
+    }
+
+    /// Inserts `child` (which must be detached) at `index` within
+    /// `parent`'s children.
+    ///
+    /// # Panics
+    /// Panics if `child` already has a parent, if `index` is out of
+    /// bounds, or if the operation would create a cycle.
+    pub fn insert_child(&mut self, parent: NodeId, index: usize, child: NodeId) {
+        assert!(
+            self.node(child).parent.is_none(),
+            "node {child} is already attached; detach it first"
+        );
+        assert!(child != parent, "cannot attach a node to itself");
+        // Cycle check: parent must not be a descendant of child.
+        let mut cursor = Some(parent);
+        while let Some(c) = cursor {
+            assert!(c != child, "attaching {child} under {parent} would create a cycle");
+            cursor = self.node(c).parent;
+        }
+        self.node_mut(parent).children.insert(index, child);
+        self.node_mut(child).parent = Some(parent);
+    }
+
+    /// Detaches `node` from its parent (no-op if already detached). The
+    /// subtree below `node` stays intact.
+    pub fn detach(&mut self, node: NodeId) {
+        if let Some(parent) = self.node(node).parent {
+            self.node_mut(parent).children.retain(|&c| c != node);
+            self.node_mut(node).parent = None;
+        }
+    }
+
+    /// Parent of `node`, if attached (the document node has no parent).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.node(node).parent
+    }
+
+    /// Ordered children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.node(node).children
+    }
+
+    /// Position of `node` among its parent's children.
+    pub fn child_index(&self, node: NodeId) -> Option<usize> {
+        let parent = self.node(node).parent?;
+        self.node(parent).children.iter().position(|&c| c == node)
+    }
+
+    /// Reorders `parent`'s children according to `permutation`, where
+    /// `permutation[i]` is the *old* index of the child to place at `i`.
+    ///
+    /// # Panics
+    /// Panics if `permutation` is not a permutation of `0..len`.
+    pub fn reorder_children(&mut self, parent: NodeId, permutation: &[usize]) {
+        let old = self.node(parent).children.clone();
+        assert_eq!(permutation.len(), old.len(), "permutation length mismatch");
+        let mut seen = vec![false; old.len()];
+        let mut new_children = Vec::with_capacity(old.len());
+        for &from in permutation {
+            assert!(!seen[from], "index {from} repeated in permutation");
+            seen[from] = true;
+            new_children.push(old[from]);
+        }
+        self.node_mut(parent).children = new_children;
+    }
+
+    /// Swaps children at positions `i` and `j` under `parent`.
+    pub fn swap_children(&mut self, parent: NodeId, i: usize, j: usize) {
+        self.node_mut(parent).children.swap(i, j);
+    }
+
+    /// Whether `node` is reachable from the document node.
+    pub fn is_attached(&self, node: NodeId) -> bool {
+        let mut cursor = node;
+        loop {
+            if cursor == self.document_node() {
+                return true;
+            }
+            match self.node(cursor).parent {
+                Some(p) => cursor = p,
+                None => return false,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kind accessors
+    // ------------------------------------------------------------------
+
+    /// The node's kind.
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.node(node).kind
+    }
+
+    /// Whether `node` is an element.
+    pub fn is_element(&self, node: NodeId) -> bool {
+        matches!(self.node(node).kind, NodeKind::Element { .. })
+    }
+
+    /// Whether `node` is a text or CDATA node.
+    pub fn is_text(&self, node: NodeId) -> bool {
+        matches!(self.node(node).kind, NodeKind::Text(_) | NodeKind::CData(_))
+    }
+
+    /// The element name, if `node` is an element.
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        match &self.node(node).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Renames an element.
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::NotAnElement`] if `node` is not an element.
+    pub fn set_name(&mut self, node: NodeId, name: impl Into<String>) -> Result<(), XmlError> {
+        match &mut self.node_mut(node).kind {
+            NodeKind::Element { name: n, .. } => {
+                *n = name.into();
+                Ok(())
+            }
+            _ => Err(XmlError::dom(XmlErrorKind::NotAnElement)),
+        }
+    }
+
+    /// The text of a text/CDATA node.
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        match &self.node(node).kind {
+            NodeKind::Text(t) | NodeKind::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Replaces the text of a text/CDATA node.
+    pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+        match &mut self.node_mut(node).kind {
+            NodeKind::Text(t) | NodeKind::CData(t) => *t = text.into(),
+            _ => panic!("set_text on non-text node {node}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attributes
+    // ------------------------------------------------------------------
+
+    /// The attributes of an element (empty slice for non-elements).
+    pub fn attributes(&self, node: NodeId) -> &[Attribute] {
+        match &self.node(node).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Value of attribute `name` on `node`.
+    pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        self.attributes(node)
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Sets (or adds) attribute `name` to `value`.
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::NotAnElement`] if `node` is not an element.
+    pub fn set_attribute(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<(), XmlError> {
+        let name = name.into();
+        let value = value.into();
+        match &mut self.node_mut(node).kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(attr) = attributes.iter_mut().find(|a| a.name == name) {
+                    attr.value = value;
+                } else {
+                    attributes.push(Attribute { name, value });
+                }
+                Ok(())
+            }
+            _ => Err(XmlError::dom(XmlErrorKind::NotAnElement)),
+        }
+    }
+
+    /// Removes attribute `name`; returns its previous value if present.
+    pub fn remove_attribute(&mut self, node: NodeId, name: &str) -> Option<String> {
+        match &mut self.node_mut(node).kind {
+            NodeKind::Element { attributes, .. } => {
+                let idx = attributes.iter().position(|a| a.name == name)?;
+                Some(attributes.remove(idx).value)
+            }
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience navigation
+    // ------------------------------------------------------------------
+
+    /// Child elements of `node`, in order.
+    pub fn child_elements<'a>(&'a self, node: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// Child elements of `node` named `name`.
+    pub fn child_elements_named<'a>(
+        &'a self,
+        node: NodeId,
+        name: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(node)
+            .filter(move |&c| self.name(c) == Some(name))
+    }
+
+    /// First child element of `node` named `name`.
+    pub fn first_child_element(&self, node: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements_named(node, name).next()
+    }
+
+    /// All nodes of the subtree rooted at `node`, in document order
+    /// (including `node` itself).
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![node],
+        }
+    }
+
+    /// All element descendants of `node` (including `node` if it is one).
+    pub fn descendant_elements<'a>(&'a self, node: NodeId) -> impl Iterator<Item = NodeId> + 'a {
+        self.descendants(node).filter(move |&n| self.is_element(n))
+    }
+
+    /// Concatenated text content of the subtree rooted at `node`.
+    pub fn text_content(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        for n in self.descendants(node) {
+            if let NodeKind::Text(t) | NodeKind::CData(t) = &self.node(n).kind {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Replaces all children of `node` with a single text node `text`.
+    pub fn set_text_content(&mut self, node: NodeId, text: impl Into<String>) {
+        let children: Vec<NodeId> = self.node(node).children.clone();
+        for child in children {
+            self.detach(child);
+        }
+        let t = self.create_text(text);
+        self.append_child(node, t);
+    }
+
+    /// Number of element nodes reachable from the document node.
+    pub fn element_count(&self) -> usize {
+        self.descendant_elements(self.document_node()).count()
+    }
+
+    /// The path of element names from the root to `node`, e.g.
+    /// `"/db/book/title"`. Returns `None` for detached nodes.
+    pub fn path_of(&self, node: NodeId) -> Option<String> {
+        if !self.is_attached(node) {
+            return None;
+        }
+        let mut names = Vec::new();
+        let mut cursor = node;
+        while cursor != self.document_node() {
+            if let Some(name) = self.name(cursor) {
+                names.push(name.to_string());
+            }
+            cursor = self.parent(cursor)?;
+        }
+        names.reverse();
+        Some(format!("/{}", names.join("/")))
+    }
+
+    // ------------------------------------------------------------------
+    // Cloning and compaction
+    // ------------------------------------------------------------------
+
+    /// Deep-copies the subtree rooted at `node` of `source` into `self`,
+    /// returning the new (detached) subtree root.
+    pub fn import_subtree(&mut self, source: &Document, node: NodeId) -> NodeId {
+        let new_id = match source.kind(node) {
+            NodeKind::Document => {
+                // Importing a whole document grafts its children under a
+                // fresh element-less subtree root; callers normally import
+                // the source's root element instead.
+                self.push_node(NodeKind::Document)
+            }
+            kind => self.push_node(kind.clone()),
+        };
+        for &child in source.children(node) {
+            let imported = self.import_subtree(source, child);
+            self.node_mut(new_id).children.push(imported);
+            self.node_mut(imported).parent = Some(new_id);
+        }
+        new_id
+    }
+
+    /// Deep-copies the subtree rooted at `node` within this document,
+    /// returning the detached copy.
+    pub fn clone_subtree(&mut self, node: NodeId) -> NodeId {
+        let source = self.clone();
+        self.import_subtree(&source, node)
+    }
+
+    /// Rebuilds the arena keeping only nodes reachable from the document
+    /// node. Returns a new document; all old `NodeId`s are invalidated.
+    pub fn compact(&self) -> Document {
+        let mut out = Document::new();
+        out.xml_decl = self.xml_decl.clone();
+        out.doctype = self.doctype.clone();
+        let doc_children: Vec<NodeId> = self.children(self.document_node()).to_vec();
+        for child in doc_children {
+            let imported = out.import_subtree(self, child);
+            let doc_node = out.document_node();
+            out.node_mut(imported).parent = Some(doc_node);
+            let imported_id = imported;
+            out.node_mut(doc_node).children.push(imported_id);
+        }
+        out
+    }
+}
+
+/// Document-order iterator over a subtree. See [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let next = self.stack.pop()?;
+        // Push children in reverse so the leftmost child pops first.
+        for &child in self.doc.children(next).iter().rev() {
+            self.stack.push(child);
+        }
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `<db><book><title>T</title></book><book/></db>`.
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut doc = Document::new();
+        let db = doc.create_element("db");
+        let doc_node = doc.document_node();
+        doc.append_child(doc_node, db);
+        let book1 = doc.create_element("book");
+        doc.append_child(db, book1);
+        let title = doc.create_element("title");
+        doc.append_child(book1, title);
+        let text = doc.create_text("T");
+        doc.append_child(title, text);
+        let book2 = doc.create_element("book");
+        doc.append_child(db, book2);
+        (doc, db, book1, book2)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (doc, db, book1, book2) = sample();
+        assert_eq!(doc.root_element(), Some(db));
+        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book1, book2]);
+        assert!(doc.first_child_element(book1, "title").is_some());
+        assert_eq!(doc.text_content(book1), "T");
+        assert_eq!(doc.parent(book1), Some(db));
+        assert_eq!(doc.child_index(book2), Some(1));
+    }
+
+    #[test]
+    fn attributes_roundtrip() {
+        let (mut doc, _, book1, _) = sample();
+        doc.set_attribute(book1, "publisher", "mkp").unwrap();
+        doc.set_attribute(book1, "year", "1998").unwrap();
+        assert_eq!(doc.attribute(book1, "publisher"), Some("mkp"));
+        doc.set_attribute(book1, "publisher", "acm").unwrap();
+        assert_eq!(doc.attribute(book1, "publisher"), Some("acm"));
+        assert_eq!(doc.attributes(book1).len(), 2);
+        assert_eq!(doc.remove_attribute(book1, "year"), Some("1998".into()));
+        assert_eq!(doc.attribute(book1, "year"), None);
+    }
+
+    #[test]
+    fn attribute_on_text_node_errors() {
+        let mut doc = Document::new();
+        let t = doc.create_text("x");
+        assert!(doc.set_attribute(t, "a", "b").is_err());
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let (mut doc, db, book1, book2) = sample();
+        doc.detach(book1);
+        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book2]);
+        assert!(!doc.is_attached(book1));
+        // Subtree intact while detached.
+        assert_eq!(doc.text_content(book1), "T");
+        doc.insert_child(db, 1, book1);
+        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book2, book1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let (mut doc, db, book1, _) = sample();
+        doc.append_child(db, book1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        let (mut doc, db, book1, _) = sample();
+        doc.detach(db);
+        doc.append_child(book1, db);
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let (doc, db, book1, book2) = sample();
+        let order: Vec<NodeId> = doc.descendants(db).collect();
+        assert_eq!(order[0], db);
+        assert_eq!(order[1], book1);
+        // title, text, then book2
+        assert_eq!(*order.last().unwrap(), book2);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn reorder_children_permutes() {
+        let (mut doc, db, book1, book2) = sample();
+        doc.reorder_children(db, &[1, 0]);
+        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book2, book1]);
+        doc.swap_children(db, 0, 1);
+        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book1, book2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_permutation_panics() {
+        let (mut doc, db, ..) = sample();
+        doc.reorder_children(db, &[0, 0]);
+    }
+
+    #[test]
+    fn set_text_content_replaces_children() {
+        let (mut doc, _, book1, _) = sample();
+        doc.set_text_content(book1, "replaced");
+        assert_eq!(doc.text_content(book1), "replaced");
+        assert_eq!(doc.children(book1).len(), 1);
+    }
+
+    #[test]
+    fn path_of_reports_root_path() {
+        let (doc, db, book1, _) = sample();
+        assert_eq!(doc.path_of(db).unwrap(), "/db");
+        let title = doc.first_child_element(book1, "title").unwrap();
+        assert_eq!(doc.path_of(title).unwrap(), "/db/book/title");
+    }
+
+    #[test]
+    fn import_subtree_copies_across_documents() {
+        let (doc_a, _, book1, _) = sample();
+        let mut doc_b = Document::new();
+        let root = doc_b.create_element("shelf");
+        let doc_node = doc_b.document_node();
+        doc_b.append_child(doc_node, root);
+        let copied = doc_b.import_subtree(&doc_a, book1);
+        doc_b.append_child(root, copied);
+        assert_eq!(doc_b.text_content(root), "T");
+        assert_eq!(doc_b.name(copied), Some("book"));
+        // Source untouched.
+        assert_eq!(doc_a.text_content(book1), "T");
+    }
+
+    #[test]
+    fn clone_subtree_within_document() {
+        let (mut doc, db, book1, _) = sample();
+        let copy = doc.clone_subtree(book1);
+        doc.append_child(db, copy);
+        assert_eq!(doc.child_elements_named(db, "book").count(), 3);
+        assert_eq!(doc.text_content(copy), "T");
+    }
+
+    #[test]
+    fn compact_drops_detached_nodes() {
+        let (mut doc, _, book1, _) = sample();
+        let before = doc.arena_len();
+        doc.detach(book1);
+        let compacted = doc.compact();
+        assert!(compacted.arena_len() < before);
+        assert_eq!(compacted.element_count(), 2); // db + book2
+    }
+
+    #[test]
+    fn rename_element() {
+        let (mut doc, _, book1, _) = sample();
+        doc.set_name(book1, "publication").unwrap();
+        assert_eq!(doc.name(book1), Some("publication"));
+        let text_node = doc.create_text("t");
+        assert!(doc.set_name(text_node, "x").is_err());
+    }
+
+    #[test]
+    fn element_count_counts_elements_only() {
+        let (mut doc, db, ..) = sample();
+        assert_eq!(doc.element_count(), 4);
+        let c = doc.create_comment("note");
+        doc.append_child(db, c);
+        assert_eq!(doc.element_count(), 4);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random structural edit.
+    #[derive(Debug, Clone)]
+    enum Op {
+        AddChild { parent_pick: usize, name: u8 },
+        AddText { parent_pick: usize, text: String },
+        Detach { node_pick: usize },
+        Reattach { node_pick: usize, parent_pick: usize },
+        SetAttr { node_pick: usize, value: String },
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<usize>(), any::<u8>()).prop_map(|(parent_pick, name)| Op::AddChild {
+                parent_pick,
+                name
+            }),
+            (any::<usize>(), "[a-z ]{0,6}").prop_map(|(parent_pick, text)| Op::AddText {
+                parent_pick,
+                text
+            }),
+            any::<usize>().prop_map(|node_pick| Op::Detach { node_pick }),
+            (any::<usize>(), any::<usize>()).prop_map(|(node_pick, parent_pick)| {
+                Op::Reattach {
+                    node_pick,
+                    parent_pick,
+                }
+            }),
+            (any::<usize>(), "[a-z]{0,4}").prop_map(|(node_pick, value)| Op::SetAttr {
+                node_pick,
+                value
+            }),
+        ]
+    }
+
+    /// All invariants the watermarking pipeline relies on.
+    fn check_invariants(doc: &Document) {
+        let doc_node = doc.document_node();
+        // 1. Parent/child pointers are mutually consistent.
+        for i in 0..doc.arena_len() {
+            let id = NodeId::from_index(i);
+            for &child in doc.children(id) {
+                assert_eq!(doc.parent(child), Some(id), "child {child} parent mismatch");
+            }
+            if let Some(parent) = doc.parent(id) {
+                assert!(
+                    doc.children(parent).contains(&id),
+                    "{id} missing from its parent's children"
+                );
+            }
+        }
+        // 2. Reachability agrees with is_attached.
+        let reachable: std::collections::HashSet<NodeId> = doc.descendants(doc_node).collect();
+        for i in 0..doc.arena_len() {
+            let id = NodeId::from_index(i);
+            assert_eq!(
+                reachable.contains(&id),
+                doc.is_attached(id),
+                "attachment mismatch for {id}"
+            );
+        }
+        // 3. No node appears twice in the tree.
+        let walked: Vec<NodeId> = doc.descendants(doc_node).collect();
+        let unique: std::collections::HashSet<&NodeId> = walked.iter().collect();
+        assert_eq!(walked.len(), unique.len(), "node visited twice");
+        // 4. compact() preserves the canonical serialization when a root
+        //    element exists.
+        if doc.root_element().is_some() {
+            let compacted = doc.compact();
+            assert_eq!(
+                crate::serialize::to_canonical_string(doc),
+                crate::serialize::to_canonical_string(&compacted)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn random_edit_sequences_preserve_invariants(ops in prop::collection::vec(arb_op(), 1..40)) {
+            let mut doc = Document::new();
+            let root = doc.create_element("root");
+            let doc_node = doc.document_node();
+            doc.append_child(doc_node, root);
+            // Track elements we created (attached or not).
+            let mut elements = vec![root];
+
+            for op in ops {
+                match op {
+                    Op::AddChild { parent_pick, name } => {
+                        let parent = elements[parent_pick % elements.len()];
+                        if doc.is_attached(parent) || doc.parent(parent).is_none() {
+                            let child = doc.create_element(format!("e{}", name % 8));
+                            doc.append_child(parent, child);
+                            elements.push(child);
+                        }
+                    }
+                    Op::AddText { parent_pick, text } => {
+                        let parent = elements[parent_pick % elements.len()];
+                        let t = doc.create_text(text);
+                        doc.append_child(parent, t);
+                    }
+                    Op::Detach { node_pick } => {
+                        let node = elements[node_pick % elements.len()];
+                        if node != root {
+                            doc.detach(node);
+                        }
+                    }
+                    Op::Reattach { node_pick, parent_pick } => {
+                        let node = elements[node_pick % elements.len()];
+                        let parent = elements[parent_pick % elements.len()];
+                        if node != root
+                            && doc.parent(node).is_none()
+                            && node != parent
+                            // Avoid cycles: parent must not live under node.
+                            && !doc.descendants(node).any(|d| d == parent)
+                        {
+                            doc.append_child(parent, node);
+                        }
+                    }
+                    Op::SetAttr { node_pick, value } => {
+                        let node = elements[node_pick % elements.len()];
+                        doc.set_attribute(node, "k", value).unwrap();
+                    }
+                }
+            }
+            check_invariants(&doc);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Error types for XML lexing and parsing.
+
+use std::fmt;
+
+/// Line/column position (1-based) of an error in the input text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub column: u32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// What went wrong while processing XML text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// Human description of what was being read.
+        while_parsing: &'static str,
+    },
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// The character found.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// An element name, attribute name, or PI target was malformed.
+    InvalidName {
+        /// The malformed name (possibly truncated).
+        name: String,
+    },
+    /// A character/entity reference could not be resolved.
+    InvalidReference {
+        /// The reference text (without `&`/`;`).
+        reference: String,
+    },
+    /// Close tag does not match the open element.
+    MismatchedTag {
+        /// Name of the currently open element.
+        open: String,
+        /// Name found in the close tag.
+        close: String,
+    },
+    /// A close tag with no matching open tag.
+    UnmatchedClose {
+        /// Name found in the stray close tag.
+        close: String,
+    },
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// Document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+    /// Content after the document end that is not whitespace/comment/PI.
+    TrailingContent,
+    /// A `NodeId` was used with a document it does not belong to, or
+    /// after the node was removed.
+    StaleNode,
+    /// An operation expected an element node.
+    NotAnElement,
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof { while_parsing } => {
+                write!(f, "unexpected end of input while parsing {while_parsing}")
+            }
+            XmlErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            XmlErrorKind::InvalidName { name } => write!(f, "invalid XML name {name:?}"),
+            XmlErrorKind::InvalidReference { reference } => {
+                write!(f, "invalid character/entity reference &{reference};")
+            }
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched close tag </{close}> for open element <{open}>")
+            }
+            XmlErrorKind::UnmatchedClose { close } => {
+                write!(f, "close tag </{close}> with no matching open tag")
+            }
+            XmlErrorKind::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::MultipleRoots => write!(f, "document has more than one root element"),
+            XmlErrorKind::TrailingContent => write!(f, "non-whitespace content after document end"),
+            XmlErrorKind::StaleNode => write!(f, "node id does not belong to this document"),
+            XmlErrorKind::NotAnElement => write!(f, "operation requires an element node"),
+        }
+    }
+}
+
+/// An XML processing error with its position in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// The error category and payload.
+    pub kind: XmlErrorKind,
+    /// Where in the input the error occurred (absent for DOM errors).
+    pub position: Option<Position>,
+}
+
+impl XmlError {
+    /// Creates an error at `position`.
+    pub fn at(kind: XmlErrorKind, line: u32, column: u32) -> Self {
+        XmlError {
+            kind,
+            position: Some(Position { line, column }),
+        }
+    }
+
+    /// Creates a position-less (DOM) error.
+    pub fn dom(kind: XmlErrorKind) -> Self {
+        XmlError {
+            kind,
+            position: None,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "{} at {p}", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = XmlError::at(
+            XmlErrorKind::UnexpectedChar {
+                found: '<',
+                expected: "attribute value",
+            },
+            3,
+            14,
+        );
+        let text = e.to_string();
+        assert!(text.contains("3:14"), "{text}");
+        assert!(text.contains("'<'"), "{text}");
+    }
+
+    #[test]
+    fn dom_errors_have_no_position() {
+        let e = XmlError::dom(XmlErrorKind::StaleNode);
+        assert_eq!(e.position, None);
+        assert!(e.to_string().contains("node id"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Text escaping and character-reference resolution.
+//!
+//! Escaping is asymmetric in XML: text content must escape `<`, `&` (and
+//! `>` after `]]`, which we always escape for simplicity), while attribute
+//! values additionally escape the quote character. Unescaping resolves the
+//! five predefined entities and decimal/hexadecimal character references.
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// Escapes `text` for use as element text content.
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `value` for use inside a double-quoted attribute value.
+pub fn escape_attribute(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves one reference body (the text between `&` and `;`).
+pub fn resolve_reference(body: &str) -> Option<char> {
+    match body {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+/// Unescapes text containing character and entity references.
+///
+/// `line`/`column` locate the start of `text` for error reporting.
+pub fn unescape(text: &str, line: u32, column: u32) -> Result<String, XmlError> {
+    if !text.contains('&') {
+        return Ok(text.to_string());
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.char_indices();
+    while let Some((start, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &text[start + 1..];
+        let Some(end) = rest.find(';') else {
+            return Err(XmlError::at(
+                XmlErrorKind::InvalidReference {
+                    reference: rest.chars().take(12).collect(),
+                },
+                line,
+                column,
+            ));
+        };
+        let body = &rest[..end];
+        match resolve_reference(body) {
+            Some(resolved) => out.push(resolved),
+            None => {
+                return Err(XmlError::at(
+                    XmlErrorKind::InvalidReference {
+                        reference: body.to_string(),
+                    },
+                    line,
+                    column,
+                ))
+            }
+        }
+        // Skip over the reference body and the ';'.
+        for _ in 0..body.len() + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn escapes_text_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escapes_attribute_specials() {
+        assert_eq!(escape_attribute("say \"hi\""), "say &quot;hi&quot;");
+        assert_eq!(escape_attribute("tab\there"), "tab&#9;here");
+    }
+
+    #[test]
+    fn unescapes_predefined_entities() {
+        assert_eq!(
+            unescape("&lt;&gt;&amp;&apos;&quot;", 1, 1).unwrap(),
+            "<>&'\""
+        );
+    }
+
+    #[test]
+    fn unescapes_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", 1, 1).unwrap(), "ABc");
+        assert_eq!(unescape("&#x4e2d;", 1, 1).unwrap(), "中");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = unescape("&nbsp;", 1, 1).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::InvalidReference { .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_reference() {
+        let err = unescape("a &amp b", 1, 1).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::InvalidReference { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_codepoint() {
+        assert!(unescape("&#xd800;", 1, 1).is_err());
+        assert!(unescape("&#99999999;", 1, 1).is_err());
+    }
+
+    #[test]
+    fn multibyte_text_around_references() {
+        assert_eq!(unescape("héllo &amp; wörld", 1, 1).unwrap(), "héllo & wörld");
+    }
+
+    proptest! {
+        #[test]
+        fn text_roundtrip(s in "\\PC*") {
+            let escaped = escape_text(&s);
+            prop_assert_eq!(unescape(&escaped, 1, 1).unwrap(), s);
+        }
+
+        #[test]
+        fn attribute_roundtrip(s in "\\PC*") {
+            let escaped = escape_attribute(&s);
+            prop_assert_eq!(unescape(&escaped, 1, 1).unwrap(), s);
+        }
+
+        #[test]
+        fn escaped_text_has_no_raw_specials(s in "\\PC*") {
+            let escaped = escape_text(&s);
+            prop_assert!(!escaped.contains('<'));
+            // '&' only as part of a reference.
+            for (i, c) in escaped.char_indices() {
+                if c == '&' {
+                    prop_assert!(escaped[i..].contains(';'));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Streaming XML tokenizer.
+//!
+//! Converts input text into a stream of [`Token`]s, tracking line/column
+//! positions for error reporting. The lexer performs attribute-value and
+//! text unescaping so downstream stages see logical strings.
+
+use crate::error::{Position, XmlError, XmlErrorKind};
+use crate::escape::unescape;
+use crate::token::{SpannedToken, Token, TokenAttribute};
+
+/// Returns whether `c` may start an XML name.
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// Returns whether `c` may continue an XML name.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// Validates a complete XML name.
+pub fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => return false,
+    }
+    chars.all(is_name_char)
+}
+
+/// The streaming tokenizer. Iterate with [`Lexer::next_token`].
+pub struct Lexer<'a> {
+    input: &'a str,
+    /// Byte offset of the next unread character.
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Current position (of the next unread character).
+    pub fn position(&self) -> Position {
+        Position {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.offset..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::at(kind, self.line, self.column)
+    }
+
+    fn eof_error(&self, while_parsing: &'static str) -> XmlError {
+        self.error(XmlErrorKind::UnexpectedEof { while_parsing })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.offset;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.error(XmlErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "a name start character",
+                }))
+            }
+            None => return Err(self.eof_error("a name")),
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.offset].to_string())
+    }
+
+    /// Reads text up to (not including) `delim`, consuming the delimiter.
+    /// Returns the raw slice before the delimiter.
+    fn read_until(&mut self, delim: &str, context: &'static str) -> Result<&'a str, XmlError> {
+        match self.rest().find(delim) {
+            Some(idx) => {
+                let raw = &self.rest()[..idx];
+                self.bump_n(raw.chars().count() + delim.chars().count());
+                Ok(raw)
+            }
+            None => Err(self.eof_error(context)),
+        }
+    }
+
+    /// Produces the next token, or `None` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<SpannedToken>, XmlError> {
+        if self.rest().is_empty() {
+            return Ok(None);
+        }
+        let position = self.position();
+        let token = if self.starts_with("<") {
+            self.lex_markup()?
+        } else {
+            self.lex_text()?
+        };
+        Ok(Some(SpannedToken { token, position }))
+    }
+
+    fn lex_text(&mut self) -> Result<Token, XmlError> {
+        let (line, column) = (self.line, self.column);
+        let raw = match self.rest().find('<') {
+            Some(idx) => {
+                let raw = &self.rest()[..idx];
+                self.bump_n(raw.chars().count());
+                raw
+            }
+            None => {
+                let raw = self.rest();
+                self.bump_n(raw.chars().count());
+                raw
+            }
+        };
+        Ok(Token::Text {
+            content: unescape(raw, line, column)?,
+        })
+    }
+
+    fn lex_markup(&mut self) -> Result<Token, XmlError> {
+        debug_assert!(self.starts_with("<"));
+        if self.starts_with("<!--") {
+            self.bump_n(4);
+            let content = self.read_until("-->", "a comment")?;
+            return Ok(Token::Comment {
+                content: content.to_string(),
+            });
+        }
+        if self.starts_with("<![CDATA[") {
+            self.bump_n(9);
+            let content = self.read_until("]]>", "a CDATA section")?;
+            return Ok(Token::CData {
+                content: content.to_string(),
+            });
+        }
+        if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+            self.bump_n(9);
+            return self.lex_doctype();
+        }
+        if self.starts_with("<?") {
+            self.bump_n(2);
+            return self.lex_pi();
+        }
+        if self.starts_with("</") {
+            self.bump_n(2);
+            let name = self.read_name()?;
+            self.skip_whitespace();
+            match self.bump() {
+                Some('>') => return Ok(Token::EndTag { name }),
+                Some(c) => {
+                    return Err(self.error(XmlErrorKind::UnexpectedChar {
+                        found: c,
+                        expected: "'>' closing an end tag",
+                    }))
+                }
+                None => return Err(self.eof_error("an end tag")),
+            }
+        }
+        // Plain start tag.
+        self.bump();
+        self.lex_start_tag()
+    }
+
+    fn lex_doctype(&mut self) -> Result<Token, XmlError> {
+        // Content may contain an internal subset in [...]; track nesting
+        // of '<'/'>' and bracket state.
+        let start = self.offset;
+        let mut depth = 1usize;
+        let mut in_bracket = false;
+        loop {
+            match self.bump() {
+                Some('[') => in_bracket = true,
+                Some(']') => in_bracket = false,
+                Some('<') if !in_bracket => depth += 1,
+                Some('>') if !in_bracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let end = self.offset - 1;
+                        return Ok(Token::Doctype {
+                            content: self.input[start..end].trim().to_string(),
+                        });
+                    }
+                }
+                Some(_) => {}
+                None => return Err(self.eof_error("a DOCTYPE declaration")),
+            }
+        }
+    }
+
+    fn lex_pi(&mut self) -> Result<Token, XmlError> {
+        let target = self.read_name()?;
+        let data = if matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.skip_whitespace();
+            self.read_until("?>", "a processing instruction")?
+                .trim_end()
+                .to_string()
+        } else {
+            if !self.starts_with("?>") {
+                return Err(match self.peek() {
+                    Some(c) => self.error(XmlErrorKind::UnexpectedChar {
+                        found: c,
+                        expected: "whitespace or '?>' in a processing instruction",
+                    }),
+                    None => self.eof_error("a processing instruction"),
+                });
+            }
+            self.bump_n(2);
+            String::new()
+        };
+        if target.eq_ignore_ascii_case("xml") {
+            return Ok(Token::XmlDecl { content: data });
+        }
+        Ok(Token::ProcessingInstruction { target, data })
+    }
+
+    fn lex_start_tag(&mut self) -> Result<Token, XmlError> {
+        let name = self.read_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            let had_space = matches!(self.peek(), Some(c) if c.is_whitespace());
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok(Token::StartTag {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
+                }
+                Some('/') => {
+                    self.bump();
+                    match self.bump() {
+                        Some('>') => {
+                            return Ok(Token::StartTag {
+                                name,
+                                attributes,
+                                self_closing: true,
+                            })
+                        }
+                        Some(c) => {
+                            return Err(self.error(XmlErrorKind::UnexpectedChar {
+                                found: c,
+                                expected: "'>' after '/' in a self-closing tag",
+                            }))
+                        }
+                        None => return Err(self.eof_error("a self-closing tag")),
+                    }
+                }
+                Some(c) if is_name_start(c) => {
+                    if !had_space {
+                        return Err(self.error(XmlErrorKind::UnexpectedChar {
+                            found: c,
+                            expected: "whitespace before an attribute",
+                        }));
+                    }
+                    let attr = self.lex_attribute()?;
+                    if attributes.iter().any(|a: &TokenAttribute| a.name == attr.name) {
+                        return Err(self.error(XmlErrorKind::DuplicateAttribute { name: attr.name }));
+                    }
+                    attributes.push(attr);
+                }
+                Some(c) => {
+                    return Err(self.error(XmlErrorKind::UnexpectedChar {
+                        found: c,
+                        expected: "an attribute, '>', or '/>'",
+                    }))
+                }
+                None => return Err(self.eof_error("a start tag")),
+            }
+        }
+    }
+
+    fn lex_attribute(&mut self) -> Result<TokenAttribute, XmlError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        match self.bump() {
+            Some('=') => {}
+            Some(c) => {
+                return Err(self.error(XmlErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "'=' after an attribute name",
+                }))
+            }
+            None => return Err(self.eof_error("an attribute")),
+        }
+        self.skip_whitespace();
+        let quote = match self.bump() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => {
+                return Err(self.error(XmlErrorKind::UnexpectedChar {
+                    found: c,
+                    expected: "a quoted attribute value",
+                }))
+            }
+            None => return Err(self.eof_error("an attribute value")),
+        };
+        let (line, column) = (self.line, self.column);
+        let raw = match quote {
+            '"' => self.read_until("\"", "an attribute value")?,
+            _ => self.read_until("'", "an attribute value")?,
+        };
+        if raw.contains('<') {
+            return Err(XmlError::at(
+                XmlErrorKind::UnexpectedChar {
+                    found: '<',
+                    expected: "no raw '<' inside an attribute value",
+                },
+                line,
+                column,
+            ));
+        }
+        Ok(TokenAttribute {
+            name,
+            value: unescape(raw, line, column)?,
+        })
+    }
+}
+
+/// Tokenizes the whole input eagerly. Convenience for tests.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, XmlError> {
+    let mut lexer = Lexer::new(input);
+    let mut out = Vec::new();
+    while let Some(spanned) = lexer.next_token()? {
+        out.push(spanned.token);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_element() {
+        let tokens = tokenize("<a>hi</a>").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::StartTag {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                Token::Text {
+                    content: "hi".into()
+                },
+                Token::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let tokens = tokenize(r#"<book publisher="mkp" year='1998'/>"#).unwrap();
+        match &tokens[0] {
+            Token::StartTag {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                assert_eq!(name, "book");
+                assert!(*self_closing);
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(attributes[0].name, "publisher");
+                assert_eq!(attributes[0].value, "mkp");
+                assert_eq!(attributes[1].name, "year");
+                assert_eq!(attributes[1].value, "1998");
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_values_unescaped() {
+        let tokens = tokenize(r#"<a t="a&amp;b &#65;"/>"#).unwrap();
+        match &tokens[0] {
+            Token::StartTag { attributes, .. } => assert_eq!(attributes[0].value, "a&b A"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = tokenize(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn comment_cdata_pi_doctype() {
+        let tokens = tokenize(
+            "<?xml version=\"1.0\"?><!DOCTYPE db SYSTEM \"x.dtd\"><!-- note --><db><![CDATA[1<2]]><?app run?></db>",
+        )
+        .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::XmlDecl {
+                    content: "version=\"1.0\"".into()
+                },
+                Token::Doctype {
+                    content: "db SYSTEM \"x.dtd\"".into()
+                },
+                Token::Comment {
+                    content: " note ".into()
+                },
+                Token::StartTag {
+                    name: "db".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
+                Token::CData {
+                    content: "1<2".into()
+                },
+                Token::ProcessingInstruction {
+                    target: "app".into(),
+                    data: "run".into()
+                },
+                Token::EndTag { name: "db".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let tokens = tokenize("<!DOCTYPE db [<!ELEMENT db (#PCDATA)>]><db/>").unwrap();
+        assert!(matches!(&tokens[0], Token::Doctype { content } if content.contains("ELEMENT")));
+    }
+
+    #[test]
+    fn text_entities_resolved() {
+        let tokens = tokenize("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>").unwrap();
+        assert_eq!(
+            tokens[1],
+            Token::Text {
+                content: "1 < 2 && 3 > 2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors_with_position() {
+        let err = tokenize("<a><!-- oops").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof { .. }));
+        assert!(err.position.is_some());
+    }
+
+    #[test]
+    fn position_tracking_across_lines() {
+        let mut lexer = Lexer::new("<a>\n  <b>");
+        lexer.next_token().unwrap(); // <a>
+        lexer.next_token().unwrap(); // text "\n  "
+        let spanned = lexer.next_token().unwrap().unwrap();
+        assert_eq!(spanned.position.line, 2);
+        assert_eq!(spanned.position.column, 3);
+    }
+
+    #[test]
+    fn raw_lt_in_attribute_rejected() {
+        assert!(tokenize("<a x=\"a<b\"/>").is_err());
+    }
+
+    #[test]
+    fn missing_attribute_space_rejected() {
+        assert!(tokenize("<a x=\"1\"y=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn invalid_name_start_rejected() {
+        assert!(tokenize("<1a/>").is_err());
+        assert!(tokenize("</ a>").is_err());
+    }
+
+    #[test]
+    fn pi_without_data() {
+        let tokens = tokenize("<?flush?><a/>").unwrap();
+        assert_eq!(
+            tokens[0],
+            Token::ProcessingInstruction {
+                target: "flush".into(),
+                data: String::new()
+            }
+        );
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("book"));
+        assert!(is_valid_name("_private"));
+        assert!(is_valid_name("ns:tag"));
+        assert!(is_valid_name("a-b.c2"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("2fast"));
+        assert!(!is_valid_name("has space"));
+    }
+
+    #[test]
+    fn multibyte_content() {
+        let tokens = tokenize("<a>München – résumé 中文</a>").unwrap();
+        assert_eq!(
+            tokens[1],
+            Token::Text {
+                content: "München – résumé 中文".into()
+            }
+        );
+    }
+}

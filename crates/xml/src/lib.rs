@@ -1,0 +1,48 @@
+//! XML substrate for WmXML.
+//!
+//! The WmXML paper's architecture (its Fig. 4) sits on top of an "XML
+//! query engine" with full read/write access to documents. This crate is
+//! the storage half of that engine: a from-scratch, dependency-free XML
+//! processor with
+//!
+//! * a streaming [tokenizer](lexer) and recursive-descent [parser](mod@parser)
+//!   for the XML 1.0 subset the system needs (elements, attributes, text,
+//!   CDATA, comments, processing instructions, numeric/named character
+//!   references, doctype skipping);
+//! * an arena-based mutable [DOM](dom) ([`Document`], [`NodeId`]) with
+//!   ordered children, attribute access, and structural editing — the
+//!   watermark encoder rewrites values and reorders siblings in place;
+//! * [serializers](serialize) (compact, pretty, canonical) — the
+//!   canonical form gives a stable byte representation used for document
+//!   comparison in tests and experiments;
+//! * a fluent [builder](build) used by the dataset generators.
+//!
+//! # Example
+//!
+//! ```
+//! use wmx_xml::{parse, serialize::to_string};
+//!
+//! let doc = parse("<db><book year='1998'><title>DB Design</title></book></db>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! let book = doc.first_child_element(root, "book").unwrap();
+//! assert_eq!(doc.attribute(book, "year"), Some("1998"));
+//! assert_eq!(to_string(&doc), "<db><book year=\"1998\"><title>DB Design</title></book></db>");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod dom;
+pub mod error;
+pub mod escape;
+pub mod lexer;
+pub mod parser;
+pub mod serialize;
+pub mod token;
+
+pub use build::ElementBuilder;
+pub use dom::{Attribute, Document, NodeId, NodeKind};
+pub use error::{XmlError, XmlErrorKind};
+pub use parser::{parse, parse_with_options, ParseOptions};
+pub use serialize::{to_canonical_string, to_pretty_string, to_string};

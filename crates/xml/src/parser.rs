@@ -1,0 +1,348 @@
+//! Recursive-descent parser building a [`Document`] from the token stream.
+
+use crate::dom::{Document, NodeId};
+use crate::error::{XmlError, XmlErrorKind};
+use crate::lexer::Lexer;
+use crate::token::{SpannedToken, Token};
+
+/// Options controlling how the tree is built.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist solely of whitespace (indentation
+    /// between elements). Defaults to `true`, which is what the data-
+    /// centric XML the paper targets wants. Text inside mixed content is
+    /// unaffected unless it is all-whitespace.
+    pub skip_whitespace_text: bool,
+    /// Keep comment nodes. Defaults to `true`.
+    pub keep_comments: bool,
+    /// Keep processing instructions. Defaults to `true`.
+    pub keep_processing_instructions: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            skip_whitespace_text: true,
+            keep_comments: true,
+            keep_processing_instructions: true,
+        }
+    }
+}
+
+/// Parses `input` with default [`ParseOptions`].
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    parse_with_options(input, ParseOptions::default())
+}
+
+/// Parses `input` with explicit options.
+pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, XmlError> {
+    let mut doc = Document::new();
+    let mut lexer = Lexer::new(input);
+    // Stack of open elements; the document node is the base.
+    let mut stack: Vec<NodeId> = vec![doc.document_node()];
+    let mut open_names: Vec<String> = Vec::new();
+    let mut saw_root = false;
+
+    while let Some(SpannedToken { token, position }) = lexer.next_token()? {
+        let in_root = stack.len() > 1;
+        let parent = *stack.last().expect("stack never empty");
+        match token {
+            Token::XmlDecl { content } => {
+                doc.xml_decl = Some(content);
+            }
+            Token::Doctype { content } => {
+                doc.doctype = Some(content);
+            }
+            Token::StartTag {
+                name,
+                attributes,
+                self_closing,
+            } => {
+                if !in_root && saw_root {
+                    return Err(XmlError::at(
+                        XmlErrorKind::MultipleRoots,
+                        position.line,
+                        position.column,
+                    ));
+                }
+                if !in_root {
+                    saw_root = true;
+                }
+                let element = doc.create_element(&name);
+                for attr in attributes {
+                    doc.set_attribute(element, attr.name, attr.value)
+                        .expect("fresh element accepts attributes");
+                }
+                doc.append_child(parent, element);
+                if !self_closing {
+                    stack.push(element);
+                    open_names.push(name);
+                }
+            }
+            Token::EndTag { name } => {
+                if !in_root {
+                    return Err(XmlError::at(
+                        XmlErrorKind::UnmatchedClose { close: name },
+                        position.line,
+                        position.column,
+                    ));
+                }
+                let open = open_names.pop().expect("open_names tracks stack");
+                if open != name {
+                    return Err(XmlError::at(
+                        XmlErrorKind::MismatchedTag { open, close: name },
+                        position.line,
+                        position.column,
+                    ));
+                }
+                stack.pop();
+            }
+            Token::Text { content } => {
+                let all_whitespace = content.chars().all(char::is_whitespace);
+                if !in_root {
+                    if all_whitespace {
+                        continue;
+                    }
+                    return Err(XmlError::at(
+                        if saw_root {
+                            XmlErrorKind::TrailingContent
+                        } else {
+                            XmlErrorKind::NoRootElement
+                        },
+                        position.line,
+                        position.column,
+                    ));
+                }
+                if all_whitespace && options.skip_whitespace_text {
+                    continue;
+                }
+                // Merge with a preceding text node (split by references or
+                // CDATA boundaries in the source).
+                if let Some(&last) = doc.children(parent).last() {
+                    if doc.text(last).is_some() && !matches!(doc.kind(last), crate::dom::NodeKind::CData(_)) {
+                        let merged = format!("{}{}", doc.text(last).expect("checked"), content);
+                        doc.set_text(last, merged);
+                        continue;
+                    }
+                }
+                let t = doc.create_text(content);
+                doc.append_child(parent, t);
+            }
+            Token::CData { content } => {
+                if !in_root {
+                    return Err(XmlError::at(
+                        XmlErrorKind::NoRootElement,
+                        position.line,
+                        position.column,
+                    ));
+                }
+                let t = doc.create_cdata(content);
+                doc.append_child(parent, t);
+            }
+            Token::Comment { content } => {
+                if options.keep_comments {
+                    let c = doc.create_comment(content);
+                    doc.append_child(parent, c);
+                }
+            }
+            Token::ProcessingInstruction { target, data } => {
+                if options.keep_processing_instructions {
+                    let p = doc.create_pi(target, data);
+                    doc.append_child(parent, p);
+                }
+            }
+        }
+    }
+
+    if stack.len() > 1 {
+        let position = lexer.position();
+        return Err(XmlError::at(
+            XmlErrorKind::UnexpectedEof {
+                while_parsing: "element content (unclosed element)",
+            },
+            position.line,
+            position.column,
+        ));
+    }
+    if doc.root_element().is_none() {
+        return Err(XmlError::dom(XmlErrorKind::NoRootElement));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::NodeKind;
+
+    #[test]
+    fn parses_paper_figure_1a() {
+        // db1.xml from the paper (abridged).
+        let input = r#"
+<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <writer>Berstein</writer>
+    <writer>Newcomer</writer>
+    <editor>Gamer</editor>
+    <year>1998</year>
+  </book>
+</db>"#;
+        let doc = parse(input).unwrap();
+        let db = doc.root_element().unwrap();
+        assert_eq!(doc.name(db), Some("db"));
+        let books: Vec<_> = doc.child_elements_named(db, "book").collect();
+        assert_eq!(books.len(), 2);
+        assert_eq!(doc.attribute(books[0], "publisher"), Some("mkp"));
+        let title = doc.first_child_element(books[1], "title").unwrap();
+        assert_eq!(doc.text_content(title), "Database Design");
+        assert_eq!(doc.child_elements_named(books[0], "author").count(), 2);
+    }
+
+    #[test]
+    fn whitespace_skipping_configurable() {
+        let input = "<a>\n  <b>x</b>\n</a>";
+        let trimmed = parse(input).unwrap();
+        let a = trimmed.root_element().unwrap();
+        assert_eq!(trimmed.children(a).len(), 1);
+
+        let kept = parse_with_options(
+            input,
+            ParseOptions {
+                skip_whitespace_text: false,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        let a = kept.root_element().unwrap();
+        assert_eq!(kept.children(a).len(), 3);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse("<p>Hello <b>world</b>!</p>").unwrap();
+        let p = doc.root_element().unwrap();
+        assert_eq!(doc.children(p).len(), 3);
+        assert_eq!(doc.text_content(p), "Hello world!");
+    }
+
+    #[test]
+    fn adjacent_text_runs_merged() {
+        let doc = parse("<a>one &amp; two</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).len(), 1);
+        assert_eq!(doc.text_content(a), "one & two");
+    }
+
+    #[test]
+    fn cdata_not_merged_with_text() {
+        let doc = parse("<a>x<![CDATA[<raw>]]>y</a>").unwrap();
+        let a = doc.root_element().unwrap();
+        assert_eq!(doc.children(a).len(), 3);
+        assert_eq!(doc.text_content(a), "x<raw>y");
+        assert!(matches!(doc.kind(doc.children(a)[1]), NodeKind::CData(_)));
+    }
+
+    #[test]
+    fn prolog_captured() {
+        let doc = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE db><db/>").unwrap();
+        assert_eq!(doc.xml_decl.as_deref(), Some("version=\"1.0\" encoding=\"UTF-8\""));
+        assert_eq!(doc.doctype.as_deref(), Some("db"));
+    }
+
+    #[test]
+    fn comments_and_pis_kept_or_dropped() {
+        let input = "<a><!-- c --><?pi data?><b/></a>";
+        let kept = parse(input).unwrap();
+        let a = kept.root_element().unwrap();
+        assert_eq!(kept.children(a).len(), 3);
+
+        let dropped = parse_with_options(
+            input,
+            ParseOptions {
+                keep_comments: false,
+                keep_processing_instructions: false,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        let a = dropped.root_element().unwrap();
+        assert_eq!(dropped.children(a).len(), 1);
+    }
+
+    #[test]
+    fn error_mismatched_tag() {
+        let err = parse("<a><b></a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XmlErrorKind::MismatchedTag { ref open, ref close } if open == "b" && close == "a"
+        ));
+    }
+
+    #[test]
+    fn error_unclosed_element() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn error_multiple_roots() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MultipleRoots));
+    }
+
+    #[test]
+    fn error_stray_close() {
+        let err = parse("</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnmatchedClose { .. }));
+    }
+
+    #[test]
+    fn error_text_outside_root() {
+        assert!(parse("hello<a/>").is_err());
+        assert!(parse("<a/>trailing").is_err());
+    }
+
+    #[test]
+    fn error_empty_input() {
+        let err = parse("").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::NoRootElement));
+        assert!(parse("   \n ").is_err());
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let doc = parse("<db><item id=\"1\"/><item id=\"2\"/></db>").unwrap();
+        let db = doc.root_element().unwrap();
+        assert_eq!(doc.child_elements_named(db, "item").count(), 2);
+    }
+
+    #[test]
+    fn deeply_nested() {
+        let depth = 500;
+        let mut input = String::new();
+        for i in 0..depth {
+            input.push_str(&format!("<n{i}>"));
+        }
+        input.push_str("leaf");
+        for i in (0..depth).rev() {
+            input.push_str(&format!("</n{i}>"));
+        }
+        let doc = parse(&input).unwrap();
+        assert_eq!(doc.element_count(), depth);
+        assert_eq!(doc.text_content(doc.root_element().unwrap()), "leaf");
+    }
+
+    #[test]
+    fn comments_between_root_siblings_allowed() {
+        let doc = parse("<!-- head --><a/><!-- tail -->").unwrap();
+        assert!(doc.root_element().is_some());
+    }
+}

@@ -1,0 +1,309 @@
+//! Serializers: compact, pretty-printed, and canonical.
+//!
+//! The canonical form sorts attributes by name and normalizes text
+//! (CDATA flattened into text, comments/PIs dropped); two documents with
+//! the same canonical string carry the same information for the purposes
+//! of the watermarking experiments. It is *not* W3C C14N — it is the
+//! comparison form used by tests and the usability metric.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attribute, escape_text};
+use std::fmt::Write;
+
+/// Serializes the document compactly (no added whitespace).
+pub fn to_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_prolog(doc, &mut out, false);
+    for &child in doc.children(doc.document_node()) {
+        write_node(doc, child, &mut out, WriteMode::Compact, 0);
+    }
+    out
+}
+
+/// Serializes with two-space indentation, one element per line where the
+/// content model allows it (elements with text content stay on one line).
+pub fn to_pretty_string(doc: &Document) -> String {
+    let mut out = String::new();
+    write_prolog(doc, &mut out, true);
+    for &child in doc.children(doc.document_node()) {
+        write_node(doc, child, &mut out, WriteMode::Pretty, 0);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the canonical comparison form: attributes sorted by name,
+/// CDATA flattened to text, comments and PIs omitted, no prolog.
+pub fn to_canonical_string(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.root_element() {
+        write_node(doc, root, &mut out, WriteMode::Canonical, 0);
+    }
+    out
+}
+
+fn write_prolog(doc: &Document, out: &mut String, pretty: bool) {
+    if let Some(decl) = &doc.xml_decl {
+        let _ = write!(out, "<?xml {decl}?>");
+        if pretty {
+            out.push('\n');
+        }
+    }
+    if let Some(doctype) = &doc.doctype {
+        let _ = write!(out, "<!DOCTYPE {doctype}>");
+        if pretty {
+            out.push('\n');
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum WriteMode {
+    Compact,
+    Pretty,
+    Canonical,
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, depth: usize) {
+    match doc.kind(node) {
+        NodeKind::Document => {
+            for &child in doc.children(node) {
+                write_node(doc, child, out, mode, depth);
+            }
+        }
+        NodeKind::Element { name, attributes } => {
+            if mode == WriteMode::Pretty && depth > 0 {
+                indent(out, depth);
+            }
+            let _ = write!(out, "<{name}");
+            if mode == WriteMode::Canonical {
+                let mut sorted: Vec<_> = attributes.iter().collect();
+                sorted.sort_by(|a, b| a.name.cmp(&b.name));
+                for attr in sorted {
+                    let _ = write!(out, " {}=\"{}\"", attr.name, escape_attribute(&attr.value));
+                }
+            } else {
+                for attr in attributes {
+                    let _ = write!(out, " {}=\"{}\"", attr.name, escape_attribute(&attr.value));
+                }
+            }
+            let children = doc.children(node);
+            // Empty text nodes serialize to nothing; treating them as
+            // invisible keeps `<a></a>` and `<a/>` interchangeable.
+            let not_empty_text = |&c: &NodeId| match doc.kind(c) {
+                NodeKind::Text(t) | NodeKind::CData(t) => !t.is_empty(),
+                _ => true,
+            };
+            // The canonical comparison form additionally drops text nodes
+            // that are *all* whitespace: the default parse convention
+            // (`skip_whitespace_text`) treats them as non-information, so
+            // canonical(doc) must equal canonical(parse(serialize(doc))).
+            let not_whitespace_text = |&c: &NodeId| match doc.kind(c) {
+                NodeKind::Text(t) | NodeKind::CData(t) => {
+                    !t.chars().all(char::is_whitespace)
+                }
+                _ => true,
+            };
+            let visible_children: Vec<NodeId> = match mode {
+                WriteMode::Canonical => children
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        matches!(
+                            doc.kind(c),
+                            NodeKind::Element { .. } | NodeKind::Text(_) | NodeKind::CData(_)
+                        )
+                    })
+                    .filter(not_whitespace_text)
+                    .collect(),
+                _ => children.iter().copied().filter(not_empty_text).collect(),
+            };
+            if visible_children.is_empty() {
+                out.push_str("/>");
+                if mode == WriteMode::Pretty && depth == 0 {
+                    // Root element closed; caller appends the newline.
+                }
+                return;
+            }
+            out.push('>');
+            let element_only = visible_children.iter().all(|&c| doc.is_element(c))
+                || visible_children
+                    .iter()
+                    .all(|&c| matches!(doc.kind(c), NodeKind::Comment(_) | NodeKind::Pi { .. } | NodeKind::Element { .. }));
+            if mode == WriteMode::Pretty && element_only {
+                out.push('\n');
+                for &child in &visible_children {
+                    write_node(doc, child, out, mode, depth + 1);
+                    out.push('\n');
+                }
+                indent(out, depth);
+            } else {
+                for &child in &visible_children {
+                    write_node(doc, child, out, mode, depth + 1);
+                }
+            }
+            let _ = write!(out, "</{name}>");
+        }
+        NodeKind::Text(text) => {
+            out.push_str(&escape_text(text));
+        }
+        NodeKind::CData(text) => {
+            if mode == WriteMode::Canonical {
+                out.push_str(&escape_text(text));
+            } else {
+                let _ = write!(out, "<![CDATA[{text}]]>");
+            }
+        }
+        NodeKind::Comment(text) => {
+            if mode == WriteMode::Pretty && depth > 0 {
+                indent(out, depth);
+            }
+            let _ = write!(out, "<!--{text}-->");
+        }
+        NodeKind::Pi { target, data } => {
+            if mode == WriteMode::Pretty && depth > 0 {
+                indent(out, depth);
+            }
+            if data.is_empty() {
+                let _ = write!(out, "<?{target}?>");
+            } else {
+                let _ = write!(out, "<?{target} {data}?>");
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let input = "<db><book publisher=\"mkp\"><title>R &amp; D</title></book></db>";
+        let doc = parse(input).unwrap();
+        assert_eq!(to_string(&doc), input);
+    }
+
+    #[test]
+    fn self_closing_for_empty_elements() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&doc), "<a><b/></a>");
+    }
+
+    #[test]
+    fn prolog_preserved() {
+        let input = "<?xml version=\"1.0\"?><!DOCTYPE db><db/>";
+        let doc = parse(input).unwrap();
+        assert_eq!(to_string(&doc), input);
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let doc = parse("<db><book><title>T</title><year>1998</year></book></db>").unwrap();
+        let pretty = to_pretty_string(&doc);
+        assert_eq!(
+            pretty,
+            "<db>\n  <book>\n    <title>T</title>\n    <year>1998</year>\n  </book>\n</db>\n"
+        );
+    }
+
+    #[test]
+    fn pretty_print_reparses_identically() {
+        let input = "<db><book publisher=\"mkp\"><title>A &lt; B</title><year>1998</year></book><book/></db>";
+        let doc = parse(input).unwrap();
+        let pretty = to_pretty_string(&doc);
+        let reparsed = parse(&pretty).unwrap();
+        assert_eq!(to_canonical_string(&doc), to_canonical_string(&reparsed));
+    }
+
+    #[test]
+    fn canonical_sorts_attributes() {
+        let a = parse("<x b=\"2\" a=\"1\"/>").unwrap();
+        let b = parse("<x a=\"1\" b=\"2\"/>").unwrap();
+        assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn canonical_flattens_cdata_and_drops_comments() {
+        let a = parse("<x><![CDATA[1<2]]><!-- note --></x>").unwrap();
+        let b = parse("<x>1&lt;2</x>").unwrap();
+        assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn canonical_detects_value_differences() {
+        let a = parse("<x><y>1</y></x>").unwrap();
+        let b = parse("<x><y>2</y></x>").unwrap();
+        assert_ne!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn cdata_roundtrips_in_compact_form() {
+        let input = "<x><![CDATA[if (a<b && c>d) {}]]></x>";
+        let doc = parse(input).unwrap();
+        assert_eq!(to_string(&doc), input);
+    }
+
+    #[test]
+    fn special_characters_roundtrip() {
+        let input = "<x attr=\"a&amp;b&quot;c\">&lt;tag&gt; &amp; text</x>";
+        let doc = parse(input).unwrap();
+        let reparsed = parse(&to_string(&doc)).unwrap();
+        assert_eq!(to_canonical_string(&doc), to_canonical_string(&reparsed));
+    }
+
+    /// Strategy producing small random documents as strings via a random
+    /// tree we then serialize, to test parse∘serialize = id on the DOM.
+    fn arb_tree(depth: u32) -> BoxedStrategy<String> {
+        let name = prop::sample::select(vec!["a", "b", "item", "rec", "x-y", "_n"]);
+        let text = "[ -~&&[^<&>\"']]{0,12}"; // printable ASCII minus XML specials
+        let leaf = (name.clone(), text).prop_map(|(n, t)| {
+            if t.is_empty() {
+                format!("<{n}/>")
+            } else {
+                format!("<{n}>{t}</{n}>")
+            }
+        });
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let attr_val = "[ -~&&[^<&>\"']]{0,8}";
+        (
+            name,
+            proptest::option::of(attr_val),
+            prop::collection::vec(arb_tree(depth - 1), 0..4),
+        )
+            .prop_map(|(n, attr, kids)| {
+                let attrs = attr
+                    .map(|v| format!(" k=\"{v}\""))
+                    .unwrap_or_default();
+                if kids.is_empty() {
+                    format!("<{n}{attrs}/>")
+                } else {
+                    format!("<{n}{attrs}>{}</{n}>", kids.join(""))
+                }
+            })
+            .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn parse_serialize_fixpoint(tree in arb_tree(3)) {
+            let doc = parse(&tree).unwrap();
+            let once = to_string(&doc);
+            let doc2 = parse(&once).unwrap();
+            let twice = to_string(&doc2);
+            prop_assert_eq!(once, twice);
+            prop_assert_eq!(to_canonical_string(&doc), to_canonical_string(&doc2));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Token model produced by the [lexer](crate::lexer).
+
+use crate::error::Position;
+
+/// An attribute as it appears in a start tag, value already unescaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+/// One lexical event in the document stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<?xml version="1.0" ...?>`
+    XmlDecl {
+        /// Raw content between `<?xml` and `?>`.
+        content: String,
+    },
+    /// `<!DOCTYPE ...>` — content is kept verbatim but not interpreted.
+    Doctype {
+        /// Raw content between `<!DOCTYPE` and the matching `>`.
+        content: String,
+    },
+    /// `<name attr="v" ...>` or `<name ... />`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<TokenAttribute>,
+        /// Whether the tag was self-closing (`/>`).
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags, unescaped. Adjacent text/CDATA runs
+    /// are *not* merged by the lexer; the parser merges them.
+    Text {
+        /// Unescaped text.
+        content: String,
+    },
+    /// `<![CDATA[...]]>` content (never contains `]]>`).
+    CData {
+        /// Verbatim CDATA content.
+        content: String,
+    },
+    /// `<!-- ... -->`.
+    Comment {
+        /// Verbatim comment body.
+        content: String,
+    },
+    /// `<?target data?>`.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data (may be empty).
+        data: String,
+    },
+}
+
+/// A token plus the source position where it started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Position of the token's first character.
+    pub position: Position,
+}

@@ -1,0 +1,403 @@
+//! Abstract syntax tree for the XPath subset, with a `Display`
+//! implementation that renders the canonical query text (identity
+//! queries are persisted in this textual form).
+
+use std::fmt;
+
+/// A navigation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (the default axis).
+    Child,
+    /// `descendant-or-self::node()` — what `//` expands to.
+    DescendantOrSelf,
+    /// `self::` — what `.` expands to.
+    SelfAxis,
+    /// `parent::` — what `..` expands to.
+    Parent,
+    /// `attribute::` — what `@` expands to.
+    Attribute,
+}
+
+/// What a step matches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// A specific element or attribute name.
+    Name(String),
+    /// `*` — any element (or any attribute on the attribute axis).
+    Wildcard,
+    /// `text()` — text and CDATA nodes.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+/// One location step: axis, node test, and zero or more predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis to traverse.
+    pub axis: Axis,
+    /// The node test to apply.
+    pub test: NodeTest,
+    /// Predicate expressions, applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    /// A `child::name` step with no predicates.
+    pub fn child(name: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Child,
+            test: NodeTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// An `attribute::name` step with no predicates.
+    pub fn attribute(name: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Attribute,
+            test: NodeTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Adds a predicate to the step.
+    pub fn with_predicate(mut self, predicate: Expr) -> Self {
+        self.predicates.push(predicate);
+        self
+    }
+}
+
+/// A location path: optional leading `/` plus a sequence of steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// `true` for absolute paths (starting at the document node).
+    pub absolute: bool,
+    /// The steps, applied left to right.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// An absolute path from the given steps.
+    pub fn absolute(steps: Vec<Step>) -> Self {
+        PathExpr {
+            absolute: true,
+            steps,
+        }
+    }
+
+    /// A relative path from the given steps.
+    pub fn relative(steps: Vec<Step>) -> Self {
+        PathExpr {
+            absolute: false,
+            steps,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|` (node-set union)
+    Union,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+}
+
+impl BinaryOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Or => "or",
+            BinaryOp::And => "and",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Union => "|",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "div",
+            BinaryOp::Mod => "mod",
+        }
+    }
+}
+
+/// An XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A location path.
+    Path(PathExpr),
+    /// A string literal.
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Negate(Box<Expr>),
+    /// A function call.
+    Call {
+        /// Function name (e.g. `"count"`).
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience: a string literal expression.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Expr::Literal(s.into())
+    }
+
+    /// Convenience: `lhs = rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience: a relative single-name child path (`name`).
+    pub fn child_path(name: impl Into<String>) -> Self {
+        Expr::Path(PathExpr::relative(vec![Step::child(name)]))
+    }
+
+    /// Convenience: a relative attribute path (`@name`).
+    pub fn attr_path(name: impl Into<String>) -> Self {
+        Expr::Path(PathExpr::relative(vec![Step::attribute(name)]))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Display: canonical textual form
+// ---------------------------------------------------------------------
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::AnyNode => write!(f, "node()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => write!(f, "{}", self.test)?,
+            Axis::Attribute => write!(f, "@{}", self.test)?,
+            Axis::SelfAxis => {
+                if self.test == NodeTest::AnyNode {
+                    write!(f, ".")?;
+                } else {
+                    write!(f, "self::{}", self.test)?;
+                }
+            }
+            Axis::Parent => {
+                if self.test == NodeTest::AnyNode {
+                    write!(f, "..")?;
+                } else {
+                    write!(f, "parent::{}", self.test)?;
+                }
+            }
+            Axis::DescendantOrSelf => write!(f, "descendant-or-self::{}", self.test)?,
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+// `PathExpr` rendering collapses `descendant-or-self::node()` (no
+// predicates) followed by another step back into the `//` shorthand.
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute && self.steps.is_empty() {
+            return write!(f, "/");
+        }
+        let mut rendered = String::new();
+        let mut pending_dslash = false;
+        let mut wrote_first = false;
+        for step in &self.steps {
+            let is_abbrev_dos = step.axis == Axis::DescendantOrSelf
+                && step.test == NodeTest::AnyNode
+                && step.predicates.is_empty();
+            if is_abbrev_dos {
+                pending_dslash = true;
+                continue;
+            }
+            let joiner = if pending_dslash { "//" } else { "/" };
+            if !wrote_first {
+                if self.absolute {
+                    rendered.push_str(joiner);
+                } else if pending_dslash {
+                    rendered.push_str(".//");
+                }
+            } else {
+                rendered.push_str(joiner);
+            }
+            rendered.push_str(&step.to_string());
+            wrote_first = true;
+            pending_dslash = false;
+        }
+        if pending_dslash {
+            // Trailing bare `//` (uncommon); render explicitly.
+            if wrote_first || self.absolute {
+                rendered.push_str("/descendant-or-self::node()");
+            } else {
+                rendered.push_str("descendant-or-self::node()");
+            }
+        }
+        f.write_str(&rendered)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Literal(s) => {
+                if s.contains('\'') {
+                    write!(f, "\"{s}\"")
+                } else {
+                    write!(f, "'{s}'")
+                }
+            }
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.is_finite() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Parenthesize nested binary operands conservatively.
+                let fmt_side = |side: &Expr, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    match side {
+                        Expr::Binary { .. } => write!(f, "({side})"),
+                        _ => write!(f, "{side}"),
+                    }
+                };
+                fmt_side(lhs, f)?;
+                match op {
+                    BinaryOp::Or | BinaryOp::And | BinaryOp::Div | BinaryOp::Mod => {
+                        write!(f, " {} ", op.symbol())?
+                    }
+                    _ => write!(f, " {} ", op.symbol())?,
+                }
+                fmt_side(rhs, f)
+            }
+            Expr::Negate(e) => write!(f, "-{e}"),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_simple_path() {
+        let p = PathExpr::absolute(vec![Step::child("db"), Step::child("book")]);
+        assert_eq!(p.to_string(), "/db/book");
+    }
+
+    #[test]
+    fn display_relative_path_with_attribute() {
+        let p = PathExpr::relative(vec![Step::child("book"), Step::attribute("publisher")]);
+        assert_eq!(p.to_string(), "book/@publisher");
+    }
+
+    #[test]
+    fn display_predicate() {
+        let step = Step::child("book").with_predicate(Expr::eq(
+            Expr::child_path("title"),
+            Expr::literal("DB Design"),
+        ));
+        let p = PathExpr::absolute(vec![Step::child("db"), step, Step::child("author")]);
+        assert_eq!(p.to_string(), "/db/book[title = 'DB Design']/author");
+    }
+
+    #[test]
+    fn display_double_slash() {
+        let p = PathExpr::absolute(vec![
+            Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            },
+            Step::child("year"),
+        ]);
+        assert_eq!(p.to_string(), "//year");
+    }
+
+    #[test]
+    fn display_function_call() {
+        let e = Expr::Call {
+            name: "count".into(),
+            args: vec![Expr::child_path("book")],
+        };
+        assert_eq!(e.to_string(), "count(book)");
+    }
+
+    #[test]
+    fn display_number_integral() {
+        assert_eq!(Expr::Number(3.0).to_string(), "3");
+        assert_eq!(Expr::Number(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn display_quotes_literals_with_apostrophes() {
+        assert_eq!(Expr::literal("it's").to_string(), "\"it's\"");
+    }
+}

@@ -1,0 +1,444 @@
+//! Compiled queries: the public entry point of the engine.
+
+use crate::ast::Expr;
+use crate::error::XPathError;
+use crate::eval::{Context, Evaluator};
+use crate::parser::parse_expr;
+use crate::value::{NodeRef, Value};
+use std::fmt;
+use wmx_xml::Document;
+
+/// A compiled, reusable XPath query.
+///
+/// Queries render back to their canonical text via [`fmt::Display`],
+/// which is the form WmXML persists between embedding and detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    expr: Expr,
+}
+
+impl Query {
+    /// Compiles query text.
+    pub fn compile(text: &str) -> Result<Self, XPathError> {
+        Ok(Query {
+            expr: parse_expr(text)?,
+        })
+    }
+
+    /// Wraps an already-built AST (used by the identifier generator and
+    /// the query rewriter, which construct queries programmatically).
+    pub fn from_expr(expr: Expr) -> Self {
+        Query { expr }
+    }
+
+    /// The underlying AST.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// Evaluates the query from the document root context.
+    pub fn evaluate(&self, doc: &Document) -> Result<Value, XPathError> {
+        let evaluator = Evaluator::new(doc);
+        let ctx = Context::solo(NodeRef::Node(doc.document_node()));
+        evaluator.eval_expr(&self.expr, &ctx)
+    }
+
+    /// Evaluates from an explicit context node.
+    pub fn evaluate_from(&self, doc: &Document, context: NodeRef) -> Result<Value, XPathError> {
+        let evaluator = Evaluator::new(doc);
+        evaluator.eval_expr(&self.expr, &Context::solo(context))
+    }
+
+    /// Evaluates and returns the node-set result (empty for non-node
+    /// values or errors). The common retrieval call in WmXML.
+    pub fn select(&self, doc: &Document) -> Vec<NodeRef> {
+        self.evaluate(doc).map(Value::into_nodes).unwrap_or_default()
+    }
+
+    /// Evaluates from a context node, returning the node-set.
+    pub fn select_from(&self, doc: &Document, context: NodeRef) -> Vec<NodeRef> {
+        self.evaluate_from(doc, context)
+            .map(Value::into_nodes)
+            .unwrap_or_default()
+    }
+
+    /// String-value of the first result node, if any.
+    pub fn select_string(&self, doc: &Document) -> Option<String> {
+        self.select(doc).first().map(|n| n.string_value(doc))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)
+    }
+}
+
+impl std::str::FromStr for Query {
+    type Err = XPathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Query::compile(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    /// The paper's db1.xml (Fig. 1a), verbatim structure.
+    fn db1() -> Document {
+        parse(
+            r#"<db>
+                <book publisher="mkp">
+                    <title>Readings in Database Systems</title>
+                    <author>Stonebraker</author>
+                    <author>Hellerstein</author>
+                    <editor>Harrypotter</editor>
+                    <year>1998</year>
+                </book>
+                <book publisher="acm">
+                    <title>Database Design</title>
+                    <writer>Berstein</writer>
+                    <writer>Newcomer</writer>
+                    <editor>Gamer</editor>
+                    <year>1998</year>
+                </book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    /// The paper's db2.xml (Fig. 1b), reorganized schema.
+    fn db2() -> Document {
+        parse(
+            r#"<db>
+                <publisher name="mkp">
+                    <author name="Stonebraker">
+                        <book>Readings in Database Systems</book>
+                        <book>XML Query Processing</book>
+                    </author>
+                    <author name="Hellerstein">
+                        <book>Readings in Database Systems</book>
+                        <book>Relational Data Integration</book>
+                    </author>
+                </publisher>
+                <publisher name="acm">
+                    <author name="Berstein">
+                        <book>Database Design</book>
+                    </author>
+                </publisher>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn strings(q: &str, doc: &Document) -> Vec<String> {
+        Query::compile(q)
+            .unwrap()
+            .select(doc)
+            .iter()
+            .map(|n| n.string_value(doc))
+            .collect()
+    }
+
+    #[test]
+    fn paper_usability_query_on_db1() {
+        // §2.1: "db/book[title='DB Design']/author" (full title here).
+        let authors = strings("db/book[title='Database Design']/writer", &db1());
+        assert_eq!(authors, vec!["Berstein", "Newcomer"]);
+    }
+
+    #[test]
+    fn paper_rewritten_query_on_db2() {
+        // §2.2: the rewritten form against the reorganized schema.
+        let authors = strings("db/publisher/author[book='Database Design']/@name", &db2());
+        assert_eq!(authors, vec!["Berstein"]);
+    }
+
+    #[test]
+    fn absolute_and_relative_paths_agree_from_root() {
+        let doc = db1();
+        assert_eq!(
+            strings("/db/book/year", &doc),
+            strings("db/book/year", &doc)
+        );
+    }
+
+    #[test]
+    fn double_slash_descendants() {
+        let years = strings("//year", &db1());
+        assert_eq!(years, vec!["1998", "1998"]);
+        let all_books = strings("//book", &db2());
+        assert_eq!(all_books.len(), 5);
+    }
+
+    #[test]
+    fn attribute_selection() {
+        let pubs = strings("db/book/@publisher", &db1());
+        assert_eq!(pubs, vec!["mkp", "acm"]);
+        let names = strings("//author/@name", &db2());
+        assert_eq!(names, vec!["Stonebraker", "Hellerstein", "Berstein"]);
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let titles = strings("db/book[@publisher='mkp']/title", &db1());
+        assert_eq!(titles, vec!["Readings in Database Systems"]);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let doc = db1();
+        assert_eq!(
+            strings("db/book[1]/title", &doc),
+            vec!["Readings in Database Systems"]
+        );
+        assert_eq!(strings("db/book[2]/title", &doc), vec!["Database Design"]);
+        assert_eq!(
+            strings("db/book[last()]/title", &doc),
+            vec!["Database Design"]
+        );
+        assert_eq!(
+            strings("db/book[position() = 1]/author", &doc),
+            vec!["Stonebraker", "Hellerstein"]
+        );
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let doc = db1();
+        // All children of both books.
+        assert_eq!(strings("db/book/*", &doc).len(), 10);
+        assert_eq!(strings("db/*/title", &doc).len(), 2);
+    }
+
+    #[test]
+    fn text_node_test() {
+        let doc = db1();
+        let texts = strings("db/book/title/text()", &doc);
+        assert_eq!(
+            texts,
+            vec!["Readings in Database Systems", "Database Design"]
+        );
+    }
+
+    #[test]
+    fn parent_and_self_steps() {
+        let doc = db1();
+        let titles = strings("db/book/editor/../title", &doc);
+        assert_eq!(titles.len(), 2);
+        let same = strings("db/book/./title", &doc);
+        assert_eq!(same.len(), 2);
+    }
+
+    #[test]
+    fn union_results_in_document_order() {
+        let doc = db1();
+        let people = strings("db/book/writer | db/book/author", &doc);
+        assert_eq!(
+            people,
+            vec!["Stonebraker", "Hellerstein", "Berstein", "Newcomer"]
+        );
+    }
+
+    #[test]
+    fn numeric_comparison_predicates() {
+        let doc = db1();
+        assert_eq!(strings("db/book[year >= 1998]/title", &doc).len(), 2);
+        assert_eq!(strings("db/book[year > 1998]/title", &doc).len(), 0);
+        assert_eq!(strings("db/book[year = 1998]/title", &doc).len(), 2);
+        assert_eq!(strings("db/book[year != 1998]/title", &doc).len(), 0);
+    }
+
+    #[test]
+    fn boolean_connectives_in_predicates() {
+        let doc = db1();
+        let titles = strings(
+            "db/book[@publisher='acm' and year=1998]/title",
+            &doc,
+        );
+        assert_eq!(titles, vec!["Database Design"]);
+        let titles = strings(
+            "db/book[@publisher='none' or editor='Gamer']/title",
+            &doc,
+        );
+        assert_eq!(titles, vec!["Database Design"]);
+    }
+
+    #[test]
+    fn functions() {
+        let doc = db1();
+        let q = Query::compile("count(//book)").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(2.0));
+
+        let q = Query::compile("sum(db/book/year)").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(3996.0));
+
+        let titles = strings("db/book[contains(title, 'Design')]/title", &doc);
+        assert_eq!(titles, vec!["Database Design"]);
+
+        let titles = strings("db/book[starts-with(title, 'Readings')]/title", &doc);
+        assert_eq!(titles, vec!["Readings in Database Systems"]);
+
+        let titles = strings("db/book[not(contains(title, 'Design'))]/title", &doc);
+        assert_eq!(titles, vec!["Readings in Database Systems"]);
+
+        let q = Query::compile("string-length('abc')").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(3.0));
+
+        let q = Query::compile("normalize-space('  a   b ')").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Text("a b".into()));
+
+        let q = Query::compile("concat('a', 'b', 'c')").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Text("abc".into()));
+
+        let q = Query::compile("floor(2.7) + ceiling(2.1) + round(2.5)").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(8.0));
+    }
+
+    #[test]
+    fn string_functions() {
+        let doc = db1();
+        let eval = |q: &str| Query::compile(q).unwrap().evaluate(&doc).unwrap();
+        assert_eq!(eval("substring('12345', 2, 3)"), Value::Text("234".into()));
+        assert_eq!(eval("substring('12345', 2)"), Value::Text("2345".into()));
+        // Spec edge cases: rounding and out-of-range starts.
+        assert_eq!(eval("substring('12345', 1.5, 2.6)"), Value::Text("234".into()));
+        assert_eq!(eval("substring('12345', 0, 3)"), Value::Text("12".into()));
+        assert_eq!(eval("substring('12345', -1, 3)"), Value::Text("1".into()));
+        assert_eq!(
+            eval("substring-before('1999/04/01', '/')"),
+            Value::Text("1999".into())
+        );
+        assert_eq!(
+            eval("substring-after('1999/04/01', '/')"),
+            Value::Text("04/01".into())
+        );
+        assert_eq!(
+            eval("substring-before('abc', 'z')"),
+            Value::Text(String::new())
+        );
+        assert_eq!(
+            eval("translate('bar', 'abc', 'ABC')"),
+            Value::Text("BAr".into())
+        );
+        // Characters with no replacement are removed.
+        assert_eq!(
+            eval("translate('--aaa--', 'abc-', 'ABC')"),
+            Value::Text("AAA".into())
+        );
+    }
+
+    #[test]
+    fn substring_in_predicate() {
+        let doc = db1();
+        let titles = strings(
+            "db/book[substring(title, 1, 8) = 'Database']/title",
+            &doc,
+        );
+        assert_eq!(titles, vec!["Database Design"]);
+    }
+
+    #[test]
+    fn name_function() {
+        let doc = db1();
+        let q = Query::compile("name(db/book[1]/*[1])").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Text("title".into()));
+    }
+
+    #[test]
+    fn nested_path_predicates() {
+        let doc = db2();
+        // Publishers that publish a given book title.
+        let names = strings("db/publisher[author/book='Database Design']/@name", &doc);
+        assert_eq!(names, vec!["acm"]);
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let doc = db1();
+        let q = Query::compile("db/book[year mod 2 = 0]/year").unwrap();
+        assert_eq!(q.select(&doc).len(), 2);
+        let q = Query::compile("(1 + 2) * 3").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(9.0));
+        let q = Query::compile("10 div 4").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Number(2.5));
+    }
+
+    #[test]
+    fn empty_results_are_empty_not_errors() {
+        let doc = db1();
+        assert!(strings("db/nonexistent", &doc).is_empty());
+        assert!(strings("db/book[title='No Such']/author", &doc).is_empty());
+        assert!(strings("db/book/@missing", &doc).is_empty());
+    }
+
+    #[test]
+    fn node_set_to_node_set_comparison() {
+        let doc = db1();
+        // Books whose editor equals some writer name: none.
+        let q = Query::compile("db/book[editor = writer]/title").unwrap();
+        assert!(q.select(&doc).is_empty());
+        // Exists book pair with same year (existential across sets).
+        let q = Query::compile("db/book[1]/year = db/book[2]/year").unwrap();
+        assert_eq!(q.evaluate(&doc).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let doc = db1();
+        assert!(Query::compile("count()").unwrap().evaluate(&doc).is_err());
+        assert!(Query::compile("count('x')").unwrap().evaluate(&doc).is_err());
+        assert!(Query::compile("frobnicate(1)")
+            .unwrap()
+            .evaluate(&doc)
+            .is_err());
+        assert!(Query::compile("'a' | 'b'").unwrap().evaluate(&doc).is_err());
+    }
+
+    #[test]
+    fn compile_display_roundtrip_preserves_semantics() {
+        let doc = db1();
+        for q in [
+            "db/book[title='Database Design']/writer",
+            "//book/@publisher",
+            "db/book[2]/editor",
+            "db/book[year >= 1998 and @publisher='acm']/title",
+        ] {
+            let compiled = Query::compile(q).unwrap();
+            let reprinted = Query::compile(&compiled.to_string()).unwrap();
+            let a: Vec<String> = compiled
+                .select(&doc)
+                .iter()
+                .map(|n| n.string_value(&doc))
+                .collect();
+            let b: Vec<String> = reprinted
+                .select(&doc)
+                .iter()
+                .map(|n| n.string_value(&doc))
+                .collect();
+            assert_eq!(a, b, "roundtrip changed semantics for {q}");
+        }
+    }
+
+    #[test]
+    fn select_from_context_node() {
+        let doc = db1();
+        let root = doc.root_element().unwrap();
+        let book2 = doc.child_elements_named(root, "book").nth(1).unwrap();
+        let q = Query::compile("editor").unwrap();
+        let got = q.select_from(&doc, NodeRef::Node(book2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].string_value(&doc), "Gamer");
+    }
+
+    #[test]
+    fn duplicate_elimination_in_paths() {
+        // `..` from both children must yield the parent once.
+        let doc = db1();
+        let parents = strings("db/book/*/..", &doc);
+        assert_eq!(parents.len(), 2); // two books, each once
+    }
+}

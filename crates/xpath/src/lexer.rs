@@ -1,0 +1,453 @@
+//! Tokenizer for XPath query text.
+
+use crate::error::XPathError;
+
+/// One XPath token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `@`
+    At,
+    /// `*` — disambiguated into wildcard vs multiply by the parser.
+    Star,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `::` axis separator
+    DoubleColon,
+    /// A name (element/attribute/function/axis/keyword — context decides).
+    Name(String),
+    /// A string literal (quotes removed).
+    Literal(String),
+    /// A numeric literal.
+    Number(f64),
+}
+
+/// A token with its character offset in the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Character offset where the token starts.
+    pub offset: usize,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+/// Tokenizes a full query string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, XPathError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let offset = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                continue;
+            }
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    out.push(Spanned {
+                        token: Token::DoubleSlash,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Slash,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '@' => {
+                out.push(Spanned {
+                    token: Token::At,
+                    offset,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Spanned {
+                    token: Token::LBracket,
+                    offset,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Spanned {
+                    token: Token::RBracket,
+                    offset,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset,
+                });
+                i += 1;
+            }
+            '|' => {
+                out.push(Spanned {
+                    token: Token::Pipe,
+                    offset,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset,
+                });
+                i += 1;
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&':') {
+                    out.push(Spanned {
+                        token: Token::DoubleColon,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    return Err(XPathError::at("single ':' is not valid here", offset));
+                }
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    out.push(Spanned {
+                        token: Token::DotDot,
+                        offset,
+                    });
+                    i += 2;
+                } else if matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) {
+                    // .5 style number
+                    let (n, next) = lex_number(&chars, i)?;
+                    out.push(Spanned {
+                        token: Token::Number(n),
+                        offset,
+                    });
+                    i = next;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Dot,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset,
+                });
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    return Err(XPathError::at("'!' must be followed by '='", offset));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut value = String::new();
+                loop {
+                    match chars.get(j) {
+                        Some(&ch) if ch == quote => break,
+                        Some(&ch) => {
+                            value.push(ch);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(XPathError::at("unterminated string literal", offset))
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Literal(value),
+                    offset,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, next) = lex_number(&chars, i)?;
+                out.push(Spanned {
+                    token: Token::Number(n),
+                    offset,
+                });
+                i = next;
+            }
+            c if is_name_start(c) => {
+                let mut j = i;
+                while j < chars.len() && is_name_char(chars[j]) {
+                    // A '.' is a name char in XML but in XPath `a.b` could
+                    // be a name; names ending in '.' are not produced.
+                    j += 1;
+                }
+                // Trim trailing dots back out (e.g. `book..` from `book..`).
+                while j > i && chars[j - 1] == '.' {
+                    j -= 1;
+                }
+                let name: String = chars[i..j].iter().collect();
+                out.push(Spanned {
+                    token: Token::Name(name),
+                    offset,
+                });
+                i = j;
+            }
+            other => {
+                return Err(XPathError::at(
+                    format!("unexpected character {other:?}"),
+                    offset,
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(chars: &[char], start: usize) -> Result<(f64, usize), XPathError> {
+    let mut j = start;
+    let mut saw_dot = false;
+    while j < chars.len() {
+        match chars[j] {
+            d if d.is_ascii_digit() => j += 1,
+            '.' if !saw_dot => {
+                // `1..2` should lex as `1` `..` `2`? XPath has no ranges;
+                // treat a second dot as the end of the number.
+                if chars.get(j + 1) == Some(&'.') {
+                    break;
+                }
+                saw_dot = true;
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    let text: String = chars[start..j].iter().collect();
+    text.parse::<f64>()
+        .map(|n| (n, j))
+        .map_err(|_| XPathError::at(format!("invalid number {text:?}"), start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query() {
+        assert_eq!(
+            toks("db/book[title='DB Design']/author"),
+            vec![
+                Token::Name("db".into()),
+                Token::Slash,
+                Token::Name("book".into()),
+                Token::LBracket,
+                Token::Name("title".into()),
+                Token::Eq,
+                Token::Literal("DB Design".into()),
+                Token::RBracket,
+                Token::Slash,
+                Token::Name("author".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_attribute_and_double_slash() {
+        assert_eq!(
+            toks("//publisher/@name"),
+            vec![
+                Token::DoubleSlash,
+                Token::Name("publisher".into()),
+                Token::Slash,
+                Token::At,
+                Token::Name("name".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(
+            toks("a<=b!=c>=d<e>f"),
+            vec![
+                Token::Name("a".into()),
+                Token::Le,
+                Token::Name("b".into()),
+                Token::Ne,
+                Token::Name("c".into()),
+                Token::Ge,
+                Token::Name("d".into()),
+                Token::Lt,
+                Token::Name("e".into()),
+                Token::Gt,
+                Token::Name("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("1 2.5 .75"),
+            vec![Token::Number(1.0), Token::Number(2.5), Token::Number(0.75)]
+        );
+    }
+
+    #[test]
+    fn lexes_dots() {
+        assert_eq!(toks(". .."), vec![Token::Dot, Token::DotDot]);
+    }
+
+    #[test]
+    fn lexes_double_quoted_literal() {
+        assert_eq!(toks("\"it's\""), vec![Token::Literal("it's".into())]);
+    }
+
+    #[test]
+    fn name_with_hyphen_and_digits() {
+        assert_eq!(
+            toks("starts-with(x1, 'a')"),
+            vec![
+                Token::Name("starts-with".into()),
+                Token::LParen,
+                Token::Name("x1".into()),
+                Token::Comma,
+                Token::Literal("a".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("a : b").is_err());
+    }
+
+    #[test]
+    fn axis_separator() {
+        assert_eq!(
+            toks("self::node()"),
+            vec![
+                Token::Name("self".into()),
+                Token::DoubleColon,
+                Token::Name("node".into()),
+                Token::LParen,
+                Token::RParen,
+            ]
+        );
+    }
+}

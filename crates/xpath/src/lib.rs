@@ -1,0 +1,94 @@
+//! XPath-subset query engine for WmXML.
+//!
+//! This crate is the query half of the paper's "XML Query Engine"
+//! (its Fig. 4). WmXML expresses *everything* as queries: usability is
+//! defined by query templates, watermark-carrying elements are identified
+//! by queries, and detection re-executes (possibly rewritten) queries. The
+//! engine therefore implements the XPath 1.0 subset those queries need:
+//!
+//! * axes: `child`, `descendant-or-self` (`//`), `self` (`.`),
+//!   `parent` (`..`), and `attribute` (`@`);
+//! * node tests: names, `*`, `text()`, `node()`;
+//! * predicates: full expressions with `and`/`or`, `=`/`!=`/`<`/`<=`/
+//!   `>`/`>=`, positional predicates, nested paths;
+//! * the function library used in practice: `position`, `last`, `count`,
+//!   `contains`, `starts-with`, `not`, `true`, `false`, `name`, `string`,
+//!   `number`, `boolean`, `string-length`, `normalize-space`, `concat`,
+//!   `sum`, `floor`, `ceiling`, `round`;
+//! * union expressions (`|`).
+//!
+//! Compiled queries render back to XPath text via `Display`, which is how
+//! identity queries are persisted by the user between embedding and
+//! detection.
+//!
+//! # Example
+//!
+//! ```
+//! use wmx_xml::parse;
+//! use wmx_xpath::Query;
+//!
+//! let doc = parse("<db><book><title>DB Design</title><author>Bernstein</author></book></db>").unwrap();
+//! let q = Query::compile("/db/book[title='DB Design']/author").unwrap();
+//! let hits = q.select(&doc);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].string_value(&doc), "Bernstein");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use ast::{Axis, Expr, NodeTest, PathExpr, Step};
+pub use engine::Query;
+pub use error::XPathError;
+pub use value::{NodeRef, Value};
+
+pub mod error {
+    //! Error type shared by the lexer, parser, and evaluator.
+
+    use std::fmt;
+
+    /// An XPath compilation or evaluation error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct XPathError {
+        /// Human-readable description.
+        pub message: String,
+        /// Character offset in the query text, when known.
+        pub offset: Option<usize>,
+    }
+
+    impl XPathError {
+        /// Creates an error at a character offset.
+        pub fn at(message: impl Into<String>, offset: usize) -> Self {
+            XPathError {
+                message: message.into(),
+                offset: Some(offset),
+            }
+        }
+
+        /// Creates an error with no position (evaluation errors).
+        pub fn new(message: impl Into<String>) -> Self {
+            XPathError {
+                message: message.into(),
+                offset: None,
+            }
+        }
+    }
+
+    impl fmt::Display for XPathError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self.offset {
+                Some(o) => write!(f, "{} (at offset {o})", self.message),
+                None => write!(f, "{}", self.message),
+            }
+        }
+    }
+
+    impl std::error::Error for XPathError {}
+}

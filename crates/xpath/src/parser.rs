@@ -1,0 +1,617 @@
+//! Recursive-descent parser for the XPath subset.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! Expr        := OrExpr
+//! OrExpr      := AndExpr ('or' AndExpr)*
+//! AndExpr     := EqExpr ('and' EqExpr)*
+//! EqExpr      := RelExpr (('=' | '!=') RelExpr)*
+//! RelExpr     := AddExpr (('<' | '<=' | '>' | '>=') AddExpr)*
+//! AddExpr     := MulExpr (('+' | '-') MulExpr)*
+//! MulExpr     := UnaryExpr (('*' | 'div' | 'mod') UnaryExpr)*
+//! UnaryExpr   := '-' UnaryExpr | UnionExpr
+//! UnionExpr   := PathOrPrimary ('|' PathOrPrimary)*
+//! ```
+//!
+//! A primary is a literal, number, function call, parenthesized
+//! expression, or location path.
+
+use crate::ast::{Axis, BinaryOp, Expr, NodeTest, PathExpr, Step};
+use crate::error::XPathError;
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parses a complete expression.
+pub fn parse_expr(input: &str) -> Result<Expr, XPathError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(XPathError::at(
+            format!("unexpected trailing token {:?}", p.peek().unwrap().token),
+            p.peek().unwrap().offset,
+        ));
+    }
+    Ok(expr)
+}
+
+/// Parses input that must be a location path (the common case for
+/// identity queries and templates).
+pub fn parse_path(input: &str) -> Result<PathExpr, XPathError> {
+    match parse_expr(input)? {
+        Expr::Path(p) => Ok(p),
+        other => Err(XPathError::new(format!(
+            "expected a location path, got expression {other}"
+        ))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_token(&self) -> Option<&Token> {
+        self.peek().map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), XPathError> {
+        match self.peek() {
+            Some(s) if &s.token == token => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(s) => Err(XPathError::at(
+                format!("expected {what}, found {:?}", s.token),
+                s.offset,
+            )),
+            None => Err(XPathError::new(format!("expected {what}, found end of query"))),
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek_token() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn offset(&self) -> usize {
+        self.peek().map(|s| s.offset).unwrap_or(usize::MAX)
+    }
+
+    // -- precedence climbing ------------------------------------------
+
+    fn parse_or(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_keyword("or") {
+            let rhs = self.parse_and()?;
+            lhs = binary(BinaryOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_equality()?;
+        while self.eat_keyword("and") {
+            let rhs = self.parse_equality()?;
+            lhs = binary(BinaryOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek_token() {
+                Some(Token::Eq) => BinaryOp::Eq,
+                Some(Token::Ne) => BinaryOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_relational()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek_token() {
+                Some(Token::Lt) => BinaryOp::Lt,
+                Some(Token::Le) => BinaryOp::Le,
+                Some(Token::Gt) => BinaryOp::Gt,
+                Some(Token::Ge) => BinaryOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_additive()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_token() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_token() {
+                // `*` is multiplication only when an operand precedes it
+                // here, which it does at this point in the grammar.
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Name(n)) if n == "div" => BinaryOp::Div,
+                Some(Token::Name(n)) if n == "mod" => BinaryOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, XPathError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Negate(Box::new(inner)));
+        }
+        self.parse_union()
+    }
+
+    fn parse_union(&mut self) -> Result<Expr, XPathError> {
+        let mut lhs = self.parse_primary()?;
+        while self.eat(&Token::Pipe) {
+            let rhs = self.parse_primary()?;
+            lhs = binary(BinaryOp::Union, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        match self.peek_token() {
+            Some(Token::Name(n)) if n == kw => {
+                self.pos += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    // -- primaries ------------------------------------------------------
+
+    fn parse_primary(&mut self) -> Result<Expr, XPathError> {
+        match self.peek_token() {
+            Some(Token::Literal(_)) => {
+                let Some(Spanned {
+                    token: Token::Literal(s),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked literal")
+                };
+                Ok(Expr::Literal(s))
+            }
+            Some(Token::Number(_)) => {
+                let Some(Spanned {
+                    token: Token::Number(n),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked number")
+                };
+                Ok(Expr::Number(n))
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Name(name))
+                if self.peek2() == Some(&Token::LParen) && !is_node_type_name(name) =>
+            {
+                // Function call.
+                let Some(Spanned {
+                    token: Token::Name(name),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked name")
+                };
+                self.bump(); // (
+                let mut args = Vec::new();
+                if self.peek_token() != Some(&Token::RParen) {
+                    loop {
+                        args.push(self.parse_or()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen, "')' after function arguments")?;
+                Ok(Expr::Call { name, args })
+            }
+            _ => self.parse_location_path().map(Expr::Path),
+        }
+    }
+
+    fn parse_location_path(&mut self) -> Result<PathExpr, XPathError> {
+        let mut steps = Vec::new();
+        let absolute = match self.peek_token() {
+            Some(Token::Slash) => {
+                self.bump();
+                true
+            }
+            Some(Token::DoubleSlash) => {
+                self.bump();
+                steps.push(descendant_or_self_step());
+                true
+            }
+            _ => false,
+        };
+
+        // `/` alone selects the document node.
+        if absolute && !self.at_step_start() {
+            if steps.is_empty() {
+                return Ok(PathExpr::absolute(steps));
+            }
+            return Err(XPathError::at("expected a step after '//'", self.offset()));
+        }
+
+        if !absolute && !self.at_step_start() {
+            return Err(XPathError::at(
+                format!(
+                    "expected an expression, found {}",
+                    self.peek_token()
+                        .map(|t| format!("{t:?}"))
+                        .unwrap_or_else(|| "end of query".to_string())
+                ),
+                self.offset(),
+            ));
+        }
+
+        steps.push(self.parse_step()?);
+        loop {
+            match self.peek_token() {
+                Some(Token::Slash) => {
+                    self.bump();
+                    steps.push(self.parse_step()?);
+                }
+                Some(Token::DoubleSlash) => {
+                    self.bump();
+                    steps.push(descendant_or_self_step());
+                    steps.push(self.parse_step()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(PathExpr {
+            absolute,
+            steps,
+        })
+    }
+
+    fn at_step_start(&self) -> bool {
+        matches!(
+            self.peek_token(),
+            Some(Token::Name(_) | Token::Star | Token::At | Token::Dot | Token::DotDot)
+        )
+    }
+
+    fn parse_step(&mut self) -> Result<Step, XPathError> {
+        let mut step = match self.peek_token() {
+            Some(Token::Dot) => {
+                self.bump();
+                Step {
+                    axis: Axis::SelfAxis,
+                    test: NodeTest::AnyNode,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::DotDot) => {
+                self.bump();
+                Step {
+                    axis: Axis::Parent,
+                    test: NodeTest::AnyNode,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::At) => {
+                self.bump();
+                let test = self.parse_node_test(Axis::Attribute)?;
+                Step {
+                    axis: Axis::Attribute,
+                    test,
+                    predicates: Vec::new(),
+                }
+            }
+            Some(Token::Name(name)) if self.peek2() == Some(&Token::DoubleColon) => {
+                let axis = match name.as_str() {
+                    "child" => Axis::Child,
+                    "self" => Axis::SelfAxis,
+                    "parent" => Axis::Parent,
+                    "attribute" => Axis::Attribute,
+                    "descendant-or-self" => Axis::DescendantOrSelf,
+                    other => {
+                        return Err(XPathError::at(
+                            format!("unsupported axis {other:?}"),
+                            self.offset(),
+                        ))
+                    }
+                };
+                self.bump(); // axis name
+                self.bump(); // ::
+                let test = self.parse_node_test(axis)?;
+                Step {
+                    axis,
+                    test,
+                    predicates: Vec::new(),
+                }
+            }
+            _ => {
+                let test = self.parse_node_test(Axis::Child)?;
+                Step {
+                    axis: Axis::Child,
+                    test,
+                    predicates: Vec::new(),
+                }
+            }
+        };
+        while self.eat(&Token::LBracket) {
+            let predicate = self.parse_or()?;
+            self.expect(&Token::RBracket, "']' closing a predicate")?;
+            step.predicates.push(predicate);
+        }
+        Ok(step)
+    }
+
+    fn parse_node_test(&mut self, _axis: Axis) -> Result<NodeTest, XPathError> {
+        match self.peek_token() {
+            Some(Token::Star) => {
+                self.bump();
+                Ok(NodeTest::Wildcard)
+            }
+            Some(Token::Name(name)) if self.peek2() == Some(&Token::LParen) => {
+                let name = name.clone();
+                match name.as_str() {
+                    "text" => {
+                        self.bump();
+                        self.bump();
+                        self.expect(&Token::RParen, "')' after text(")?;
+                        Ok(NodeTest::Text)
+                    }
+                    "node" => {
+                        self.bump();
+                        self.bump();
+                        self.expect(&Token::RParen, "')' after node(")?;
+                        Ok(NodeTest::AnyNode)
+                    }
+                    _ => Err(XPathError::at(
+                        format!("unsupported node type test {name:?}"),
+                        self.offset(),
+                    )),
+                }
+            }
+            Some(Token::Name(_)) => {
+                let Some(Spanned {
+                    token: Token::Name(name),
+                    ..
+                }) = self.bump()
+                else {
+                    unreachable!("peeked name")
+                };
+                Ok(NodeTest::Name(name))
+            }
+            other => Err(XPathError::at(
+                format!("expected a node test, found {other:?}"),
+                self.offset(),
+            )),
+        }
+    }
+}
+
+fn is_node_type_name(name: &str) -> bool {
+    matches!(name, "text" | "node" | "comment" | "processing-instruction")
+}
+
+fn descendant_or_self_step() -> Step {
+    Step {
+        axis: Axis::DescendantOrSelf,
+        test: NodeTest::AnyNode,
+        predicates: Vec::new(),
+    }
+}
+
+fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_db1() {
+        let p = parse_path("db/book[title='DB Design']/author").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].predicates.len(), 1);
+        assert_eq!(p.to_string(), "db/book[title = 'DB Design']/author");
+    }
+
+    #[test]
+    fn parses_paper_query_db2() {
+        let p = parse_path("db/publisher/author[book='DB Design']/@name").unwrap();
+        assert_eq!(p.steps.len(), 4);
+        assert_eq!(p.steps[3].axis, Axis::Attribute);
+    }
+
+    #[test]
+    fn parses_absolute_and_double_slash() {
+        let p = parse_path("//book/year").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 3); // dos + book + year
+        assert_eq!(p.to_string(), "//book/year");
+
+        let p2 = parse_path("/db//year").unwrap();
+        assert_eq!(p2.to_string(), "/db//year");
+    }
+
+    #[test]
+    fn parses_wildcard_and_attribute_wildcard() {
+        let p = parse_path("db/*/@*").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Wildcard);
+        assert_eq!(p.steps[2].axis, Axis::Attribute);
+        assert_eq!(p.steps[2].test, NodeTest::Wildcard);
+    }
+
+    #[test]
+    fn parses_positional_predicate() {
+        let p = parse_path("db/book[2]").unwrap();
+        assert_eq!(p.steps[1].predicates[0], Expr::Number(2.0));
+    }
+
+    #[test]
+    fn parses_boolean_connectives() {
+        let e = parse_expr("a and b or c").unwrap();
+        // Precedence: (a and b) or c
+        assert_eq!(e.to_string(), "(a and b) or c");
+    }
+
+    #[test]
+    fn parses_comparison_chain() {
+        let e = parse_expr("year >= 1990 and year < 2000").unwrap();
+        assert_eq!(e.to_string(), "(year >= 1990) and (year < 2000)");
+    }
+
+    #[test]
+    fn parses_function_calls() {
+        let e = parse_expr("count(//book)").unwrap();
+        assert_eq!(e.to_string(), "count(//book)");
+        let e = parse_expr("contains(title, 'Data')").unwrap();
+        assert_eq!(e.to_string(), "contains(title, 'Data')");
+        let e = parse_expr("not(position() = last())").unwrap();
+        assert_eq!(e.to_string(), "not(position() = last())");
+    }
+
+    #[test]
+    fn parses_text_node_test() {
+        let p = parse_path("book/title/text()").unwrap();
+        assert_eq!(p.steps[2].test, NodeTest::Text);
+    }
+
+    #[test]
+    fn parses_parent_and_self() {
+        let p = parse_path("book/../publisher/.").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Parent);
+        assert_eq!(p.steps[3].axis, Axis::SelfAxis);
+    }
+
+    #[test]
+    fn parses_union() {
+        let e = parse_expr("author | writer").unwrap();
+        assert_eq!(e.to_string(), "author | writer");
+    }
+
+    #[test]
+    fn parses_explicit_axes() {
+        let p = parse_path("child::book/attribute::id").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+    }
+
+    #[test]
+    fn parses_arithmetic() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + (2 * 3)");
+        let e = parse_expr("10 div 2 mod 3").unwrap();
+        assert_eq!(e.to_string(), "(10 div 2) mod 3");
+        let e = parse_expr("-price").unwrap();
+        assert_eq!(e.to_string(), "-price");
+    }
+
+    #[test]
+    fn parses_nested_predicates() {
+        let p = parse_path("db/book[author[. = 'Stonebraker']]/title").unwrap();
+        assert_eq!(p.steps[1].predicates.len(), 1);
+    }
+
+    #[test]
+    fn parses_root_only() {
+        let p = parse_path("/").unwrap();
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("db/book[").is_err());
+        assert!(parse_expr("db/book]").is_err());
+        assert!(parse_expr("db//").is_err());
+        assert!(parse_expr("count(").is_err());
+        assert!(parse_expr("ancestor::x").is_err()); // unsupported axis
+        assert!(parse_expr("comment()").is_err()); // unsupported node test
+        assert!(parse_expr("a b").is_err()); // trailing token
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        for q in [
+            "db/book[title = 'DB Design']/author",
+            "//publisher/@name",
+            "/db/book[2]/year",
+            "count(//book) > 3",
+            "db/book[year >= 1990 and year < 2000]/title",
+            "author | writer",
+            "db/book[not(contains(title, 'XML'))]",
+        ] {
+            let e = parse_expr(q).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(
+                printed,
+                reparsed.to_string(),
+                "display/reparse not stable for {q}"
+            );
+        }
+    }
+}

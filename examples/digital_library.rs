@@ -1,0 +1,104 @@
+//! The digital-library scenario: one markable attribute per plug-in type
+//! (integer pages, decimal price, text abstract, base64 cover image),
+//! demonstrating the plug-in architecture of the paper's Fig. 4 and the
+//! imperceptibility of image marks (PSNR).
+//!
+//! ```text
+//! cargo run -p wmx-examples --bin digital_library
+//! ```
+
+use wmx_core::{detect, embed, measure_usability, DetectionInput, UnitKind, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::image::GrayImage;
+use wmx_data::library::{generate, LibraryConfig};
+use wmx_examples::{banner, print_detection, print_embed_report, print_usability};
+
+fn main() {
+    banner("Digital library: every plug-in type at once");
+    let dataset = generate(&LibraryConfig {
+        records: 200,
+        image_size: 24,
+        seed: 590,
+        gamma: 2,
+    });
+    let original = dataset.doc.clone();
+    let key = SecretKey::from_passphrase("library-secret");
+    let watermark = Watermark::from_message("© Digital Library", 24);
+
+    let mut marked = original.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &watermark,
+    )
+    .expect("embedding succeeds");
+    print_embed_report(&report);
+
+    // Breakdown by plug-in type.
+    let mut by_type: std::collections::BTreeMap<String, usize> = Default::default();
+    for q in &report.queries {
+        *by_type
+            .entry(match q.mark {
+                wmx_core::MarkKind::Value(dt) => dt.to_string(),
+                wmx_core::MarkKind::SiblingOrder => "sibling-order".to_string(),
+            })
+            .or_default() += 1;
+    }
+    println!("marked units by type: {by_type:?}");
+
+    // Image imperceptibility: PSNR between original and marked covers.
+    let item = dataset.binding.entity("item").unwrap();
+    let mut worst_psnr = f64::INFINITY;
+    let mut marked_covers = 0usize;
+    let marked_instances = item.instances(&marked);
+    for (orig_inst, marked_inst) in item.instances(&original).iter().zip(&marked_instances) {
+        let a = item.attr_value(&original, orig_inst, "cover").unwrap();
+        let b = item.attr_value(&marked, marked_inst, "cover").unwrap();
+        if a != b {
+            marked_covers += 1;
+            let ia = GrayImage::from_payload(&a).unwrap();
+            let ib = GrayImage::from_payload(&b).unwrap();
+            worst_psnr = worst_psnr.min(ia.psnr(&ib).unwrap());
+        }
+    }
+    println!(
+        "cover images touched: {marked_covers}; worst-case PSNR {:.1} dB (LSB-only marks)",
+        worst_psnr
+    );
+
+    let usability = measure_usability(
+        &original,
+        &dataset.binding,
+        &marked,
+        &dataset.binding,
+        &dataset.templates,
+        &dataset.config,
+    )
+    .unwrap();
+    print_usability("after embedding", &usability);
+
+    let detection = detect(
+        &marked,
+        &DetectionInput {
+            queries: &report.queries,
+            key,
+            watermark,
+            threshold: 0.85,
+            mapping: None,
+        },
+    );
+    print_detection("library", &detection);
+
+    // Sanity: every unit here is key-identified (no FDs declared).
+    assert!(report.queries.iter().all(|q| q.logical.is_some()));
+    let _ = UnitKind::KeyAttr {
+        entity: String::new(),
+        key_value: String::new(),
+        attr: String::new(),
+    };
+    assert!(detection.detected);
+    println!("\ndigital library scenario OK");
+}

@@ -1,0 +1,52 @@
+//! Shared pretty-printing helpers for the example binaries.
+
+use wmx_core::{DetectionReport, EmbedReport, UsabilityReport};
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints an embedding report in a compact human form.
+pub fn print_embed_report(report: &EmbedReport) {
+    println!(
+        "embedding: {} units, {} selected (1/γ), {} marked ({} nodes), utilization {:.1}%",
+        report.total_units,
+        report.selected_units,
+        report.marked_units,
+        report.marked_nodes,
+        100.0 * report.capacity_utilization()
+    );
+}
+
+/// Prints a detection report in a compact human form.
+pub fn print_detection(label: &str, report: &DetectionReport) {
+    println!(
+        "detection [{label}]: {} — matched {}/{} voted bits ({:.0}%), coverage {:.0}%, p-value {:.2e}, queries located {}/{}{}",
+        if report.detected { "DETECTED" } else { "not detected" },
+        report.matched_bits,
+        report.voted_bits,
+        100.0 * report.match_fraction(),
+        100.0 * report.coverage(),
+        report.p_value,
+        report.located_queries,
+        report.total_queries,
+        if report.unrewritable_queries > 0 {
+            format!(", {} unrewritable", report.unrewritable_queries)
+        } else {
+            String::new()
+        }
+    );
+}
+
+/// Prints a usability report.
+pub fn print_usability(label: &str, report: &UsabilityReport) {
+    print!("usability [{label}]: {:.1}% (", 100.0 * report.overall());
+    for (i, t) in report.per_template.iter().enumerate() {
+        if i > 0 {
+            print!(", ");
+        }
+        print!("{} {:.0}%", t.template, 100.0 * t.fraction());
+    }
+    println!(")");
+}

@@ -1,0 +1,5 @@
+//! Shell crate for the cross-crate integration tests in `tests/`.
+//!
+//! The library target is intentionally empty: all content lives in the
+//! integration-test binaries (`tests/*.rs`), which exercise the public
+//! APIs of every `wmx-*` crate together.

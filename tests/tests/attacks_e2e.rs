@@ -1,0 +1,237 @@
+//! End-to-end attack/defense tests: each §4 demo attack against a
+//! watermarked document, asserting the paper's claimed outcomes.
+
+use wmx_attacks::redundancy::UnifyStrategy;
+use wmx_attacks::{
+    AlterationAttack, RedundancyRemovalAttack, ReductionAttack, RenameAttack, ShuffleAttack,
+};
+use wmx_core::{detect, embed, measure_usability, DetectionInput, EmbedReport, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::publications::{generate, PublicationsConfig};
+use wmx_data::Dataset;
+use wmx_xml::Document;
+
+fn setup(gamma: u32) -> (Dataset, Document, EmbedReport, SecretKey, Watermark) {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 4242,
+        gamma,
+    });
+    let key = SecretKey::from_passphrase("attack-suite");
+    let wm = Watermark::from_message("© suite", 16);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+    (dataset, marked, report, key, wm)
+}
+
+fn run_detection(
+    doc: &Document,
+    report: &EmbedReport,
+    key: &SecretKey,
+    wm: &Watermark,
+) -> wmx_core::DetectionReport {
+    detect(
+        doc,
+        &DetectionInput {
+            queries: &report.queries,
+            key: key.clone(),
+            watermark: wm.clone(),
+            threshold: 0.8,
+            mapping: None,
+        },
+    )
+}
+
+#[test]
+fn attack_a_light_alteration_fails_heavy_succeeds_but_destroys_usability() {
+    let (dataset, marked, report, key, wm) = setup(2);
+
+    // Light alteration (10%): watermark survives.
+    let mut light = marked.clone();
+    AlterationAttack::values(0.10, vec!["//book/year".into()], 1).apply(&mut light);
+    assert!(run_detection(&light, &report, &key, &wm).detected);
+
+    // Total alteration (100%): watermark dies — but so does usability.
+    let mut heavy = marked.clone();
+    AlterationAttack::values(1.0, vec!["//book/year".into()], 2).apply(&mut heavy);
+    let detection = run_detection(&heavy, &report, &key, &wm);
+    let usability = measure_usability(
+        &dataset.doc,
+        &dataset.binding,
+        &heavy,
+        &dataset.binding,
+        &dataset.templates,
+        &dataset.config,
+    )
+    .unwrap();
+    // published-when template is fully destroyed (0/4 templates can be
+    // partially credited: overall usability drops to 75%).
+    assert!(usability.overall() <= 0.80, "usability {}", usability.overall());
+    assert!(
+        !detection.detected || usability.overall() < 0.8,
+        "watermark alive only if usability is destroyed"
+    );
+}
+
+#[test]
+fn attack_b_reduction_survives_down_to_small_subsets() {
+    let (_, marked, report, key, wm) = setup(2);
+    for keep in [0.75, 0.5, 0.25, 0.1] {
+        let mut attacked = marked.clone();
+        ReductionAttack::new(keep, "/db/book", 3).apply(&mut attacked);
+        let detection = run_detection(&attacked, &report, &key, &wm);
+        assert!(
+            detection.detected,
+            "reduction keep={keep} killed detection (match {:.2})",
+            detection.match_fraction()
+        );
+    }
+}
+
+#[test]
+fn attack_b_reduction_to_nothing_defeats_detection() {
+    let (_, marked, report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    ReductionAttack::new(0.0, "/db/book", 3).apply(&mut attacked);
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(!detection.detected);
+    assert_eq!(detection.located_queries, 0);
+}
+
+#[test]
+fn attack_c_shuffle_and_rename_of_unbound_tags() {
+    let (_, marked, report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    ShuffleAttack::new(9).apply(&mut attacked);
+    // Renaming elements the identity queries never mention is harmless.
+    RenameAttack::new(vec![("author", "writer")]).apply(&mut attacked);
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(detection.detected);
+    assert_eq!(detection.match_fraction(), 1.0);
+}
+
+#[test]
+fn attack_c_rename_of_marked_tag_degrades_only_that_family() {
+    let (_, marked, report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    RenameAttack::new(vec![("year", "published")]).apply(&mut attacked);
+    // Year-unit queries dangle, but publisher FD-group queries still
+    // vote — detection rightly survives on the surviving family.
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    let year_queries = report
+        .queries
+        .iter()
+        .filter(|q| q.xpath.ends_with("/year"))
+        .count();
+    assert!(year_queries > 0);
+    assert_eq!(
+        detection.located_queries,
+        report.queries.len() - year_queries,
+        "exactly the year queries must dangle"
+    );
+    assert!(detection.detected, "publisher marks still prove ownership");
+}
+
+#[test]
+fn attack_c_rename_of_entity_element_requires_rewriting() {
+    let (_, marked, report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    // Renaming the entity element itself (book → record) strands every
+    // identity query; only rewriting under a new binding could recover.
+    RenameAttack::new(vec![("book", "record")]).apply(&mut attacked);
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(!detection.detected);
+    assert_eq!(detection.located_queries, 0);
+}
+
+#[test]
+fn attack_d_wmxml_immune_fd_unaware_dies() {
+    let dataset = generate(&PublicationsConfig {
+        records: 500,
+        editors: 8,
+        seed: 999,
+        gamma: 1,
+    });
+    let key = SecretKey::from_passphrase("fd-suite");
+    let wm = Watermark::from_message("fd", 8);
+
+    // Isolate the FD-dependent attribute: publisher only.
+    let fd_aware = wmx_core::EncoderConfig::new(
+        1,
+        vec![wmx_core::MarkableAttr::text("book", "publisher")],
+    );
+    let fd_unaware = fd_aware.clone().without_fd_groups();
+
+    // WmXML: marks FD groups consistently → attack is a no-op.
+    let mut marked = dataset.doc.clone();
+    let report = embed(&mut marked, &dataset.binding, &dataset.fds, &fd_aware, &key, &wm).unwrap();
+    let mut attacked = marked.clone();
+    let rewritten = RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+        .apply(&mut attacked);
+    assert_eq!(rewritten, 0, "WmXML groups must already be consistent");
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(detection.detected);
+
+    // FD-unaware: duplicates marked independently → unification erases.
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &fd_unaware,
+        &key,
+        &wm,
+    )
+    .unwrap();
+    let mut attacked = marked.clone();
+    let rewritten = RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+        .apply(&mut attacked);
+    assert!(rewritten > 0, "attack must find divergent duplicates");
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(
+        detection.match_fraction() < 0.8,
+        "FD-unaware marks should be erased, match {:.2}",
+        detection.match_fraction()
+    );
+
+    // …and the attack did NOT hurt usability.
+    let usability = measure_usability(
+        &dataset.doc,
+        &dataset.binding,
+        &attacked,
+        &dataset.binding,
+        &dataset.templates,
+        &fd_unaware,
+    )
+    .unwrap();
+    assert!(usability.overall() > 0.95);
+}
+
+#[test]
+fn combined_attacks_within_usability_budget_fail_to_erase() {
+    // The demo's summary claim, (i): as long as usability survives, so
+    // does the watermark — even under a combination of attacks.
+    let (dataset, marked, report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    ReductionAttack::new(0.7, "/db/book", 21).apply(&mut attacked);
+    ShuffleAttack::new(22).apply(&mut attacked);
+    AlterationAttack::values(0.15, vec!["//book/year".into()], 23).apply(&mut attacked);
+    RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+        .apply(&mut attacked);
+
+    let detection = run_detection(&attacked, &report, &key, &wm);
+    assert!(
+        detection.detected,
+        "combined mild attacks erased the mark: match {:.2}",
+        detection.match_fraction()
+    );
+}

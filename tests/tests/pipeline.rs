@@ -1,0 +1,274 @@
+//! End-to-end pipeline tests: embed → (attack) → detect across all
+//! datasets, exercising the public API exactly as a downstream user
+//! would.
+
+use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::{jobs, library, publications, Dataset};
+use wmx_xml::{parse, to_string};
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        publications::generate(&publications::PublicationsConfig {
+            records: 250,
+            editors: 8,
+            seed: 11,
+            gamma: 3,
+        }),
+        jobs::generate(&jobs::JobsConfig {
+            records: 250,
+            companies: 9,
+            seed: 22,
+            gamma: 3,
+        }),
+        library::generate(&library::LibraryConfig {
+            records: 150,
+            image_size: 16,
+            seed: 33,
+            gamma: 2,
+        }),
+    ]
+}
+
+#[test]
+fn embed_detect_roundtrip_on_every_dataset() {
+    for dataset in datasets() {
+        let key = SecretKey::from_passphrase("pipeline-key");
+        let wm = Watermark::from_message("© integration", 24);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &key,
+            &wm,
+        )
+        .unwrap_or_else(|e| panic!("{}: embed failed: {e}", dataset.name));
+        assert!(report.marked_units > 0, "{}: nothing marked", dataset.name);
+
+        let detection = detect(
+            &marked,
+            &DetectionInput {
+                queries: &report.queries,
+                key: key.clone(),
+                watermark: wm.clone(),
+                threshold: 0.85,
+                mapping: None,
+            },
+        );
+        assert!(detection.detected, "{}: not detected", dataset.name);
+        assert_eq!(
+            detection.match_fraction(),
+            1.0,
+            "{}: imperfect recovery on untouched doc",
+            dataset.name
+        );
+
+        // Imperceptibility: usability stays at 100% under the declared
+        // tolerances.
+        let usability = measure_usability(
+            &dataset.doc,
+            &dataset.binding,
+            &marked,
+            &dataset.binding,
+            &dataset.templates,
+            &dataset.config,
+        )
+        .unwrap();
+        assert_eq!(
+            usability.overall(),
+            1.0,
+            "{}: embedding degraded usability",
+            dataset.name
+        );
+    }
+}
+
+#[test]
+fn marked_document_survives_serialization_roundtrip() {
+    // The owner publishes the marked XML as text; detection operates on
+    // the re-parsed file.
+    for dataset in datasets() {
+        let key = SecretKey::from_passphrase("serialize-key");
+        let wm = Watermark::from_message("roundtrip", 16);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &key,
+            &wm,
+        )
+        .unwrap();
+        let published = to_string(&marked);
+        let reparsed = parse(&published)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", dataset.name));
+        let detection = detect(
+            &reparsed,
+            &DetectionInput {
+                queries: &report.queries,
+                key,
+                watermark: wm,
+                threshold: 0.85,
+                mapping: None,
+            },
+        );
+        assert!(
+            detection.detected,
+            "{}: detection failed after serialize/parse",
+            dataset.name
+        );
+        assert_eq!(detection.match_fraction(), 1.0, "{}", dataset.name);
+    }
+}
+
+#[test]
+fn stored_query_texts_are_self_contained() {
+    // The paper's contract: the user keeps only the query set + key.
+    // Compiling the query *texts* (not the in-memory ASTs) must locate
+    // the marks.
+    let dataset = publications::generate(&publications::PublicationsConfig {
+        records: 120,
+        editors: 6,
+        seed: 44,
+        gamma: 2,
+    });
+    let key = SecretKey::from_passphrase("contract");
+    let wm = Watermark::from_message("contract", 12);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+    for sq in &report.queries {
+        let q = wmx_xpath::Query::compile(&sq.xpath)
+            .unwrap_or_else(|e| panic!("stored query does not re-compile: {} ({e})", sq.xpath));
+        assert!(
+            !q.select(&marked).is_empty(),
+            "stored query finds nothing: {}",
+            sq.xpath
+        );
+    }
+}
+
+#[test]
+fn detection_requires_both_key_and_watermark() {
+    let dataset = jobs::generate(&jobs::JobsConfig {
+        records: 300,
+        companies: 10,
+        seed: 55,
+        gamma: 2,
+    });
+    let key = SecretKey::from_passphrase("right-key");
+    let wm = Watermark::from_message("right-mark", 24);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+
+    let attempt = |k: &str, w: &str| -> bool {
+        detect(
+            &marked,
+            &DetectionInput {
+                queries: &report.queries,
+                key: SecretKey::from_passphrase(k),
+                watermark: Watermark::from_message(w, 24),
+                threshold: 0.85,
+                mapping: None,
+            },
+        )
+        .detected
+    };
+    assert!(attempt("right-key", "right-mark"));
+    assert!(!attempt("wrong-key", "right-mark"));
+    assert!(!attempt("right-key", "wrong-mark"));
+    assert!(!attempt("wrong-key", "wrong-mark"));
+}
+
+#[test]
+fn watermarks_of_various_lengths_roundtrip() {
+    let dataset = publications::generate(&publications::PublicationsConfig {
+        records: 400,
+        editors: 10,
+        seed: 66,
+        gamma: 1,
+    });
+    for len in [1, 2, 8, 64, 128] {
+        let key = SecretKey::from_passphrase("len-key");
+        let wm = Watermark::from_message("length sweep", len);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &key,
+            &wm,
+        )
+        .unwrap();
+        let detection = detect(
+            &marked,
+            &DetectionInput {
+                queries: &report.queries,
+                key,
+                watermark: wm,
+                threshold: 0.85,
+                mapping: None,
+            },
+        );
+        assert!(detection.detected, "wm length {len} failed");
+    }
+}
+
+#[test]
+fn two_owners_marks_coexist() {
+    // Owner A marks years; owner B (different key) marks the already-
+    // marked document. A's mark must still be detectable afterwards:
+    // re-marking is itself an alteration attack of bounded magnitude.
+    let dataset = publications::generate(&publications::PublicationsConfig {
+        records: 500,
+        editors: 10,
+        seed: 77,
+        gamma: 3,
+    });
+    let key_a = SecretKey::from_passphrase("owner-a");
+    let key_b = SecretKey::from_passphrase("owner-b");
+    let wm = Watermark::from_message("shared-mark-text", 16);
+
+    let mut doc = dataset.doc.clone();
+    let report_a = embed(&mut doc, &dataset.binding, &dataset.fds, &dataset.config, &key_a, &wm)
+        .unwrap();
+    let _report_b = embed(&mut doc, &dataset.binding, &dataset.fds, &dataset.config, &key_b, &wm)
+        .unwrap();
+
+    let detection_a = detect(
+        &doc,
+        &DetectionInput {
+            queries: &report_a.queries,
+            key: key_a,
+            watermark: wm.clone(),
+            threshold: 0.75,
+            mapping: None,
+        },
+    );
+    // B re-marked ~1/3 of units with its own selection; the overlap that
+    // flipped A's parities is ~1/6 of A's marks — majority voting holds.
+    assert!(
+        detection_a.detected,
+        "owner A lost the mark after re-marking: {:.2}",
+        detection_a.match_fraction()
+    );
+}

@@ -1,0 +1,253 @@
+//! Cross-schema detection: the full Fig. 1 / Fig. 2 pipeline, plus
+//! property-based checks that reorganization preserves logical records.
+
+use proptest::prelude::*;
+use wmx_attacks::{ReorganizationAttack, ShuffleAttack};
+use wmx_core::{detect, embed, DetectionInput, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::publications::{generate, PublicationsConfig};
+use wmx_rewrite::binding::{AttrBinding, EntityBinding};
+use wmx_rewrite::transform::{extract_records, FieldPlacement, Layout};
+use wmx_rewrite::{SchemaBinding, SchemaMapping};
+
+fn db2_binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "publications-db2",
+        vec![EntityBinding::new(
+            "book",
+            "/db/publisher/author/book",
+            "title",
+            vec![
+                ("title", AttrBinding::Attribute("name".into())),
+                ("year", AttrBinding::ChildText("published".into())),
+                ("author", AttrBinding::Path("../@name".into())),
+                ("publisher", AttrBinding::Path("../../@name".into())),
+            ],
+        )
+        .unwrap()],
+    )
+}
+
+fn db2_layout() -> Layout {
+    Layout::GroupBy {
+        attr: "publisher".into(),
+        element: "publisher".into(),
+        label: FieldPlacement::Attribute("name".into()),
+        inner: Box::new(Layout::GroupBy {
+            attr: "author".into(),
+            element: "author".into(),
+            label: FieldPlacement::Attribute("name".into()),
+            inner: Box::new(Layout::Flat {
+                record_element: "book".into(),
+                fields: vec![
+                    ("title".into(), FieldPlacement::Attribute("name".into())),
+                    ("year".into(), FieldPlacement::ChildText("published".into())),
+                ],
+            }),
+        }),
+    }
+}
+
+#[test]
+fn detection_after_full_reorganization_with_rewriting() {
+    let dataset = generate(&PublicationsConfig {
+        records: 300,
+        editors: 9,
+        seed: 1,
+        gamma: 2,
+    });
+    let key = SecretKey::from_passphrase("fig2");
+    let wm = Watermark::from_message("fig2-mark", 16);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+
+    let mut reorganized = ReorganizationAttack::new("book", "db", db2_layout())
+        .apply(&marked, &dataset.binding)
+        .unwrap();
+    ShuffleAttack::new(2).apply(&mut reorganized);
+
+    let mapping = SchemaMapping::new(dataset.binding.clone(), db2_binding()).unwrap();
+    let with = detect(
+        &reorganized,
+        &DetectionInput {
+            queries: &report.queries,
+            key: key.clone(),
+            watermark: wm.clone(),
+            threshold: 0.8,
+            mapping: Some(&mapping),
+        },
+    );
+    assert!(with.detected, "rewritten detection must succeed");
+    assert_eq!(with.match_fraction(), 1.0);
+
+    let without = detect(
+        &reorganized,
+        &DetectionInput {
+            queries: &report.queries,
+            key,
+            watermark: wm,
+            threshold: 0.8,
+            mapping: None,
+        },
+    );
+    assert!(!without.detected, "un-rewritten detection must fail");
+    assert_eq!(without.located_queries, 0);
+}
+
+#[test]
+fn round_trip_reorganization_detects_in_original_schema_again() {
+    // db1 → db2 → db1: a thief restructures twice; detection with the
+    // original (identity) binding works again without any mapping.
+    let dataset = generate(&PublicationsConfig {
+        records: 200,
+        editors: 6,
+        seed: 3,
+        gamma: 2,
+    });
+    let key = SecretKey::from_passphrase("twice");
+    let wm = Watermark::from_message("twice", 12);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+
+    let reorganized = ReorganizationAttack::new("book", "db", db2_layout())
+        .apply(&marked, &dataset.binding)
+        .unwrap();
+    let back = ReorganizationAttack::new(
+        "book",
+        "db",
+        Layout::Flat {
+            record_element: "book".into(),
+            fields: vec![
+                ("publisher".into(), FieldPlacement::Attribute("publisher".into())),
+                ("title".into(), FieldPlacement::ChildText("title".into())),
+                ("author".into(), FieldPlacement::ChildText("author".into())),
+                ("year".into(), FieldPlacement::ChildText("year".into())),
+            ],
+        },
+    )
+    .apply(&reorganized, &db2_binding())
+    .unwrap();
+
+    let detection = detect(
+        &back,
+        &DetectionInput {
+            queries: &report.queries,
+            key,
+            watermark: wm,
+            threshold: 0.8,
+            mapping: None,
+        },
+    );
+    assert!(detection.detected, "double reorganization lost the mark");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn reorganization_preserves_shared_records(records in 5usize..60, seed in 0u64..1000) {
+        let dataset = generate(&PublicationsConfig {
+            records,
+            editors: 4,
+            seed,
+            gamma: 2,
+        });
+        let original = extract_records(&dataset.doc, &dataset.binding, "book").unwrap();
+        let reorganized = ReorganizationAttack::new("book", "db", db2_layout())
+            .apply(&dataset.doc, &dataset.binding)
+            .unwrap();
+        let after = extract_records(&reorganized, &db2_binding(), "book").unwrap();
+
+        let shared = ["title", "author", "publisher", "year"];
+        let normalize = |mut rs: Vec<wmx_rewrite::Record>| {
+            for r in rs.iter_mut() {
+                for v in r.fields.values_mut() {
+                    v.sort();
+                }
+            }
+            rs.sort_by(|a, b| a.key.cmp(&b.key));
+            rs
+        };
+        let a = normalize(original.iter().map(|r| r.project(&shared)).collect());
+        let b = normalize(after.iter().map(|r| r.project(&shared)).collect());
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn detection_with_stripped_logical_forms_uses_concrete_rewriting() {
+    // Queries loaded from a `.wmxq` file carry no logical form; the
+    // decoder must fall back to concrete pattern rewriting (recovering
+    // the logical query from the XPath text against the source binding
+    // is not available in that path, so rewrite_through handles it).
+    let dataset = generate(&PublicationsConfig {
+        records: 200,
+        editors: 6,
+        seed: 5,
+        gamma: 2,
+    });
+    let key = SecretKey::from_passphrase("stripped");
+    let wm = Watermark::from_message("stripped", 12);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &[], // no FDs: keep every query key-identified (rewritable)
+        &wmx_core::EncoderConfig::new(
+            2,
+            vec![wmx_core::MarkableAttr::integer("book", "year", 1)],
+        ),
+        &key,
+        &wm,
+    )
+    .unwrap();
+
+    // Simulate a query-file round trip: logical forms are dropped.
+    let stripped: Vec<wmx_core::StoredQuery> = report
+        .queries
+        .iter()
+        .map(|q| wmx_core::StoredQuery {
+            unit_id: q.unit_id.clone(),
+            xpath: q.xpath.clone(),
+            logical: None,
+            mark: q.mark,
+        })
+        .collect();
+
+    let reorganized = ReorganizationAttack::new("book", "db", db2_layout())
+        .apply(&marked, &dataset.binding)
+        .unwrap();
+    let mapping = SchemaMapping::new(dataset.binding.clone(), db2_binding()).unwrap();
+
+    let detection = detect(
+        &reorganized,
+        &DetectionInput {
+            queries: &stripped,
+            key,
+            watermark: wm,
+            threshold: 0.8,
+            mapping: Some(&mapping),
+        },
+    );
+    assert!(
+        detection.detected,
+        "concrete rewriting must recover detection (located {}/{})",
+        detection.located_queries, detection.total_queries
+    );
+    assert_eq!(detection.unrewritable_queries, 0);
+}

@@ -1,0 +1,125 @@
+//! Structure-unit (sibling order) watermarking end-to-end: the paper's
+//! "structure units … could contain bandwidth" claim, and the fragility
+//! trade-off against reordering.
+
+use wmx_attacks::{AlterationAttack, ShuffleAttack};
+use wmx_core::{detect, embed, DetectionInput, EncoderConfig, MarkableAttr, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::publications::{binding, generate, PublicationsConfig};
+
+fn setup(order_only: bool) -> (
+    wmx_xml::Document,
+    wmx_core::EmbedReport,
+    SecretKey,
+    Watermark,
+) {
+    let dataset = generate(&PublicationsConfig {
+        records: 400,
+        editors: 10,
+        seed: 88,
+        gamma: 1,
+    });
+    let config = if order_only {
+        EncoderConfig::new(1, vec![]).with_structural("book", "author")
+    } else {
+        EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)])
+            .with_structural("book", "author")
+    };
+    let key = SecretKey::from_passphrase("structural");
+    let wm = Watermark::from_message("structural", 12);
+    let mut marked = dataset.doc.clone();
+    let report = embed(&mut marked, &binding(), &[], &config, &key, &wm).unwrap();
+    (marked, report, key, wm)
+}
+
+fn run(
+    doc: &wmx_xml::Document,
+    report: &wmx_core::EmbedReport,
+    key: &SecretKey,
+    wm: &Watermark,
+) -> wmx_core::DetectionReport {
+    detect(
+        doc,
+        &DetectionInput {
+            queries: &report.queries,
+            key: key.clone(),
+            watermark: wm.clone(),
+            threshold: 0.8,
+            mapping: None,
+        },
+    )
+}
+
+#[test]
+fn order_marks_detect_on_clean_document() {
+    let (marked, report, key, wm) = setup(true);
+    assert!(report.marked_units > 50, "multi-author books should be plentiful");
+    let d = run(&marked, &report, &key, &wm);
+    assert!(d.detected);
+    assert_eq!(d.match_fraction(), 1.0);
+}
+
+#[test]
+fn order_marks_survive_value_alteration() {
+    // Value perturbation does not touch sibling order.
+    let (mut marked, report, key, wm) = setup(true);
+    AlterationAttack::values(1.0, vec!["//book/year".into()], 1).apply(&mut marked);
+    let d = run(&marked, &report, &key, &wm);
+    assert!(d.detected, "value alteration must not erase order marks");
+}
+
+#[test]
+fn order_marks_die_under_shuffle_value_marks_survive() {
+    let (mut order_marked, order_report, key, wm) = setup(true);
+    ShuffleAttack::new(2).apply(&mut order_marked);
+    let d = run(&order_marked, &order_report, &key, &wm);
+    assert!(
+        !d.detected,
+        "shuffle should erase order-only marks (match {:.2})",
+        d.match_fraction()
+    );
+
+    let (mut both_marked, both_report, key, wm) = setup(false);
+    ShuffleAttack::new(2).apply(&mut both_marked);
+    let d = run(&both_marked, &both_report, &key, &wm);
+    assert!(
+        d.detected,
+        "value marks must carry detection through a shuffle"
+    );
+}
+
+#[test]
+fn order_marks_preserve_value_multisets() {
+    let dataset = generate(&PublicationsConfig {
+        records: 200,
+        editors: 8,
+        seed: 89,
+        gamma: 1,
+    });
+    let config = EncoderConfig::new(1, vec![]).with_structural("book", "author");
+    let mut marked = dataset.doc.clone();
+    embed(
+        &mut marked,
+        &binding(),
+        &[],
+        &config,
+        &SecretKey::from_passphrase("s"),
+        &Watermark::from_message("s", 8),
+    )
+    .unwrap();
+    // Canonicalize with sorted children per book: author multisets match.
+    let collect = |doc: &wmx_xml::Document| -> Vec<Vec<String>> {
+        let root = doc.root_element().unwrap();
+        doc.child_elements_named(root, "book")
+            .map(|b| {
+                let mut authors: Vec<String> = doc
+                    .child_elements_named(b, "author")
+                    .map(|a| doc.text_content(a))
+                    .collect();
+                authors.sort();
+                authors
+            })
+            .collect()
+    };
+    assert_eq!(collect(&dataset.doc), collect(&marked));
+}

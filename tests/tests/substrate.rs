@@ -1,0 +1,155 @@
+//! Cross-substrate integration: the XML engine, query engine, schema
+//! layer, and dataset generators working together, plus property tests
+//! on the invariants the watermarking pipeline relies on.
+
+use proptest::prelude::*;
+use wmx_data::{jobs, library, publications};
+use wmx_schema::{infer_schema, validate};
+use wmx_xml::{parse, to_canonical_string, to_pretty_string, to_string};
+use wmx_xpath::Query;
+
+#[test]
+fn generated_datasets_survive_serialize_parse_identically() {
+    let docs = [
+        publications::generate(&publications::PublicationsConfig {
+            records: 60,
+            editors: 5,
+            seed: 1,
+            gamma: 2,
+        })
+        .doc,
+        jobs::generate(&jobs::JobsConfig {
+            records: 60,
+            companies: 5,
+            seed: 2,
+            gamma: 2,
+        })
+        .doc,
+        library::generate(&library::LibraryConfig {
+            records: 30,
+            image_size: 8,
+            seed: 3,
+            gamma: 2,
+        })
+        .doc,
+    ];
+    for doc in docs {
+        let compact = parse(&to_string(&doc)).unwrap();
+        let pretty = parse(&to_pretty_string(&doc)).unwrap();
+        assert_eq!(to_canonical_string(&doc), to_canonical_string(&compact));
+        assert_eq!(to_canonical_string(&doc), to_canonical_string(&pretty));
+    }
+}
+
+#[test]
+fn inferred_schemas_validate_their_sources() {
+    let ds = publications::generate(&publications::PublicationsConfig {
+        records: 80,
+        editors: 6,
+        seed: 4,
+        gamma: 2,
+    });
+    let inferred = infer_schema(&ds.doc, "inferred-pubs");
+    assert_eq!(validate(&ds.doc, &inferred), vec![]);
+    // The hand-written schema also validates.
+    assert_eq!(validate(&ds.doc, &ds.schema), vec![]);
+}
+
+#[test]
+fn xpath_counts_agree_with_dom_walks() {
+    let ds = jobs::generate(&jobs::JobsConfig {
+        records: 100,
+        companies: 7,
+        seed: 5,
+        gamma: 2,
+    });
+    let doc = &ds.doc;
+    let via_query = Query::compile("//listing").unwrap().select(doc).len();
+    let via_dom = doc
+        .descendant_elements(doc.document_node())
+        .filter(|&n| doc.name(n) == Some("listing"))
+        .count();
+    assert_eq!(via_query, via_dom);
+    assert_eq!(via_query, 100);
+
+    // count() agrees too.
+    let count = Query::compile("count(//listing)")
+        .unwrap()
+        .evaluate(doc)
+        .unwrap();
+    assert_eq!(count, wmx_xpath::Value::Number(100.0));
+}
+
+#[test]
+fn binding_accessors_agree_with_raw_queries() {
+    let ds = publications::generate(&publications::PublicationsConfig {
+        records: 40,
+        editors: 4,
+        seed: 6,
+        gamma: 2,
+    });
+    let doc = &ds.doc;
+    let entity = ds.binding.entity("book").unwrap();
+    let instances = entity.instances(doc);
+    for instance in instances.iter().take(10) {
+        let key = entity.key_of(doc, instance).unwrap();
+        let via_logical = wmx_rewrite::LogicalQuery::new("book", &key, "year")
+            .compile(&ds.binding)
+            .unwrap()
+            .select_string(doc)
+            .unwrap();
+        let via_binding = entity.attr_value(doc, instance, "year").unwrap();
+        assert_eq!(via_logical, via_binding);
+    }
+}
+
+/// Strategy for small, well-formed documents built through the builder.
+fn arb_doc() -> impl Strategy<Value = wmx_xml::Document> {
+    let leaf_text = "[a-zA-Z0-9 .,!<>&'\"]{0,16}";
+    (
+        prop::collection::vec((leaf_text, any::<bool>()), 1..12),
+        "[a-z][a-z0-9]{0,6}",
+    )
+        .prop_map(|(leaves, root_name)| {
+            let mut root = wmx_xml::ElementBuilder::new(format!("r{root_name}"));
+            for (i, (text, as_attr)) in leaves.into_iter().enumerate() {
+                let child = wmx_xml::ElementBuilder::new(format!("c{i}"));
+                root = if as_attr {
+                    root.child(child.attr("v", text))
+                } else {
+                    root.child(child.text(text))
+                };
+            }
+            root.into_document()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serialize_parse_is_identity_on_canonical_form(doc in arb_doc()) {
+        let text = to_string(&doc);
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(to_canonical_string(&doc), to_canonical_string(&reparsed));
+    }
+
+    #[test]
+    fn pretty_and_compact_forms_are_equivalent(doc in arb_doc()) {
+        let a = parse(&to_string(&doc)).unwrap();
+        let b = parse(&to_pretty_string(&doc)).unwrap();
+        prop_assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn inferred_schema_always_validates_source(doc in arb_doc()) {
+        let schema = infer_schema(&doc, "prop");
+        prop_assert_eq!(validate(&doc, &schema), vec![]);
+    }
+
+    #[test]
+    fn descendant_query_finds_every_element(doc in arb_doc()) {
+        let all = Query::compile("//*").unwrap().select(&doc).len();
+        prop_assert_eq!(all, doc.element_count());
+    }
+}
