@@ -115,7 +115,11 @@ impl AlterationAttack {
         if let Ok(x) = value.trim().parse::<f64>() {
             let magnitude =
                 rng.random_range(self.min_shift as f64..=self.max_shift.max(self.min_shift) as f64);
-            let sign = if rng.random_range(0..2) == 0 { 1.0 } else { -1.0 };
+            let sign = if rng.random_range(0..2) == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             return format!("{:.2}", x + sign * magnitude);
         }
         // Text: scramble by appending an adversarial suffix (normalized
@@ -124,11 +128,7 @@ impl AlterationAttack {
     }
 }
 
-fn write_back(
-    doc: &mut Document,
-    node: &wmx_xpath::NodeRef,
-    value: &str,
-) -> Result<(), ()> {
+fn write_back(doc: &mut Document, node: &wmx_xpath::NodeRef, value: &str) -> Result<(), ()> {
     match node {
         wmx_xpath::NodeRef::Node(id) => {
             if doc.is_element(*id) {
@@ -266,9 +266,7 @@ mod tests {
         let attack = AlterationAttack::values(1.0, vec!["//book/author".into()], 11);
         attack.apply(&mut d);
         let authors = Query::compile("//book/author").unwrap().select(&d);
-        assert!(authors
-            .iter()
-            .all(|n| n.string_value(&d).contains("-x")));
+        assert!(authors.iter().all(|n| n.string_value(&d).contains("-x")));
     }
 }
 

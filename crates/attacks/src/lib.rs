@@ -23,8 +23,8 @@
 
 pub mod alteration;
 pub mod reduction;
-pub mod reorganization;
 pub mod redundancy;
+pub mod reorganization;
 
 pub use alteration::{AlterationAttack, RoundingAttack};
 pub use reduction::ReductionAttack;

@@ -44,11 +44,7 @@ impl RedundancyRemovalAttack {
             if group.members.len() < 2 {
                 continue;
             }
-            let values: Vec<String> = group
-                .members
-                .iter()
-                .map(|m| m.string_value(doc))
-                .collect();
+            let values: Vec<String> = group.members.iter().map(|m| m.string_value(doc)).collect();
             let unified = match self.strategy {
                 UnifyStrategy::FirstValue => values[0].clone(),
                 UnifyStrategy::MajorityValue => {
@@ -161,10 +157,9 @@ mod tests {
 
     #[test]
     fn singleton_groups_ignored() {
-        let mut d = parse(
-            r#"<db><book publisher="mkp"><title>A</title><editor>Solo</editor></book></db>"#,
-        )
-        .unwrap();
+        let mut d =
+            parse(r#"<db><book publisher="mkp"><title>A</title><editor>Solo</editor></book></db>"#)
+                .unwrap();
         let rewritten =
             RedundancyRemovalAttack::new(vec![fd()], UnifyStrategy::MajorityValue).apply(&mut d);
         assert_eq!(rewritten, 0);

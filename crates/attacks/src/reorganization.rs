@@ -102,11 +102,7 @@ impl RenameAttack {
             let Some(name) = doc.name(node).map(str::to_string) else {
                 continue;
             };
-            if let Some((_, to)) = self
-                .element_renames
-                .iter()
-                .find(|(from, _)| from == &name)
-            {
+            if let Some((_, to)) = self.element_renames.iter().find(|(from, _)| from == &name) {
                 doc.set_name(node, to.clone()).expect("element rename");
                 renamed += 1;
             }
@@ -142,9 +138,7 @@ mod tests {
                 label: FieldPlacement::Attribute("name".into()),
                 inner: Box::new(Layout::Flat {
                     record_element: "book".into(),
-                    fields: vec![
-                        ("title".into(), FieldPlacement::SelfText),
-                    ],
+                    fields: vec![("title".into(), FieldPlacement::SelfText)],
                 }),
             }),
         }
@@ -156,20 +150,22 @@ mod tests {
         let attack = ReorganizationAttack::new("book", "db", grouped_layout());
         let reorganized = attack.apply(&doc, &binding()).unwrap();
         // New shape.
-        assert!(Query::compile("/db/book").unwrap().select(&reorganized).is_empty());
+        assert!(Query::compile("/db/book")
+            .unwrap()
+            .select(&reorganized)
+            .is_empty());
         assert!(!Query::compile("/db/publisher/author/book")
             .unwrap()
             .select(&reorganized)
             .is_empty());
         // Every original title is still present as a book leaf.
         let titles_before = Query::compile("/db/book/title").unwrap().select(&doc).len();
-        let distinct_titles_after: std::collections::BTreeSet<String> =
-            Query::compile("//book")
-                .unwrap()
-                .select(&reorganized)
-                .iter()
-                .map(|n| n.string_value(&reorganized))
-                .collect();
+        let distinct_titles_after: std::collections::BTreeSet<String> = Query::compile("//book")
+            .unwrap()
+            .select(&reorganized)
+            .iter()
+            .map(|n| n.string_value(&reorganized))
+            .collect();
         assert_eq!(titles_before, distinct_titles_after.len());
     }
 
@@ -205,8 +201,8 @@ mod tests {
     #[test]
     fn rename_attack_renames_all_occurrences() {
         let mut d = dataset_doc();
-        let renamed = RenameAttack::new(vec![("year", "published"), ("editor", "curator")])
-            .apply(&mut d);
+        let renamed =
+            RenameAttack::new(vec![("year", "published"), ("editor", "curator")]).apply(&mut d);
         assert_eq!(renamed, 100); // 50 years + 50 editors
         assert!(Query::compile("//year").unwrap().select(&d).is_empty());
         assert_eq!(Query::compile("//published").unwrap().select(&d).len(), 50);

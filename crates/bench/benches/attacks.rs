@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wmx_attacks::redundancy::UnifyStrategy;
-use wmx_attacks::{AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ShuffleAttack};
+use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, ShuffleAttack};
 use wmx_bench::workloads::marked_publications;
 
 fn bench_attacks(c: &mut Criterion) {

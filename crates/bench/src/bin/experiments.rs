@@ -21,15 +21,14 @@
 use std::time::Instant;
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{
-    AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ReorganizationAttack,
-    ShuffleAttack,
+    AlterationAttack, ReductionAttack, RedundancyRemovalAttack, ReorganizationAttack, ShuffleAttack,
 };
 use wmx_bench::table::{pct, yn, Table};
 use wmx_bench::workloads::marked_publications;
 use wmx_core::baseline::{baseline_detect, baseline_embed, BaselineConfig, BaselinePath};
 use wmx_core::{
-    detect, embed, measure_usability, DetectionInput, DetectionReport, EncoderConfig,
-    MarkableAttr, Watermark,
+    detect, embed, measure_usability, DetectionInput, DetectionReport, EncoderConfig, MarkableAttr,
+    Watermark,
 };
 use wmx_crypto::SecretKey;
 use wmx_data::{jobs, library, publications};
@@ -116,7 +115,14 @@ fn e1_capacity_and_imperceptibility() {
     println!("usability of XML document would not be seriously degraded\"\n");
 
     let mut t = Table::new(&[
-        "dataset", "records", "gamma", "units", "selected", "marked", "util %", "usability %",
+        "dataset",
+        "records",
+        "gamma",
+        "units",
+        "selected",
+        "marked",
+        "util %",
+        "usability %",
     ]);
     for gamma in [3u32, 10, 30] {
         for name in ["publications", "jobs", "library"] {
@@ -188,7 +194,13 @@ fn e1_capacity_and_imperceptibility() {
     // Challenge (A) companion: the value-identified baseline collapses
     // duplicated values into shared units, losing bandwidth.
     println!("\n[E1b] bandwidth: WmXML key-identified vs value-identified baseline");
-    let mut t = Table::new(&["records", "value nodes", "wmxml units", "baseline units", "collapse %"]);
+    let mut t = Table::new(&[
+        "records",
+        "value nodes",
+        "wmxml units",
+        "baseline units",
+        "collapse %",
+    ]);
     for records in [250usize, 500, 1000, 2000] {
         let dataset = publications::generate(&publications::PublicationsConfig {
             records,
@@ -233,13 +245,15 @@ fn e2_alteration() {
     println!("\n[E2] alteration attack (A) — perturb values beyond tolerance");
     println!("claim: the watermark dies only after usability dies\n");
     let w = marked_publications(1000, 20, 2, 10);
-    let mut t = Table::new(&[
-        "alpha", "detected", "match %", "voted bits", "usability %",
-    ]);
+    let mut t = Table::new(&["alpha", "detected", "match %", "voted bits", "usability %"]);
     for alpha in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let mut attacked = w.marked.clone();
-        AlterationAttack::values(alpha, vec!["//book/year".into()], 100 + (alpha * 10.0) as u64)
-            .apply(&mut attacked);
+        AlterationAttack::values(
+            alpha,
+            vec!["//book/year".into()],
+            100 + (alpha * 10.0) as u64,
+        )
+        .apply(&mut attacked);
         let d = detect_marked(&attacked, &w, None);
         t.row(vec![
             format!("{alpha:.1}"),
@@ -260,7 +274,12 @@ fn e3_reduction() {
     println!("claim: detection survives subsetting; completeness usability falls\n");
     let w = marked_publications(1000, 20, 2, 20);
     let mut t = Table::new(&[
-        "keep", "detected", "match %", "coverage %", "located queries", "usability %",
+        "keep",
+        "detected",
+        "match %",
+        "coverage %",
+        "located queries",
+        "usability %",
     ]);
     for keep in [1.0, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05, 0.02] {
         let mut attacked = w.marked.clone();
@@ -336,7 +355,10 @@ fn e4_reorganization() {
     )
     .map(|u| u.overall())
     .unwrap_or(0.0);
-    println!("usability of reorganized copy (shared attributes): {} %", pct(usability));
+    println!(
+        "usability of reorganized copy (shared attributes): {} %",
+        pct(usability)
+    );
 
     let mut t = Table::new(&["scheme", "detected", "match %", "located queries"]);
     t.row(vec![
@@ -369,7 +391,11 @@ fn e5_redundancy_removal() {
     println!("zero usability cost\n");
 
     let mut t = Table::new(&[
-        "scheme", "dupes unified", "detected", "match %", "usability %",
+        "scheme",
+        "dupes unified",
+        "detected",
+        "match %",
+        "usability %",
     ]);
     for (label, fd_aware) in [("WmXML (FD groups)", true), ("FD-unaware ablation", false)] {
         let dataset = publications::generate(&publications::PublicationsConfig {
@@ -389,8 +415,15 @@ fn e5_redundancy_removal() {
         let key = SecretKey::from_passphrase("e5");
         let wm = Watermark::from_message("e5", 16);
         let mut marked = dataset.doc.clone();
-        let report = embed(&mut marked, &dataset.binding, &dataset.fds, &config, &key, &wm)
-            .expect("embed");
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &config,
+            &key,
+            &wm,
+        )
+        .expect("embed");
         let mut attacked = marked.clone();
         let unified =
             RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
@@ -510,7 +543,12 @@ fn e7_throughput() {
     println!("\n[E7] throughput — parse / embed / detect wall-times (single run;");
     println!("see `cargo bench` for statistically rigorous numbers)\n");
     let mut t = Table::new(&[
-        "records", "doc KB", "parse ms", "embed ms", "detect ms", "queries",
+        "records",
+        "doc KB",
+        "parse ms",
+        "embed ms",
+        "detect ms",
+        "queries",
     ]);
     for records in [250usize, 500, 1000, 2000, 4000] {
         let dataset = publications::generate(&publications::PublicationsConfig {
@@ -587,7 +625,12 @@ fn e8_structure_units() {
     let wm = Watermark::from_message("e8", 16);
 
     let mut t = Table::new(&[
-        "unit family", "units", "marked", "detect (no attack)", "detect (shuffle)", "match % (shuffle)",
+        "unit family",
+        "units",
+        "marked",
+        "detect (no attack)",
+        "detect (shuffle)",
+        "match % (shuffle)",
     ]);
     for (label, value_units, order_units) in [
         ("value only (year)", true, false),
@@ -645,7 +688,13 @@ fn e9_gamma_tau_ablation() {
     println!("30% alteration attack (more marks per bit -> stronger majority)\n");
 
     let mut t = Table::new(&[
-        "gamma", "marked units", "marks per bit", "match %", "det @ t=0.75", "det @ t=0.85", "det @ t=0.95",
+        "gamma",
+        "marked units",
+        "marks per bit",
+        "match %",
+        "det @ t=0.75",
+        "det @ t=0.85",
+        "det @ t=0.95",
     ]);
     for gamma in [1u32, 2, 4, 8, 16, 32] {
         let dataset = publications::generate(&publications::PublicationsConfig {
@@ -709,7 +758,11 @@ fn e10_rounding() {
     let wm = Watermark::from_message("e10", 16);
 
     let mut t = Table::new(&[
-        "unit family", "detect (clean)", "detect (rounded)", "match % (rounded)", "usability %",
+        "unit family",
+        "detect (clean)",
+        "detect (rounded)",
+        "match % (rounded)",
+        "usability %",
     ]);
     for (label, numeric, text_units, order_units) in [
         ("numeric (year) only", true, false, false),

@@ -68,7 +68,11 @@ pub fn pct(x: f64) -> String {
 
 /// Formats a boolean as yes/NO (capitals draw the eye to failures).
 pub fn yn(b: bool) -> String {
-    if b { "yes".to_string() } else { "NO".to_string() }
+    if b {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
 }
 
 #[cfg(test)]

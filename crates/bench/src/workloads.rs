@@ -23,7 +23,12 @@ pub struct MarkedWorkload {
 }
 
 /// Generates and watermarks a publications database.
-pub fn marked_publications(records: usize, editors: usize, gamma: u32, seed: u64) -> MarkedWorkload {
+pub fn marked_publications(
+    records: usize,
+    editors: usize,
+    gamma: u32,
+    seed: u64,
+) -> MarkedWorkload {
     let dataset = generate(&PublicationsConfig {
         records,
         editors,

@@ -91,7 +91,12 @@ mod tests {
     #[test]
     fn parses_command_and_flags() {
         let args = Args::parse(&argv(&[
-            "embed", "--in", "db.xml", "--bits", "24", "--verbose",
+            "embed",
+            "--in",
+            "db.xml",
+            "--bits",
+            "24",
+            "--verbose",
         ]))
         .unwrap();
         assert_eq!(args.command, "embed");

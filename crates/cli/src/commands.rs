@@ -5,7 +5,7 @@ use crate::profile::{resolve, PROFILE_NAMES};
 use crate::queryfile;
 use std::fs;
 use wmx_attacks::redundancy::UnifyStrategy;
-use wmx_attacks::{AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ShuffleAttack};
+use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, ShuffleAttack};
 use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
 use wmx_crypto::SecretKey;
 use wmx_data::{jobs, library, publications};
@@ -141,7 +141,10 @@ fn cmd_embed(args: &Args) -> Result<i32, String> {
 
     let issues = wmx_schema::validate(&original, &profile.schema);
     if !issues.is_empty() {
-        eprintln!("warning: document has {} schema issue(s); first:", issues.len());
+        eprintln!(
+            "warning: document has {} schema issue(s); first:",
+            issues.len()
+        );
         eprintln!("  {}", issues[0]);
     }
 
@@ -189,7 +192,9 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
     let queries_path = args.required("queries").map_err(|e| e.to_string())?;
     let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
     let watermark = watermark_from(args)?;
-    let threshold: f64 = args.parsed_or("threshold", 0.85).map_err(|e| e.to_string())?;
+    let threshold: f64 = args
+        .parsed_or("threshold", 0.85)
+        .map_err(|e| e.to_string())?;
 
     let doc = read_doc(in_path)?;
     let queries_text =
@@ -228,7 +233,9 @@ fn cmd_attack(args: &Args) -> Result<i32, String> {
     let in_path = args.required("in").map_err(|e| e.to_string())?;
     let out_path = args.required("out").map_err(|e| e.to_string())?;
     let kind = args.required("kind").map_err(|e| e.to_string())?;
-    let intensity: f64 = args.parsed_or("intensity", 0.3).map_err(|e| e.to_string())?;
+    let intensity: f64 = args
+        .parsed_or("intensity", 0.3)
+        .map_err(|e| e.to_string())?;
     let seed: u64 = args.parsed_or("seed", 7).map_err(|e| e.to_string())?;
 
     let mut doc = read_doc(in_path)?;
@@ -344,15 +351,32 @@ mod tests {
 
         assert_eq!(
             run(&args(&[
-                "generate", "--profile", "publications", "--records", "120", "--out", &db
+                "generate",
+                "--profile",
+                "publications",
+                "--records",
+                "120",
+                "--out",
+                &db
             ]))
             .unwrap(),
             0
         );
         assert_eq!(
             run(&args(&[
-                "embed", "--profile", "publications", "--in", &db, "--key", "cli-secret",
-                "--message", "© cli", "--out", &marked, "--queries", &queries
+                "embed",
+                "--profile",
+                "publications",
+                "--in",
+                &db,
+                "--key",
+                "cli-secret",
+                "--message",
+                "© cli",
+                "--out",
+                &marked,
+                "--queries",
+                &queries
             ]))
             .unwrap(),
             0
@@ -360,8 +384,15 @@ mod tests {
         // Correct key detects.
         assert_eq!(
             run(&args(&[
-                "detect", "--in", &marked, "--key", "cli-secret", "--message", "© cli",
-                "--queries", &queries
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "cli-secret",
+                "--message",
+                "© cli",
+                "--queries",
+                &queries
             ]))
             .unwrap(),
             0
@@ -369,8 +400,15 @@ mod tests {
         // Wrong key does not (exit code 2).
         assert_eq!(
             run(&args(&[
-                "detect", "--in", &marked, "--key", "oops", "--message", "© cli",
-                "--queries", &queries
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "oops",
+                "--message",
+                "© cli",
+                "--queries",
+                &queries
             ]))
             .unwrap(),
             2
@@ -385,12 +423,29 @@ mod tests {
         let attacked = tmp("attacked2.xml");
 
         run(&args(&[
-            "generate", "--profile", "jobs", "--records", "200", "--out", &db
+            "generate",
+            "--profile",
+            "jobs",
+            "--records",
+            "200",
+            "--out",
+            &db,
         ]))
         .unwrap();
         run(&args(&[
-            "embed", "--profile", "jobs", "--in", &db, "--key", "k", "--message", "m",
-            "--out", &marked, "--queries", &queries
+            "embed",
+            "--profile",
+            "jobs",
+            "--in",
+            &db,
+            "--key",
+            "k",
+            "--message",
+            "m",
+            "--out",
+            &marked,
+            "--queries",
+            &queries,
         ]))
         .unwrap();
         assert_eq!(
@@ -402,7 +457,14 @@ mod tests {
         );
         assert_eq!(
             run(&args(&[
-                "detect", "--in", &attacked, "--key", "k", "--message", "m", "--queries",
+                "detect",
+                "--in",
+                &attacked,
+                "--key",
+                "k",
+                "--message",
+                "m",
+                "--queries",
                 &queries
             ]))
             .unwrap(),
@@ -415,7 +477,13 @@ mod tests {
     fn validate_generated_documents() {
         let db = tmp("db3.xml");
         run(&args(&[
-            "generate", "--profile", "library", "--records", "30", "--out", &db
+            "generate",
+            "--profile",
+            "library",
+            "--records",
+            "30",
+            "--out",
+            &db,
         ]))
         .unwrap();
         assert_eq!(
@@ -429,7 +497,13 @@ mod tests {
     fn unknown_command_and_profile_error() {
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&args(&[
-            "generate", "--profile", "nope", "--records", "1", "--out", "/tmp/x.xml"
+            "generate",
+            "--profile",
+            "nope",
+            "--records",
+            "1",
+            "--out",
+            "/tmp/x.xml"
         ]))
         .is_err());
     }

@@ -37,19 +37,15 @@ impl Tolerance {
                 (Some(x), Some(y)) => (x - y).abs() <= *delta,
                 _ => a == b,
             },
-            Tolerance::TextWhitespace => {
-                normalize_whitespace(a) == normalize_whitespace(b)
-            }
-            Tolerance::ImageLsb => match (
-                wmx_crypto::base64::decode(a),
-                wmx_crypto::base64::decode(b),
-            ) {
-                (Ok(x), Ok(y)) => {
-                    x.len() == y.len()
-                        && x.iter().zip(&y).all(|(p, q)| (p >> 1) == (q >> 1))
+            Tolerance::TextWhitespace => normalize_whitespace(a) == normalize_whitespace(b),
+            Tolerance::ImageLsb => {
+                match (wmx_crypto::base64::decode(a), wmx_crypto::base64::decode(b)) {
+                    (Ok(x), Ok(y)) => {
+                        x.len() == y.len() && x.iter().zip(&y).all(|(p, q)| (p >> 1) == (q >> 1))
+                    }
+                    _ => a == b,
                 }
-                _ => a == b,
-            },
+            }
         }
     }
 }

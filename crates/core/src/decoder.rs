@@ -398,7 +398,10 @@ mod tests {
                 mapping: None,
             },
         );
-        assert!(detection.detected, "10% damage should not kill a 4-bit mark");
+        assert!(
+            detection.detected,
+            "10% damage should not kill a 4-bit mark"
+        );
     }
 
     #[test]
@@ -457,8 +460,14 @@ mod tests {
         let clean = p_at_damage(0.0);
         let half = p_at_damage(0.5);
         let full = p_at_damage(1.0);
-        assert!(clean <= half, "p-value must not drop with damage: {clean} vs {half}");
-        assert!(half <= full, "p-value must not drop with damage: {half} vs {full}");
+        assert!(
+            clean <= half,
+            "p-value must not drop with damage: {clean} vs {half}"
+        );
+        assert!(
+            half <= full,
+            "p-value must not drop with damage: {half} vs {full}"
+        );
         assert!(clean < 1e-2 && full > 1e-2);
     }
 
@@ -467,12 +476,7 @@ mod tests {
         let (d, report, wm, key) = embed_and_report(400, 2, "k", "10110100");
         // Keep only a third of the queries: coverage and located counts
         // must reflect the loss while matching stays perfect.
-        let subset: Vec<_> = report
-            .queries
-            .iter()
-            .step_by(3)
-            .cloned()
-            .collect();
+        let subset: Vec<_> = report.queries.iter().step_by(3).cloned().collect();
         let detection = detect(
             &d,
             &DetectionInput {
@@ -486,7 +490,10 @@ mod tests {
         assert_eq!(detection.total_queries, subset.len());
         assert_eq!(detection.located_queries, subset.len());
         assert_eq!(detection.match_fraction(), 1.0);
-        assert!(detection.coverage() > 0.5, "a third of ~67 queries still covers most bits");
+        assert!(
+            detection.coverage() > 0.5,
+            "a third of ~67 queries still covers most bits"
+        );
     }
 
     #[test]

@@ -139,11 +139,7 @@ fn mark_unit(
 /// number of nodes moved (0 when unmarkable: equal values or the nodes
 /// are not reorderable siblings), or 2 when the order already encodes or
 /// was swapped to encode the bit.
-fn embed_order_bit(
-    doc: &mut Document,
-    nodes: &[NodeRef],
-    bit: bool,
-) -> Result<usize, WmError> {
+fn embed_order_bit(doc: &mut Document, nodes: &[NodeRef], bit: bool) -> Result<usize, WmError> {
     let (Some(NodeRef::Node(a)), Some(NodeRef::Node(b))) = (nodes.first(), nodes.get(1)) else {
         return Ok(0); // attribute-valued or missing: order is meaningless
     };
@@ -289,7 +285,10 @@ mod tests {
         let wm = Watermark::parse("110010").unwrap();
         embed(&mut a, &binding(), &[], &config(2), &key, &wm).unwrap();
         embed(&mut b, &binding(), &[], &config(2), &key, &wm).unwrap();
-        assert_eq!(wmx_xml::to_canonical_string(&a), wmx_xml::to_canonical_string(&b));
+        assert_eq!(
+            wmx_xml::to_canonical_string(&a),
+            wmx_xml::to_canonical_string(&b)
+        );
     }
 
     #[test]
@@ -340,15 +339,14 @@ mod tests {
         // 60 year units + 3 fd groups (pub0..pub2).
         assert_eq!(report.total_units, 63);
         // Every duplicate in a group holds the identical value.
-        for group_query in ["/db/book[editor = 'Ed0']/@publisher",
-                            "/db/book[editor = 'Ed1']/@publisher",
-                            "/db/book[editor = 'Ed2']/@publisher"] {
+        for group_query in [
+            "/db/book[editor = 'Ed0']/@publisher",
+            "/db/book[editor = 'Ed1']/@publisher",
+            "/db/book[editor = 'Ed2']/@publisher",
+        ] {
             let q = Query::compile(group_query).unwrap();
-            let values: std::collections::BTreeSet<String> = q
-                .select(&d)
-                .iter()
-                .map(|n| n.string_value(&d))
-                .collect();
+            let values: std::collections::BTreeSet<String> =
+                q.select(&d).iter().map(|n| n.string_value(&d)).collect();
             assert_eq!(values.len(), 1, "group {group_query} diverged: {values:?}");
         }
     }

@@ -424,11 +424,8 @@ mod tests {
 
     #[test]
     fn fd_groups_disabled_leaves_per_entity_units() {
-        let config = EncoderConfig::new(
-            1,
-            vec![MarkableAttr::text("book", "publisher")],
-        )
-        .without_fd_groups();
+        let config = EncoderConfig::new(1, vec![MarkableAttr::text("book", "publisher")])
+            .without_fd_groups();
         let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
         assert_eq!(units.len(), 3);
         assert!(units

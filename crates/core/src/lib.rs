@@ -99,9 +99,7 @@ pub fn write_value(
                 doc.set_text(*id, value);
                 Ok(())
             } else {
-                Err(WmError::new(format!(
-                    "cannot write a value into node {id}"
-                )))
+                Err(WmError::new(format!("cannot write a value into node {id}")))
             }
         }
         wmx_xpath::NodeRef::Attribute { element, name } => doc
@@ -122,14 +120,20 @@ mod tests {
         let year = Query::compile("//year").unwrap().select(&doc)[0].clone();
         write_value(&mut doc, &year, "1999").unwrap();
         assert_eq!(
-            Query::compile("//year").unwrap().select_string(&doc).unwrap(),
+            Query::compile("//year")
+                .unwrap()
+                .select_string(&doc)
+                .unwrap(),
             "1999"
         );
 
         let id = Query::compile("//book/@id").unwrap().select(&doc)[0].clone();
         write_value(&mut doc, &id, "2").unwrap();
         assert_eq!(
-            Query::compile("//book/@id").unwrap().select_string(&doc).unwrap(),
+            Query::compile("//book/@id")
+                .unwrap()
+                .select_string(&doc)
+                .unwrap(),
             "2"
         );
     }

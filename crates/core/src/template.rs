@@ -94,7 +94,11 @@ impl QueryTemplate {
 
 impl fmt::Display for QueryTemplate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}[key]/{}", self.name, self.entity, self.result_attr)
+        write!(
+            f,
+            "{}: {}[key]/{}",
+            self.name, self.entity, self.result_attr
+        )
     }
 }
 

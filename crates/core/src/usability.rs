@@ -236,7 +236,11 @@ mod tests {
             &["b".into(), "a".into()],
             &t
         ));
-        assert!(!multiset_matches(&["a".into()], &["a".into(), "a".into()], &t));
+        assert!(!multiset_matches(
+            &["a".into()],
+            &["a".into(), "a".into()],
+            &t
+        ));
         assert!(!multiset_matches(
             &["a".into(), "a".into()],
             &["a".into(), "b".into()],

@@ -84,7 +84,10 @@ mod tests {
         assert_eq!(decode("abc"), Err(HexError::OddLength));
         assert!(matches!(
             decode("zz"),
-            Err(HexError::InvalidChar { position: 0, byte: b'z' })
+            Err(HexError::InvalidChar {
+                position: 0,
+                byte: b'z'
+            })
         ));
     }
 

@@ -1,0 +1,166 @@
+//! Published-vector conformance tests for the `wmx-crypto` public API.
+//!
+//! The in-module unit tests already pin the core FIPS 180-4 and RFC 4231
+//! cases against the private internals; this suite re-verifies the
+//! *public* re-exports (`wmx_crypto::sha256`, `hmac_sha256`, the codecs)
+//! against additional published vectors, so the PRF substrate every
+//! other crate builds on cannot drift without a test failing here.
+
+use wmx_crypto::{
+    base64_decode, base64_encode, hex_decode, hex_encode, hmac_sha256, sha256, HmacSha256, Sha256,
+    DIGEST_LEN,
+};
+
+fn sha_hex(data: &[u8]) -> String {
+    hex_encode(&sha256(data))
+}
+
+/// FIPS 180-4 / NIST CAVP SHA-256 message vectors.
+#[test]
+fn sha256_fips_vectors() {
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        // 448-bit two-round message from FIPS 180-4 example B.2.
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        // 896-bit four-letter-window message (the standard long SHA-2 vector).
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+              ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+    for (msg, digest) in cases {
+        assert_eq!(
+            sha_hex(msg),
+            *digest,
+            "message {:?}",
+            String::from_utf8_lossy(msg)
+        );
+    }
+}
+
+/// The widely published "quick brown fox" digests.
+#[test]
+fn sha256_fox_vectors() {
+    assert_eq!(
+        sha_hex(b"The quick brown fox jumps over the lazy dog"),
+        "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+    );
+    assert_eq!(
+        sha_hex(b"The quick brown fox jumps over the lazy dog."),
+        "ef537f25c895bfa782526529a9b63d97aa631564d5d789c2b765448c8635fb6c"
+    );
+}
+
+/// FIPS 180-4 "one million a's" vector through the streaming interface.
+#[test]
+fn sha256_million_a_streaming() {
+    let mut h = Sha256::new();
+    for _ in 0..10_000 {
+        h.update(&[b'a'; 100]);
+    }
+    assert_eq!(
+        hex_encode(&h.finalize()),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
+}
+
+/// RFC 4231 test case 5: truncated-output HMAC.
+///
+/// The RFC publishes only the first 128 bits of the tag for this case;
+/// we verify that prefix.
+#[test]
+fn hmac_rfc4231_case5_truncated() {
+    let key = [0x0c_u8; 20];
+    let tag = hmac_sha256(&key, b"Test With Truncation");
+    assert_eq!(hex_encode(&tag[..16]), "a3b6167473100ee06e0c796c2955552b");
+}
+
+/// HMAC must equal its textbook definition H((K' ^ opad) || H((K' ^ ipad) || m))
+/// when recomputed through the public SHA-256 API.
+#[test]
+fn hmac_matches_textbook_construction() {
+    let key = b"wmxml interop key";
+    let msg = b"unit 42 of document db1.xml";
+
+    let mut padded = [0u8; 64];
+    padded[..key.len()].copy_from_slice(key);
+    let ipad: Vec<u8> = padded.iter().map(|b| b ^ 0x36).collect();
+    let opad: Vec<u8> = padded.iter().map(|b| b ^ 0x5c).collect();
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(msg);
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner.finalize());
+
+    assert_eq!(outer.finalize(), hmac_sha256(key, msg));
+}
+
+/// Streaming HMAC equals the one-shot form at every split point.
+#[test]
+fn hmac_streaming_equals_oneshot() {
+    let key = b"k";
+    let msg: Vec<u8> = (0u8..=200).collect();
+    let expect = hmac_sha256(key, &msg);
+    for split in 0..=msg.len() {
+        let mut mac = HmacSha256::new(key);
+        mac.update(&msg[..split]);
+        mac.update(&msg[split..]);
+        assert_eq!(mac.finalize(), expect, "split at {split}");
+    }
+}
+
+/// RFC 4648 §10 base64 vectors through the public re-exports.
+#[test]
+fn base64_rfc4648_vectors() {
+    let cases: &[(&[u8], &str)] = &[
+        (b"", ""),
+        (b"f", "Zg=="),
+        (b"fo", "Zm8="),
+        (b"foo", "Zm9v"),
+        (b"foob", "Zm9vYg=="),
+        (b"fooba", "Zm9vYmE="),
+        (b"foobar", "Zm9vYmFy"),
+    ];
+    for (raw, enc) in cases {
+        assert_eq!(base64_encode(raw), *enc);
+        assert_eq!(base64_decode(enc).unwrap(), raw.to_vec());
+    }
+}
+
+/// Codec round-trips over digest-shaped material: every SHA-256 output
+/// must survive hex and base64 round-trips byte-identically.
+#[test]
+fn codec_roundtrips_over_digests() {
+    for i in 0..64u32 {
+        let digest = sha256(&i.to_be_bytes());
+        assert_eq!(digest.len(), DIGEST_LEN);
+        let hex = hex_encode(&digest);
+        assert_eq!(hex.len(), 2 * DIGEST_LEN);
+        assert_eq!(hex_decode(&hex).unwrap(), digest.to_vec());
+        let b64 = base64_encode(&digest);
+        assert_eq!(base64_decode(&b64).unwrap(), digest.to_vec());
+    }
+}
+
+/// Hex decoding accepts both cases and round-trips mixed-case input.
+#[test]
+fn hex_case_insensitive() {
+    assert_eq!(
+        hex_decode("DeadBEEF").unwrap(),
+        vec![0xde, 0xad, 0xbe, 0xef]
+    );
+    assert_eq!(hex_encode(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+}

@@ -136,7 +136,10 @@ mod tests {
             *p ^= 1; // flip every LSB: worst-case LSB damage
         }
         let psnr = a.psnr(&b).unwrap();
-        assert!(psnr > 45.0, "LSB-only damage should keep PSNR high, got {psnr}");
+        assert!(
+            psnr > 45.0,
+            "LSB-only damage should keep PSNR high, got {psnr}"
+        );
         let c = GrayImage::synthetic(8, 8, 7);
         assert_eq!(a.psnr(&c), None);
     }

@@ -5,54 +5,154 @@ use rand::Rng;
 
 /// Surnames used for authors, editors, and contacts.
 pub const SURNAMES: &[&str] = &[
-    "Stonebraker", "Hellerstein", "Bernstein", "Newcomer", "Gray", "Codd", "Date", "Ullman",
-    "Widom", "DeWitt", "Selinger", "Chamberlin", "Astrahan", "Bachman", "Chen", "Abiteboul",
-    "Buneman", "Suciu", "Tan", "Pang", "Zhou", "Mangla", "Agrawal", "Kiernan", "Sion", "Atallah",
-    "Prabhakar", "Naughton", "Carey", "Franklin", "Ioannidis", "Ramakrishnan",
+    "Stonebraker",
+    "Hellerstein",
+    "Bernstein",
+    "Newcomer",
+    "Gray",
+    "Codd",
+    "Date",
+    "Ullman",
+    "Widom",
+    "DeWitt",
+    "Selinger",
+    "Chamberlin",
+    "Astrahan",
+    "Bachman",
+    "Chen",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Tan",
+    "Pang",
+    "Zhou",
+    "Mangla",
+    "Agrawal",
+    "Kiernan",
+    "Sion",
+    "Atallah",
+    "Prabhakar",
+    "Naughton",
+    "Carey",
+    "Franklin",
+    "Ioannidis",
+    "Ramakrishnan",
 ];
 
 /// Title words for generated publications.
 pub const TITLE_WORDS: &[&str] = &[
-    "Readings", "Principles", "Foundations", "Advanced", "Practical", "Distributed", "Parallel",
-    "Relational", "Semistructured", "Temporal", "Spatial", "Secure", "Adaptive", "Scalable",
-    "Streaming", "Probabilistic",
+    "Readings",
+    "Principles",
+    "Foundations",
+    "Advanced",
+    "Practical",
+    "Distributed",
+    "Parallel",
+    "Relational",
+    "Semistructured",
+    "Temporal",
+    "Spatial",
+    "Secure",
+    "Adaptive",
+    "Scalable",
+    "Streaming",
+    "Probabilistic",
 ];
 
 /// Title nouns for generated publications.
 pub const TITLE_NOUNS: &[&str] = &[
-    "Database Systems", "Query Processing", "Data Integration", "Transaction Management",
-    "Information Retrieval", "XML Processing", "Data Mining", "Storage Engines",
-    "Concurrency Control", "Access Methods", "Data Warehousing", "Schema Design",
+    "Database Systems",
+    "Query Processing",
+    "Data Integration",
+    "Transaction Management",
+    "Information Retrieval",
+    "XML Processing",
+    "Data Mining",
+    "Storage Engines",
+    "Concurrency Control",
+    "Access Methods",
+    "Data Warehousing",
+    "Schema Design",
 ];
 
 /// Publisher codes.
 pub const PUBLISHERS: &[&str] = &[
-    "mkp", "acm", "ieee", "springer", "elsevier", "vldb-press", "usenix", "siam",
+    "mkp",
+    "acm",
+    "ieee",
+    "springer",
+    "elsevier",
+    "vldb-press",
+    "usenix",
+    "siam",
 ];
 
 /// Company names for the job-agent dataset.
 pub const COMPANIES: &[&str] = &[
-    "Acme Analytics", "Initech", "Globex", "Umbrella Data", "Stark Databases", "Wayne Systems",
-    "Tyrell Info", "Hooli", "Aperture Query", "Vandelay Imports", "Wonka Storage", "Cyberdyne DB",
+    "Acme Analytics",
+    "Initech",
+    "Globex",
+    "Umbrella Data",
+    "Stark Databases",
+    "Wayne Systems",
+    "Tyrell Info",
+    "Hooli",
+    "Aperture Query",
+    "Vandelay Imports",
+    "Wonka Storage",
+    "Cyberdyne DB",
 ];
 
 /// Cities (company headquarters, job locations).
 pub const CITIES: &[&str] = &[
-    "Singapore", "Trondheim", "Hanover", "San Francisco", "New York", "London", "Tokyo",
-    "Sydney", "Berlin", "Toronto", "Zurich", "Seoul",
+    "Singapore",
+    "Trondheim",
+    "Hanover",
+    "San Francisco",
+    "New York",
+    "London",
+    "Tokyo",
+    "Sydney",
+    "Berlin",
+    "Toronto",
+    "Zurich",
+    "Seoul",
 ];
 
 /// Job titles.
 pub const JOB_TITLES: &[&str] = &[
-    "Database Administrator", "Data Engineer", "Backend Developer", "Systems Analyst",
-    "Storage Engineer", "Query Optimizer Engineer", "Data Architect", "Site Reliability Engineer",
+    "Database Administrator",
+    "Data Engineer",
+    "Backend Developer",
+    "Systems Analyst",
+    "Storage Engineer",
+    "Query Optimizer Engineer",
+    "Data Architect",
+    "Site Reliability Engineer",
 ];
 
 /// Abstract/description filler words.
 pub const FILLER: &[&str] = &[
-    "system", "design", "robust", "efficient", "novel", "approach", "evaluation", "framework",
-    "semantics", "structure", "index", "performance", "scalable", "secure", "watermark",
-    "protection", "copyright", "publish", "exchange", "integrate",
+    "system",
+    "design",
+    "robust",
+    "efficient",
+    "novel",
+    "approach",
+    "evaluation",
+    "framework",
+    "semantics",
+    "structure",
+    "index",
+    "performance",
+    "scalable",
+    "secure",
+    "watermark",
+    "protection",
+    "copyright",
+    "publish",
+    "exchange",
+    "integrate",
 ];
 
 /// Picks a deterministic element of `pool`.

@@ -59,10 +59,8 @@ impl EntityBinding {
         key_attr: &str,
         attrs: Vec<(&str, AttrBinding)>,
     ) -> Result<Self, RewriteError> {
-        let attrs: BTreeMap<String, AttrBinding> = attrs
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect();
+        let attrs: BTreeMap<String, AttrBinding> =
+            attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         if !attrs.contains_key(key_attr) {
             return Err(RewriteError::new(format!(
                 "entity {entity}: key attribute {key_attr:?} is not bound"
@@ -260,7 +258,10 @@ mod tests {
             book.attr_values(&doc, &instances[0], "author"),
             vec!["Stonebraker", "Hellerstein"]
         );
-        assert_eq!(book.attr_value(&doc, &instances[1], "year").unwrap(), "1998");
+        assert_eq!(
+            book.attr_value(&doc, &instances[1], "year").unwrap(),
+            "1998"
+        );
     }
 
     #[test]

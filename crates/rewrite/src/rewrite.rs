@@ -231,9 +231,9 @@ mod tests {
         let binding = paper_db1_binding();
         for text in [
             "count(//book)",
-            "/db/book/author",                 // no key predicate
-            "/other/book[title='X']/author",   // wrong prefix
-            "/db/book[year='1998']/author",    // predicate not on the key
+            "/db/book/author",               // no key predicate
+            "/other/book[title='X']/author", // wrong prefix
+            "/db/book[year='1998']/author",  // predicate not on the key
         ] {
             let q = Query::compile(text).unwrap();
             assert!(

@@ -34,7 +34,10 @@ pub struct Record {
 impl Record {
     /// First value of a field.
     pub fn first(&self, attr: &str) -> Option<&str> {
-        self.fields.get(attr).and_then(|v| v.first()).map(|s| s.as_str())
+        self.fields
+            .get(attr)
+            .and_then(|v| v.first())
+            .map(|s| s.as_str())
     }
 
     /// All values of a field.
@@ -180,7 +183,10 @@ fn compose_into(parent: ElementBuilder, records: &[Record], layout: &Layout) -> 
             let mut groups: BTreeMap<String, Vec<Record>> = BTreeMap::new();
             for record in records {
                 for value in record.values(attr) {
-                    groups.entry(value.clone()).or_default().push(record.clone());
+                    groups
+                        .entry(value.clone())
+                        .or_default()
+                        .push(record.clone());
                 }
             }
             let mut parent = parent;
@@ -235,7 +241,10 @@ pub fn paper_db1_layout() -> Layout {
     Layout::Flat {
         record_element: "book".into(),
         fields: vec![
-            ("publisher".into(), FieldPlacement::Attribute("publisher".into())),
+            (
+                "publisher".into(),
+                FieldPlacement::Attribute("publisher".into()),
+            ),
             ("title".into(), FieldPlacement::ChildText("title".into())),
             ("author".into(), FieldPlacement::ChildText("author".into())),
             ("editor".into(), FieldPlacement::ChildText("editor".into())),
@@ -300,9 +309,7 @@ mod tests {
         assert_eq!(publishers.len(), 2);
         // acm sorts before mkp in BTreeMap order.
         assert_eq!(doc2.attribute(publishers[0], "name"), Some("acm"));
-        let authors: Vec<_> = doc2
-            .child_elements_named(publishers[0], "author")
-            .collect();
+        let authors: Vec<_> = doc2.child_elements_named(publishers[0], "author").collect();
         assert_eq!(authors.len(), 2); // Berstein, Newcomer
         let book = doc2.first_child_element(authors[0], "book").unwrap();
         assert_eq!(doc2.text_content(book), "Database Design");
@@ -361,7 +368,10 @@ mod tests {
             &Layout::Flat {
                 record_element: "book".into(),
                 fields: vec![
-                    ("publisher".into(), FieldPlacement::Attribute("publisher".into())),
+                    (
+                        "publisher".into(),
+                        FieldPlacement::Attribute("publisher".into()),
+                    ),
                     ("title".into(), FieldPlacement::ChildText("title".into())),
                     ("author".into(), FieldPlacement::ChildText("author".into())),
                 ],

@@ -31,7 +31,9 @@ impl Key {
     /// Builds a key from query strings.
     pub fn new(name: &str, entity: &str, parts: &[&str]) -> Result<Self, SchemaError> {
         if parts.is_empty() {
-            return Err(SchemaError::new(format!("key {name} needs at least one part")));
+            return Err(SchemaError::new(format!(
+                "key {name} needs at least one part"
+            )));
         }
         Ok(Key {
             name: name.to_string(),
@@ -128,7 +130,10 @@ pub enum KeyViolation {
 impl fmt::Display for KeyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            KeyViolation::MissingKey { key, instance_index } => {
+            KeyViolation::MissingKey {
+                key,
+                instance_index,
+            } => {
                 write!(f, "key {key}: instance #{instance_index} has no key value")
             }
             KeyViolation::Duplicate {
@@ -171,14 +176,15 @@ mod tests {
 
     #[test]
     fn duplicate_keys_detected() {
-        let doc = parse(
-            r#"<db><book><title>Same</title></book><book><title>Same</title></book></db>"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"<db><book><title>Same</title></book><book><title>Same</title></book></db>"#)
+                .unwrap();
         let key = Key::new("book-title", "//book", &["title"]).unwrap();
         let violations = key.verify(&doc);
         assert_eq!(violations.len(), 1);
-        assert!(matches!(&violations[0], KeyViolation::Duplicate { tuple, .. } if tuple == &vec!["Same".to_string()]));
+        assert!(
+            matches!(&violations[0], KeyViolation::Duplicate { tuple, .. } if tuple == &vec!["Same".to_string()])
+        );
     }
 
     #[test]

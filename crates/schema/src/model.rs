@@ -97,10 +97,7 @@ impl DataType {
 /// the alphabet check is enough for schema validation (payload decoding
 /// happens in the image plug-in).
 fn wmx_crypto_free_base64_check(value: &str) -> bool {
-    let stripped: Vec<u8> = value
-        .bytes()
-        .filter(|b| !b.is_ascii_whitespace())
-        .collect();
+    let stripped: Vec<u8> = value.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
     if stripped.len() % 4 != 0 {
         return false;
     }
@@ -171,7 +168,12 @@ impl ElementDecl {
     }
 
     /// Adds an attribute declaration.
-    pub fn with_attr(mut self, name: impl Into<String>, required: bool, data_type: DataType) -> Self {
+    pub fn with_attr(
+        mut self,
+        name: impl Into<String>,
+        required: bool,
+        data_type: DataType,
+    ) -> Self {
         self.attributes.push(AttrDecl {
             name: name.into(),
             required,

@@ -58,13 +58,15 @@ pub fn discover_groups(doc: &Document, fds: &[Fd]) -> Vec<RedundancyGroup> {
                 continue;
             };
             let members = fd.rhs_nodes(doc, &instance);
-            let group = groups.entry(lhs.clone()).or_insert_with(|| RedundancyGroup {
-                fd_name: fd.name.clone(),
-                lhs,
-                rhs_value: rhs,
-                members: Vec::new(),
-                instance_count: 0,
-            });
+            let group = groups
+                .entry(lhs.clone())
+                .or_insert_with(|| RedundancyGroup {
+                    fd_name: fd.name.clone(),
+                    lhs,
+                    rhs_value: rhs,
+                    members: Vec::new(),
+                    instance_count: 0,
+                });
             group.members.extend(members);
             group.instance_count += 1;
         }

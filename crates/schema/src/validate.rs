@@ -97,9 +97,7 @@ fn validate_element(
         ContentModel::Empty => {
             if doc.children(element).iter().any(|&c| match doc.kind(c) {
                 NodeKind::Element { .. } => true,
-                NodeKind::Text(t) | NodeKind::CData(t) => {
-                    !t.chars().all(char::is_whitespace)
-                }
+                NodeKind::Text(t) | NodeKind::CData(t) => !t.chars().all(char::is_whitespace),
                 _ => false,
             }) {
                 issues.push(ValidationIssue {
@@ -235,8 +233,12 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&doc, &pubs_schema());
-        assert!(issues.iter().any(|i| i.message.contains("undeclared attribute")));
-        assert!(issues.iter().any(|i| i.message.contains("unexpected child <price>")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("undeclared attribute")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("unexpected child <price>")));
     }
 
     #[test]
@@ -246,8 +248,12 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&doc, &pubs_schema());
-        assert!(issues.iter().any(|i| i.message.contains("<title> occurs 2")));
-        assert!(issues.iter().any(|i| i.message.contains("<author> occurs 0")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("<title> occurs 2")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("<author> occurs 0")));
     }
 
     #[test]
@@ -257,7 +263,9 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&doc, &pubs_schema());
-        assert!(issues.iter().any(|i| i.message.contains("not a valid integer")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("not a valid integer")));
     }
 
     #[test]
@@ -267,7 +275,9 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&doc, &pubs_schema());
-        assert!(issues.iter().any(|i| i.message.contains("contains child elements")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("contains child elements")));
     }
 
     #[test]

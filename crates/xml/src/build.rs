@@ -164,7 +164,9 @@ mod tests {
     fn build_into_existing_document() {
         let mut doc = ElementBuilder::new("db").into_document();
         let root = doc.root_element().unwrap();
-        let extra = ElementBuilder::new("book").leaf("title", "New").build(&mut doc);
+        let extra = ElementBuilder::new("book")
+            .leaf("title", "New")
+            .build(&mut doc);
         doc.append_child(root, extra);
         assert_eq!(doc.element_count(), 3);
     }

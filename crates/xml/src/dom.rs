@@ -210,7 +210,10 @@ impl Document {
         // Cycle check: parent must not be a descendant of child.
         let mut cursor = Some(parent);
         while let Some(c) = cursor {
-            assert!(c != child, "attaching {child} under {parent} would create a cycle");
+            assert!(
+                c != child,
+                "attaching {child} under {parent} would create a cycle"
+            );
             cursor = self.node(c).parent;
         }
         self.node_mut(parent).children.insert(index, child);
@@ -570,7 +573,10 @@ mod tests {
     fn build_and_navigate() {
         let (doc, db, book1, book2) = sample();
         assert_eq!(doc.root_element(), Some(db));
-        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book1, book2]);
+        assert_eq!(
+            doc.child_elements(db).collect::<Vec<_>>(),
+            vec![book1, book2]
+        );
         assert!(doc.first_child_element(book1, "title").is_some());
         assert_eq!(doc.text_content(book1), "T");
         assert_eq!(doc.parent(book1), Some(db));
@@ -606,7 +612,10 @@ mod tests {
         // Subtree intact while detached.
         assert_eq!(doc.text_content(book1), "T");
         doc.insert_child(db, 1, book1);
-        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book2, book1]);
+        assert_eq!(
+            doc.child_elements(db).collect::<Vec<_>>(),
+            vec![book2, book1]
+        );
     }
 
     #[test]
@@ -639,9 +648,15 @@ mod tests {
     fn reorder_children_permutes() {
         let (mut doc, db, book1, book2) = sample();
         doc.reorder_children(db, &[1, 0]);
-        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book2, book1]);
+        assert_eq!(
+            doc.child_elements(db).collect::<Vec<_>>(),
+            vec![book2, book1]
+        );
         doc.swap_children(db, 0, 1);
-        assert_eq!(doc.child_elements(db).collect::<Vec<_>>(), vec![book1, book2]);
+        assert_eq!(
+            doc.child_elements(db).collect::<Vec<_>>(),
+            vec![book1, book2]
+        );
     }
 
     #[test]
@@ -728,23 +743,33 @@ mod prop_tests {
     /// A random structural edit.
     #[derive(Debug, Clone)]
     enum Op {
-        AddChild { parent_pick: usize, name: u8 },
-        AddText { parent_pick: usize, text: String },
-        Detach { node_pick: usize },
-        Reattach { node_pick: usize, parent_pick: usize },
-        SetAttr { node_pick: usize, value: String },
+        AddChild {
+            parent_pick: usize,
+            name: u8,
+        },
+        AddText {
+            parent_pick: usize,
+            text: String,
+        },
+        Detach {
+            node_pick: usize,
+        },
+        Reattach {
+            node_pick: usize,
+            parent_pick: usize,
+        },
+        SetAttr {
+            node_pick: usize,
+            value: String,
+        },
     }
 
     fn arb_op() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (any::<usize>(), any::<u8>()).prop_map(|(parent_pick, name)| Op::AddChild {
-                parent_pick,
-                name
-            }),
-            (any::<usize>(), "[a-z ]{0,6}").prop_map(|(parent_pick, text)| Op::AddText {
-                parent_pick,
-                text
-            }),
+            (any::<usize>(), any::<u8>())
+                .prop_map(|(parent_pick, name)| Op::AddChild { parent_pick, name }),
+            (any::<usize>(), "[a-z ]{0,6}")
+                .prop_map(|(parent_pick, text)| Op::AddText { parent_pick, text }),
             any::<usize>().prop_map(|node_pick| Op::Detach { node_pick }),
             (any::<usize>(), any::<usize>()).prop_map(|(node_pick, parent_pick)| {
                 Op::Reattach {
@@ -752,10 +777,8 @@ mod prop_tests {
                     parent_pick,
                 }
             }),
-            (any::<usize>(), "[a-z]{0,4}").prop_map(|(node_pick, value)| Op::SetAttr {
-                node_pick,
-                value
-            }),
+            (any::<usize>(), "[a-z]{0,4}")
+                .prop_map(|(node_pick, value)| Op::SetAttr { node_pick, value }),
         ]
     }
 

@@ -86,7 +86,10 @@ impl fmt::Display for XmlErrorKind {
                 write!(f, "invalid character/entity reference &{reference};")
             }
             XmlErrorKind::MismatchedTag { open, close } => {
-                write!(f, "mismatched close tag </{close}> for open element <{open}>")
+                write!(
+                    f,
+                    "mismatched close tag </{close}> for open element <{open}>"
+                )
             }
             XmlErrorKind::UnmatchedClose { close } => {
                 write!(f, "close tag </{close}> with no matching open tag")

@@ -48,13 +48,14 @@ pub fn resolve_reference(body: &str) -> Option<char> {
         "apos" => Some('\''),
         "quot" => Some('"'),
         _ => {
-            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
-                u32::from_str_radix(hex, 16).ok()?
-            } else if let Some(dec) = body.strip_prefix('#') {
-                dec.parse::<u32>().ok()?
-            } else {
-                return None;
-            };
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
             char::from_u32(code)
         }
     }
@@ -156,7 +157,10 @@ mod tests {
 
     #[test]
     fn multibyte_text_around_references() {
-        assert_eq!(unescape("héllo &amp; wörld", 1, 1).unwrap(), "héllo & wörld");
+        assert_eq!(
+            unescape("héllo &amp; wörld", 1, 1).unwrap(),
+            "héllo & wörld"
+        );
     }
 
     proptest! {

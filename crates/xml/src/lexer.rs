@@ -304,8 +304,13 @@ impl<'a> Lexer<'a> {
                         }));
                     }
                     let attr = self.lex_attribute()?;
-                    if attributes.iter().any(|a: &TokenAttribute| a.name == attr.name) {
-                        return Err(self.error(XmlErrorKind::DuplicateAttribute { name: attr.name }));
+                    if attributes
+                        .iter()
+                        .any(|a: &TokenAttribute| a.name == attr.name)
+                    {
+                        return Err(
+                            self.error(XmlErrorKind::DuplicateAttribute { name: attr.name })
+                        );
                     }
                     attributes.push(attr);
                 }

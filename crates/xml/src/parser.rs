@@ -119,7 +119,9 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
                 // Merge with a preceding text node (split by references or
                 // CDATA boundaries in the source).
                 if let Some(&last) = doc.children(parent).last() {
-                    if doc.text(last).is_some() && !matches!(doc.kind(last), crate::dom::NodeKind::CData(_)) {
+                    if doc.text(last).is_some()
+                        && !matches!(doc.kind(last), crate::dom::NodeKind::CData(_))
+                    {
                         let merged = format!("{}{}", doc.text(last).expect("checked"), content);
                         doc.set_text(last, merged);
                         continue;
@@ -253,7 +255,10 @@ mod tests {
     #[test]
     fn prolog_captured() {
         let doc = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?><!DOCTYPE db><db/>").unwrap();
-        assert_eq!(doc.xml_decl.as_deref(), Some("version=\"1.0\" encoding=\"UTF-8\""));
+        assert_eq!(
+            doc.xml_decl.as_deref(),
+            Some("version=\"1.0\" encoding=\"UTF-8\"")
+        );
         assert_eq!(doc.doctype.as_deref(), Some("db"));
     }
 

@@ -99,9 +99,7 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
             // (`skip_whitespace_text`) treats them as non-information, so
             // canonical(doc) must equal canonical(parse(serialize(doc))).
             let not_whitespace_text = |&c: &NodeId| match doc.kind(c) {
-                NodeKind::Text(t) | NodeKind::CData(t) => {
-                    !t.chars().all(char::is_whitespace)
-                }
+                NodeKind::Text(t) | NodeKind::CData(t) => !t.chars().all(char::is_whitespace),
                 _ => true,
             };
             let visible_children: Vec<NodeId> = match mode {
@@ -127,9 +125,12 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
             }
             out.push('>');
             let element_only = visible_children.iter().all(|&c| doc.is_element(c))
-                || visible_children
-                    .iter()
-                    .all(|&c| matches!(doc.kind(c), NodeKind::Comment(_) | NodeKind::Pi { .. } | NodeKind::Element { .. }));
+                || visible_children.iter().all(|&c| {
+                    matches!(
+                        doc.kind(c),
+                        NodeKind::Comment(_) | NodeKind::Pi { .. } | NodeKind::Element { .. }
+                    )
+                });
             if mode == WriteMode::Pretty && element_only {
                 out.push('\n');
                 for &child in &visible_children {
@@ -282,9 +283,7 @@ mod tests {
             prop::collection::vec(arb_tree(depth - 1), 0..4),
         )
             .prop_map(|(n, attr, kids)| {
-                let attrs = attr
-                    .map(|v| format!(" k=\"{v}\""))
-                    .unwrap_or_default();
+                let attrs = attr.map(|v| format!(" k=\"{v}\"")).unwrap_or_default();
                 if kids.is_empty() {
                     format!("<{n}{attrs}/>")
                 } else {

@@ -1,0 +1,190 @@
+//! Parser ↔ serializer round-trip conformance for `wmx-xml`.
+//!
+//! The watermark pipeline depends on `parse ∘ serialize` being a fixed
+//! point: the encoder serializes a marked DOM, the detector re-parses
+//! it, and any drift would read as bit errors. These tests pin the
+//! escaping edge cases (`&`, `<`, quotes in attributes, CDATA, mixed
+//! content) explicitly and then drive a property-style generator over
+//! documents that combine all of them.
+
+use proptest::prelude::*;
+use wmx_xml::{parse, to_canonical_string, to_string};
+
+/// `parse → serialize → parse → serialize` must stabilize after one
+/// round, and both parses must agree canonically.
+fn assert_fixpoint(input: &str) {
+    let doc = parse(input).unwrap_or_else(|e| panic!("parse failed on {input:?}: {e}"));
+    let once = to_string(&doc);
+    let doc2 = parse(&once).unwrap_or_else(|e| panic!("reparse failed on {once:?}: {e}"));
+    let twice = to_string(&doc2);
+    assert_eq!(once, twice, "serializer not a fixed point for {input:?}");
+    assert_eq!(
+        to_canonical_string(&doc),
+        to_canonical_string(&doc2),
+        "canonical drift for {input:?}"
+    );
+}
+
+#[test]
+fn ampersand_and_angle_brackets_in_text() {
+    assert_fixpoint("<a>R &amp; D &lt; C &gt; B</a>");
+    // Serializer must emit escaped forms that survive re-parsing.
+    let doc = parse("<a>x &amp;&lt;&gt; y</a>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.text_content(root), "x &<> y");
+}
+
+#[test]
+fn quotes_in_attribute_values() {
+    assert_fixpoint("<a k=\"say &quot;hi&quot;\"/>");
+    assert_fixpoint("<a k=\"it's fine\"/>");
+    let doc = parse("<a k=\"a&quot;b'c\"/>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.attribute(root, "k"), Some("a\"b'c"));
+}
+
+#[test]
+fn single_quoted_attributes_normalize() {
+    // Parsed from single quotes, serialized with double quotes — still a
+    // fixed point after the first serialization.
+    let doc = parse("<a k='v\"w'/>").unwrap();
+    let once = to_string(&doc);
+    assert!(
+        once.contains("&quot;"),
+        "double quote must be escaped: {once}"
+    );
+    assert_fixpoint(&once);
+}
+
+#[test]
+fn whitespace_preserving_attribute_escapes() {
+    let doc = parse("<a k=\"line&#10;tab&#9;cr&#13;end\"/>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.attribute(root, "k"), Some("line\ntab\tcr\rend"));
+    assert_fixpoint("<a k=\"line&#10;tab&#9;cr&#13;end\"/>");
+}
+
+#[test]
+fn cdata_sections() {
+    assert_fixpoint("<x><![CDATA[if (a<b && c>d) { e(\"&amp;\"); }]]></x>");
+    assert_fixpoint("<x><![CDATA[]]></x>");
+    // CDATA and escaped text with identical content are canonically equal.
+    let a = parse("<x><![CDATA[1<2&3]]></x>").unwrap();
+    let b = parse("<x>1&lt;2&amp;3</x>").unwrap();
+    assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+}
+
+#[test]
+fn mixed_content() {
+    assert_fixpoint("<p>before <b>bold</b> middle <i>it</i> after</p>");
+    assert_fixpoint("<p>a<b/>b<c/>c</p>");
+    let doc = parse("<p>x <q>y</q> z</p>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.text_content(root), "x y z");
+}
+
+#[test]
+fn comments_and_processing_instructions() {
+    assert_fixpoint("<x><!-- a < b & c --><?php echo 1; ?>t</x>");
+}
+
+#[test]
+fn numeric_references_resolve_to_utf8() {
+    let doc = parse("<x>&#x4e2d;&#25991;</x>").unwrap();
+    let root = doc.root_element().unwrap();
+    assert_eq!(doc.text_content(root), "中文");
+    assert_fixpoint("<x>&#x4e2d;&#25991;</x>");
+}
+
+// --- property-style generation -------------------------------------------
+
+/// Text content drawn from printable ASCII *including* the XML specials,
+/// pre-escaped for embedding in a document string.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[ -~]{0,16}".prop_map(|raw| {
+        let mut out = String::new();
+        for c in raw.chars() {
+            match c {
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '&' => out.push_str("&amp;"),
+                _ => out.push(c),
+            }
+        }
+        out
+    })
+}
+
+/// Attribute values with quotes and specials, pre-escaped.
+fn arb_attr_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,10}".prop_map(|raw| {
+        let mut out = String::new();
+        for c in raw.chars() {
+            match c {
+                '<' => out.push_str("&lt;"),
+                '>' => out.push_str("&gt;"),
+                '&' => out.push_str("&amp;"),
+                '"' => out.push_str("&quot;"),
+                _ => out.push(c),
+            }
+        }
+        out
+    })
+}
+
+/// CDATA bodies: anything printable that does not contain the `]]>`
+/// terminator.
+fn arb_cdata() -> impl Strategy<Value = String> {
+    "[ -~]{0,16}".prop_map(|raw| raw.replace("]]>", "]] >"))
+}
+
+/// A random document combining nested elements, attributes, mixed
+/// content, and CDATA sections.
+fn arb_document(depth: u32) -> BoxedStrategy<String> {
+    let name = prop::sample::select(vec!["a", "b", "item", "rec", "ns-x", "_u"]);
+    let leaf =
+        (name.clone(), arb_text(), proptest::option::of(arb_cdata())).prop_map(|(n, t, cdata)| {
+            match cdata {
+                Some(c) => format!("<{n}>{t}<![CDATA[{c}]]></{n}>"),
+                None if t.is_empty() => format!("<{n}/>"),
+                None => format!("<{n}>{t}</{n}>"),
+            }
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        name,
+        proptest::option::of(arb_attr_value()),
+        arb_text(),
+        prop::collection::vec(arb_document(depth - 1), 0..4),
+        arb_text(),
+    )
+        .prop_map(|(n, attr, before, kids, after)| {
+            let attrs = attr.map(|v| format!(" k=\"{v}\"")).unwrap_or_default();
+            if kids.is_empty() && before.is_empty() && after.is_empty() {
+                format!("<{n}{attrs}/>")
+            } else {
+                // Mixed content: text interleaved around child elements.
+                format!("<{n}{attrs}>{before}{}{after}</{n}>", kids.join(""))
+            }
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_documents_are_serializer_fixpoints(doc_text in arb_document(3)) {
+        assert_fixpoint(&doc_text);
+    }
+
+    #[test]
+    fn canonical_form_is_parse_stable(doc_text in arb_document(2)) {
+        let doc = parse(&doc_text).unwrap();
+        let canon = to_canonical_string(&doc);
+        let reparsed = parse(&canon).unwrap();
+        prop_assert_eq!(canon, to_canonical_string(&reparsed));
+    }
+}

@@ -52,7 +52,9 @@ impl Query {
     /// Evaluates and returns the node-set result (empty for non-node
     /// values or errors). The common retrieval call in WmXML.
     pub fn select(&self, doc: &Document) -> Vec<NodeRef> {
-        self.evaluate(doc).map(Value::into_nodes).unwrap_or_default()
+        self.evaluate(doc)
+            .map(Value::into_nodes)
+            .unwrap_or_default()
     }
 
     /// Evaluates from a context node, returning the node-set.
@@ -255,15 +257,9 @@ mod tests {
     #[test]
     fn boolean_connectives_in_predicates() {
         let doc = db1();
-        let titles = strings(
-            "db/book[@publisher='acm' and year=1998]/title",
-            &doc,
-        );
+        let titles = strings("db/book[@publisher='acm' and year=1998]/title", &doc);
         assert_eq!(titles, vec!["Database Design"]);
-        let titles = strings(
-            "db/book[@publisher='none' or editor='Gamer']/title",
-            &doc,
-        );
+        let titles = strings("db/book[@publisher='none' or editor='Gamer']/title", &doc);
         assert_eq!(titles, vec!["Database Design"]);
     }
 
@@ -305,7 +301,10 @@ mod tests {
         assert_eq!(eval("substring('12345', 2, 3)"), Value::Text("234".into()));
         assert_eq!(eval("substring('12345', 2)"), Value::Text("2345".into()));
         // Spec edge cases: rounding and out-of-range starts.
-        assert_eq!(eval("substring('12345', 1.5, 2.6)"), Value::Text("234".into()));
+        assert_eq!(
+            eval("substring('12345', 1.5, 2.6)"),
+            Value::Text("234".into())
+        );
         assert_eq!(eval("substring('12345', 0, 3)"), Value::Text("12".into()));
         assert_eq!(eval("substring('12345', -1, 3)"), Value::Text("1".into()));
         assert_eq!(
@@ -334,10 +333,7 @@ mod tests {
     #[test]
     fn substring_in_predicate() {
         let doc = db1();
-        let titles = strings(
-            "db/book[substring(title, 1, 8) = 'Database']/title",
-            &doc,
-        );
+        let titles = strings("db/book[substring(title, 1, 8) = 'Database']/title", &doc);
         assert_eq!(titles, vec!["Database Design"]);
     }
 
@@ -390,7 +386,10 @@ mod tests {
     fn errors_are_reported() {
         let doc = db1();
         assert!(Query::compile("count()").unwrap().evaluate(&doc).is_err());
-        assert!(Query::compile("count('x')").unwrap().evaluate(&doc).is_err());
+        assert!(Query::compile("count('x')")
+            .unwrap()
+            .evaluate(&doc)
+            .is_err());
         assert!(Query::compile("frobnicate(1)")
             .unwrap()
             .evaluate(&doc)

@@ -168,10 +168,7 @@ impl<'d> Evaluator<'d> {
         match test {
             NodeTest::Name(n) => self.doc.name(node) == Some(n.as_str()),
             NodeTest::Wildcard => self.doc.is_element(node),
-            NodeTest::Text => matches!(
-                self.doc.kind(node),
-                NodeKind::Text(_) | NodeKind::CData(_)
-            ),
+            NodeTest::Text => matches!(self.doc.kind(node), NodeKind::Text(_) | NodeKind::CData(_)),
             NodeTest::AnyNode => true,
         }
     }
@@ -479,10 +476,16 @@ impl<'d> Evaluator<'d> {
             "translate" => {
                 arity(3, 3)?;
                 let s = self.eval_expr(&args[0], ctx)?.to_text(self.doc);
-                let from: Vec<char> =
-                    self.eval_expr(&args[1], ctx)?.to_text(self.doc).chars().collect();
-                let to: Vec<char> =
-                    self.eval_expr(&args[2], ctx)?.to_text(self.doc).chars().collect();
+                let from: Vec<char> = self
+                    .eval_expr(&args[1], ctx)?
+                    .to_text(self.doc)
+                    .chars()
+                    .collect();
+                let to: Vec<char> = self
+                    .eval_expr(&args[2], ctx)?
+                    .to_text(self.doc)
+                    .chars()
+                    .collect();
                 let translated: String = s
                     .chars()
                     .filter_map(|c| match from.iter().position(|&f| f == c) {
@@ -582,21 +585,39 @@ mod tests {
         let b = doc.first_child_element(root, "b").unwrap();
         let ev = Evaluator::new(&doc);
         let shuffled = vec![
-            NodeRef::Attribute { element: b, name: "z".into() },
+            NodeRef::Attribute {
+                element: b,
+                name: "z".into(),
+            },
             NodeRef::Node(b),
-            NodeRef::Attribute { element: root, name: "y".into() },
+            NodeRef::Attribute {
+                element: root,
+                name: "y".into(),
+            },
             NodeRef::Node(root),
-            NodeRef::Attribute { element: root, name: "x".into() },
+            NodeRef::Attribute {
+                element: root,
+                name: "x".into(),
+            },
         ];
         let ordered = ev.document_order(shuffled);
         assert_eq!(
             ordered,
             vec![
                 NodeRef::Node(root),
-                NodeRef::Attribute { element: root, name: "x".into() },
-                NodeRef::Attribute { element: root, name: "y".into() },
+                NodeRef::Attribute {
+                    element: root,
+                    name: "x".into()
+                },
+                NodeRef::Attribute {
+                    element: root,
+                    name: "y".into()
+                },
                 NodeRef::Node(b),
-                NodeRef::Attribute { element: b, name: "z".into() },
+                NodeRef::Attribute {
+                    element: b,
+                    name: "z".into()
+                },
             ]
         );
     }

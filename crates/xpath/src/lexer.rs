@@ -263,9 +263,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, XPathError> {
                             value.push(ch);
                             j += 1;
                         }
-                        None => {
-                            return Err(XPathError::at("unterminated string literal", offset))
-                        }
+                        None => return Err(XPathError::at("unterminated string literal", offset)),
                     }
                 }
                 out.push(Spanned {
@@ -340,7 +338,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

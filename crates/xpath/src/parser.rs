@@ -82,7 +82,9 @@ impl Parser {
                 format!("expected {what}, found {:?}", s.token),
                 s.offset,
             )),
-            None => Err(XPathError::new(format!("expected {what}, found end of query"))),
+            None => Err(XPathError::new(format!(
+                "expected {what}, found end of query"
+            ))),
         }
     }
 
@@ -319,10 +321,7 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(PathExpr {
-            absolute,
-            steps,
-        })
+        Ok(PathExpr { absolute, steps })
     }
 
     fn at_step_start(&self) -> bool {

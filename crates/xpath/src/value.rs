@@ -189,10 +189,7 @@ mod tests {
     fn value_to_text_uses_first_node() {
         let doc = parse("<a><b>first</b><b>second</b></a>").unwrap();
         let root = doc.root_element().unwrap();
-        let bs: Vec<NodeRef> = doc
-            .child_elements(root)
-            .map(NodeRef::Node)
-            .collect();
+        let bs: Vec<NodeRef> = doc.child_elements(root).map(NodeRef::Node).collect();
         assert_eq!(Value::Nodes(bs).to_text(&doc), "first");
     }
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use wmx_attacks::redundancy::UnifyStrategy;
-use wmx_attacks::{AlterationAttack, RedundancyRemovalAttack, ReductionAttack, ShuffleAttack};
+use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, ShuffleAttack};
 use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
 use wmx_crypto::SecretKey;
 use wmx_data::publications::{generate, PublicationsConfig};
@@ -100,9 +100,8 @@ fn main() {
     // Against WmXML: FD groups are marked consistently, so the attack
     // finds nothing to unify.
     let mut attacked = marked.clone();
-    let rewritten =
-        RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
-            .apply(&mut attacked);
+    let rewritten = RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+        .apply(&mut attacked);
     rows.push(assess(
         &attacked,
         "redund-rm vs WmXML",
@@ -114,11 +113,9 @@ fn main() {
     // of publisher marks then collapses while usability stays intact —
     // the failure mode the paper's challenge (C) predicts. We only mark
     // the FD-dependent attribute here to isolate the effect.
-    let ablation_config = wmx_core::EncoderConfig::new(
-        2,
-        vec![wmx_core::MarkableAttr::text("book", "publisher")],
-    )
-    .without_fd_groups();
+    let ablation_config =
+        wmx_core::EncoderConfig::new(2, vec![wmx_core::MarkableAttr::text("book", "publisher")])
+            .without_fd_groups();
     let mut ablation_marked = original.clone();
     let ablation_report = embed(
         &mut ablation_marked,
@@ -130,9 +127,8 @@ fn main() {
     )
     .expect("ablation embedding succeeds");
     let mut ablation_attacked = ablation_marked.clone();
-    let rewritten =
-        RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
-            .apply(&mut ablation_attacked);
+    let rewritten = RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+        .apply(&mut ablation_attacked);
     let ablation_detection = detect(
         &ablation_attacked,
         &DetectionInput {

@@ -25,7 +25,12 @@ fn main() {
     println!(
         "dataset: {} ({} book records, {} templates, {} FDs)",
         dataset.name,
-        dataset.binding.entity("book").unwrap().instances(&original).len(),
+        dataset
+            .binding
+            .entity("book")
+            .unwrap()
+            .instances(&original)
+            .len(),
         dataset.templates.len(),
         dataset.fds.len()
     );

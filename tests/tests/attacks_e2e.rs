@@ -3,7 +3,7 @@
 
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{
-    AlterationAttack, RedundancyRemovalAttack, ReductionAttack, RenameAttack, ShuffleAttack,
+    AlterationAttack, ReductionAttack, RedundancyRemovalAttack, RenameAttack, ShuffleAttack,
 };
 use wmx_core::{detect, embed, measure_usability, DetectionInput, EmbedReport, Watermark};
 use wmx_crypto::SecretKey;
@@ -75,7 +75,11 @@ fn attack_a_light_alteration_fails_heavy_succeeds_but_destroys_usability() {
     .unwrap();
     // published-when template is fully destroyed (0/4 templates can be
     // partially credited: overall usability drops to 75%).
-    assert!(usability.overall() <= 0.80, "usability {}", usability.overall());
+    assert!(
+        usability.overall() <= 0.80,
+        "usability {}",
+        usability.overall()
+    );
     assert!(
         !detection.detected || usability.overall() < 0.8,
         "watermark alive only if usability is destroyed"
@@ -165,15 +169,21 @@ fn attack_d_wmxml_immune_fd_unaware_dies() {
     let wm = Watermark::from_message("fd", 8);
 
     // Isolate the FD-dependent attribute: publisher only.
-    let fd_aware = wmx_core::EncoderConfig::new(
-        1,
-        vec![wmx_core::MarkableAttr::text("book", "publisher")],
-    );
+    let fd_aware =
+        wmx_core::EncoderConfig::new(1, vec![wmx_core::MarkableAttr::text("book", "publisher")]);
     let fd_unaware = fd_aware.clone().without_fd_groups();
 
     // WmXML: marks FD groups consistently → attack is a no-op.
     let mut marked = dataset.doc.clone();
-    let report = embed(&mut marked, &dataset.binding, &dataset.fds, &fd_aware, &key, &wm).unwrap();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &fd_aware,
+        &key,
+        &wm,
+    )
+    .unwrap();
     let mut attacked = marked.clone();
     let rewritten = RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
         .apply(&mut attacked);

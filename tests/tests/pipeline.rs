@@ -103,8 +103,8 @@ fn marked_document_survives_serialization_roundtrip() {
         )
         .unwrap();
         let published = to_string(&marked);
-        let reparsed = parse(&published)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", dataset.name));
+        let reparsed =
+            parse(&published).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", dataset.name));
         let detection = detect(
             &reparsed,
             &DetectionInput {
@@ -249,10 +249,24 @@ fn two_owners_marks_coexist() {
     let wm = Watermark::from_message("shared-mark-text", 16);
 
     let mut doc = dataset.doc.clone();
-    let report_a = embed(&mut doc, &dataset.binding, &dataset.fds, &dataset.config, &key_a, &wm)
-        .unwrap();
-    let _report_b = embed(&mut doc, &dataset.binding, &dataset.fds, &dataset.config, &key_b, &wm)
-        .unwrap();
+    let report_a = embed(
+        &mut doc,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key_a,
+        &wm,
+    )
+    .unwrap();
+    let _report_b = embed(
+        &mut doc,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &key_b,
+        &wm,
+    )
+    .unwrap();
 
     let detection_a = detect(
         &doc,

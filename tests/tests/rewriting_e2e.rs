@@ -134,7 +134,10 @@ fn round_trip_reorganization_detects_in_original_schema_again() {
         Layout::Flat {
             record_element: "book".into(),
             fields: vec![
-                ("publisher".into(), FieldPlacement::Attribute("publisher".into())),
+                (
+                    "publisher".into(),
+                    FieldPlacement::Attribute("publisher".into()),
+                ),
                 ("title".into(), FieldPlacement::ChildText("title".into())),
                 ("author".into(), FieldPlacement::ChildText("author".into())),
                 ("year".into(), FieldPlacement::ChildText("year".into())),
@@ -208,10 +211,7 @@ fn detection_with_stripped_logical_forms_uses_concrete_rewriting() {
         &mut marked,
         &dataset.binding,
         &[], // no FDs: keep every query key-identified (rewritable)
-        &wmx_core::EncoderConfig::new(
-            2,
-            vec![wmx_core::MarkableAttr::integer("book", "year", 1)],
-        ),
+        &wmx_core::EncoderConfig::new(2, vec![wmx_core::MarkableAttr::integer("book", "year", 1)]),
         &key,
         &wm,
     )

@@ -7,7 +7,9 @@ use wmx_core::{detect, embed, DetectionInput, EncoderConfig, MarkableAttr, Water
 use wmx_crypto::SecretKey;
 use wmx_data::publications::{binding, generate, PublicationsConfig};
 
-fn setup(order_only: bool) -> (
+fn setup(
+    order_only: bool,
+) -> (
     wmx_xml::Document,
     wmx_core::EmbedReport,
     SecretKey,
@@ -53,7 +55,10 @@ fn run(
 #[test]
 fn order_marks_detect_on_clean_document() {
     let (marked, report, key, wm) = setup(true);
-    assert!(report.marked_units > 50, "multi-author books should be plentiful");
+    assert!(
+        report.marked_units > 50,
+        "multi-author books should be plentiful"
+    );
     let d = run(&marked, &report, &key, &wm);
     assert!(d.detected);
     assert_eq!(d.match_fraction(), 1.0);

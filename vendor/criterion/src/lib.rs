@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the Criterion API used by the benches in
+//! `crates/bench/benches/`: [`Criterion::bench_function`], benchmark
+//! groups with throughput/sample-size settings, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Timing is a simple warmup + fixed-budget measurement loop;
+//! it reports mean wall-clock time per iteration to stdout. No plots,
+//! no statistics beyond the mean — enough to compare hot paths while
+//! the build environment has no access to crates.io.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes, reported in decimal units.
+    BytesDecimal(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+}
+
+struct MeasuredRun {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up briefly then measuring for a
+    /// fixed wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: run for ~20ms to stabilize caches/branch predictors.
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+
+        // Measurement: aim for ~120ms of samples.
+        let budget = Duration::from_millis(120);
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let mut batch = (budget.as_nanos() / per_iter.max(1)).clamp(1, 5_000_000) as u64;
+        if batch == 0 {
+            batch = 1;
+        }
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.measured = Some(MeasuredRun {
+            total: start.elapsed(),
+            iters: batch,
+        });
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some(run) => {
+            let per_iter = run.total.as_nanos() as f64 / run.iters.max(1) as f64;
+            let mut line = format!(
+                "bench: {label:<40} {:>12}/iter ({} iters)",
+                format_nanos(per_iter),
+                run.iters
+            );
+            if let Some(tp) = throughput {
+                let rate = match tp {
+                    Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                        let mb = n as f64 / 1e6;
+                        format!("{:.1} MB/s", mb / (per_iter / 1e9))
+                    }
+                    Throughput::Elements(n) => {
+                        format!("{:.0} elem/s", n as f64 / (per_iter / 1e9))
+                    }
+                };
+                line.push_str(&format!("  [{rate}]"));
+            }
+            println!("{line}");
+        }
+        None => println!("bench: {label:<40} (no measurement)"),
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted and ignored by this shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted and ignored by this shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+///
+/// Ignores harness arguments such as `--bench`/`--test` that cargo
+/// passes to `harness = false` targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow `--bench`, `--test`, filters, etc.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        debug_assert!(self.len.start < self.len.end, "empty length range");
+        let len = rng.between(self.len.start, self.len.end.saturating_sub(1));
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Produces vectors whose length is drawn from `len` (half-open, as in
+/// `proptest::collection::vec(strategy, 0..4)`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,310 @@
+//! Tiny regex-pattern interpreter for string strategies.
+//!
+//! Supports exactly the pattern shapes used as strategies in this
+//! workspace's tests:
+//!
+//! * `\PC` — any non-control character (sampled across several Unicode
+//!   blocks, including astral-plane characters, to exercise multibyte
+//!   handling);
+//! * character classes `[...]` with literal chars, `a-z` ranges, a
+//!   leading `^` negation, and `&&[^...]` subtraction
+//!   (e.g. `[ -~&&[^<&>"']]`);
+//! * quantifiers `*` (0–8), `+` (1–8), `?`, `{n}`, and `{lo,hi}`;
+//! * literal characters and `\\` escapes.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// Any non-control character.
+    AnyPrintable,
+    /// A character class: allowed ranges minus excluded ranges, possibly
+    /// negated.
+    Class {
+        negated: bool,
+        include: Vec<(char, char)>,
+        exclude: Vec<(char, char)>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    lo: usize,
+    hi: usize,
+}
+
+/// Unicode ranges sampled for `\PC` (all printable, mixed widths).
+const PRINTABLE_RANGES: &[(u32, u32)] = &[
+    (0x0020, 0x007E),   // ASCII printable
+    (0x0020, 0x007E),   // weighted double so ASCII dominates
+    (0x00A1, 0x00FF),   // Latin-1 supplement
+    (0x0391, 0x03A1),   // Greek capitals
+    (0x03B1, 0x03C9),   // Greek smalls
+    (0x4E00, 0x4E2F),   // CJK ideographs
+    (0x1F600, 0x1F60F), // astral-plane emoji
+];
+
+fn parse(pattern: &str) -> Vec<(Atom, Quant)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC`: negated Unicode category C (control).
+                        assert_eq!(
+                            chars.get(i + 1),
+                            Some(&'C'),
+                            "only \\PC is supported, got pattern {pattern:?}"
+                        );
+                        i += 2;
+                        Atom::AnyPrintable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                    None => panic!("dangling escape in pattern {pattern:?}"),
+                }
+            }
+            '[' => {
+                let (atom, next) = parse_class(&chars, i, pattern);
+                i = next;
+                atom
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let quant = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                Quant { lo: 0, hi: 8 }
+            }
+            Some('+') => {
+                i += 1;
+                Quant { lo: 1, hi: 8 }
+            }
+            Some('?') => {
+                i += 1;
+                Quant { lo: 0, hi: 1 }
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => Quant {
+                        lo: lo.trim().parse().expect("bad quantifier bound"),
+                        hi: hi.trim().parse().expect("bad quantifier bound"),
+                    },
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier count");
+                        Quant { lo: n, hi: n }
+                    }
+                }
+            }
+            _ => Quant { lo: 1, hi: 1 },
+        };
+        out.push((atom, quant));
+    }
+    out
+}
+
+/// Parses a `[...]` class starting at `chars[start] == '['`.
+/// Returns the atom and the index just past the closing `]`.
+fn parse_class(chars: &[char], start: usize, pattern: &str) -> (Atom, usize) {
+    let mut i = start + 1;
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut include: Vec<(char, char)> = Vec::new();
+    let mut exclude: Vec<(char, char)> = Vec::new();
+    loop {
+        match chars.get(i) {
+            None => panic!("unclosed character class in pattern {pattern:?}"),
+            Some(']') => {
+                i += 1;
+                break;
+            }
+            Some('&') if chars.get(i + 1) == Some(&'&') => {
+                // `&&[^...]` subtraction (the only intersection form used).
+                assert_eq!(
+                    (chars.get(i + 2), chars.get(i + 3)),
+                    (Some(&'['), Some(&'^')),
+                    "only `&&[^...]` intersection is supported in {pattern:?}"
+                );
+                let (inner, next) = parse_class(chars, i + 2, pattern);
+                match inner {
+                    Atom::Class {
+                        negated: true,
+                        include: inner_include,
+                        ..
+                    } => exclude.extend(inner_include),
+                    _ => unreachable!("inner class must be negated"),
+                }
+                i = next;
+            }
+            Some(&c) => {
+                let lo = if c == '\\' {
+                    i += 1;
+                    *chars.get(i).expect("dangling escape in class")
+                } else {
+                    c
+                };
+                i += 1;
+                // Range `a-z` when a `-` is followed by a non-`]`.
+                if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                    let mut hi = chars[i + 1];
+                    if hi == '\\' {
+                        hi = *chars.get(i + 2).expect("dangling escape in class");
+                        i += 1;
+                    }
+                    i += 2;
+                    include.push((lo, hi));
+                } else {
+                    include.push((lo, lo));
+                }
+            }
+        }
+    }
+    (
+        Atom::Class {
+            negated,
+            include,
+            exclude,
+        },
+        i,
+    )
+}
+
+fn in_ranges(c: char, ranges: &[(char, char)]) -> bool {
+    ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi)
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyPrintable => {
+            let (lo, hi) = PRINTABLE_RANGES[rng.below(PRINTABLE_RANGES.len())];
+            for _ in 0..64 {
+                let code = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(code) {
+                    return c;
+                }
+            }
+            ' '
+        }
+        Atom::Class {
+            negated,
+            include,
+            exclude,
+        } => {
+            if *negated {
+                // Sample printable chars until one misses `include`.
+                for _ in 0..256 {
+                    let c = sample_atom(&Atom::AnyPrintable, rng);
+                    if !in_ranges(c, include) {
+                        return c;
+                    }
+                }
+                panic!("could not satisfy negated class");
+            }
+            let total: u64 = include
+                .iter()
+                .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32) + 1)
+                .sum();
+            assert!(total > 0, "empty character class");
+            for _ in 0..256 {
+                let mut pick = rng.next_u64() % total;
+                for &(lo, hi) in include {
+                    let size = u64::from(hi as u32 - lo as u32) + 1;
+                    if pick < size {
+                        if let Some(c) = char::from_u32(lo as u32 + pick as u32) {
+                            if !in_ranges(c, exclude) {
+                                return c;
+                            }
+                        }
+                        break;
+                    }
+                    pick -= size;
+                }
+            }
+            panic!("could not satisfy character class (all excluded?)");
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, quant) in &atoms {
+        let count = rng.between(quant.lo, quant.hi.max(quant.lo));
+        for _ in 0..count {
+            out.push(sample_atom(atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_with_subtraction_excludes_specials() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~&&[^<&>\"']]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(!s.contains(['<', '&', '>', '"', '\'']));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn simple_class_and_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z ]{0,6}", &mut r);
+            assert!(s.chars().count() <= 6);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_star_produces_no_controls() {
+        let mut r = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = generate("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_non_ascii |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_non_ascii, "expected some non-ASCII coverage");
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a{3}", &mut r), "aaa");
+    }
+}

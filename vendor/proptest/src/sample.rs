@@ -1,0 +1,23 @@
+//! Sampling strategies.
+
+use crate::{Strategy, TestRng};
+use std::fmt::Debug;
+
+/// Strategy picking uniformly from a fixed set of values.
+#[derive(Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len())].clone()
+    }
+}
+
+/// Picks uniformly from `values` (must be non-empty).
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires a non-empty vec");
+    Select { values }
+}

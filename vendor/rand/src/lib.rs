@@ -1,0 +1,114 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements exactly the subset of the `rand 0.9` API the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over integer and float ranges, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded
+//! via SplitMix64, so every consumer stays deterministic given its seed
+//! (the property the attack and dataset crates rely on).
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a boolean that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform range sampling support.
+pub mod distr {
+    use super::RngCore;
+
+    /// Types that can be sampled uniformly from a bounded range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        /// Uniform sample from `lo..hi`.
+        fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `lo..=hi`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from `rng`.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_inclusive(start, end, rng)
+        }
+    }
+
+    macro_rules! int_sample_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    ((lo as i128) + v as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    ((lo as i128) + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_sample_uniform {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    let frac = ((rng.next_u64() >> 11) as f64) / ((1u64 << 53) as f64);
+                    lo + (frac as $t) * (hi - lo)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                    let frac = ((rng.next_u64() >> 10) as f64) / (((1u64 << 54) - 1) as f64);
+                    lo + (frac as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_sample_uniform!(f32, f64);
+}
