@@ -1,0 +1,105 @@
+//! Bench: DOM vs streaming engine — embed/detect throughput over the
+//! same serialized input, plus the nodes-resident memory proxy
+//! (experiment E11 prints the same comparison as a table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wmx_bench::workloads::streaming_publications;
+use wmx_core::{detect, embed, DetectionInput};
+
+fn bench_embed_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed_engine");
+    group.sample_size(10);
+    for records in [200usize, 1000] {
+        let w = streaming_publications(records, records / 50 + 2, 3, 1);
+        group.bench_with_input(BenchmarkId::new("dom", records), &w, |b, w| {
+            // The DOM pipeline a file-based embed actually runs:
+            // parse -> embed -> serialize.
+            b.iter(|| {
+                let mut doc = wmx_xml::parse(black_box(&w.input)).expect("parse");
+                embed(
+                    &mut doc,
+                    &w.dataset.binding,
+                    &w.dataset.fds,
+                    &w.dataset.config,
+                    &w.key,
+                    &w.watermark,
+                )
+                .expect("embeds");
+                wmx_xml::to_string(&doc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stream", records), &w, |b, w| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(w.input.len());
+                wmx_stream::stream_embed(
+                    black_box(w.input.as_bytes()),
+                    &mut out,
+                    w.ctx(),
+                    &w.key,
+                    &w.watermark,
+                )
+                .expect("stream embeds");
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stream_par4", records), &w, |b, w| {
+            b.iter(|| {
+                wmx_stream::par_embed(black_box(&w.input), 4, w.ctx(), &w.key, &w.watermark)
+                    .expect("parallel embeds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_engine");
+    group.sample_size(10);
+    for records in [200usize, 1000] {
+        let w = streaming_publications(records, records / 50 + 2, 3, 1);
+        let (marked, report) =
+            wmx_stream::par_embed(&w.input, 4, w.ctx(), &w.key, &w.watermark).expect("embed");
+        group.bench_with_input(BenchmarkId::new("dom", records), &w, |b, w| {
+            b.iter(|| {
+                let doc = wmx_xml::parse(black_box(&marked)).expect("parse");
+                let d = detect(
+                    &doc,
+                    &DetectionInput {
+                        queries: &report.report.queries,
+                        key: w.key.clone(),
+                        watermark: w.watermark.clone(),
+                        threshold: 0.85,
+                        mapping: None,
+                    },
+                );
+                assert!(d.detected);
+                d
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stream", records), &w, |b, w| {
+            b.iter(|| {
+                let d = wmx_stream::stream_detect(
+                    black_box(marked.as_bytes()),
+                    w.ctx(),
+                    &w.key,
+                    &w.watermark,
+                    0.85,
+                )
+                .expect("stream detects");
+                assert!(d.report.detected);
+                d
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stream_par4", records), &w, |b, w| {
+            b.iter(|| {
+                wmx_stream::par_detect(black_box(&marked), 4, w.ctx(), &w.key, &w.watermark, 0.85)
+                    .expect("parallel detects")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed_engines, bench_detect_engines);
+criterion_main!(benches);

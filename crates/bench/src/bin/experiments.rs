@@ -17,6 +17,7 @@
 //!   e8  structure units vs value units (ablation: fragility to reordering)
 //!   e9  γ / τ ablation (selection density vs robustness)
 //!   e10 rounding attack (documented robustness limit of parity marks)
+//!   e11 streaming engine: DOM vs single-pass embed/detect (time + resident nodes)
 
 use std::time::Instant;
 use wmx_attacks::redundancy::UnifyStrategy;
@@ -73,6 +74,9 @@ fn main() {
     }
     if want("e10") {
         e10_rounding();
+    }
+    if want("e11") {
+        e11_streaming();
     }
 }
 
@@ -831,4 +835,96 @@ fn e10_rounding() {
     println!("\nmitigations (not in the 2005 paper): embed into a keyed digit");
     println!("position within a wider tolerance, or rely on the text/image/order");
     println!("families, which rounding cannot reach.");
+}
+
+// ---------------------------------------------------------------------
+// E11 — streaming engine: DOM vs single-pass embed/detect
+// ---------------------------------------------------------------------
+fn e11_streaming() {
+    println!("\n[E11] streaming engine — DOM vs single-pass (wmx-stream)");
+    println!("claim: byte-identical output with O(one record) resident nodes and");
+    println!("parallel record chunking; detection needs no safeguarded query file\n");
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let mut t = Table::new(&[
+        "records",
+        "doc KB",
+        "dom embed ms",
+        "stream ms",
+        &format!("par×{workers} ms"),
+        "dom nodes",
+        "stream nodes",
+        "bytes equal",
+        "detect equal",
+    ]);
+    for records in [500usize, 2000, 4000] {
+        let w = wmx_bench::streaming_publications(records, records / 50 + 2, 3, 110);
+        let kb = w.input.len() / 1024;
+
+        let start = Instant::now();
+        let mut dom = wmx_xml::parse(&w.input).expect("parse");
+        let dom_nodes = dom.arena_len();
+        let dom_report = embed(
+            &mut dom,
+            &w.dataset.binding,
+            &w.dataset.fds,
+            &w.dataset.config,
+            &w.key,
+            &w.watermark,
+        )
+        .expect("embed");
+        let dom_out = wmx_xml::to_string(&dom);
+        let dom_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let start = Instant::now();
+        let mut stream_out = Vec::with_capacity(w.input.len());
+        let stream_report = wmx_stream::stream_embed(
+            w.input.as_bytes(),
+            &mut stream_out,
+            w.ctx(),
+            &w.key,
+            &w.watermark,
+        )
+        .expect("stream embed");
+        let stream_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let start = Instant::now();
+        let (par_out, _) = wmx_stream::par_embed(&w.input, workers, w.ctx(), &w.key, &w.watermark)
+            .expect("parallel embed");
+        let par_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+        let bytes_equal = dom_out.as_bytes() == stream_out.as_slice() && dom_out == par_out;
+
+        let dom_detect = detect(
+            &dom,
+            &DetectionInput {
+                queries: &dom_report.queries,
+                key: w.key.clone(),
+                watermark: w.watermark.clone(),
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+        );
+        let stream_detect =
+            wmx_stream::par_detect(&dom_out, workers, w.ctx(), &w.key, &w.watermark, THRESHOLD)
+                .expect("stream detect");
+        let detect_equal = dom_detect.detected == stream_detect.report.detected
+            && (dom_detect.match_fraction() - stream_detect.report.match_fraction()).abs() < 1e-12;
+
+        t.row(vec![
+            records.to_string(),
+            kb.to_string(),
+            format!("{dom_ms:.1}"),
+            format!("{stream_ms:.1}"),
+            format!("{par_ms:.1}"),
+            dom_nodes.to_string(),
+            stream_report.peak_resident_nodes.to_string(),
+            yn(bytes_equal),
+            yn(detect_equal),
+        ]);
+    }
+    t.print();
 }

@@ -8,4 +8,6 @@ pub mod table;
 pub mod workloads;
 
 pub use table::Table;
-pub use workloads::{marked_publications, MarkedWorkload};
+pub use workloads::{
+    marked_publications, streaming_publications, MarkedWorkload, StreamingWorkload,
+};

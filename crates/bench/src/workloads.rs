@@ -58,6 +58,52 @@ pub fn marked_publications(
     }
 }
 
+/// A serialized publications document plus everything the streaming
+/// engine needs — shared by the streaming bench and experiment E11.
+pub struct StreamingWorkload {
+    /// The dataset (semantics: binding, FDs, config).
+    pub dataset: Dataset,
+    /// The original document, compact-serialized (the stream input).
+    pub input: String,
+    /// The secret key.
+    pub key: SecretKey,
+    /// The watermark.
+    pub watermark: Watermark,
+}
+
+impl StreamingWorkload {
+    /// The streaming context borrowing this workload's semantics.
+    pub fn ctx(&self) -> wmx_stream::StreamContext<'_> {
+        wmx_stream::StreamContext {
+            binding: &self.dataset.binding,
+            fds: &self.dataset.fds,
+            config: &self.dataset.config,
+        }
+    }
+}
+
+/// Generates a publications database and serializes it for streaming.
+pub fn streaming_publications(
+    records: usize,
+    editors: usize,
+    gamma: u32,
+    seed: u64,
+) -> StreamingWorkload {
+    let dataset = generate(&PublicationsConfig {
+        records,
+        editors,
+        seed,
+        gamma,
+    });
+    let input = wmx_xml::to_string(&dataset.doc);
+    StreamingWorkload {
+        dataset,
+        input,
+        key: SecretKey::from_passphrase("bench-key"),
+        watermark: Watermark::from_message("© bench owner", 24),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +113,27 @@ mod tests {
         let w = marked_publications(50, 5, 2, 7);
         assert!(w.report.marked_units > 0);
         assert_eq!(w.dataset.name, "publications");
+    }
+
+    #[test]
+    fn streaming_workload_matches_dom_engine() {
+        let w = streaming_publications(80, 8, 2, 7);
+        let mut out = Vec::new();
+        let report =
+            wmx_stream::stream_embed(w.input.as_bytes(), &mut out, w.ctx(), &w.key, &w.watermark)
+                .expect("stream embed");
+        let mut dom = w.dataset.doc.clone();
+        let dom_report = embed(
+            &mut dom,
+            &w.dataset.binding,
+            &w.dataset.fds,
+            &w.dataset.config,
+            &w.key,
+            &w.watermark,
+        )
+        .expect("dom embed");
+        assert_eq!(String::from_utf8(out).unwrap(), wmx_xml::to_string(&dom));
+        assert_eq!(report.report.marked_units, dom_report.marked_units);
+        assert!(report.peak_resident_nodes < dom.arena_len());
     }
 }

@@ -17,6 +17,8 @@ pub fn run(args: &Args) -> Result<i32, String> {
         "generate" => cmd_generate(args),
         "embed" => cmd_embed(args),
         "detect" => cmd_detect(args),
+        "stream-embed" => cmd_stream_embed(args),
+        "stream-detect" => cmd_stream_detect(args),
         "attack" => cmd_attack(args),
         "validate" => cmd_validate(args),
         "inspect" => cmd_inspect(args),
@@ -44,6 +46,17 @@ COMMANDS
   detect    --in FILE --key K --message M [--bits N] [--threshold T]
             --queries FILE
             detect the watermark (exit 0 = detected, 2 = not detected)
+  stream-embed
+            --profile P --in FILE --key K --message M [--bits N]
+            [--gamma G] [--workers W] --out FILE --queries FILE
+            single-pass streaming embed: O(record) memory at --workers 1,
+            parallel record chunking at --workers > 1; output bytes are
+            identical to the DOM engine's compact serialization
+  stream-detect
+            --profile P --in FILE --key K --message M [--bits N]
+            [--gamma G] [--threshold T] [--workers W]
+            single-pass detection without a query file (the key + profile
+            re-derive the marked units); exit codes as for detect
   attack    --in FILE --kind alteration|reduction|shuffle|redundancy
             [--intensity X] [--seed S] [--profile P] --out FILE
             apply a demo attack
@@ -74,6 +87,19 @@ fn load_profile(args: &Args) -> Result<crate::profile::Profile, String> {
             PROFILE_NAMES.join(", ")
         )
     })
+}
+
+/// The encoder configuration both streaming commands share: the
+/// profile's defaults with the `--gamma` override applied.
+fn stream_config(
+    args: &Args,
+    profile: &crate::profile::Profile,
+) -> Result<wmx_core::EncoderConfig, String> {
+    let mut config = profile.config.clone();
+    config.gamma = args
+        .parsed_or("gamma", config.gamma)
+        .map_err(|e| e.to_string())?;
+    Ok(config)
 }
 
 fn watermark_from(args: &Args) -> Result<Watermark, String> {
@@ -215,6 +241,124 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
         "queries located: {}/{}; bits matched {}/{} ({:.1}%); p-value {:.2e}",
         report.located_queries,
         report.total_queries,
+        report.matched_bits,
+        report.voted_bits,
+        100.0 * report.match_fraction(),
+        report.p_value
+    );
+    if report.detected {
+        println!("WATERMARK DETECTED (τ = {threshold})");
+        Ok(0)
+    } else {
+        println!("watermark NOT detected (τ = {threshold})");
+        Ok(2)
+    }
+}
+
+fn cmd_stream_embed(args: &Args) -> Result<i32, String> {
+    let profile = load_profile(args)?;
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let out_path = args.required("out").map_err(|e| e.to_string())?;
+    let queries_path = args.required("queries").map_err(|e| e.to_string())?;
+    let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
+    let watermark = watermark_from(args)?;
+    let workers: usize = args.parsed_or("workers", 1).map_err(|e| e.to_string())?;
+
+    let config = stream_config(args, &profile)?;
+    let ctx = wmx_stream::StreamContext {
+        binding: &profile.binding,
+        fds: &profile.fds,
+        config: &config,
+    };
+
+    let report = if workers > 1 {
+        let text =
+            fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+        let (marked, report) = wmx_stream::par_embed(&text, workers, ctx, &key, &watermark)
+            .map_err(|e| format!("streaming embed failed: {e}"))?;
+        write_file(out_path, &marked)?;
+        report
+    } else {
+        // Stream into a sibling temp file and rename on success, so a
+        // failed run never clobbers an existing output file.
+        let tmp_path = format!("{out_path}.tmp");
+        let input = fs::File::open(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+        let output =
+            fs::File::create(&tmp_path).map_err(|e| format!("cannot write {tmp_path}: {e}"))?;
+        let result = wmx_stream::stream_embed(
+            std::io::BufReader::new(input),
+            std::io::BufWriter::new(output),
+            ctx,
+            &key,
+            &watermark,
+        );
+        match result {
+            Ok(report) => {
+                fs::rename(&tmp_path, out_path)
+                    .map_err(|e| format!("cannot move {tmp_path} to {out_path}: {e}"))?;
+                report
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp_path);
+                return Err(format!("streaming embed failed: {e}"));
+            }
+        }
+    };
+
+    write_file(queries_path, &queryfile::to_string(&report.report.queries))?;
+    println!(
+        "stream-embedded {} marks across {} units in {} records (γ={}, workers {workers})",
+        report.report.marked_units, report.report.total_units, report.records, config.gamma,
+    );
+    println!(
+        "peak resident nodes: {} (one record at a time)",
+        report.peak_resident_nodes
+    );
+    println!("marked document: {out_path}");
+    println!("query set (keep with your key!): {queries_path}");
+    Ok(0)
+}
+
+fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
+    let profile = load_profile(args)?;
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
+    let watermark = watermark_from(args)?;
+    let threshold: f64 = args
+        .parsed_or("threshold", 0.85)
+        .map_err(|e| e.to_string())?;
+    let workers: usize = args.parsed_or("workers", 1).map_err(|e| e.to_string())?;
+
+    let config = stream_config(args, &profile)?;
+    let ctx = wmx_stream::StreamContext {
+        binding: &profile.binding,
+        fds: &profile.fds,
+        config: &config,
+    };
+
+    let detection = if workers > 1 {
+        let text =
+            fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+        wmx_stream::par_detect(&text, workers, ctx, &key, &watermark, threshold)
+            .map_err(|e| format!("streaming detect failed: {e}"))?
+    } else {
+        let input = fs::File::open(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+        wmx_stream::stream_detect(
+            std::io::BufReader::new(input),
+            ctx,
+            &key,
+            &watermark,
+            threshold,
+        )
+        .map_err(|e| format!("streaming detect failed: {e}"))?
+    };
+
+    let report = &detection.report;
+    println!(
+        "units voted: {}/{} across {} records; bits matched {}/{} ({:.1}%); p-value {:.2e}",
+        report.located_queries,
+        report.total_queries,
+        detection.records,
         report.matched_bits,
         report.voted_bits,
         100.0 * report.match_fraction(),
@@ -491,6 +635,117 @@ mod tests {
             0
         );
         assert_eq!(run(&args(&["inspect", "--in", &db])).unwrap(), 0);
+    }
+
+    #[test]
+    fn stream_embed_detect_roundtrip_and_dom_interop() {
+        let db = tmp("sdb.xml");
+        let marked1 = tmp("smarked1.xml");
+        let marked4 = tmp("smarked4.xml");
+        let queries = tmp("sq.wmxq");
+
+        run(&args(&[
+            "generate",
+            "--profile",
+            "publications",
+            "--records",
+            "150",
+            "--out",
+            &db,
+        ]))
+        .unwrap();
+        // Sequential (bounded-memory) and parallel paths agree byte-wise.
+        assert_eq!(
+            run(&args(&[
+                "stream-embed",
+                "--profile",
+                "publications",
+                "--in",
+                &db,
+                "--key",
+                "stream-secret",
+                "--message",
+                "© stream",
+                "--out",
+                &marked1,
+                "--queries",
+                &queries,
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&args(&[
+                "stream-embed",
+                "--profile",
+                "publications",
+                "--in",
+                &db,
+                "--key",
+                "stream-secret",
+                "--message",
+                "© stream",
+                "--workers",
+                "4",
+                "--out",
+                &marked4,
+                "--queries",
+                &tmp("sq4.wmxq"),
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            fs::read_to_string(&marked1).unwrap(),
+            fs::read_to_string(&marked4).unwrap()
+        );
+        // Streaming detection needs no query file.
+        assert_eq!(
+            run(&args(&[
+                "stream-detect",
+                "--profile",
+                "publications",
+                "--in",
+                &marked1,
+                "--key",
+                "stream-secret",
+                "--message",
+                "© stream",
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&args(&[
+                "stream-detect",
+                "--profile",
+                "publications",
+                "--in",
+                &marked1,
+                "--key",
+                "wrong",
+                "--message",
+                "© stream",
+            ]))
+            .unwrap(),
+            2
+        );
+        // The stream-produced query set drives the DOM decoder too.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &marked1,
+                "--key",
+                "stream-secret",
+                "--message",
+                "© stream",
+                "--queries",
+                &queries,
+            ]))
+            .unwrap(),
+            0
+        );
     }
 
     #[test]

@@ -9,11 +9,10 @@
 //! likely the observed agreement would be for an unrelated document.
 
 use crate::config::EncoderConfig;
-use crate::embed::plugin_for;
 use crate::encoder::StoredQuery;
-use crate::identifier::MarkKind;
+use crate::nodectx::{DomNodes, UnitMarker};
 use crate::wm::Watermark;
-use wmx_crypto::{Prf, SecretKey};
+use wmx_crypto::SecretKey;
 use wmx_rewrite::{rewrite::rewrite_through, SchemaMapping};
 use wmx_xml::Document;
 use wmx_xpath::Query;
@@ -51,6 +50,22 @@ impl BitVotes {
             std::cmp::Ordering::Less => Some(false),
             std::cmp::Ordering::Equal => None,
         }
+    }
+
+    /// Records one vote.
+    pub fn add(&mut self, bit: bool) {
+        if bit {
+            self.ones += 1;
+        } else {
+            self.zeros += 1;
+        }
+    }
+
+    /// Adds another tally into this one (used when merging detection
+    /// results from parallel chunks).
+    pub fn merge(&mut self, other: &BitVotes) {
+        self.ones += other.ones;
+        self.zeros += other.zeros;
     }
 }
 
@@ -102,7 +117,7 @@ impl DetectionReport {
 
 /// Runs detection over `doc`.
 pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
-    let prf = Prf::new(input.key.clone());
+    let marker = UnitMarker::new(input.key.clone());
     let wm_len = input.watermark.len();
     let mut bit_votes = vec![BitVotes::default(); wm_len];
     let mut located_queries = 0usize;
@@ -122,42 +137,65 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
             continue;
         }
         located_queries += 1;
-        let bit_index = prf.bit_index(&stored.unit_id, wm_len);
-        let nonce = prf.value_nonce(&stored.unit_id);
-        let whiten = prf.whiten_bit(&stored.unit_id);
-        let mut vote = |raw: bool| {
+        // Extraction shares `UnitMarker` with the encoder and the
+        // streaming engine; this path feeds it the query-located nodes.
+        let votes = marker.extract_unit(
+            &DomNodes::new(doc, &nodes),
+            &stored.unit_id,
+            stored.mark,
+            wm_len,
+        );
+        for bit in votes.bits {
             votes_cast += 1;
-            if raw ^ whiten {
-                bit_votes[bit_index].ones += 1;
-            } else {
-                bit_votes[bit_index].zeros += 1;
-            }
-        };
-        match stored.mark {
-            MarkKind::Value(data_type) => {
-                let plugin = plugin_for(data_type);
-                for node in nodes {
-                    let value = node.string_value(doc);
-                    if let Some(raw) = plugin.extract(&value, nonce) {
-                        vote(raw);
-                    }
-                }
-            }
-            MarkKind::SiblingOrder => {
-                if let Some(raw) = crate::encoder::extract_order_bit(doc, &nodes) {
-                    vote(raw);
-                }
-            }
+            bit_votes[votes.bit_index].add(bit);
         }
     }
 
+    report_from_votes(
+        bit_votes,
+        &input.watermark,
+        input.threshold,
+        VoteCounters {
+            total_queries: input.queries.len(),
+            located_queries,
+            unrewritable_queries: unrewritable,
+            votes_cast,
+        },
+    )
+}
+
+/// Query-level counters accompanying a vote tally (how many identity
+/// queries/units were executed, located, unrewritable, and how many node
+/// votes they produced).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteCounters {
+    /// Queries (or streaming units) considered.
+    pub total_queries: usize,
+    /// Queries/units that located at least one node.
+    pub located_queries: usize,
+    /// Queries that could not be rewritten to the target schema.
+    pub unrewritable_queries: usize,
+    /// Individual node votes cast.
+    pub votes_cast: usize,
+}
+
+/// Turns a per-bit vote tally into a full [`DetectionReport`]: majority
+/// decision, matched-bit count, sign-test p-value, and the τ decision.
+/// Shared by [`detect`] and the `wmx-stream` engine (which accumulates
+/// `bit_votes` across record chunks before finalizing).
+pub fn report_from_votes(
+    bit_votes: Vec<BitVotes>,
+    watermark: &Watermark,
+    threshold: f64,
+    counters: VoteCounters,
+) -> DetectionReport {
     let recovered: Vec<Option<bool>> = bit_votes.iter().map(BitVotes::majority).collect();
     let mut voted_bits = 0usize;
     let mut matched_bits = 0usize;
     for (i, r) in recovered.iter().enumerate() {
         if bit_votes[i].ones + bit_votes[i].zeros > 0 {
             voted_bits += 1;
-            if *r == Some(input.watermark.bit(i)) {
+            if *r == Some(watermark.bit(i)) {
                 matched_bits += 1;
             }
         }
@@ -169,13 +207,13 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     } else {
         matched_bits as f64 / voted_bits as f64
     };
-    let detected = voted_bits > 0 && match_fraction >= input.threshold;
+    let detected = voted_bits > 0 && match_fraction >= threshold;
 
     DetectionReport {
-        total_queries: input.queries.len(),
-        located_queries,
-        unrewritable_queries: unrewritable,
-        votes_cast,
+        total_queries: counters.total_queries,
+        located_queries: counters.located_queries,
+        unrewritable_queries: counters.unrewritable_queries,
+        votes_cast: counters.votes_cast,
         bit_votes,
         recovered,
         voted_bits,

@@ -1,15 +1,14 @@
 //! Watermark insertion (§2.2 step 2).
 
 use crate::config::EncoderConfig;
-use crate::embed::plugin_for;
-use crate::identifier::{enumerate_units, MarkKind, MarkUnit};
+use crate::identifier::{enumerate_units, MarkKind};
+use crate::nodectx::{DomNodesMut, UnitMarker};
 use crate::wm::Watermark;
-use crate::{write_value, WmError};
-use wmx_crypto::{Prf, SecretKey};
+use crate::WmError;
+use wmx_crypto::SecretKey;
 use wmx_rewrite::{LogicalQuery, SchemaBinding};
 use wmx_schema::Fd;
 use wmx_xml::Document;
-use wmx_xpath::NodeRef;
 
 /// One persisted identity query — what the user "safeguards … along with
 /// the secret key" (§2.2). The query text is self-contained; the logical
@@ -71,7 +70,7 @@ pub fn embed(
         return Err(WmError::new("watermark must have at least one bit"));
     }
     let units = enumerate_units(doc, binding, fds, config)?;
-    let prf = Prf::new(key.clone());
+    let marker = UnitMarker::new(key.clone());
 
     let mut report = EmbedReport {
         total_units: units.len(),
@@ -82,11 +81,18 @@ pub fn embed(
     };
 
     for unit in units {
-        if !prf.is_selected(&unit.unit_id, config.gamma) {
+        if !marker.is_selected(&unit.unit_id, config.gamma) {
             continue;
         }
         report.selected_units += 1;
-        let marked_nodes = mark_unit(doc, &unit, &prf, watermark)?;
+        // The per-node decision lives in `UnitMarker` (shared with the
+        // streaming engine); this path feeds it the DOM-backed context.
+        let marked_nodes = marker.mark_unit(
+            &mut DomNodesMut::new(doc, &unit.nodes),
+            &unit.unit_id,
+            unit.mark,
+            watermark,
+        )?;
         if marked_nodes == 0 {
             continue; // value could not carry the mark (e.g. empty text)
         }
@@ -100,81 +106,6 @@ pub fn embed(
         });
     }
     Ok(report)
-}
-
-/// Writes the unit's assigned bit into the unit. Returns the number of
-/// nodes rewritten/reordered (0 when the unit could not carry the bit).
-fn mark_unit(
-    doc: &mut Document,
-    unit: &MarkUnit,
-    prf: &Prf,
-    watermark: &Watermark,
-) -> Result<usize, WmError> {
-    let bit_index = prf.bit_index(&unit.unit_id, watermark.len());
-    // Whitening keeps the stored bit stream balanced and key-dependent
-    // even for biased watermarks (see `Prf::whiten_bit`).
-    let bit = watermark.bit(bit_index) ^ prf.whiten_bit(&unit.unit_id);
-    let nonce = prf.value_nonce(&unit.unit_id);
-    match unit.mark {
-        MarkKind::Value(data_type) => {
-            let plugin = plugin_for(data_type);
-            let mut marked = 0usize;
-            for node in &unit.nodes {
-                let value = node.string_value(doc);
-                if let Some(new_value) = plugin.embed(&value, bit, nonce) {
-                    if new_value != value {
-                        write_value(doc, node, &new_value)?;
-                    }
-                    marked += 1;
-                }
-            }
-            Ok(marked)
-        }
-        MarkKind::SiblingOrder => embed_order_bit(doc, &unit.nodes, bit),
-    }
-}
-
-/// Encodes `bit` as the relative order of the first two sibling value
-/// nodes: ascending lexicographic order = 0, descending = 1. Returns the
-/// number of nodes moved (0 when unmarkable: equal values or the nodes
-/// are not reorderable siblings), or 2 when the order already encodes or
-/// was swapped to encode the bit.
-fn embed_order_bit(doc: &mut Document, nodes: &[NodeRef], bit: bool) -> Result<usize, WmError> {
-    let (Some(NodeRef::Node(a)), Some(NodeRef::Node(b))) = (nodes.first(), nodes.get(1)) else {
-        return Ok(0); // attribute-valued or missing: order is meaningless
-    };
-    let (a, b) = (*a, *b);
-    if doc.parent(a) != doc.parent(b) || doc.parent(a).is_none() {
-        return Ok(0);
-    }
-    let va = doc.text_content(a);
-    let vb = doc.text_content(b);
-    if va == vb {
-        return Ok(0); // equal values cannot encode an order
-    }
-    let current_bit = va > vb; // descending = 1
-    if current_bit != bit {
-        let parent = doc.parent(a).expect("checked above");
-        let ia = doc
-            .child_index(a)
-            .ok_or_else(|| WmError::new("order unit node lost its parent"))?;
-        let ib = doc
-            .child_index(b)
-            .ok_or_else(|| WmError::new("order unit node lost its parent"))?;
-        doc.swap_children(parent, ia, ib);
-    }
-    Ok(2)
-}
-
-/// Reads an order bit back (decoder side): `None` when fewer than two
-/// values or equal values.
-pub(crate) fn extract_order_bit(doc: &Document, nodes: &[NodeRef]) -> Option<bool> {
-    let a = nodes.first()?.string_value(doc);
-    let b = nodes.get(1)?.string_value(doc);
-    if a == b {
-        return None;
-    }
-    Some(a > b)
 }
 
 #[cfg(test)]
@@ -430,14 +361,22 @@ mod tests {
         let report = embed(&mut d, &binding(), &[], &cfg, &key, &wm).unwrap();
         assert!(report.marked_units > 0);
         // Extraction agrees with embedding for every stored query.
-        let prf = wmx_crypto::Prf::new(key);
+        let marker = UnitMarker::new(key);
         for sq in &report.queries {
             let q = Query::compile(&sq.xpath).unwrap();
             let nodes = q.select(&d);
-            let raw = extract_order_bit(&d, &nodes).expect("order readable");
-            let bit = raw ^ prf.whiten_bit(&sq.unit_id);
-            let idx = prf.bit_index(&sq.unit_id, wm.len());
-            assert_eq!(bit, wm.bit(idx), "order bit mismatch for {}", sq.xpath);
+            let votes = marker.extract_unit(
+                &crate::nodectx::DomNodes::new(&d, &nodes),
+                &sq.unit_id,
+                sq.mark,
+                wm.len(),
+            );
+            assert_eq!(
+                votes.bits,
+                vec![wm.bit(votes.bit_index)],
+                "order bit mismatch for {}",
+                sq.xpath
+            );
         }
     }
 

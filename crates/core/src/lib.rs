@@ -35,14 +35,18 @@ pub mod decoder;
 pub mod embed;
 pub mod encoder;
 pub mod identifier;
+pub mod nodectx;
 pub mod template;
 pub mod usability;
 pub mod wm;
 
 pub use config::{EncoderConfig, MarkableAttr, StructuralAttr, Tolerance};
-pub use decoder::{detect, DetectionInput, DetectionReport};
+pub use decoder::{
+    detect, report_from_votes, BitVotes, DetectionInput, DetectionReport, VoteCounters,
+};
 pub use encoder::{embed, EmbedReport, StoredQuery};
 pub use identifier::{enumerate_units, MarkKind, MarkUnit, UnitKind};
+pub use nodectx::{DomNodes, DomNodesMut, NodeCtx, NodeCtxMut, UnitMarker, UnitVotes};
 pub use template::QueryTemplate;
 pub use usability::{measure_usability, UsabilityReport};
 pub use wm::Watermark;

@@ -1,0 +1,372 @@
+//! Sequential single-pass drivers: embed to a writer, detect to a vote
+//! tally, both with O(depth + one record) resident nodes.
+
+use crate::engine::{open_tag, RecordEngine};
+use crate::reader::{Misc, TopEvent, TopLevelReader};
+use crate::report::{PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport};
+use crate::{StreamContext, StreamError};
+use std::io::{BufRead, Write};
+use wmx_core::{Watermark, WmError};
+use wmx_crypto::SecretKey;
+use wmx_xml::escape::escape_text;
+use wmx_xml::serialize::{cdata_text, comment_text, pi_text};
+
+/// Incremental output writer that reproduces `wmx_xml::to_string` bytes
+/// from top-level events: prolog pieces are buffered until the root
+/// opens (the serializer emits `<?xml?>`/`<!DOCTYPE>` before pre-root
+/// comments regardless of input order), and the root open tag is held
+/// back until the first visible child so an empty root collapses to
+/// `<name/>` exactly like the DOM serializer.
+pub(crate) struct Emitter<W: Write> {
+    out: W,
+    xml_decl: Option<String>,
+    doctype: Option<String>,
+    prolog_misc: Vec<Misc>,
+    root_open: Option<String>,
+    root_name: String,
+    root_open_written: bool,
+}
+
+fn misc_bytes(misc: &Misc) -> String {
+    // Each arm delegates to the DOM serializer's own formatting helpers,
+    // so byte parity cannot drift.
+    match misc {
+        Misc::Text(t) => escape_text(t),
+        Misc::CData(t) => cdata_text(t),
+        Misc::Comment(t) => comment_text(t),
+        Misc::Pi { target, data } => pi_text(target, data),
+    }
+}
+
+impl<W: Write> Emitter<W> {
+    pub fn new(out: W) -> Self {
+        Emitter {
+            out,
+            xml_decl: None,
+            doctype: None,
+            prolog_misc: Vec::new(),
+            root_open: None,
+            root_name: String::new(),
+            root_open_written: false,
+        }
+    }
+
+    fn ensure_root_open(&mut self) -> Result<(), StreamError> {
+        if !self.root_open_written {
+            let open = self.root_open.as_deref().expect("root started");
+            self.out.write_all(open.as_bytes())?;
+            self.root_open_written = true;
+        }
+        Ok(())
+    }
+
+    /// Handles one event; `record_out` carries the processed bytes for
+    /// [`TopEvent::Record`] and must be `Some` exactly then.
+    pub fn event(&mut self, ev: &TopEvent, record_out: Option<&str>) -> Result<(), StreamError> {
+        match ev {
+            TopEvent::XmlDecl(content) => self.xml_decl = Some(content.clone()),
+            TopEvent::Doctype(content) => self.doctype = Some(content.clone()),
+            TopEvent::PrologMisc(misc) => self.prolog_misc.push(misc.clone()),
+            TopEvent::RootStart { name, attributes } => {
+                if let Some(decl) = &self.xml_decl {
+                    self.out.write_all(format!("<?xml {decl}?>").as_bytes())?;
+                }
+                if let Some(doctype) = &self.doctype {
+                    self.out
+                        .write_all(format!("<!DOCTYPE {doctype}>").as_bytes())?;
+                }
+                for misc in &self.prolog_misc {
+                    self.out.write_all(misc_bytes(misc).as_bytes())?;
+                }
+                self.root_open = Some(open_tag(name, attributes));
+                self.root_name = name.clone();
+            }
+            TopEvent::Record(_) => {
+                self.ensure_root_open()?;
+                let bytes = record_out.expect("record output provided");
+                self.out.write_all(bytes.as_bytes())?;
+            }
+            TopEvent::Misc(misc) => {
+                self.ensure_root_open()?;
+                self.out.write_all(misc_bytes(misc).as_bytes())?;
+            }
+            TopEvent::RootEnd => {
+                if self.root_open_written {
+                    self.out
+                        .write_all(format!("</{}>", self.root_name).as_bytes())?;
+                } else {
+                    // No visible children: the serializer collapses the
+                    // root to a self-closing tag.
+                    let open = self.root_open.as_deref().expect("root started");
+                    let without_gt = &open[..open.len() - 1];
+                    self.out.write_all(without_gt.as_bytes())?;
+                    self.out.write_all(b"/>")?;
+                    self.root_open_written = true;
+                }
+            }
+            TopEvent::TrailingMisc(misc) => {
+                self.out.write_all(misc_bytes(misc).as_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<(), StreamError> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Embeds `watermark` while streaming `input` to `output` in a single
+/// pass. The output bytes are identical to
+/// `wmx_xml::to_string(&dom_embedded)` for the same input, key, and
+/// watermark; at most one record's nodes are materialized at a time.
+pub fn stream_embed<R: BufRead, W: Write>(
+    input: R,
+    output: W,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+) -> Result<StreamEmbedReport, StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let mut reader = TopLevelReader::new(input);
+    let mut emitter = Emitter::new(output);
+    let mut engine: Option<RecordEngine<'_>> = None;
+    let mut partial = PartialEmbed::default();
+    while let Some(ev) = reader.next_event()? {
+        match &ev {
+            TopEvent::RootStart { name, attributes } => {
+                engine = Some(RecordEngine::new(ctx, key, watermark, name, attributes)?);
+                emitter.event(&ev, None)?;
+            }
+            TopEvent::Record(raw) => {
+                let processed = engine
+                    .as_ref()
+                    .expect("record implies root")
+                    .embed_record(raw, &mut partial)?;
+                emitter.event(&ev, Some(&processed))?;
+            }
+            _ => emitter.event(&ev, None)?,
+        }
+    }
+    emitter.finish()?;
+    Ok(partial.finalize())
+}
+
+/// Detects `watermark` in a single pass over `input` without a
+/// safeguarded query file: units are re-enumerated per record and the
+/// keyed PRF re-derives which ones were selected. Votes equal the DOM
+/// decoder's votes on the same (un-reorganized) document.
+pub fn stream_detect<R: BufRead>(
+    input: R,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+    threshold: f64,
+) -> Result<StreamDetectReport, StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let mut reader = TopLevelReader::new(input);
+    let mut engine: Option<RecordEngine<'_>> = None;
+    let mut partial = PartialDetect::new(watermark.len());
+    while let Some(ev) = reader.next_event()? {
+        match &ev {
+            TopEvent::RootStart { name, attributes } => {
+                engine = Some(RecordEngine::new(ctx, key, watermark, name, attributes)?);
+            }
+            TopEvent::Record(raw) => {
+                engine
+                    .as_ref()
+                    .expect("record implies root")
+                    .detect_record(raw, &mut partial)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(partial.finalize(watermark, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_core::{EncoderConfig, MarkableAttr};
+    use wmx_rewrite::binding::{AttrBinding, EntityBinding};
+    use wmx_rewrite::SchemaBinding;
+
+    fn binding() -> SchemaBinding {
+        SchemaBinding::new(
+            "db1",
+            vec![EntityBinding::new(
+                "book",
+                "/db/book",
+                "title",
+                vec![
+                    ("title", AttrBinding::ChildText("title".into())),
+                    ("year", AttrBinding::ChildText("year".into())),
+                ],
+            )
+            .unwrap()],
+        )
+    }
+
+    fn config() -> EncoderConfig {
+        EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)])
+    }
+
+    fn doc(n: usize) -> String {
+        let mut s = String::from("<db>");
+        for i in 0..n {
+            s.push_str(&format!(
+                "<book><title>B{i}</title><year>{}</year></book>",
+                1990 + (i % 7)
+            ));
+        }
+        s.push_str("</db>");
+        s
+    }
+
+    fn run_embed(input: &str) -> (String, StreamEmbedReport) {
+        let binding = binding();
+        let config = config();
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("drv");
+        let wm = Watermark::parse("1011").unwrap();
+        let mut out = Vec::new();
+        let report = stream_embed(input.as_bytes(), &mut out, ctx, &key, &wm).unwrap();
+        (String::from_utf8(out).unwrap(), report)
+    }
+
+    #[test]
+    fn embed_matches_dom_engine_bytes() {
+        let input = doc(40);
+        let (stream_out, report) = run_embed(&input);
+
+        let mut dom = wmx_xml::parse(&input).unwrap();
+        let binding = binding();
+        let dom_report = wmx_core::embed(
+            &mut dom,
+            &binding,
+            &[],
+            &config(),
+            &SecretKey::from_passphrase("drv"),
+            &Watermark::parse("1011").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(stream_out, wmx_xml::to_string(&dom));
+        assert_eq!(report.report.total_units, dom_report.total_units);
+        assert_eq!(report.report.selected_units, dom_report.selected_units);
+        assert_eq!(report.report.marked_units, dom_report.marked_units);
+        assert_eq!(report.report.marked_nodes, dom_report.marked_nodes);
+        assert_eq!(report.records, 40);
+    }
+
+    #[test]
+    fn detect_recovers_the_mark_without_queries() {
+        let input = doc(60);
+        let (marked, _) = run_embed(&input);
+        let binding = binding();
+        let config = config();
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let d = stream_detect(
+            marked.as_bytes(),
+            ctx,
+            &SecretKey::from_passphrase("drv"),
+            &Watermark::parse("1011").unwrap(),
+            0.85,
+        )
+        .unwrap();
+        assert!(d.report.detected);
+        assert_eq!(d.report.match_fraction(), 1.0);
+        // Wrong key does not detect.
+        let wrong = stream_detect(
+            marked.as_bytes(),
+            ctx,
+            &SecretKey::from_passphrase("oops"),
+            &Watermark::parse("1011").unwrap(),
+            0.85,
+        )
+        .unwrap();
+        assert!(wrong.report.match_fraction() < 1.0 || !wrong.report.detected);
+    }
+
+    #[test]
+    fn resident_nodes_stay_bounded() {
+        let input = doc(500);
+        let (_, report) = run_embed(&input);
+        let full = wmx_xml::parse(&input).unwrap().arena_len();
+        assert!(
+            report.peak_resident_nodes * 10 < full,
+            "streaming kept {} nodes resident vs {} in the DOM",
+            report.peak_resident_nodes,
+            full
+        );
+    }
+
+    #[test]
+    fn empty_and_prolog_edge_cases_roundtrip() {
+        for input in [
+            "<db/>",
+            "<?xml version=\"1.0\"?><db/>",
+            "<!-- a --><db></db><!-- b -->",
+            "<db>text only</db>",
+            "<db><![CDATA[x<y]]></db>",
+            "<!DOCTYPE db><db><book><title>T</title><year>2000</year></book></db>",
+        ] {
+            let (out, _) = run_embed(input);
+            let mut dom = wmx_xml::parse(input).unwrap();
+            wmx_core::embed(
+                &mut dom,
+                &binding(),
+                &[],
+                &config(),
+                &SecretKey::from_passphrase("drv"),
+                &Watermark::parse("1011").unwrap(),
+            )
+            .unwrap();
+            assert_eq!(out, wmx_xml::to_string(&dom), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn root_bound_entity_is_rejected() {
+        let binding = SchemaBinding::new(
+            "weird",
+            vec![EntityBinding::new(
+                "db",
+                "/db",
+                "title",
+                vec![
+                    ("title", AttrBinding::Attribute("title".into())),
+                    ("year", AttrBinding::ChildText("year".into())),
+                ],
+            )
+            .unwrap()],
+        );
+        let config = EncoderConfig::new(1, vec![MarkableAttr::integer("db", "year", 1)]);
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let err = stream_embed(
+            "<db title=\"t\"><year>2000</year></db>".as_bytes(),
+            Vec::new(),
+            ctx,
+            &SecretKey::from_passphrase("k"),
+            &Watermark::parse("1").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StreamError::Unsupported(_)), "{err}");
+    }
+}

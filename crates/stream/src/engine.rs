@@ -1,0 +1,217 @@
+//! Per-record embed/detect: the heart of the streaming engine.
+//!
+//! Each raw record slice is re-parsed into a *mini-document* wrapped in
+//! a copy of the root element (so absolute instance paths like
+//! `/db/book` resolve), the shared unit enumeration from `wmx-core` runs
+//! over it, and every unit goes through the same [`UnitMarker`] the DOM
+//! encoder/decoder uses. Unit identities are key-based — never
+//! positional — so a unit's selection, bit index, nonce, and whitening
+//! are identical whether the unit was found in a 10 GB document or in
+//! its own record: that is what makes streaming output bit-for-bit equal
+//! to DOM output.
+
+use crate::report::{PartialDetect, PartialEmbed};
+use crate::{StreamContext, StreamError};
+use wmx_core::{enumerate_units, DomNodes, DomNodesMut, UnitKind, UnitMarker, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_xml::token::TokenAttribute;
+use wmx_xml::{node_to_string, parse, Document};
+
+/// A compiled streaming engine for one document's root + semantics.
+pub(crate) struct RecordEngine<'a> {
+    ctx: StreamContext<'a>,
+    marker: UnitMarker,
+    watermark: &'a Watermark,
+    root_open: String,
+    root_close: String,
+}
+
+/// Builds the compact open tag `<name a="v" ...>` from the serializer's
+/// own attribute formatting, so streaming/DOM byte parity holds by
+/// construction.
+pub(crate) fn open_tag(name: &str, attributes: &[TokenAttribute]) -> String {
+    let mut out = format!("<{name}");
+    for attr in attributes {
+        out.push_str(&wmx_xml::serialize::attribute_text(&attr.name, &attr.value));
+    }
+    out.push('>');
+    out
+}
+
+impl<'a> RecordEngine<'a> {
+    /// Creates the engine and validates that the semantic package is
+    /// usable under streaming: configuration errors the DOM encoder
+    /// would raise are raised here up front (even for empty documents),
+    /// and entities bound to the document root itself are rejected.
+    pub fn new(
+        ctx: StreamContext<'a>,
+        key: &SecretKey,
+        watermark: &'a Watermark,
+        root_name: &str,
+        root_attributes: &[TokenAttribute],
+    ) -> Result<Self, StreamError> {
+        let root_open = open_tag(root_name, root_attributes);
+        let root_close = format!("</{root_name}>");
+        let probe = parse(&format!("{root_open}{root_close}")).map_err(StreamError::Xml)?;
+        // Binding/config validation (unbound attributes, markable keys…)
+        // happens before any instance loop, so the probe surfaces the
+        // same errors the DOM encoder would.
+        enumerate_units(&probe, ctx.binding, ctx.fds, ctx.config).map_err(StreamError::Wm)?;
+        let probe_root = probe.root_element().expect("probe has a root");
+        let mut entity_names: Vec<&str> = ctx
+            .config
+            .markable
+            .iter()
+            .map(|m| m.entity.as_str())
+            .chain(ctx.config.structural.iter().map(|s| s.entity.as_str()))
+            .collect();
+        entity_names.sort_unstable();
+        entity_names.dedup();
+        for name in entity_names {
+            if let Some(entity) = ctx.binding.entity(name) {
+                let hits_root = entity
+                    .instances(&probe)
+                    .iter()
+                    .any(|n| matches!(n, wmx_xpath::NodeRef::Node(id) if *id == probe_root));
+                if hits_root {
+                    return Err(StreamError::Unsupported(format!(
+                        "entity {name:?} is bound to the document root ({}); \
+                         record streaming needs instances below the root — use the DOM engine",
+                        entity.instance_path
+                    )));
+                }
+            }
+        }
+        Ok(RecordEngine {
+            ctx,
+            marker: UnitMarker::new(key.clone()),
+            watermark,
+            root_open,
+            root_close,
+        })
+    }
+
+    /// Parses one raw record slice into its wrapped mini-document.
+    fn mini_doc(&self, record_raw: &str) -> Result<Document, StreamError> {
+        let text = format!("{}{record_raw}{}", self.root_open, self.root_close);
+        parse(&text).map_err(StreamError::Xml)
+    }
+
+    /// Embeds into one record; returns the record's serialized bytes.
+    pub fn embed_record(
+        &self,
+        record_raw: &str,
+        partial: &mut PartialEmbed,
+    ) -> Result<String, StreamError> {
+        let mut mini = self.mini_doc(record_raw)?;
+        let units = enumerate_units(&mini, self.ctx.binding, self.ctx.fds, self.ctx.config)
+            .map_err(StreamError::Wm)?;
+        for unit in units {
+            let fd_id = match &unit.kind {
+                UnitKind::FdGroup { .. } => Some(unit.unit_id.clone()),
+                _ => None,
+            };
+            match &fd_id {
+                Some(id) => {
+                    partial.fd_total.insert(id.clone());
+                }
+                None => partial.total_local += 1,
+            }
+            if !self
+                .marker
+                .is_selected(&unit.unit_id, self.ctx.config.gamma)
+            {
+                continue;
+            }
+            match &fd_id {
+                Some(id) => {
+                    partial.fd_selected.insert(id.clone());
+                }
+                None => partial.selected_local += 1,
+            }
+            let marked_nodes = self.marker.mark_unit(
+                &mut DomNodesMut::new(&mut mini, &unit.nodes),
+                &unit.unit_id,
+                unit.mark,
+                self.watermark,
+            )?;
+            if marked_nodes == 0 {
+                continue;
+            }
+            partial.marked_nodes += marked_nodes;
+            let newly_marked = match &fd_id {
+                Some(id) => partial.fd_marked.insert(id.clone()),
+                None => {
+                    partial.marked_local += 1;
+                    true
+                }
+            };
+            if newly_marked {
+                partial.queries.push((
+                    fd_id,
+                    wmx_core::StoredQuery {
+                        unit_id: unit.unit_id.clone(),
+                        xpath: unit.query.to_string(),
+                        logical: unit.logical.clone(),
+                        mark: unit.mark,
+                    },
+                ));
+            }
+        }
+        partial.records += 1;
+        partial.peak_resident_nodes = partial.peak_resident_nodes.max(mini.arena_len());
+        let root = mini.root_element().expect("mini doc has a root");
+        let record_node = mini
+            .child_elements(root)
+            .next()
+            .expect("mini doc wraps exactly one record");
+        Ok(node_to_string(&mini, record_node))
+    }
+
+    /// Extracts votes from one record.
+    pub fn detect_record(
+        &self,
+        record_raw: &str,
+        partial: &mut PartialDetect,
+    ) -> Result<(), StreamError> {
+        let mini = self.mini_doc(record_raw)?;
+        let units = enumerate_units(&mini, self.ctx.binding, self.ctx.fds, self.ctx.config)
+            .map_err(StreamError::Wm)?;
+        let wm_len = self.watermark.len();
+        for unit in units {
+            if !self
+                .marker
+                .is_selected(&unit.unit_id, self.ctx.config.gamma)
+            {
+                continue;
+            }
+            let is_fd = matches!(unit.kind, UnitKind::FdGroup { .. });
+            if is_fd {
+                partial.fd_total.insert(unit.unit_id.clone());
+            } else {
+                partial.total_local += 1;
+            }
+            let votes = self.marker.extract_unit(
+                &DomNodes::new(&mini, &unit.nodes),
+                &unit.unit_id,
+                unit.mark,
+                wm_len,
+            );
+            if votes.bits.is_empty() {
+                continue;
+            }
+            if is_fd {
+                partial.fd_located.insert(unit.unit_id.clone());
+            } else {
+                partial.located_local += 1;
+            }
+            for bit in votes.bits {
+                partial.votes_cast += 1;
+                partial.bit_votes[votes.bit_index].add(bit);
+            }
+        }
+        partial.records += 1;
+        partial.peak_resident_nodes = partial.peak_resident_nodes.max(mini.arena_len());
+        Ok(())
+    }
+}

@@ -1,0 +1,288 @@
+//! Chunked parallel driver: records fan out across worker threads.
+//!
+//! Because every per-unit decision (selection, bit index, nonce,
+//! whitening) is a pure function of the unit id and the secret key,
+//! records can be embedded in any order on any thread and the
+//! reassembled output is byte-identical to the sequential pass. For
+//! detection, per-chunk vote tallies merge by addition (FD-group
+//! counters by id-set union), so the merged report equals the
+//! sequential one exactly.
+
+use crate::driver::Emitter;
+use crate::engine::RecordEngine;
+use crate::reader::{TopEvent, TopLevelReader};
+use crate::report::{PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport};
+use crate::{StreamContext, StreamError};
+use wmx_core::{Watermark, WmError};
+use wmx_crypto::SecretKey;
+
+/// Collects the event list and locates the root info.
+fn collect_events(input: &str) -> Result<Vec<TopEvent>, StreamError> {
+    let mut reader = TopLevelReader::new(input.as_bytes());
+    let mut events = Vec::new();
+    while let Some(ev) = reader.next_event()? {
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+fn root_of(events: &[TopEvent]) -> (&str, &[wmx_xml::TokenAttribute]) {
+    events
+        .iter()
+        .find_map(|ev| match ev {
+            TopEvent::RootStart { name, attributes } => {
+                Some((name.as_str(), attributes.as_slice()))
+            }
+            _ => None,
+        })
+        .expect("reader guarantees a root element")
+}
+
+/// Splits `records` into at most `workers` contiguous chunks, runs
+/// `work` on each chunk concurrently, and returns the per-chunk results
+/// in record order.
+fn fan_out<T: Send>(
+    records: &[&str],
+    workers: usize,
+    work: impl Fn(&[&str]) -> Result<T, StreamError> + Sync,
+) -> Result<Vec<T>, StreamError> {
+    if records.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = workers.max(1).min(records.len());
+    let chunk = records.len().div_ceil(workers);
+    let results: Vec<Result<T, StreamError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = records
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| work(slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Parallel streaming embed over an in-memory document. Returns the
+/// embedded bytes (identical to [`crate::stream_embed`]'s output and to
+/// the DOM engine's `to_string`) and the merged report.
+pub fn par_embed(
+    input: &str,
+    workers: usize,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+) -> Result<(String, StreamEmbedReport), StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let events = collect_events(input)?;
+    let (root_name, root_attrs) = root_of(&events);
+    let engine = RecordEngine::new(ctx, key, watermark, root_name, root_attrs)?;
+    let records: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TopEvent::Record(raw) => Some(raw.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    let chunk_results = fan_out(&records, workers, |slice| {
+        let mut partial = PartialEmbed::default();
+        let mut outputs = Vec::with_capacity(slice.len());
+        for raw in slice {
+            outputs.push(engine.embed_record(raw, &mut partial)?);
+        }
+        Ok((outputs, partial))
+    })?;
+
+    let mut partial = PartialEmbed::default();
+    let mut record_outputs: Vec<String> = Vec::with_capacity(records.len());
+    for (outputs, chunk_partial) in chunk_results {
+        record_outputs.extend(outputs);
+        partial.merge(chunk_partial);
+    }
+
+    let mut buf: Vec<u8> = Vec::with_capacity(input.len());
+    let mut emitter = Emitter::new(&mut buf);
+    let mut next_record = 0usize;
+    for ev in &events {
+        match ev {
+            TopEvent::Record(_) => {
+                emitter.event(ev, Some(&record_outputs[next_record]))?;
+                next_record += 1;
+            }
+            _ => emitter.event(ev, None)?,
+        }
+    }
+    emitter.finish()?;
+    Ok((
+        String::from_utf8(buf).expect("serialized XML is UTF-8"),
+        partial.finalize(),
+    ))
+}
+
+/// Parallel streaming detect over an in-memory document: chunk vote
+/// tallies are merged into one report equal to the sequential pass.
+pub fn par_detect(
+    input: &str,
+    workers: usize,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+    threshold: f64,
+) -> Result<StreamDetectReport, StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let events = collect_events(input)?;
+    let (root_name, root_attrs) = root_of(&events);
+    let engine = RecordEngine::new(ctx, key, watermark, root_name, root_attrs)?;
+    let records: Vec<&str> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TopEvent::Record(raw) => Some(raw.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    let chunk_results = fan_out(&records, workers, |slice| {
+        let mut partial = PartialDetect::new(watermark.len());
+        for raw in slice {
+            engine.detect_record(raw, &mut partial)?;
+        }
+        Ok(partial)
+    })?;
+
+    let mut merged = PartialDetect::new(watermark.len());
+    for chunk_partial in chunk_results {
+        merged.merge(chunk_partial);
+    }
+    Ok(merged.finalize(watermark, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_core::{EncoderConfig, MarkableAttr};
+    use wmx_rewrite::binding::{AttrBinding, EntityBinding};
+    use wmx_rewrite::SchemaBinding;
+    use wmx_schema::Fd;
+
+    fn binding() -> SchemaBinding {
+        SchemaBinding::new(
+            "db1",
+            vec![EntityBinding::new(
+                "book",
+                "/db/book",
+                "title",
+                vec![
+                    ("title", AttrBinding::ChildText("title".into())),
+                    ("editor", AttrBinding::ChildText("editor".into())),
+                    ("year", AttrBinding::ChildText("year".into())),
+                    ("publisher", AttrBinding::Attribute("publisher".into())),
+                ],
+            )
+            .unwrap()],
+        )
+    }
+
+    fn config() -> EncoderConfig {
+        EncoderConfig::new(
+            2,
+            vec![
+                MarkableAttr::integer("book", "year", 1),
+                MarkableAttr::text("book", "publisher"),
+            ],
+        )
+    }
+
+    fn fd() -> Fd {
+        Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    fn doc(n: usize) -> String {
+        let mut s = String::from("<db>");
+        for i in 0..n {
+            s.push_str(&format!(
+                "<book publisher=\"pub{}\"><title>B{i}</title><editor>Ed{}</editor><year>{}</year></book>",
+                i % 4,
+                i % 4,
+                1980 + (i % 30)
+            ));
+        }
+        s.push_str("</db>");
+        s
+    }
+
+    #[test]
+    fn parallel_output_equals_sequential_and_dom() {
+        let input = doc(120);
+        let binding = binding();
+        let config = config();
+        let fds = [fd()];
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &fds,
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("par");
+        let wm = Watermark::parse("10110100").unwrap();
+
+        let mut seq_out = Vec::new();
+        let seq_report =
+            crate::stream_embed(input.as_bytes(), &mut seq_out, ctx, &key, &wm).unwrap();
+        let seq_out = String::from_utf8(seq_out).unwrap();
+
+        for workers in [1usize, 2, 4, 7] {
+            let (par_out, par_report) = par_embed(&input, workers, ctx, &key, &wm).unwrap();
+            assert_eq!(par_out, seq_out, "workers={workers}");
+            assert_eq!(
+                par_report.report.total_units, seq_report.report.total_units,
+                "workers={workers}"
+            );
+            assert_eq!(
+                par_report.report.marked_units, seq_report.report.marked_units,
+                "workers={workers}"
+            );
+            assert_eq!(
+                par_report.report.marked_nodes, seq_report.report.marked_nodes,
+                "workers={workers}"
+            );
+        }
+
+        let mut dom = wmx_xml::parse(&input).unwrap();
+        wmx_core::embed(&mut dom, &binding, &fds, &config, &key, &wm).unwrap();
+        assert_eq!(seq_out, wmx_xml::to_string(&dom));
+    }
+
+    #[test]
+    fn parallel_detect_votes_merge_exactly() {
+        let input = doc(150);
+        let binding = binding();
+        let config = config();
+        let fds = [fd()];
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &fds,
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("par");
+        let wm = Watermark::parse("10110100").unwrap();
+        let (marked, _) = par_embed(&input, 4, ctx, &key, &wm).unwrap();
+
+        let seq = crate::stream_detect(marked.as_bytes(), ctx, &key, &wm, 0.85).unwrap();
+        assert!(seq.report.detected);
+        for workers in [2usize, 3, 8] {
+            let par = par_detect(&marked, workers, ctx, &key, &wm, 0.85).unwrap();
+            assert_eq!(
+                par.report.bit_votes, seq.report.bit_votes,
+                "workers={workers}"
+            );
+            assert_eq!(par.report.votes_cast, seq.report.votes_cast);
+            assert_eq!(par.report.matched_bits, seq.report.matched_bits);
+            assert!(par.report.detected);
+        }
+    }
+}

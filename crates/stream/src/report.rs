@@ -1,0 +1,154 @@
+//! Streaming report accumulation and cross-chunk merging.
+//!
+//! Key-identified and order units are local to one record, so their
+//! counters simply add up. FD-redundancy groups span records (every
+//! member of `editor → publisher` carries the same mark wherever it
+//! lives), so each chunk counts them into id *sets* and the merge takes
+//! unions — reproducing exactly the whole-document counts the DOM
+//! encoder reports.
+
+use std::collections::BTreeSet;
+use wmx_core::{BitVotes, EmbedReport, StoredQuery};
+
+/// Streaming embed outcome: the DOM-equivalent report plus streaming
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct StreamEmbedReport {
+    /// The embedding report (unit counts, safeguarded query set) —
+    /// equal, as a multiset of units, to what the DOM encoder reports.
+    pub report: EmbedReport,
+    /// Records processed.
+    pub records: usize,
+    /// High-water mark of XML nodes resident at once (wrapper root +
+    /// one record), the O(depth + record) memory guarantee.
+    pub peak_resident_nodes: usize,
+}
+
+/// Streaming detect outcome.
+#[derive(Debug, Clone)]
+pub struct StreamDetectReport {
+    /// The detection report. `total_queries` counts enumerated selected
+    /// units, `located_queries` those that produced at least one vote.
+    pub report: wmx_core::DetectionReport,
+    /// Records processed.
+    pub records: usize,
+    /// High-water mark of XML nodes resident at once.
+    pub peak_resident_nodes: usize,
+}
+
+/// Per-chunk embed accumulator.
+#[derive(Debug, Default)]
+pub(crate) struct PartialEmbed {
+    pub records: usize,
+    pub peak_resident_nodes: usize,
+    pub total_local: usize,
+    pub selected_local: usize,
+    pub marked_local: usize,
+    pub marked_nodes: usize,
+    /// Stored queries in discovery order, tagged with the FD unit id
+    /// when the unit is an FD group (for cross-chunk dedup).
+    pub queries: Vec<(Option<String>, StoredQuery)>,
+    pub fd_total: BTreeSet<String>,
+    pub fd_selected: BTreeSet<String>,
+    pub fd_marked: BTreeSet<String>,
+}
+
+impl PartialEmbed {
+    pub fn merge(&mut self, other: PartialEmbed) {
+        self.records += other.records;
+        self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
+        self.total_local += other.total_local;
+        self.selected_local += other.selected_local;
+        self.marked_local += other.marked_local;
+        self.marked_nodes += other.marked_nodes;
+        self.fd_total.extend(other.fd_total);
+        self.fd_selected.extend(other.fd_selected);
+        self.queries.extend(other.queries);
+        // fd_marked is unioned implicitly by finalize()'s dedup walk.
+        self.fd_marked.extend(other.fd_marked);
+    }
+
+    pub fn finalize(self) -> StreamEmbedReport {
+        let mut seen_fd: BTreeSet<String> = BTreeSet::new();
+        let mut queries = Vec::with_capacity(self.queries.len());
+        for (fd_id, query) in self.queries {
+            if let Some(id) = fd_id {
+                if !seen_fd.insert(id) {
+                    continue; // the same FD group marked in another chunk
+                }
+            }
+            queries.push(query);
+        }
+        StreamEmbedReport {
+            report: EmbedReport {
+                total_units: self.total_local + self.fd_total.len(),
+                selected_units: self.selected_local + self.fd_selected.len(),
+                marked_units: self.marked_local + self.fd_marked.len(),
+                marked_nodes: self.marked_nodes,
+                queries,
+            },
+            records: self.records,
+            peak_resident_nodes: self.peak_resident_nodes,
+        }
+    }
+}
+
+/// Per-chunk detect accumulator.
+#[derive(Debug)]
+pub(crate) struct PartialDetect {
+    pub records: usize,
+    pub peak_resident_nodes: usize,
+    pub bit_votes: Vec<BitVotes>,
+    pub votes_cast: usize,
+    pub total_local: usize,
+    pub located_local: usize,
+    pub fd_total: BTreeSet<String>,
+    pub fd_located: BTreeSet<String>,
+}
+
+impl PartialDetect {
+    pub fn new(wm_len: usize) -> Self {
+        PartialDetect {
+            records: 0,
+            peak_resident_nodes: 0,
+            bit_votes: vec![BitVotes::default(); wm_len],
+            votes_cast: 0,
+            total_local: 0,
+            located_local: 0,
+            fd_total: BTreeSet::new(),
+            fd_located: BTreeSet::new(),
+        }
+    }
+
+    pub fn merge(&mut self, other: PartialDetect) {
+        self.records += other.records;
+        self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
+        for (mine, theirs) in self.bit_votes.iter_mut().zip(&other.bit_votes) {
+            mine.merge(theirs);
+        }
+        self.votes_cast += other.votes_cast;
+        self.total_local += other.total_local;
+        self.located_local += other.located_local;
+        self.fd_total.extend(other.fd_total);
+        self.fd_located.extend(other.fd_located);
+    }
+
+    pub fn finalize(self, watermark: &wmx_core::Watermark, threshold: f64) -> StreamDetectReport {
+        let report = wmx_core::report_from_votes(
+            self.bit_votes,
+            watermark,
+            threshold,
+            wmx_core::VoteCounters {
+                total_queries: self.total_local + self.fd_total.len(),
+                located_queries: self.located_local + self.fd_located.len(),
+                unrewritable_queries: 0,
+                votes_cast: self.votes_cast,
+            },
+        );
+        StreamDetectReport {
+            report,
+            records: self.records,
+            peak_resident_nodes: self.peak_resident_nodes,
+        }
+    }
+}

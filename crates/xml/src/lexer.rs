@@ -40,11 +40,19 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `input`.
     pub fn new(input: &'a str) -> Self {
+        Lexer::with_position(input, 1, 1)
+    }
+
+    /// Creates a lexer over `input` that reports positions as if the
+    /// first character of `input` were at `line`:`column`. This is what
+    /// lets [`crate::pull::PullParser`] resume lexing mid-stream while
+    /// keeping error positions accurate.
+    pub fn with_position(input: &'a str, line: u32, column: u32) -> Self {
         Lexer {
             input,
             offset: 0,
-            line: 1,
-            column: 1,
+            line,
+            column,
         }
     }
 
@@ -54,6 +62,13 @@ impl<'a> Lexer<'a> {
             line: self.line,
             column: self.column,
         }
+    }
+
+    /// Byte offset (into the input slice) of the next unread character.
+    /// Everything before this offset has been consumed by tokens already
+    /// returned from [`Lexer::next_token`].
+    pub fn byte_offset(&self) -> usize {
+        self.offset
     }
 
     fn rest(&self) -> &'a str {

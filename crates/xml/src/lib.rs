@@ -9,6 +9,9 @@
 //!   for the XML 1.0 subset the system needs (elements, attributes, text,
 //!   CDATA, comments, processing instructions, numeric/named character
 //!   references, doctype skipping);
+//! * a resumable [pull-token interface](pull) over the tokenizer
+//!   ([`PullParser`]) that accepts input in arbitrary chunks with bounded
+//!   memory — the foundation of the `wmx-stream` single-pass engine;
 //! * an arena-based mutable [DOM](dom) ([`Document`], [`NodeId`]) with
 //!   ordered children, attribute access, and structural editing — the
 //!   watermark encoder rewrites values and reorders siblings in place;
@@ -38,6 +41,7 @@ pub mod error;
 pub mod escape;
 pub mod lexer;
 pub mod parser;
+pub mod pull;
 pub mod serialize;
 pub mod token;
 
@@ -45,4 +49,6 @@ pub use build::ElementBuilder;
 pub use dom::{Attribute, Document, NodeId, NodeKind};
 pub use error::{XmlError, XmlErrorKind};
 pub use parser::{parse, parse_with_options, ParseOptions};
-pub use serialize::{to_canonical_string, to_pretty_string, to_string};
+pub use pull::{PullParser, Pulled};
+pub use serialize::{node_to_string, to_canonical_string, to_pretty_string, to_string};
+pub use token::{SpannedToken, Token, TokenAttribute};

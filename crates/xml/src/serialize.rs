@@ -32,6 +32,16 @@ pub fn to_pretty_string(doc: &Document) -> String {
     out
 }
 
+/// Serializes a single subtree compactly — exactly the bytes
+/// [`to_string`] would emit for this node as part of the whole document.
+/// The `wmx-stream` engine uses this to emit records one at a time while
+/// guaranteeing byte-identical output with the DOM pipeline.
+pub fn node_to_string(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, node, &mut out, WriteMode::Compact, 0);
+    out
+}
+
 /// Serializes the canonical comparison form: attributes sorted by name,
 /// CDATA flattened to text, comments and PIs omitted, no prolog.
 pub fn to_canonical_string(doc: &Document) -> String {
@@ -54,6 +64,33 @@ fn write_prolog(doc: &Document, out: &mut String, pretty: bool) {
         if pretty {
             out.push('\n');
         }
+    }
+}
+
+/// The compact form of one attribute, leading space included:
+/// ` name="escaped value"`. Exposed so the streaming engine emits
+/// attributes with exactly the serializer's formatting.
+pub fn attribute_text(name: &str, value: &str) -> String {
+    format!(" {name}=\"{}\"", escape_attribute(value))
+}
+
+/// The compact form of a comment: `<!--content-->`.
+pub fn comment_text(content: &str) -> String {
+    format!("<!--{content}-->")
+}
+
+/// The compact form of a CDATA section: `<![CDATA[content]]>`.
+pub fn cdata_text(content: &str) -> String {
+    format!("<![CDATA[{content}]]>")
+}
+
+/// The compact form of a processing instruction: `<?target data?>`
+/// (no space when `data` is empty).
+pub fn pi_text(target: &str, data: &str) -> String {
+    if data.is_empty() {
+        format!("<?{target}?>")
+    } else {
+        format!("<?{target} {data}?>")
     }
 }
 
@@ -80,11 +117,11 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
                 let mut sorted: Vec<_> = attributes.iter().collect();
                 sorted.sort_by(|a, b| a.name.cmp(&b.name));
                 for attr in sorted {
-                    let _ = write!(out, " {}=\"{}\"", attr.name, escape_attribute(&attr.value));
+                    out.push_str(&attribute_text(&attr.name, &attr.value));
                 }
             } else {
                 for attr in attributes {
-                    let _ = write!(out, " {}=\"{}\"", attr.name, escape_attribute(&attr.value));
+                    out.push_str(&attribute_text(&attr.name, &attr.value));
                 }
             }
             let children = doc.children(node);
@@ -152,24 +189,20 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
             if mode == WriteMode::Canonical {
                 out.push_str(&escape_text(text));
             } else {
-                let _ = write!(out, "<![CDATA[{text}]]>");
+                out.push_str(&cdata_text(text));
             }
         }
         NodeKind::Comment(text) => {
             if mode == WriteMode::Pretty && depth > 0 {
                 indent(out, depth);
             }
-            let _ = write!(out, "<!--{text}-->");
+            out.push_str(&comment_text(text));
         }
         NodeKind::Pi { target, data } => {
             if mode == WriteMode::Pretty && depth > 0 {
                 indent(out, depth);
             }
-            if data.is_empty() {
-                let _ = write!(out, "<?{target}?>");
-            } else {
-                let _ = write!(out, "<?{target} {data}?>");
-            }
+            out.push_str(&pi_text(target, data));
         }
     }
 }
