@@ -2,9 +2,14 @@
 //! paper's demonstration (§4) as a parameter-swept text table.
 //!
 //! ```text
-//! cargo run -p wmx-bench --bin experiments            # all experiments
-//! cargo run -p wmx-bench --bin experiments -- e2 e5   # a subset
+//! cargo run -p wmx-bench --bin experiments                    # all experiments
+//! cargo run -p wmx-bench --bin experiments -- e2 e5           # a subset
+//! cargo run -p wmx-bench --bin experiments -- --smoke e2 e3   # CI smoke mode
 //! ```
+//!
+//! `--smoke` scales every workload down (~8x fewer records) so CI can
+//! exercise the attack-robustness tables on every push without the
+//! full-size run times; the tables are printed, not asserted.
 //!
 //! Experiment ids follow DESIGN.md §5:
 //!   e1  capacity & imperceptibility (demo part 1)
@@ -19,6 +24,7 @@
 //!   e10 rounding attack (documented robustness limit of parity marks)
 //!   e11 streaming engine: DOM vs single-pass embed/detect (time + resident nodes)
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{
@@ -39,12 +45,39 @@ use wmx_xml::Document;
 
 const THRESHOLD: f64 = 0.85;
 
+/// Set by `--smoke`: scale workloads down for CI exercise runs.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// The effective record count: full size normally, ~8x smaller (with a
+/// floor that keeps the attack statistics meaningful) under `--smoke`.
+fn scaled(records: usize) -> usize {
+    if SMOKE.load(Ordering::Relaxed) {
+        (records / 8).max(60)
+    } else {
+        records
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    for arg in argv {
+        match arg.as_str() {
+            "--smoke" => SMOKE.store(true, Ordering::Relaxed),
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag {a:?} (only --smoke is recognized)");
+                std::process::exit(1);
+            }
+            _ => ids.push(arg),
+        }
+    }
+    let all = ids.is_empty();
+    let want = |id: &str| all || ids.iter().any(|a| a == id);
 
     println!("WmXML experiment harness (threshold τ = {THRESHOLD})");
+    if SMOKE.load(Ordering::Relaxed) {
+        println!("(smoke mode: workloads scaled down for CI)");
+    }
     if want("e1") {
         e1_capacity_and_imperceptibility();
     }
@@ -133,30 +166,30 @@ fn e1_capacity_and_imperceptibility() {
             let (dataset, records) = match name {
                 "publications" => (
                     publications::generate(&publications::PublicationsConfig {
-                        records: 1000,
+                        records: scaled(1000),
                         editors: 20,
                         seed: 1,
                         gamma,
                     }),
-                    1000,
+                    scaled(1000),
                 ),
                 "jobs" => (
                     jobs::generate(&jobs::JobsConfig {
-                        records: 1000,
+                        records: scaled(1000),
                         companies: 25,
                         seed: 2,
                         gamma,
                     }),
-                    1000,
+                    scaled(1000),
                 ),
                 _ => (
                     library::generate(&library::LibraryConfig {
-                        records: 400,
+                        records: scaled(400),
                         image_size: 12,
                         seed: 3,
                         gamma,
                     }),
-                    400,
+                    scaled(400),
                 ),
             };
             let key = SecretKey::from_passphrase("e1");
@@ -205,7 +238,7 @@ fn e1_capacity_and_imperceptibility() {
         "baseline units",
         "collapse %",
     ]);
-    for records in [250usize, 500, 1000, 2000] {
+    for records in [250usize, 500, 1000, 2000].map(scaled) {
         let dataset = publications::generate(&publications::PublicationsConfig {
             records,
             editors: 20,
@@ -248,7 +281,7 @@ fn e1_capacity_and_imperceptibility() {
 fn e2_alteration() {
     println!("\n[E2] alteration attack (A) — perturb values beyond tolerance");
     println!("claim: the watermark dies only after usability dies\n");
-    let w = marked_publications(1000, 20, 2, 10);
+    let w = marked_publications(scaled(1000), 20, 2, 10);
     let mut t = Table::new(&["alpha", "detected", "match %", "voted bits", "usability %"]);
     for alpha in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let mut attacked = w.marked.clone();
@@ -276,7 +309,7 @@ fn e2_alteration() {
 fn e3_reduction() {
     println!("\n[E3] reduction attack (B) — keep a random subset of records");
     println!("claim: detection survives subsetting; completeness usability falls\n");
-    let w = marked_publications(1000, 20, 2, 20);
+    let w = marked_publications(scaled(1000), 20, 2, 20);
     let mut t = Table::new(&[
         "keep",
         "detected",
@@ -307,7 +340,7 @@ fn e3_reduction() {
 fn e4_reorganization() {
     println!("\n[E4] re-organization attack (C) — db1.xml -> db2.xml + shuffle");
     println!("claim: rewriting recovers the mark; physical identification fails\n");
-    let w = marked_publications(600, 15, 2, 30);
+    let w = marked_publications(scaled(600), 15, 2, 30);
 
     // Baseline marks a separate copy.
     let mut baseline_marked = w.original.clone();
@@ -403,7 +436,7 @@ fn e5_redundancy_removal() {
     ]);
     for (label, fd_aware) in [("WmXML (FD groups)", true), ("FD-unaware ablation", false)] {
         let dataset = publications::generate(&publications::PublicationsConfig {
-            records: 800,
+            records: scaled(800),
             editors: 12,
             seed: 50,
             gamma: 1,
@@ -469,12 +502,17 @@ fn e5_redundancy_removal() {
 fn e6_false_positives() {
     println!("\n[E6] false positives — wrong keys, wrong marks, unmarked data");
     println!("claim: only the correct secret key + watermark detect\n");
-    let w = marked_publications(800, 16, 2, 60);
+    let w = marked_publications(scaled(800), 16, 2, 60);
 
-    // 100 wrong keys.
+    // 100 wrong keys (20 in smoke mode).
+    let trials = if SMOKE.load(Ordering::Relaxed) {
+        20
+    } else {
+        100
+    };
     let mut fractions = Vec::new();
     let mut detections = 0usize;
-    for i in 0..100 {
+    for i in 0..trials {
         let d = detect(
             &w.marked,
             &DetectionInput {
@@ -526,13 +564,13 @@ fn e6_false_positives() {
         format!("{:.2e}", unmarked.p_value),
     ]);
     t.row(vec![
-        format!("100 wrong keys (mean)"),
-        format!("{detections}/100"),
+        format!("{trials} wrong keys (mean)"),
+        format!("{detections}/{trials}"),
         pct(mean),
         "-".into(),
     ]);
     t.row(vec![
-        "100 wrong keys (max)".into(),
+        format!("{trials} wrong keys (max)"),
         "-".into(),
         pct(max),
         "-".into(),
@@ -554,7 +592,12 @@ fn e7_throughput() {
         "detect ms",
         "queries",
     ]);
-    for records in [250usize, 500, 1000, 2000, 4000] {
+    let sizes: &[usize] = if SMOKE.load(Ordering::Relaxed) {
+        &[250, 500]
+    } else {
+        &[250, 500, 1000, 2000, 4000]
+    };
+    for &records in sizes {
         let dataset = publications::generate(&publications::PublicationsConfig {
             records,
             editors: records / 50 + 2,
@@ -620,7 +663,7 @@ fn e8_structure_units() {
     println!("by sibling reordering; value marks survive it\n");
 
     let dataset = publications::generate(&publications::PublicationsConfig {
-        records: 600,
+        records: scaled(600),
         editors: 12,
         seed: 80,
         gamma: 1,
@@ -702,7 +745,7 @@ fn e9_gamma_tau_ablation() {
     ]);
     for gamma in [1u32, 2, 4, 8, 16, 32] {
         let dataset = publications::generate(&publications::PublicationsConfig {
-            records: 800,
+            records: scaled(800),
             editors: 16,
             seed: 90,
             gamma,
@@ -753,7 +796,7 @@ fn e10_rounding() {
     println!("families preserves detection.\n");
 
     let dataset = publications::generate(&publications::PublicationsConfig {
-        records: 600,
+        records: scaled(600),
         editors: 12,
         seed: 100,
         gamma: 1,
@@ -860,7 +903,12 @@ fn e11_streaming() {
         "bytes equal",
         "detect equal",
     ]);
-    for records in [500usize, 2000, 4000] {
+    let sizes: &[usize] = if SMOKE.load(Ordering::Relaxed) {
+        &[200, 500]
+    } else {
+        &[500, 2000, 4000]
+    };
+    for &records in sizes {
         let w = wmx_bench::streaming_publications(records, records / 50 + 2, 3, 110);
         let kb = w.input.len() / 1024;
 

@@ -1,0 +1,86 @@
+//! The CI regression gate.
+//!
+//! ```text
+//! cargo run --release -p wmx-bench --bin gate -- --smoke
+//! cargo run --release -p wmx-bench --bin gate -- --smoke --write-baseline
+//! ```
+//!
+//! Runs a deterministic-seed measurement suite, writes
+//! `BENCH_<workload>.json`, and diffs it against the checked-in
+//! baseline under `crates/bench/baselines/`. Exits 0 when every pinned
+//! metric holds, 2 on a throughput regression past tolerance or any
+//! detection-rate drop, 1 on operational errors.
+
+use std::path::PathBuf;
+use wmx_bench::gate::{run_gate, GateOptions, SuiteParams};
+
+fn usage() -> &'static str {
+    "gate — BENCH regression gate
+
+USAGE: gate [--smoke | --full] [--out DIR] [--baseline FILE]
+            [--write-baseline] [--no-compare]
+
+  --smoke           run the small deterministic CI suite (default)
+  --full            run the heavier local suite
+  --out DIR         directory for BENCH_<workload>.json (default .)
+  --baseline FILE   baseline to compare against
+                    (default crates/bench/baselines/<workload>.json)
+  --write-baseline  refresh the baseline from this run instead of comparing
+  --no-compare      write the report only
+
+EXIT CODES: 0 pass, 2 regression or detection-rate drop, 1 error"
+}
+
+fn parse(argv: &[String]) -> Result<GateOptions, String> {
+    let mut opts = GateOptions::smoke();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => opts.params = SuiteParams::smoke(),
+            "--full" => opts.params = SuiteParams::full(),
+            "--out" => {
+                opts.out_dir =
+                    PathBuf::from(iter.next().ok_or("--out needs a directory argument")?);
+            }
+            "--baseline" => {
+                opts.baseline_path = Some(PathBuf::from(
+                    iter.next().ok_or("--baseline needs a file argument")?,
+                ));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-compare" => opts.skip_compare = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&argv) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gate: running the {:?} suite ({} records, {} iters, {} workers)",
+        opts.params.workload, opts.params.records, opts.params.iters, opts.params.workers
+    );
+    match run_gate(&opts) {
+        Ok(outcome) => {
+            println!("report: {}", outcome.report_path.display());
+            println!("{}", outcome.summary);
+            std::process::exit(outcome.exit_code);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

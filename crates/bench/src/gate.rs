@@ -1,0 +1,542 @@
+//! The regression gate: runs a deterministic-seed measurement suite,
+//! writes `BENCH_<workload>.json`, and compares it against a checked-in
+//! baseline (`crates/bench/baselines/<workload>.json`).
+//!
+//! Exit-code contract (used by the `gate` binary, the `wmxml bench`
+//! subcommand, and CI):
+//!
+//! * `0` — every pinned metric is at or above its floor.
+//! * `2` — a throughput metric regressed past its tolerance, a
+//!   detection-rate/match-fraction metric dropped at all, or a pinned
+//!   metric vanished from the report.
+//! * `1` — operational failure (unreadable baseline, I/O error); the
+//!   binary maps `Err` to this.
+
+use crate::baseline::{baseline_from_report, compare, Baseline, Comparison};
+use crate::measure::{peak_rss_kb, MeasureConfig, Measurement};
+use crate::report::{BenchReport, RobustnessStat, RunContext, ThroughputStat, SCHEMA_VERSION};
+use crate::workloads::{marked_publications, streaming_publications};
+use std::path::{Path, PathBuf};
+use wmx_attacks::redundancy::UnifyStrategy;
+use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, RoundingAttack};
+use wmx_core::{
+    detect, embed, DetectionInput, DetectionReport, EncoderConfig, MarkableAttr, Watermark,
+};
+use wmx_crypto::SecretKey;
+use wmx_data::publications::{self, PublicationsConfig};
+
+/// Parameters of one gate suite run. All seeds are fixed so the
+/// robustness grid is bit-for-bit reproducible across machines.
+#[derive(Debug, Clone)]
+pub struct SuiteParams {
+    /// Workload name (names the report and baseline files).
+    pub workload: String,
+    /// Records in the throughput dataset.
+    pub records: usize,
+    /// Distinct editors (FD determinant cardinality).
+    pub editors: usize,
+    /// Selection density γ.
+    pub gamma: u32,
+    /// Dataset generator seed.
+    pub seed: u64,
+    /// Timed iterations per throughput measurement.
+    pub iters: usize,
+    /// Untimed warmup iterations.
+    pub warmup: usize,
+    /// Worker threads for the parallel streaming measurements.
+    pub workers: usize,
+}
+
+/// Detection threshold τ used by every suite detection.
+pub const THRESHOLD: f64 = 0.85;
+
+/// Alteration intensities of the E2 grid points.
+pub const E2_ALPHAS: [f64; 3] = [0.10, 0.30, 0.50];
+
+/// Keep fractions of the E3 grid points.
+pub const E3_KEEPS: [f64; 3] = [0.80, 0.40, 0.10];
+
+/// The throughput entry points every suite measures.
+pub const THROUGHPUT_NAMES: [&str; 6] = [
+    "embed",
+    "detect",
+    "stream_embed",
+    "stream_detect",
+    "par_embed",
+    "par_detect",
+];
+
+/// Grid-point names in emission order.
+fn grid_point_names() -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for alpha in E2_ALPHAS {
+        names.push(format!("e2_alteration@{alpha:.2}"));
+    }
+    for keep in E3_KEEPS {
+        names.push(format!("e3_reduction@{keep:.2}"));
+    }
+    names.push("e5_redundancy/fd_groups".into());
+    names.push("e10_rounding/numeric_only".into());
+    names.push("e10_rounding/all_families".into());
+    names
+}
+
+impl SuiteParams {
+    /// The CI smoke suite: small and fast, deterministic seeds.
+    pub fn smoke() -> SuiteParams {
+        SuiteParams {
+            workload: "smoke".into(),
+            records: 400,
+            editors: 10,
+            gamma: 3,
+            seed: 2005,
+            iters: 3,
+            warmup: 1,
+            workers: 2,
+        }
+    }
+
+    /// A heavier local suite (same grid, larger documents).
+    pub fn full() -> SuiteParams {
+        SuiteParams {
+            workload: "full".into(),
+            records: 2000,
+            editors: 40,
+            gamma: 3,
+            seed: 2005,
+            iters: 5,
+            warmup: 1,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+        }
+    }
+
+    /// The flattened metric names a run of this suite will produce, in
+    /// order, without running it — used to validate that a checked-in
+    /// baseline still lines up with the suite.
+    pub fn expected_metric_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for name in THROUGHPUT_NAMES {
+            out.push(format!("throughput/{name}/mb_per_s"));
+            out.push(format!("throughput/{name}/records_per_s"));
+        }
+        for point in grid_point_names() {
+            out.push(format!("robustness/{point}/detected"));
+            out.push(format!("robustness/{point}/match_fraction"));
+        }
+        out
+    }
+}
+
+/// Runs the measurement suite and assembles the report.
+pub fn run_suite(p: &SuiteParams) -> BenchReport {
+    let mcfg = MeasureConfig {
+        warmup: p.warmup,
+        iters: p.iters,
+    };
+    let w = marked_publications(p.records, p.editors, p.gamma, p.seed);
+    let sw = streaming_publications(p.records, p.editors, p.gamma, p.seed);
+    let input_bytes = sw.input.len() as u64;
+    let records = p.records as u64;
+
+    let mut throughput = Vec::new();
+
+    // DOM embed (includes the copy of the original, as any caller pays it).
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let mut doc = w.original.clone();
+        embed(
+            &mut doc,
+            &w.dataset.binding,
+            &w.dataset.fds,
+            &w.dataset.config,
+            &w.key,
+            &w.watermark,
+        )
+        .expect("embed");
+    });
+    throughput.push(ThroughputStat::from_measurement("embed", &m));
+
+    // DOM detect over the safeguarded query set.
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let d = detect(
+            &w.marked,
+            &DetectionInput {
+                queries: &w.report.queries,
+                key: w.key.clone(),
+                watermark: w.watermark.clone(),
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+        );
+        assert!(d.detected, "suite detect must recover the mark");
+    });
+    throughput.push(ThroughputStat::from_measurement("detect", &m));
+
+    // Streaming embed (sequential, bounded memory). The last timed
+    // iteration's output doubles as the detect input below.
+    let mut stream_result = None;
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let mut out = Vec::with_capacity(sw.input.len());
+        let report = wmx_stream::stream_embed(
+            sw.input.as_bytes(),
+            &mut out,
+            sw.ctx(),
+            &sw.key,
+            &sw.watermark,
+        )
+        .expect("stream embed");
+        stream_result = Some((report, out));
+    });
+    let (stream_report, marked_bytes) = stream_result.expect("at least one iteration ran");
+    let marked_text = String::from_utf8(marked_bytes).expect("XML output is UTF-8");
+    throughput.push(
+        ThroughputStat::from_measurement("stream_embed", &m).with_stream_telemetry(
+            stream_report.peak_resident_nodes,
+            &stream_report.chunk_timings,
+        ),
+    );
+
+    // Streaming detect (query-free).
+    let mut detect_report = None;
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        detect_report = Some(
+            wmx_stream::stream_detect(
+                marked_text.as_bytes(),
+                sw.ctx(),
+                &sw.key,
+                &sw.watermark,
+                THRESHOLD,
+            )
+            .expect("stream detect"),
+        );
+    });
+    let detect_report = detect_report.expect("at least one iteration ran");
+    assert!(detect_report.report.detected);
+    throughput.push(
+        ThroughputStat::from_measurement("stream_detect", &m).with_stream_telemetry(
+            detect_report.peak_resident_nodes,
+            &detect_report.chunk_timings,
+        ),
+    );
+
+    // Parallel streaming embed/detect (per-chunk worker timings).
+    let mut par_report = None;
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let (_, r) = wmx_stream::par_embed(&sw.input, p.workers, sw.ctx(), &sw.key, &sw.watermark)
+            .expect("par embed");
+        par_report = Some(r);
+    });
+    let par_report = par_report.expect("at least one iteration ran");
+    throughput.push(
+        ThroughputStat::from_measurement("par_embed", &m)
+            .with_stream_telemetry(par_report.peak_resident_nodes, &par_report.chunk_timings),
+    );
+
+    let mut par_detect_report = None;
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        par_detect_report = Some(
+            wmx_stream::par_detect(
+                &marked_text,
+                p.workers,
+                sw.ctx(),
+                &sw.key,
+                &sw.watermark,
+                THRESHOLD,
+            )
+            .expect("par detect"),
+        );
+    });
+    let par_detect_report = par_detect_report.expect("at least one iteration ran");
+    throughput.push(
+        ThroughputStat::from_measurement("par_detect", &m).with_stream_telemetry(
+            par_detect_report.peak_resident_nodes,
+            &par_detect_report.chunk_timings,
+        ),
+    );
+
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        workload: p.workload.clone(),
+        context: RunContext {
+            records: p.records,
+            gamma: p.gamma,
+            seed: p.seed,
+            watermark_bits: w.watermark.len(),
+            threshold: THRESHOLD,
+            workers: p.workers,
+            peak_rss_kb: peak_rss_kb(),
+        },
+        throughput,
+        robustness: attack_grid(p, &w),
+    }
+}
+
+fn detect_with(w: &crate::MarkedWorkload, doc: &wmx_xml::Document) -> DetectionReport {
+    detect(
+        doc,
+        &DetectionInput {
+            queries: &w.report.queries,
+            key: w.key.clone(),
+            watermark: w.watermark.clone(),
+            threshold: THRESHOLD,
+            mapping: None,
+        },
+    )
+}
+
+/// The fixed E2/E3/E5/E10 attack grid (demo attacks A, B, D and the
+/// documented rounding limit), every point seeded deterministically.
+fn attack_grid(p: &SuiteParams, w: &crate::MarkedWorkload) -> Vec<RobustnessStat> {
+    let mut grid = Vec::new();
+
+    // E2 — alteration attack (demo attack A).
+    for alpha in E2_ALPHAS {
+        let mut attacked = w.marked.clone();
+        AlterationAttack::values(
+            alpha,
+            vec!["//book/year".into()],
+            p.seed + (alpha * 100.0) as u64,
+        )
+        .apply(&mut attacked);
+        grid.push(RobustnessStat::from_detection(
+            &format!("e2_alteration@{alpha:.2}"),
+            "e2",
+            &detect_with(w, &attacked),
+        ));
+    }
+
+    // E3 — reduction attack (demo attack B).
+    for keep in E3_KEEPS {
+        let mut attacked = w.marked.clone();
+        ReductionAttack::new(keep, "/db/book", p.seed + (keep * 100.0) as u64).apply(&mut attacked);
+        grid.push(RobustnessStat::from_detection(
+            &format!("e3_reduction@{keep:.2}"),
+            "e3",
+            &detect_with(w, &attacked),
+        ));
+    }
+
+    // E5 — redundancy removal (demo attack D): FD-aware marks survive
+    // unification of duplicated publisher values.
+    {
+        let dataset = publications::generate(&PublicationsConfig {
+            records: p.records,
+            editors: p.editors,
+            seed: p.seed + 50,
+            gamma: 1,
+        });
+        let config = EncoderConfig::new(1, vec![MarkableAttr::text("book", "publisher")]);
+        let key = SecretKey::from_passphrase("gate-e5");
+        let wm = Watermark::from_message("gate-e5", 16);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &config,
+            &key,
+            &wm,
+        )
+        .expect("e5 embed");
+        let mut attacked = marked.clone();
+        RedundancyRemovalAttack::new(dataset.fds.clone(), UnifyStrategy::MajorityValue)
+            .apply(&mut attacked);
+        let d = detect(
+            &attacked,
+            &DetectionInput {
+                queries: &report.queries,
+                key,
+                watermark: wm,
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+        );
+        grid.push(RobustnessStat::from_detection(
+            "e5_redundancy/fd_groups",
+            "e5",
+            &d,
+        ));
+    }
+
+    // E10 — rounding attack: numeric parity marks are erased (the
+    // documented limit), mixing in the text/order families preserves
+    // detection. Both facts are pinned.
+    for (label, numeric_only) in [("numeric_only", true), ("all_families", false)] {
+        let dataset = publications::generate(&PublicationsConfig {
+            records: p.records,
+            editors: p.editors,
+            seed: p.seed + 100,
+            gamma: 1,
+        });
+        let mut markable = vec![MarkableAttr::integer("book", "year", 1)];
+        if !numeric_only {
+            markable.push(MarkableAttr::text("book", "publisher"));
+        }
+        let mut config = EncoderConfig::new(1, markable);
+        if !numeric_only {
+            config = config.with_structural("book", "author");
+        }
+        let key = SecretKey::from_passphrase("gate-e10");
+        let wm = Watermark::from_message("gate-e10", 16);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &config,
+            &key,
+            &wm,
+        )
+        .expect("e10 embed");
+        let mut attacked = marked.clone();
+        RoundingAttack::new(2, vec!["//book/year".into()]).apply(&mut attacked);
+        let d = detect(
+            &attacked,
+            &DetectionInput {
+                queries: &report.queries,
+                key,
+                watermark: wm,
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+        );
+        grid.push(RobustnessStat::from_detection(
+            &format!("e10_rounding/{label}"),
+            "e10",
+            &d,
+        ));
+    }
+
+    grid
+}
+
+/// Options for one gate invocation.
+#[derive(Debug, Clone)]
+pub struct GateOptions {
+    /// Suite parameters (smoke or full, or custom in tests).
+    pub params: SuiteParams,
+    /// Directory the `BENCH_<workload>.json` report is written to.
+    pub out_dir: PathBuf,
+    /// Baseline file (defaults to
+    /// `crates/bench/baselines/<workload>.json`).
+    pub baseline_path: Option<PathBuf>,
+    /// Refresh the baseline from this run instead of comparing.
+    pub write_baseline: bool,
+    /// Write the report but skip the comparison.
+    pub skip_compare: bool,
+}
+
+impl GateOptions {
+    /// The standard CI invocation: smoke suite, report in the current
+    /// directory, checked-in baseline.
+    pub fn smoke() -> GateOptions {
+        GateOptions {
+            params: SuiteParams::smoke(),
+            out_dir: PathBuf::from("."),
+            baseline_path: None,
+            write_baseline: false,
+            skip_compare: false,
+        }
+    }
+}
+
+/// Result of a gate run.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Where the report was written.
+    pub report_path: PathBuf,
+    /// The comparison (absent with `--write-baseline`/`--no-compare`).
+    pub comparison: Option<Comparison>,
+    /// Process exit code per the module contract.
+    pub exit_code: i32,
+    /// Human-readable summary (verdict table or refresh notice).
+    pub summary: String,
+}
+
+/// The checked-in default baseline location for a workload: the
+/// repo-relative `crates/bench/baselines/<workload>.json` when it
+/// resolves from the current directory (any binary run from the
+/// workspace root, e.g. CI), falling back to the build-time manifest
+/// directory (`cargo run` from a subdirectory of the same tree).
+pub fn default_baseline_path(workload: &str) -> PathBuf {
+    let file = format!("{workload}.json");
+    let relative = Path::new("crates/bench/baselines").join(&file);
+    if relative.exists() {
+        return relative;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("baselines")
+        .join(file)
+}
+
+/// Runs the suite, writes the report, and compares or refreshes the
+/// baseline. `Err` means an operational failure (exit 1 in the binary);
+/// a failed comparison is `Ok` with `exit_code` 2.
+pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
+    let report = run_suite(&opts.params);
+    let report_path = report
+        .write_to_dir(&opts.out_dir)
+        .map_err(|e| format!("cannot write report into {}: {e}", opts.out_dir.display()))?;
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| default_baseline_path(&opts.params.workload));
+
+    if opts.write_baseline {
+        let baseline = baseline_from_report(&report);
+        if let Some(parent) = baseline_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        baseline.save(&baseline_path)?;
+        return Ok(GateOutcome {
+            report_path,
+            comparison: None,
+            exit_code: 0,
+            summary: format!(
+                "baseline refreshed: {} ({} metrics pinned)",
+                baseline_path.display(),
+                baseline.metrics.len()
+            ),
+        });
+    }
+    if opts.skip_compare {
+        let summary = format!(
+            "report written to {} (comparison skipped)",
+            report_path.display()
+        );
+        return Ok(GateOutcome {
+            report_path,
+            comparison: None,
+            exit_code: 0,
+            summary,
+        });
+    }
+
+    let baseline = Baseline::load(&baseline_path).map_err(|e| {
+        format!("{e}\nhint: refresh it with `cargo run -p wmx-bench --bin gate -- --smoke --write-baseline`")
+    })?;
+    if baseline.workload != report.workload {
+        return Err(format!(
+            "baseline pins workload {:?} but the suite ran {:?}",
+            baseline.workload, report.workload
+        ));
+    }
+    let comparison = compare(&baseline, &report);
+    let passed = comparison.passed();
+    let summary = format!(
+        "{}\ngate {}: {} metric(s) checked against {}",
+        comparison.render(),
+        if passed { "PASSED" } else { "FAILED" },
+        comparison.outcomes.len(),
+        baseline_path.display()
+    );
+    Ok(GateOutcome {
+        report_path,
+        comparison: Some(comparison),
+        exit_code: if passed { 0 } else { 2 },
+        summary,
+    })
+}

@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<i32, String> {
         "attack" => cmd_attack(args),
         "validate" => cmd_validate(args),
         "inspect" => cmd_inspect(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" => {
             println!("{}", usage());
             Ok(0)
@@ -64,6 +65,11 @@ COMMANDS
             validate against the profile schema, keys, and FDs
   inspect   --in FILE
             print document statistics
+  bench     [--suite smoke|full] [--out DIR] [--baseline FILE]
+            [--write-baseline] [--no-compare]
+            run the telemetry suite, write BENCH_<workload>.json, and
+            gate against the checked-in baseline (exit 0 = pass,
+            2 = throughput regression or detection-rate drop)
 
 PROFILES: {}",
         PROFILE_NAMES.join(", ")
@@ -449,6 +455,29 @@ fn cmd_validate(args: &Args) -> Result<i32, String> {
     }
 }
 
+fn cmd_bench(args: &Args) -> Result<i32, String> {
+    let params = match args.optional("suite").unwrap_or("smoke") {
+        "smoke" => wmx_bench::SuiteParams::smoke(),
+        "full" => wmx_bench::SuiteParams::full(),
+        other => return Err(format!("unknown suite {other:?}; use smoke|full")),
+    };
+    let opts = wmx_bench::GateOptions {
+        params,
+        out_dir: args.optional("out").unwrap_or(".").into(),
+        baseline_path: args.optional("baseline").map(Into::into),
+        write_baseline: args.optional("write-baseline").is_some(),
+        skip_compare: args.optional("no-compare").is_some(),
+    };
+    println!(
+        "running the {:?} suite ({} records, {} iters, {} workers)",
+        opts.params.workload, opts.params.records, opts.params.iters, opts.params.workers
+    );
+    let outcome = wmx_bench::run_gate(&opts)?;
+    println!("report: {}", outcome.report_path.display());
+    println!("{}", outcome.summary);
+    Ok(outcome.exit_code)
+}
+
 fn cmd_inspect(args: &Args) -> Result<i32, String> {
     let doc = read_doc(args.required("in").map_err(|e| e.to_string())?)?;
     let root = doc.root_element();
@@ -746,6 +775,12 @@ mod tests {
             .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn bench_rejects_unknown_suite() {
+        let err = run(&args(&["bench", "--suite", "nope"])).unwrap_err();
+        assert!(err.contains("unknown suite"), "{err}");
     }
 
     #[test]

@@ -113,6 +113,14 @@ impl DetectionReport {
             self.voted_bits as f64 / self.bit_votes.len() as f64
         }
     }
+
+    /// Total (ones, zeros) votes summed across all watermark bits — the
+    /// raw tally telemetry reports record alongside the verdict.
+    pub fn vote_totals(&self) -> (usize, usize) {
+        self.bit_votes.iter().fold((0, 0), |(ones, zeros), bv| {
+            (ones + bv.ones, zeros + bv.zeros)
+        })
+    }
 }
 
 /// Runs detection over `doc`.

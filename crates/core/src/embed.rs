@@ -109,7 +109,7 @@ impl EmbedAlgorithm for NumericPlugin {
         } else {
             // Nonce picks the direction, keeping the expected perturbation
             // zero-mean across units.
-            if nonce % 2 == 0 {
+            if nonce.is_multiple_of(2) {
                 scaled + 1
             } else {
                 scaled - 1

@@ -49,7 +49,7 @@ fn nibble(byte: u8, position: usize) -> Result<u8, HexError> {
 /// Decodes hexadecimal text (either case) to bytes.
 pub fn decode(text: &str) -> Result<Vec<u8>, HexError> {
     let bytes = text.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(HexError::OddLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

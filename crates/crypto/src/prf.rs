@@ -102,7 +102,8 @@ impl Prf {
         if gamma == 0 {
             return false;
         }
-        self.mac_u64(DOMAIN_SELECT, unit_id) % u64::from(gamma) == 0
+        self.mac_u64(DOMAIN_SELECT, unit_id)
+            .is_multiple_of(u64::from(gamma))
     }
 
     /// The watermark bit index (in `0..wm_len`) carried by the unit.

@@ -98,7 +98,7 @@ impl DataType {
 /// happens in the image plug-in).
 fn wmx_crypto_free_base64_check(value: &str) -> bool {
     let stripped: Vec<u8> = value.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
-    if stripped.len() % 4 != 0 {
+    if !stripped.len().is_multiple_of(4) {
         return false;
     }
     stripped

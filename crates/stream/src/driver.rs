@@ -3,9 +3,12 @@
 
 use crate::engine::{open_tag, RecordEngine};
 use crate::reader::{Misc, TopEvent, TopLevelReader};
-use crate::report::{PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport};
+use crate::report::{
+    ChunkTiming, PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport,
+};
 use crate::{StreamContext, StreamError};
 use std::io::{BufRead, Write};
+use std::time::Instant;
 use wmx_core::{Watermark, WmError};
 use wmx_crypto::SecretKey;
 use wmx_xml::escape::escape_text;
@@ -135,6 +138,7 @@ pub fn stream_embed<R: BufRead, W: Write>(
     let mut emitter = Emitter::new(output);
     let mut engine: Option<RecordEngine<'_>> = None;
     let mut partial = PartialEmbed::default();
+    let start = Instant::now();
     while let Some(ev) = reader.next_event()? {
         match &ev {
             TopEvent::RootStart { name, attributes } => {
@@ -152,6 +156,10 @@ pub fn stream_embed<R: BufRead, W: Write>(
         }
     }
     emitter.finish()?;
+    partial.chunk_timings.push(ChunkTiming {
+        records: partial.records,
+        micros: start.elapsed().as_micros(),
+    });
     Ok(partial.finalize())
 }
 
@@ -172,6 +180,7 @@ pub fn stream_detect<R: BufRead>(
     let mut reader = TopLevelReader::new(input);
     let mut engine: Option<RecordEngine<'_>> = None;
     let mut partial = PartialDetect::new(watermark.len());
+    let start = Instant::now();
     while let Some(ev) = reader.next_event()? {
         match &ev {
             TopEvent::RootStart { name, attributes } => {
@@ -186,6 +195,10 @@ pub fn stream_detect<R: BufRead>(
             _ => {}
         }
     }
+    partial.chunk_timings.push(ChunkTiming {
+        records: partial.records,
+        micros: start.elapsed().as_micros(),
+    });
     Ok(partial.finalize(watermark, threshold))
 }
 

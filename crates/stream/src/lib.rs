@@ -51,7 +51,7 @@ pub mod report;
 pub use driver::{stream_detect, stream_embed};
 pub use parallel::{par_detect, par_embed};
 pub use reader::{Misc, TopEvent, TopLevelReader};
-pub use report::{StreamDetectReport, StreamEmbedReport};
+pub use report::{ChunkTiming, StreamDetectReport, StreamEmbedReport};
 
 use wmx_core::WmError;
 use wmx_xml::XmlError;

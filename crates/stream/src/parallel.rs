@@ -11,8 +11,11 @@
 use crate::driver::Emitter;
 use crate::engine::RecordEngine;
 use crate::reader::{TopEvent, TopLevelReader};
-use crate::report::{PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport};
+use crate::report::{
+    ChunkTiming, PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport,
+};
 use crate::{StreamContext, StreamError};
+use std::time::Instant;
 use wmx_core::{Watermark, WmError};
 use wmx_crypto::SecretKey;
 
@@ -89,11 +92,16 @@ pub fn par_embed(
         .collect();
 
     let chunk_results = fan_out(&records, workers, |slice| {
+        let start = Instant::now();
         let mut partial = PartialEmbed::default();
         let mut outputs = Vec::with_capacity(slice.len());
         for raw in slice {
             outputs.push(engine.embed_record(raw, &mut partial)?);
         }
+        partial.chunk_timings.push(ChunkTiming {
+            records: slice.len(),
+            micros: start.elapsed().as_micros(),
+        });
         Ok((outputs, partial))
     })?;
 
@@ -148,10 +156,15 @@ pub fn par_detect(
         .collect();
 
     let chunk_results = fan_out(&records, workers, |slice| {
+        let start = Instant::now();
         let mut partial = PartialDetect::new(watermark.len());
         for raw in slice {
             engine.detect_record(raw, &mut partial)?;
         }
+        partial.chunk_timings.push(ChunkTiming {
+            records: slice.len(),
+            micros: start.elapsed().as_micros(),
+        });
         Ok(partial)
     })?;
 

@@ -66,9 +66,9 @@ pub enum TopEvent {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
-    BeforeRoot,
-    InRoot,
-    AfterRoot,
+    Prolog,
+    Content,
+    Epilog,
 }
 
 /// Streaming top-level splitter over any [`BufRead`] source.
@@ -94,7 +94,7 @@ impl<R: BufRead> TopLevelReader<R> {
         TopLevelReader {
             src,
             pull: PullParser::new(),
-            state: State::BeforeRoot,
+            state: State::Prolog,
             record_depth: 0,
             record_start: 0,
             pending_utf8: Vec::new(),
@@ -175,7 +175,7 @@ impl<R: BufRead> TopLevelReader<R> {
     pub fn next_event(&mut self) -> Result<Option<TopEvent>, StreamError> {
         if self.pending_root_end {
             self.pending_root_end = false;
-            self.state = State::AfterRoot;
+            self.state = State::Epilog;
             return Ok(Some(TopEvent::RootEnd));
         }
         loop {
@@ -196,11 +196,11 @@ impl<R: BufRead> TopLevelReader<R> {
                 }
                 Pulled::End => {
                     return match self.state {
-                        State::BeforeRoot => Err(self.err_at(XmlErrorKind::NoRootElement)),
-                        State::InRoot => Err(self.err_at(XmlErrorKind::UnexpectedEof {
+                        State::Prolog => Err(self.err_at(XmlErrorKind::NoRootElement)),
+                        State::Content => Err(self.err_at(XmlErrorKind::UnexpectedEof {
                             while_parsing: "element content (unclosed element)",
                         })),
-                        State::AfterRoot => Ok(None),
+                        State::Epilog => Ok(None),
                     };
                 }
             };
@@ -208,10 +208,11 @@ impl<R: BufRead> TopLevelReader<R> {
                 // Inside a record: only the depth bookkeeping matters;
                 // the raw bytes are captured wholesale at record end.
                 match token {
-                    Token::StartTag { self_closing, .. } => {
-                        if !self_closing {
-                            self.record_depth += 1;
-                        }
+                    Token::StartTag {
+                        self_closing: false,
+                        ..
+                    } => {
+                        self.record_depth += 1;
                     }
                     Token::EndTag { .. } => {
                         self.record_depth -= 1;
@@ -231,7 +232,7 @@ impl<R: BufRead> TopLevelReader<R> {
                 continue;
             }
             match self.state {
-                State::BeforeRoot => match token {
+                State::Prolog => match token {
                     Token::XmlDecl { content } => return Ok(Some(TopEvent::XmlDecl(content))),
                     Token::Doctype { content } => return Ok(Some(TopEvent::Doctype(content))),
                     Token::Comment { content } => {
@@ -252,7 +253,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         attributes,
                         self_closing,
                     } => {
-                        self.state = State::InRoot;
+                        self.state = State::Content;
                         self.pending_root_end = self_closing;
                         return Ok(Some(TopEvent::RootStart { name, attributes }));
                     }
@@ -260,7 +261,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         return Err(self.err_at(XmlErrorKind::UnmatchedClose { close: name }))
                     }
                 },
-                State::InRoot => match token {
+                State::Content => match token {
                     Token::StartTag { self_closing, .. } => {
                         self.record_start = tok_start;
                         if self_closing {
@@ -277,7 +278,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         continue;
                     }
                     Token::EndTag { .. } => {
-                        self.state = State::AfterRoot;
+                        self.state = State::Epilog;
                         return Ok(Some(TopEvent::RootEnd));
                     }
                     Token::Text { content } => {
@@ -304,7 +305,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         ))
                     }
                 },
-                State::AfterRoot => match token {
+                State::Epilog => match token {
                     Token::Comment { content } => {
                         return Ok(Some(TopEvent::TrailingMisc(Misc::Comment(content))))
                     }

@@ -10,6 +10,22 @@
 use std::collections::BTreeSet;
 use wmx_core::{BitVotes, EmbedReport, StoredQuery};
 
+/// Wall-clock telemetry for one contiguous run of records, consumed by
+/// the `wmx-bench` telemetry reports. The two driver families time
+/// different spans: the sequential drivers emit **one** entry covering
+/// the whole pass (reading, record splitting, per-record work, and
+/// output emission), while the parallel drivers emit one entry per
+/// worker chunk covering only that chunk's per-record embed/detect work
+/// (the upfront split and final reassembly are shared). Compare entries
+/// within a family, not across families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTiming {
+    /// Records processed by this chunk.
+    pub records: usize,
+    /// Wall-clock time for this chunk's span (see type docs), in µs.
+    pub micros: u128,
+}
+
 /// Streaming embed outcome: the DOM-equivalent report plus streaming
 /// telemetry.
 #[derive(Debug, Clone)]
@@ -22,6 +38,9 @@ pub struct StreamEmbedReport {
     /// High-water mark of XML nodes resident at once (wrapper root +
     /// one record), the O(depth + record) memory guarantee.
     pub peak_resident_nodes: usize,
+    /// Per-chunk wall-clock timings (one entry for sequential runs, one
+    /// per worker chunk for parallel runs).
+    pub chunk_timings: Vec<ChunkTiming>,
 }
 
 /// Streaming detect outcome.
@@ -34,6 +53,9 @@ pub struct StreamDetectReport {
     pub records: usize,
     /// High-water mark of XML nodes resident at once.
     pub peak_resident_nodes: usize,
+    /// Per-chunk wall-clock timings (one entry for sequential runs, one
+    /// per worker chunk for parallel runs).
+    pub chunk_timings: Vec<ChunkTiming>,
 }
 
 /// Per-chunk embed accumulator.
@@ -51,6 +73,7 @@ pub(crate) struct PartialEmbed {
     pub fd_total: BTreeSet<String>,
     pub fd_selected: BTreeSet<String>,
     pub fd_marked: BTreeSet<String>,
+    pub chunk_timings: Vec<ChunkTiming>,
 }
 
 impl PartialEmbed {
@@ -66,6 +89,7 @@ impl PartialEmbed {
         self.queries.extend(other.queries);
         // fd_marked is unioned implicitly by finalize()'s dedup walk.
         self.fd_marked.extend(other.fd_marked);
+        self.chunk_timings.extend(other.chunk_timings);
     }
 
     pub fn finalize(self) -> StreamEmbedReport {
@@ -89,6 +113,7 @@ impl PartialEmbed {
             },
             records: self.records,
             peak_resident_nodes: self.peak_resident_nodes,
+            chunk_timings: self.chunk_timings,
         }
     }
 }
@@ -104,6 +129,7 @@ pub(crate) struct PartialDetect {
     pub located_local: usize,
     pub fd_total: BTreeSet<String>,
     pub fd_located: BTreeSet<String>,
+    pub chunk_timings: Vec<ChunkTiming>,
 }
 
 impl PartialDetect {
@@ -117,6 +143,7 @@ impl PartialDetect {
             located_local: 0,
             fd_total: BTreeSet::new(),
             fd_located: BTreeSet::new(),
+            chunk_timings: Vec::new(),
         }
     }
 
@@ -131,6 +158,7 @@ impl PartialDetect {
         self.located_local += other.located_local;
         self.fd_total.extend(other.fd_total);
         self.fd_located.extend(other.fd_located);
+        self.chunk_timings.extend(other.chunk_timings);
     }
 
     pub fn finalize(self, watermark: &wmx_core::Watermark, threshold: f64) -> StreamDetectReport {
@@ -149,6 +177,7 @@ impl PartialDetect {
             report,
             records: self.records,
             peak_resident_nodes: self.peak_resident_nodes,
+            chunk_timings: self.chunk_timings,
         }
     }
 }

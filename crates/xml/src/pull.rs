@@ -202,6 +202,9 @@ impl PullParser {
     /// closing delimiter has not arrived). After [`PullParser::finish`],
     /// the same states resolve to tokens, [`Pulled::End`], or the same
     /// errors batch lexing would report.
+    // Not `Iterator::next`: pulling is fallible and three-valued
+    // (token / need-more / end), which `Option<Item>` cannot express.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Pulled, XmlError> {
         let rest = &self.buf[self.pos..];
         if rest.is_empty() {
