@@ -95,8 +95,10 @@ impl AlterationAttack {
         if self.insert_decoys > 0 {
             if let Some(root) = doc.root_element() {
                 for i in 0..self.insert_decoys {
-                    let decoy = doc.create_element("decoy");
-                    let text = doc.create_text(format!("noise-{}-{}", self.seed, i));
+                    let decoy = doc.create_element("decoy").expect("attack doc fits arena");
+                    let text = doc
+                        .create_text(format!("noise-{}-{}", self.seed, i))
+                        .expect("attack doc fits arena");
                     doc.append_child(decoy, text);
                     doc.append_child(root, decoy);
                     touched += 1;
@@ -132,7 +134,7 @@ fn write_back(doc: &mut Document, node: &wmx_xpath::NodeRef, value: &str) -> Res
     match node {
         wmx_xpath::NodeRef::Node(id) => {
             if doc.is_element(*id) {
-                doc.set_text_content(*id, value);
+                doc.set_text_content(*id, value).map_err(|_| ())?;
                 Ok(())
             } else if matches!(doc.kind(*id), NodeKind::Text(_) | NodeKind::CData(_)) {
                 doc.set_text(*id, value);

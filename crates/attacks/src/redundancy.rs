@@ -74,7 +74,7 @@ fn write_back(doc: &mut Document, node: &wmx_xpath::NodeRef, value: &str) {
     match node {
         wmx_xpath::NodeRef::Node(id) => {
             if doc.is_element(*id) {
-                doc.set_text_content(*id, value);
+                let _ = doc.set_text_content(*id, value);
             } else if doc.is_text(*id) {
                 doc.set_text(*id, value);
             }

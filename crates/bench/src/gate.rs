@@ -56,14 +56,22 @@ pub const E2_ALPHAS: [f64; 3] = [0.10, 0.30, 0.50];
 /// Keep fractions of the E3 grid points.
 pub const E3_KEEPS: [f64; 3] = [0.80, 0.40, 0.10];
 
-/// The throughput entry points every suite measures.
-pub const THROUGHPUT_NAMES: [&str; 6] = [
+/// The throughput entry points every suite measures. Besides the six
+/// pipeline entry points, the suite pins the three substrate stages the
+/// interned-DOM refactor targets: `parse` (text → DOM), `serialize`
+/// (DOM → text), and `query_eval` (the safeguarded identity-query set
+/// re-evaluated against the marked document — the detection hot path in
+/// isolation; its `records_per_s` reads as queries/s).
+pub const THROUGHPUT_NAMES: [&str; 9] = [
     "embed",
     "detect",
     "stream_embed",
     "stream_detect",
     "par_embed",
     "par_detect",
+    "parse",
+    "serialize",
+    "query_eval",
 ];
 
 /// Grid-point names in emission order.
@@ -255,6 +263,42 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
             &par_detect_report.chunk_timings,
         ),
     );
+
+    // DOM parse of the serialized input — the substrate cost every
+    // pipeline pays first (lexing, interning, tree build).
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let doc = wmx_xml::parse(&sw.input).expect("suite parse");
+        assert!(doc.root_element().is_some());
+    });
+    throughput.push(ThroughputStat::from_measurement("parse", &m));
+
+    // Compact serialization of the marked document (symbol resolution +
+    // escaping; must stay byte-identical and fast).
+    let m = Measurement::run(&mcfg, input_bytes, records, || {
+        let out = wmx_xml::to_string(&w.marked);
+        assert!(!out.is_empty());
+    });
+    throughput.push(ThroughputStat::from_measurement("serialize", &m));
+
+    // Identity-query evaluation: the safeguarded query set re-executed
+    // against the marked document, exactly what detection does per
+    // unit. records_per_iter is the query count, so `records_per_s`
+    // reads as queries evaluated per second.
+    let queries: Vec<wmx_xpath::Query> = w
+        .report
+        .queries
+        .iter()
+        .map(|q| q.xpath.parse().expect("stored query compiles"))
+        .collect();
+    assert!(!queries.is_empty(), "suite embeds at least one unit");
+    let m = Measurement::run(&mcfg, input_bytes, queries.len() as u64, || {
+        let mut located = 0usize;
+        for q in &queries {
+            located += q.select(&w.marked).len();
+        }
+        assert!(located > 0, "identity queries must locate nodes");
+    });
+    throughput.push(ThroughputStat::from_measurement("query_eval", &m));
 
     BenchReport {
         schema_version: SCHEMA_VERSION,

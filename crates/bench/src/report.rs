@@ -4,8 +4,9 @@
 //! A report records two kinds of evidence, mirroring how the paper
 //! evaluates WmXML:
 //!
-//! * **Throughput** for the four pipeline entry points (DOM embed, DOM
-//!   detect, streaming embed, streaming detect), with wall-clock
+//! * **Throughput** for the pipeline entry points (DOM embed/detect,
+//!   streaming embed/detect, parallel embed/detect) and the substrate
+//!   stages (`parse`, `serialize`, `query_eval`), with wall-clock
 //!   percentiles and MB/s + records/s derived by [`crate::measure`],
 //!   plus streaming-only telemetry (resident-node high-water mark and
 //!   per-chunk worker timings exposed by `wmx-stream`).
@@ -64,7 +65,8 @@ pub struct RunContext {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputStat {
     /// Entry point: `embed`, `detect`, `stream_embed`, `stream_detect`,
-    /// `par_embed`, `par_detect`.
+    /// `par_embed`, `par_detect`, `parse`, `serialize`, or `query_eval`
+    /// (for `query_eval`, `records_per_s` counts queries per second).
     pub name: String,
     /// Timed iterations behind the percentiles.
     pub iters: usize,

@@ -278,10 +278,19 @@ fn markable_for_fd<'c>(
 
 /// Compares two query texts modulo reparsing (normalizes `//x` vs
 /// `/descendant-or-self::node()/x` and whitespace).
+///
+/// Binding paths and FD selectors are persisted in canonical `Display`
+/// form, so the overwhelmingly common case is byte equality — taken
+/// without compiling. Only mismatching texts fall back to compiling
+/// both sides and comparing ASTs (compilation is also how `//x` and its
+/// expanded spelling are unified).
 fn queries_equal(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
     match (Query::compile(a), Query::compile(b)) {
         (Ok(qa), Ok(qb)) => qa.expr() == qb.expr(),
-        _ => a == b,
+        _ => false,
     }
 }
 
@@ -360,6 +369,17 @@ mod tests {
 
     fn editor_publisher_fd() -> Fd {
         Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).unwrap()
+    }
+
+    #[test]
+    fn queries_equal_fast_path_and_normalization() {
+        // Identical canonical texts short-circuit without compiling.
+        assert!(queries_equal("/db/book/year", "/db/book/year"));
+        assert!(queries_equal("not ( a [ query", "not ( a [ query"));
+        // Different spellings of the same path still unify via the AST.
+        assert!(queries_equal("//year", "/descendant-or-self::node()/year"));
+        assert!(!queries_equal("/db/book", "/db/journal"));
+        assert!(!queries_equal("not ( a [ query", "/db/book"));
     }
 
     #[test]

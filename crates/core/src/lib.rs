@@ -97,7 +97,8 @@ pub fn write_value(
     match node {
         wmx_xpath::NodeRef::Node(id) => {
             if doc.is_element(*id) {
-                doc.set_text_content(*id, value);
+                doc.set_text_content(*id, value)
+                    .map_err(|e| WmError::new(format!("cannot write text content: {e}")))?;
                 Ok(())
             } else if doc.is_text(*id) {
                 doc.set_text(*id, value);

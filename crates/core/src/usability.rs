@@ -208,7 +208,7 @@ mod tests {
         let root = b_doc.root_element().unwrap();
         let book = b_doc.child_elements_named(root, "book").next().unwrap();
         let author = b_doc.first_child_element(book, "author").unwrap();
-        b_doc.set_text_content(author, "Z");
+        b_doc.set_text_content(author, "Z").unwrap();
         let binding = paper_db1_binding();
         let report =
             measure_usability(&a, &binding, &b_doc, &binding, &templates(), &config()).unwrap();

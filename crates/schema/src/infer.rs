@@ -103,16 +103,18 @@ fn collect(doc: &Document, element: NodeId, stats: &mut BTreeMap<String, Element
     let present: BTreeSet<String> = doc
         .attributes(element)
         .iter()
-        .map(|a| a.name.clone())
+        .map(|a| doc.attr_name(a).to_string())
         .collect();
     for attr in doc.attributes(element) {
-        if !stat.attrs.contains_key(&attr.name) {
-            stat.attr_order.push(attr.name.clone());
+        let attr_name = doc.attr_name(attr);
+        if !stat.attrs.contains_key(attr_name) {
+            stat.attr_order.push(attr_name.to_string());
             // Required so far only if this is the first instance.
-            stat.attrs.insert(attr.name.clone(), stat.instances == 1);
+            stat.attrs
+                .insert(attr_name.to_string(), stat.instances == 1);
         }
         stat.attr_values
-            .entry(attr.name.clone())
+            .entry(attr_name.to_string())
             .or_default()
             .push(attr.value.clone());
     }

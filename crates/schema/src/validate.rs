@@ -77,16 +77,17 @@ fn validate_element(
         }
     }
     for present in doc.attributes(element) {
-        match decl.attr(&present.name) {
+        let present_name = doc.attr_name(present);
+        match decl.attr(present_name) {
             None => issues.push(ValidationIssue {
                 path: path.clone(),
-                message: format!("undeclared attribute \"{}\"", present.name),
+                message: format!("undeclared attribute \"{present_name}\""),
             }),
             Some(d) if !d.data_type.accepts(&present.value) => issues.push(ValidationIssue {
                 path: path.clone(),
                 message: format!(
-                    "attribute \"{}\" value {:?} is not a valid {}",
-                    present.name, present.value, d.data_type
+                    "attribute \"{present_name}\" value {:?} is not a valid {}",
+                    present.value, d.data_type
                 ),
             }),
             Some(_) => {}
@@ -128,7 +129,7 @@ fn validate_element(
             for &c in doc.children(element) {
                 match doc.kind(c) {
                     NodeKind::Element { name, .. } => {
-                        *counts.entry(name.as_str()).or_default() += 1;
+                        *counts.entry(doc.resolve(*name)).or_default() += 1;
                     }
                     NodeKind::Text(t) | NodeKind::CData(t)
                         if !t.chars().all(char::is_whitespace) =>

@@ -34,7 +34,7 @@ fn misc_bytes(misc: &Misc) -> String {
     // Each arm delegates to the DOM serializer's own formatting helpers,
     // so byte parity cannot drift.
     match misc {
-        Misc::Text(t) => escape_text(t),
+        Misc::Text(t) => escape_text(t).into_owned(),
         Misc::CData(t) => cdata_text(t),
         Misc::Comment(t) => comment_text(t),
         Misc::Pi { target, data } => pi_text(target, data),

@@ -255,10 +255,17 @@ impl<R: BufRead> TopLevelReader<R> {
                     } => {
                         self.state = State::Content;
                         self.pending_root_end = self_closing;
-                        return Ok(Some(TopEvent::RootStart { name, attributes }));
+                        // Resolve symbols at this boundary: the event
+                        // outlives the pull parser's name table.
+                        let names = self.pull.interner();
+                        return Ok(Some(TopEvent::RootStart {
+                            name: names.resolve(name).to_string(),
+                            attributes: attributes.iter().map(|a| a.resolve(names)).collect(),
+                        }));
                     }
                     Token::EndTag { name } => {
-                        return Err(self.err_at(XmlErrorKind::UnmatchedClose { close: name }))
+                        let close = self.pull.interner().resolve(name).to_string();
+                        return Err(self.err_at(XmlErrorKind::UnmatchedClose { close }));
                     }
                 },
                 State::Content => match token {
@@ -320,7 +327,8 @@ impl<R: BufRead> TopLevelReader<R> {
                     }
                     Token::StartTag { .. } => return Err(self.err_at(XmlErrorKind::MultipleRoots)),
                     Token::EndTag { name } => {
-                        return Err(self.err_at(XmlErrorKind::UnmatchedClose { close: name }))
+                        let close = self.pull.interner().resolve(name).to_string();
+                        return Err(self.err_at(XmlErrorKind::UnmatchedClose { close }));
                     }
                     Token::CData { .. } => return Err(self.err_at(XmlErrorKind::TrailingContent)),
                     Token::XmlDecl { .. } | Token::Doctype { .. } => {

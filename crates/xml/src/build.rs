@@ -89,19 +89,28 @@ impl ElementBuilder {
 
     /// Commits this builder into `doc`, returning the new detached
     /// element's id.
+    ///
+    /// # Panics
+    /// Panics on arena overflow (more than `u32::MAX` nodes) — builders
+    /// assemble generated datasets, where this cannot occur; use the
+    /// fallible `Document::create_*` constructors directly for inputs of
+    /// unbounded size.
     pub fn build(self, doc: &mut Document) -> NodeId {
-        let element = doc.create_element(self.name);
+        let element = doc
+            .create_element(self.name)
+            .expect("builder document fits the arena");
         for (name, value) in self.attributes {
             doc.set_attribute(element, name, value)
                 .expect("fresh element accepts attributes");
         }
         for child in self.children {
             let id = match child {
-                BuildNode::Element(builder) => builder.build(doc),
+                BuildNode::Element(builder) => Ok(builder.build(doc)),
                 BuildNode::Text(t) => doc.create_text(t),
                 BuildNode::CData(t) => doc.create_cdata(t),
                 BuildNode::Comment(t) => doc.create_comment(t),
             };
+            let id = id.expect("builder document fits the arena");
             doc.append_child(element, id);
         }
         element

@@ -1,9 +1,27 @@
-//! Arena-based mutable document object model.
+//! Arena-based mutable document object model with interned names.
 //!
 //! A [`Document`] owns all nodes in a flat arena; nodes are addressed by
 //! copyable [`NodeId`]s. A virtual *document node* (always id 0) holds the
 //! prolog (comments/PIs), the single root element, and any epilog nodes,
 //! which keeps tree navigation uniform.
+//!
+//! Element names, attribute names, and PI targets are interned into a
+//! per-document [`Interner`]: [`NodeKind`] and [`Attribute`] store a
+//! 4-byte [`Sym`] instead of an owned `String`, so name comparisons are
+//! integer compares and repeated tag names cost one allocation per
+//! document instead of one per node. The string-taking accessors
+//! ([`Document::name`], [`Document::attribute`],
+//! [`Document::child_elements_named`], …) are unchanged — they resolve
+//! through the interner — so callers that think in `&str` keep working.
+//!
+//! On top of the symbols the document maintains a lazily built
+//! [`NameIndex`]: symbol → attached elements in document order, plus the
+//! document-order rank of every attached node. The XPath evaluator
+//! answers descendant name steps and document-order sorting from this
+//! index instead of re-traversing the tree per query. The index is
+//! invalidated by any mutation that changes tree shape, sibling order,
+//! or an element name (value edits — text and attribute writes — keep it
+//! valid), and is rebuilt on next use.
 //!
 //! Mutation is index-based: children are stored as ordered `Vec<NodeId>`
 //! per parent, which makes the operations the watermark encoder needs —
@@ -13,6 +31,9 @@
 //! document node, so detached nodes are simply unreachable.
 
 use crate::error::{XmlError, XmlErrorKind};
+use crate::intern::{Interner, Sym};
+use std::cell::OnceCell;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a node within its [`Document`] arena.
@@ -25,8 +46,10 @@ impl NodeId {
         self.0 as usize
     }
 
-    fn from_index(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("document exceeds u32::MAX nodes"))
+    fn try_from_index(index: usize) -> Result<Self, XmlError> {
+        u32::try_from(index)
+            .map(NodeId)
+            .map_err(|_| XmlError::dom(XmlErrorKind::ArenaOverflow))
     }
 }
 
@@ -36,24 +59,27 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A named attribute with an unescaped value.
+/// A named attribute with an unescaped value. The name is a [`Sym`] in
+/// the owning document's interner; resolve it with
+/// [`Document::attr_name`] (or [`Document::resolve`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
-    /// Attribute name.
-    pub name: String,
+    /// Attribute name (interned in the owning document).
+    pub name: Sym,
     /// Unescaped value.
     pub value: String,
 }
 
-/// The payload of a node.
+/// The payload of a node. Names are [`Sym`]s in the owning document's
+/// interner.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
     /// The virtual document node (arena id 0, exactly one per document).
     Document,
     /// An element with a name and ordered attributes.
     Element {
-        /// Element (tag) name.
-        name: String,
+        /// Element (tag) name, interned.
+        name: Sym,
         /// Attributes in document order.
         attributes: Vec<Attribute>,
     },
@@ -65,8 +91,8 @@ pub enum NodeKind {
     Comment(String),
     /// A processing instruction.
     Pi {
-        /// PI target.
-        target: String,
+        /// PI target, interned.
+        target: Sym,
         /// PI data.
         data: String,
     },
@@ -79,14 +105,77 @@ struct Node {
     kind: NodeKind,
 }
 
+/// Symbol → attached elements (document order) plus document-order ranks.
+///
+/// Built lazily by [`Document::name_index`] in one traversal; dropped by
+/// any structural or name mutation. Value edits (text content, attribute
+/// values) do not invalidate it, which is what keeps detection — many
+/// query evaluations over an immutable document — at one build total.
+#[derive(Debug, Clone, Default)]
+pub struct NameIndex {
+    by_name: HashMap<Sym, Vec<NodeId>>,
+    order: HashMap<NodeId, usize>,
+}
+
+impl NameIndex {
+    fn build(doc: &Document) -> NameIndex {
+        let mut by_name: HashMap<Sym, Vec<NodeId>> = HashMap::new();
+        let mut order = HashMap::with_capacity(doc.arena_len());
+        for (rank, node) in doc.descendants(doc.document_node()).enumerate() {
+            order.insert(node, rank);
+            if let NodeKind::Element { name, .. } = doc.kind(node) {
+                by_name.entry(*name).or_default().push(node);
+            }
+        }
+        NameIndex { by_name, order }
+    }
+
+    /// All attached elements named `sym`, in document order.
+    pub fn elements_named(&self, sym: Sym) -> &[NodeId] {
+        self.by_name.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Document-order rank of an attached node (`None` for detached).
+    pub fn order_of(&self, node: NodeId) -> Option<usize> {
+        self.order.get(&node).copied()
+    }
+
+    /// Number of attached nodes the index covers.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the index covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
 /// A mutable XML document.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Document {
     nodes: Vec<Node>,
+    interner: Interner,
+    /// Lazily built name/order index; dropped on structural mutation.
+    index: OnceCell<NameIndex>,
     /// Content of the `<?xml ...?>` declaration, if present.
     pub xml_decl: Option<String>,
     /// Content of the `<!DOCTYPE ...>` declaration, if present.
     pub doctype: Option<String>,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Self {
+        Document {
+            nodes: self.nodes.clone(),
+            interner: self.interner.clone(),
+            // The clone rebuilds its index on first use; copying two
+            // arena-sized maps for it would be pure waste.
+            index: OnceCell::new(),
+            xml_decl: self.xml_decl.clone(),
+            doctype: self.doctype.clone(),
+        }
+    }
 }
 
 impl Default for Document {
@@ -104,6 +193,8 @@ impl Document {
                 children: Vec::new(),
                 kind: NodeKind::Document,
             }],
+            interner: Interner::new(),
+            index: OnceCell::new(),
             xml_decl: None,
             doctype: None,
         }
@@ -141,47 +232,157 @@ impl Document {
         self.nodes.len()
     }
 
+    /// Drops the cached [`NameIndex`]; called by every mutation that
+    /// changes tree shape, sibling order, or a name.
+    fn touch(&mut self) {
+        self.index.take();
+    }
+
+    // ------------------------------------------------------------------
+    // Interning
+    // ------------------------------------------------------------------
+
+    /// Interns `name` into this document's symbol table.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        self.interner.intern(name)
+    }
+
+    /// The symbol for `name`, if any node of this document ever used it.
+    /// Never allocates: on an immutable document, `None` means no
+    /// element/attribute/PI carries this name.
+    pub fn lookup_sym(&self, name: &str) -> Option<Sym> {
+        self.interner.lookup(name)
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` belongs to a different document's interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The document's symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Replaces the document's (empty) symbol table with one whose
+    /// symbols the arena already references. Used by the parser, which
+    /// interns names at lex time and installs the table once the tree is
+    /// built — node construction never re-hashes a name.
+    pub(crate) fn install_interner(&mut self, interner: Interner) {
+        debug_assert!(
+            self.interner.is_empty(),
+            "install_interner would invalidate existing symbols"
+        );
+        self.interner = interner;
+    }
+
+    /// Resolved name of `attr` (which must belong to this document).
+    pub fn attr_name<'a>(&'a self, attr: &Attribute) -> &'a str {
+        self.interner.resolve(attr.name)
+    }
+
+    // ------------------------------------------------------------------
+    // Name index
+    // ------------------------------------------------------------------
+
+    /// The lazily built name/order index. Building is one traversal; the
+    /// result is cached until the next structural or name mutation.
+    pub fn name_index(&self) -> &NameIndex {
+        self.index.get_or_init(|| NameIndex::build(self))
+    }
+
+    /// All attached elements named `name`, in document order (empty when
+    /// the name was never interned). Convenience over
+    /// [`Document::name_index`].
+    pub fn elements_named(&self, name: &str) -> &[NodeId] {
+        match self.lookup_sym(name) {
+            Some(sym) => self.name_index().elements_named(sym),
+            None => &[],
+        }
+    }
+
     // ------------------------------------------------------------------
     // Node creation
     // ------------------------------------------------------------------
 
-    fn push_node(&mut self, kind: NodeKind) -> NodeId {
-        let id = NodeId::from_index(self.nodes.len());
+    fn push_node(&mut self, kind: NodeKind) -> Result<NodeId, XmlError> {
+        let id = NodeId::try_from_index(self.nodes.len())?;
         self.nodes.push(Node {
             parent: None,
             children: Vec::new(),
             kind,
         });
-        id
+        Ok(id)
     }
 
     /// Creates a detached element node.
-    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn create_element(&mut self, name: impl AsRef<str>) -> Result<NodeId, XmlError> {
+        let name = self.interner.intern(name.as_ref());
+        self.create_element_raw(name)
+    }
+
+    /// Creates a detached element from an already-interned name.
+    pub(crate) fn create_element_raw(&mut self, name: Sym) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::Element {
-            name: name.into(),
+            name,
             attributes: Vec::new(),
         })
     }
 
     /// Creates a detached text node.
-    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn create_text(&mut self, text: impl Into<String>) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::Text(text.into()))
     }
 
     /// Creates a detached CDATA node.
-    pub fn create_cdata(&mut self, text: impl Into<String>) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn create_cdata(&mut self, text: impl Into<String>) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::CData(text.into()))
     }
 
     /// Creates a detached comment node.
-    pub fn create_comment(&mut self, text: impl Into<String>) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn create_comment(&mut self, text: impl Into<String>) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::Comment(text.into()))
     }
 
     /// Creates a detached processing-instruction node.
-    pub fn create_pi(&mut self, target: impl Into<String>, data: impl Into<String>) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn create_pi(
+        &mut self,
+        target: impl AsRef<str>,
+        data: impl Into<String>,
+    ) -> Result<NodeId, XmlError> {
+        let target = self.interner.intern(target.as_ref());
         self.push_node(NodeKind::Pi {
-            target: target.into(),
+            target,
+            data: data.into(),
+        })
+    }
+
+    /// Creates a detached PI from an already-interned target.
+    pub(crate) fn create_pi_raw(
+        &mut self,
+        target: Sym,
+        data: impl Into<String>,
+    ) -> Result<NodeId, XmlError> {
+        self.push_node(NodeKind::Pi {
+            target,
             data: data.into(),
         })
     }
@@ -218,6 +419,7 @@ impl Document {
         }
         self.node_mut(parent).children.insert(index, child);
         self.node_mut(child).parent = Some(parent);
+        self.touch();
     }
 
     /// Detaches `node` from its parent (no-op if already detached). The
@@ -226,6 +428,7 @@ impl Document {
         if let Some(parent) = self.node(node).parent {
             self.node_mut(parent).children.retain(|&c| c != node);
             self.node_mut(node).parent = None;
+            self.touch();
         }
     }
 
@@ -261,11 +464,13 @@ impl Document {
             new_children.push(old[from]);
         }
         self.node_mut(parent).children = new_children;
+        self.touch();
     }
 
     /// Swaps children at positions `i` and `j` under `parent`.
     pub fn swap_children(&mut self, parent: NodeId, i: usize, j: usize) {
         self.node_mut(parent).children.swap(i, j);
+        self.touch();
     }
 
     /// Whether `node` is reachable from the document node.
@@ -303,8 +508,14 @@ impl Document {
 
     /// The element name, if `node` is an element.
     pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.name_sym(node).map(|sym| self.interner.resolve(sym))
+    }
+
+    /// The element name symbol, if `node` is an element. The fast path
+    /// for name comparisons: equal symbols ⇔ equal names.
+    pub fn name_sym(&self, node: NodeId) -> Option<Sym> {
         match &self.node(node).kind {
-            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Element { name, .. } => Some(*name),
             _ => None,
         }
     }
@@ -313,13 +524,20 @@ impl Document {
     ///
     /// # Errors
     /// Returns [`XmlErrorKind::NotAnElement`] if `node` is not an element.
-    pub fn set_name(&mut self, node: NodeId, name: impl Into<String>) -> Result<(), XmlError> {
+    pub fn set_name(&mut self, node: NodeId, name: impl AsRef<str>) -> Result<(), XmlError> {
+        // Validate before interning so error paths never grow the
+        // symbol table (lookup_sym must stay a proof of presence).
+        if !self.is_element(node) {
+            return Err(XmlError::dom(XmlErrorKind::NotAnElement));
+        }
+        let sym = self.interner.intern(name.as_ref());
         match &mut self.node_mut(node).kind {
             NodeKind::Element { name: n, .. } => {
-                *n = name.into();
+                *n = sym;
+                self.touch();
                 Ok(())
             }
-            _ => Err(XmlError::dom(XmlErrorKind::NotAnElement)),
+            _ => unreachable!("is_element checked above"),
         }
     }
 
@@ -331,7 +549,8 @@ impl Document {
         }
     }
 
-    /// Replaces the text of a text/CDATA node.
+    /// Replaces the text of a text/CDATA node. A value edit: the name
+    /// index stays valid.
     pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
         match &mut self.node_mut(node).kind {
             NodeKind::Text(t) | NodeKind::CData(t) => *t = text.into(),
@@ -344,6 +563,7 @@ impl Document {
     // ------------------------------------------------------------------
 
     /// The attributes of an element (empty slice for non-elements).
+    /// Attribute names are symbols; resolve with [`Document::attr_name`].
     pub fn attributes(&self, node: NodeId) -> &[Attribute] {
         match &self.node(node).kind {
             NodeKind::Element { attributes, .. } => attributes,
@@ -353,24 +573,40 @@ impl Document {
 
     /// Value of attribute `name` on `node`.
     pub fn attribute(&self, node: NodeId, name: &str) -> Option<&str> {
+        let sym = self.interner.lookup(name)?;
         self.attributes(node)
             .iter()
-            .find(|a| a.name == name)
+            .find(|a| a.name == sym)
             .map(|a| a.value.as_str())
     }
 
-    /// Sets (or adds) attribute `name` to `value`.
+    /// Sets (or adds) attribute `name` to `value`. A value edit: the
+    /// name index stays valid.
     ///
     /// # Errors
     /// Returns [`XmlErrorKind::NotAnElement`] if `node` is not an element.
     pub fn set_attribute(
         &mut self,
         node: NodeId,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         value: impl Into<String>,
     ) -> Result<(), XmlError> {
-        let name = name.into();
-        let value = value.into();
+        // Validate before interning so error paths never grow the
+        // symbol table (lookup_sym must stay a proof of presence).
+        if !self.is_element(node) {
+            return Err(XmlError::dom(XmlErrorKind::NotAnElement));
+        }
+        let sym = self.interner.intern(name.as_ref());
+        self.set_attribute_raw(node, sym, value.into())
+    }
+
+    /// Sets (or adds) an attribute from an already-interned name.
+    pub(crate) fn set_attribute_raw(
+        &mut self,
+        node: NodeId,
+        name: Sym,
+        value: String,
+    ) -> Result<(), XmlError> {
         match &mut self.node_mut(node).kind {
             NodeKind::Element { attributes, .. } => {
                 if let Some(attr) = attributes.iter_mut().find(|a| a.name == name) {
@@ -386,9 +622,10 @@ impl Document {
 
     /// Removes attribute `name`; returns its previous value if present.
     pub fn remove_attribute(&mut self, node: NodeId, name: &str) -> Option<String> {
+        let sym = self.interner.lookup(name)?;
         match &mut self.node_mut(node).kind {
             NodeKind::Element { attributes, .. } => {
-                let idx = attributes.iter().position(|a| a.name == name)?;
+                let idx = attributes.iter().position(|a| a.name == sym)?;
                 Some(attributes.remove(idx).value)
             }
             _ => None,
@@ -407,14 +644,18 @@ impl Document {
             .filter(move |&c| self.is_element(c))
     }
 
-    /// Child elements of `node` named `name`.
+    /// Child elements of `node` named `name`. The name is looked up
+    /// once; matching is by symbol.
     pub fn child_elements_named<'a>(
         &'a self,
         node: NodeId,
-        name: &'a str,
+        name: &str,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.child_elements(node)
-            .filter(move |&c| self.name(c) == Some(name))
+        let sym = self.lookup_sym(name);
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(move |&c| sym.is_some() && self.name_sym(c) == sym)
     }
 
     /// First child element of `node` named `name`.
@@ -448,13 +689,21 @@ impl Document {
     }
 
     /// Replaces all children of `node` with a single text node `text`.
-    pub fn set_text_content(&mut self, node: NodeId, text: impl Into<String>) {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn set_text_content(
+        &mut self,
+        node: NodeId,
+        text: impl Into<String>,
+    ) -> Result<(), XmlError> {
         let children: Vec<NodeId> = self.node(node).children.clone();
         for child in children {
             self.detach(child);
         }
-        let t = self.create_text(text);
+        let t = self.create_text(text)?;
         self.append_child(node, t);
+        Ok(())
     }
 
     /// Number of element nodes reachable from the document node.
@@ -485,41 +734,66 @@ impl Document {
     // ------------------------------------------------------------------
 
     /// Deep-copies the subtree rooted at `node` of `source` into `self`,
-    /// returning the new (detached) subtree root.
-    pub fn import_subtree(&mut self, source: &Document, node: NodeId) -> NodeId {
-        let new_id = match source.kind(node) {
-            NodeKind::Document => {
-                // Importing a whole document grafts its children under a
-                // fresh element-less subtree root; callers normally import
-                // the source's root element instead.
-                self.push_node(NodeKind::Document)
-            }
-            kind => self.push_node(kind.clone()),
+    /// returning the new (detached) subtree root. Names are re-interned
+    /// into this document's symbol table — symbols never cross
+    /// documents.
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn import_subtree(&mut self, source: &Document, node: NodeId) -> Result<NodeId, XmlError> {
+        let kind = match source.kind(node) {
+            // Importing a whole document grafts its children under a
+            // fresh element-less subtree root; callers normally import
+            // the source's root element instead.
+            NodeKind::Document => NodeKind::Document,
+            NodeKind::Element { name, attributes } => NodeKind::Element {
+                name: self.interner.intern(source.resolve(*name)),
+                attributes: attributes
+                    .iter()
+                    .map(|a| Attribute {
+                        name: self.interner.intern(source.resolve(a.name)),
+                        value: a.value.clone(),
+                    })
+                    .collect(),
+            },
+            NodeKind::Pi { target, data } => NodeKind::Pi {
+                target: self.interner.intern(source.resolve(*target)),
+                data: data.clone(),
+            },
+            other => other.clone(),
         };
+        let new_id = self.push_node(kind)?;
         for &child in source.children(node) {
-            let imported = self.import_subtree(source, child);
+            let imported = self.import_subtree(source, child)?;
             self.node_mut(new_id).children.push(imported);
             self.node_mut(imported).parent = Some(new_id);
         }
-        new_id
+        Ok(new_id)
     }
 
     /// Deep-copies the subtree rooted at `node` within this document,
     /// returning the detached copy.
-    pub fn clone_subtree(&mut self, node: NodeId) -> NodeId {
+    ///
+    /// # Errors
+    /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
+    pub fn clone_subtree(&mut self, node: NodeId) -> Result<NodeId, XmlError> {
         let source = self.clone();
         self.import_subtree(&source, node)
     }
 
     /// Rebuilds the arena keeping only nodes reachable from the document
-    /// node. Returns a new document; all old `NodeId`s are invalidated.
+    /// node. Returns a new document (with a freshly built symbol table —
+    /// names only used by detached nodes are dropped too); all old
+    /// `NodeId`s are invalidated.
     pub fn compact(&self) -> Document {
         let mut out = Document::new();
         out.xml_decl = self.xml_decl.clone();
         out.doctype = self.doctype.clone();
         let doc_children: Vec<NodeId> = self.children(self.document_node()).to_vec();
         for child in doc_children {
-            let imported = out.import_subtree(self, child);
+            let imported = out
+                .import_subtree(self, child)
+                .expect("compacted arena is no larger than the source arena");
             let doc_node = out.document_node();
             out.node_mut(imported).parent = Some(doc_node);
             let imported_id = imported;
@@ -555,16 +829,16 @@ mod tests {
     /// Builds `<db><book><title>T</title></book><book/></db>`.
     fn sample() -> (Document, NodeId, NodeId, NodeId) {
         let mut doc = Document::new();
-        let db = doc.create_element("db");
+        let db = doc.create_element("db").unwrap();
         let doc_node = doc.document_node();
         doc.append_child(doc_node, db);
-        let book1 = doc.create_element("book");
+        let book1 = doc.create_element("book").unwrap();
         doc.append_child(db, book1);
-        let title = doc.create_element("title");
+        let title = doc.create_element("title").unwrap();
         doc.append_child(book1, title);
-        let text = doc.create_text("T");
+        let text = doc.create_text("T").unwrap();
         doc.append_child(title, text);
-        let book2 = doc.create_element("book");
+        let book2 = doc.create_element("book").unwrap();
         doc.append_child(db, book2);
         (doc, db, book1, book2)
     }
@@ -584,6 +858,56 @@ mod tests {
     }
 
     #[test]
+    fn names_are_interned_and_shared() {
+        let (doc, _, book1, book2) = sample();
+        // Both <book> elements share one symbol.
+        assert_eq!(doc.name_sym(book1), doc.name_sym(book2));
+        assert_eq!(doc.name(book1), Some("book"));
+        assert_eq!(doc.lookup_sym("book"), doc.name_sym(book1));
+        assert_eq!(doc.lookup_sym("nope"), None);
+    }
+
+    #[test]
+    fn name_index_answers_descendant_name_queries() {
+        let (doc, db, book1, book2) = sample();
+        assert_eq!(doc.elements_named("book"), &[book1, book2]);
+        assert_eq!(doc.elements_named("db"), &[db]);
+        assert_eq!(doc.elements_named("missing"), &[] as &[NodeId]);
+        // Document-order ranks are cached too.
+        let idx = doc.name_index();
+        assert_eq!(idx.order_of(doc.document_node()), Some(0));
+        assert!(idx.order_of(book1) < idx.order_of(book2));
+    }
+
+    #[test]
+    fn name_index_invalidated_by_structural_mutation() {
+        let (mut doc, db, book1, book2) = sample();
+        assert_eq!(doc.elements_named("book"), &[book1, book2]);
+        doc.detach(book1);
+        assert_eq!(doc.elements_named("book"), &[book2]);
+        doc.insert_child(db, 0, book1);
+        assert_eq!(doc.elements_named("book"), &[book1, book2]);
+        doc.swap_children(db, 0, 1);
+        assert_eq!(doc.elements_named("book"), &[book2, book1]);
+        doc.set_name(book1, "tome").unwrap();
+        assert_eq!(doc.elements_named("book"), &[book2]);
+        assert_eq!(doc.elements_named("tome"), &[book1]);
+    }
+
+    #[test]
+    fn value_edits_keep_the_name_index() {
+        let (mut doc, _, book1, _) = sample();
+        // Build the index, then edit values only.
+        let before: Vec<NodeId> = doc.elements_named("book").to_vec();
+        doc.set_attribute(book1, "publisher", "mkp").unwrap();
+        let title = doc.first_child_element(book1, "title").unwrap();
+        let text = doc.children(title)[0];
+        doc.set_text(text, "T2");
+        assert_eq!(doc.elements_named("book"), before.as_slice());
+        assert_eq!(doc.text_content(book1), "T2");
+    }
+
+    #[test]
     fn attributes_roundtrip() {
         let (mut doc, _, book1, _) = sample();
         doc.set_attribute(book1, "publisher", "mkp").unwrap();
@@ -592,15 +916,33 @@ mod tests {
         doc.set_attribute(book1, "publisher", "acm").unwrap();
         assert_eq!(doc.attribute(book1, "publisher"), Some("acm"));
         assert_eq!(doc.attributes(book1).len(), 2);
+        let names: Vec<&str> = doc
+            .attributes(book1)
+            .iter()
+            .map(|a| doc.attr_name(a))
+            .collect();
+        assert_eq!(names, vec!["publisher", "year"]);
         assert_eq!(doc.remove_attribute(book1, "year"), Some("1998".into()));
         assert_eq!(doc.attribute(book1, "year"), None);
+        assert_eq!(doc.remove_attribute(book1, "never-interned"), None);
     }
 
     #[test]
     fn attribute_on_text_node_errors() {
         let mut doc = Document::new();
-        let t = doc.create_text("x");
+        let t = doc.create_text("x").unwrap();
         assert!(doc.set_attribute(t, "a", "b").is_err());
+    }
+
+    #[test]
+    fn failed_writes_do_not_pollute_the_interner() {
+        let mut doc = Document::new();
+        let t = doc.create_text("x").unwrap();
+        assert!(doc.set_attribute(t, "ghost", "v").is_err());
+        assert!(doc.set_name(t, "phantom").is_err());
+        // lookup_sym stays a proof of presence in the document.
+        assert_eq!(doc.lookup_sym("ghost"), None);
+        assert_eq!(doc.lookup_sym("phantom"), None);
     }
 
     #[test]
@@ -669,7 +1011,7 @@ mod tests {
     #[test]
     fn set_text_content_replaces_children() {
         let (mut doc, _, book1, _) = sample();
-        doc.set_text_content(book1, "replaced");
+        doc.set_text_content(book1, "replaced").unwrap();
         assert_eq!(doc.text_content(book1), "replaced");
         assert_eq!(doc.children(book1).len(), 1);
     }
@@ -686,21 +1028,25 @@ mod tests {
     fn import_subtree_copies_across_documents() {
         let (doc_a, _, book1, _) = sample();
         let mut doc_b = Document::new();
-        let root = doc_b.create_element("shelf");
+        let root = doc_b.create_element("shelf").unwrap();
         let doc_node = doc_b.document_node();
         doc_b.append_child(doc_node, root);
-        let copied = doc_b.import_subtree(&doc_a, book1);
+        let copied = doc_b.import_subtree(&doc_a, book1).unwrap();
         doc_b.append_child(root, copied);
         assert_eq!(doc_b.text_content(root), "T");
         assert_eq!(doc_b.name(copied), Some("book"));
         // Source untouched.
         assert_eq!(doc_a.text_content(book1), "T");
+        // Symbols were re-interned: names resolve in the destination
+        // even though the two documents assign different ids.
+        assert_ne!(doc_a.name_sym(book1), None);
+        assert_eq!(doc_b.resolve(doc_b.name_sym(copied).unwrap()), "book");
     }
 
     #[test]
     fn clone_subtree_within_document() {
         let (mut doc, db, book1, _) = sample();
-        let copy = doc.clone_subtree(book1);
+        let copy = doc.clone_subtree(book1).unwrap();
         doc.append_child(db, copy);
         assert_eq!(doc.child_elements_named(db, "book").count(), 3);
         assert_eq!(doc.text_content(copy), "T");
@@ -721,7 +1067,7 @@ mod tests {
         let (mut doc, _, book1, _) = sample();
         doc.set_name(book1, "publication").unwrap();
         assert_eq!(doc.name(book1), Some("publication"));
-        let text_node = doc.create_text("t");
+        let text_node = doc.create_text("t").unwrap();
         assert!(doc.set_name(text_node, "x").is_err());
     }
 
@@ -729,7 +1075,7 @@ mod tests {
     fn element_count_counts_elements_only() {
         let (mut doc, db, ..) = sample();
         assert_eq!(doc.element_count(), 4);
-        let c = doc.create_comment("note");
+        let c = doc.create_comment("note").unwrap();
         doc.append_child(db, c);
         assert_eq!(doc.element_count(), 4);
     }
@@ -787,7 +1133,7 @@ mod prop_tests {
         let doc_node = doc.document_node();
         // 1. Parent/child pointers are mutually consistent.
         for i in 0..doc.arena_len() {
-            let id = NodeId::from_index(i);
+            let id = NodeId(i as u32);
             for &child in doc.children(id) {
                 assert_eq!(doc.parent(child), Some(id), "child {child} parent mismatch");
             }
@@ -801,7 +1147,7 @@ mod prop_tests {
         // 2. Reachability agrees with is_attached.
         let reachable: std::collections::HashSet<NodeId> = doc.descendants(doc_node).collect();
         for i in 0..doc.arena_len() {
-            let id = NodeId::from_index(i);
+            let id = NodeId(i as u32);
             assert_eq!(
                 reachable.contains(&id),
                 doc.is_attached(id),
@@ -812,7 +1158,27 @@ mod prop_tests {
         let walked: Vec<NodeId> = doc.descendants(doc_node).collect();
         let unique: std::collections::HashSet<&NodeId> = walked.iter().collect();
         assert_eq!(walked.len(), unique.len(), "node visited twice");
-        // 4. compact() preserves the canonical serialization when a root
+        // 4. The name index agrees with a fresh traversal: same element
+        //    sets per name, ranks consistent with document order.
+        let index = doc.name_index();
+        for i in 0..doc.arena_len() {
+            let id = NodeId(i as u32);
+            assert_eq!(
+                index.order_of(id).is_some(),
+                doc.is_attached(id),
+                "index coverage mismatch for {id}"
+            );
+        }
+        for (rank, node) in doc.descendants(doc_node).enumerate() {
+            assert_eq!(index.order_of(node), Some(rank), "rank mismatch for {node}");
+            if let Some(sym) = doc.name_sym(node) {
+                assert!(
+                    index.elements_named(sym).contains(&node),
+                    "element {node} missing from its name bucket"
+                );
+            }
+        }
+        // 5. compact() preserves the canonical serialization when a root
         //    element exists.
         if doc.root_element().is_some() {
             let compacted = doc.compact();
@@ -828,7 +1194,7 @@ mod prop_tests {
         #[test]
         fn random_edit_sequences_preserve_invariants(ops in prop::collection::vec(arb_op(), 1..40)) {
             let mut doc = Document::new();
-            let root = doc.create_element("root");
+            let root = doc.create_element("root").unwrap();
             let doc_node = doc.document_node();
             doc.append_child(doc_node, root);
             // Track elements we created (attached or not).
@@ -839,14 +1205,14 @@ mod prop_tests {
                     Op::AddChild { parent_pick, name } => {
                         let parent = elements[parent_pick % elements.len()];
                         if doc.is_attached(parent) || doc.parent(parent).is_none() {
-                            let child = doc.create_element(format!("e{}", name % 8));
+                            let child = doc.create_element(format!("e{}", name % 8)).unwrap();
                             doc.append_child(parent, child);
                             elements.push(child);
                         }
                     }
                     Op::AddText { parent_pick, text } => {
                         let parent = elements[parent_pick % elements.len()];
-                        let t = doc.create_text(text);
+                        let t = doc.create_text(text).unwrap();
                         doc.append_child(parent, t);
                     }
                     Op::Detach { node_pick } => {

@@ -70,6 +70,9 @@ pub enum XmlErrorKind {
     StaleNode,
     /// An operation expected an element node.
     NotAnElement,
+    /// The document arena reached the maximum addressable node count
+    /// (`u32::MAX` slots); returned by the `create_*` constructors.
+    ArenaOverflow,
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -102,6 +105,9 @@ impl fmt::Display for XmlErrorKind {
             XmlErrorKind::TrailingContent => write!(f, "non-whitespace content after document end"),
             XmlErrorKind::StaleNode => write!(f, "node id does not belong to this document"),
             XmlErrorKind::NotAnElement => write!(f, "operation requires an element node"),
+            XmlErrorKind::ArenaOverflow => {
+                write!(f, "document arena is full (u32::MAX nodes)")
+            }
         }
     }
 }

@@ -4,13 +4,29 @@
 //! `>` after `]]`, which we always escape for simplicity), while attribute
 //! values additionally escape the quote character. Unescaping resolves the
 //! five predefined entities and decimal/hexadecimal character references.
+//!
+//! Both escape functions return [`Cow`]: the common case — no special
+//! characters — borrows the input and allocates nothing, which is what
+//! keeps serialization allocation-free per clean text run.
 
 use crate::error::{XmlError, XmlErrorKind};
+use std::borrow::Cow;
 
-/// Escapes `text` for use as element text content.
-pub fn escape_text(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
+/// Characters that force text content to be escaped.
+const TEXT_SPECIALS: [char; 3] = ['<', '>', '&'];
+
+/// Characters that force an attribute value to be escaped.
+const ATTR_SPECIALS: [char; 7] = ['<', '>', '&', '"', '\n', '\t', '\r'];
+
+/// Escapes `text` for use as element text content. Borrows when `text`
+/// contains no specials.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    let Some(first) = text.find(TEXT_SPECIALS) else {
+        return Cow::Borrowed(text);
+    };
+    let mut out = String::with_capacity(text.len() + 8);
+    out.push_str(&text[..first]);
+    for c in text[first..].chars() {
         match c {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
@@ -18,13 +34,18 @@ pub fn escape_text(text: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Escapes `value` for use inside a double-quoted attribute value.
-pub fn escape_attribute(value: &str) -> String {
-    let mut out = String::with_capacity(value.len());
-    for c in value.chars() {
+/// Borrows when `value` contains no specials.
+pub fn escape_attribute(value: &str) -> Cow<'_, str> {
+    let Some(first) = value.find(ATTR_SPECIALS) else {
+        return Cow::Borrowed(value);
+    };
+    let mut out = String::with_capacity(value.len() + 8);
+    out.push_str(&value[..first]);
+    for c in value[first..].chars() {
         match c {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
@@ -36,7 +57,7 @@ pub fn escape_attribute(value: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 /// Resolves one reference body (the text between `&` and `;`).
@@ -118,6 +139,14 @@ mod tests {
     }
 
     #[test]
+    fn clean_inputs_borrow() {
+        assert!(matches!(escape_text("no specials"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attribute("value-1"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("a&b"), Cow::Owned(_)));
+        assert!(matches!(escape_attribute("say \"hi\""), Cow::Owned(_)));
+    }
+
+    #[test]
     fn escapes_attribute_specials() {
         assert_eq!(escape_attribute("say \"hi\""), "say &quot;hi&quot;");
         assert_eq!(escape_attribute("tab\there"), "tab&#9;here");
@@ -186,6 +215,15 @@ mod tests {
                     prop_assert!(escaped[i..].contains(';'));
                 }
             }
+        }
+
+        #[test]
+        fn borrowing_is_exact(s in "\\PC*") {
+            // Borrowed ⇔ escaping is the identity.
+            let escaped = escape_text(&s);
+            prop_assert_eq!(matches!(&escaped, Cow::Borrowed(_)), escaped == s.as_str());
+            let escaped = escape_attribute(&s);
+            prop_assert_eq!(matches!(&escaped, Cow::Borrowed(_)), escaped == s.as_str());
         }
     }
 }

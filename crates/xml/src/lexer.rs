@@ -3,10 +3,18 @@
 //! Converts input text into a stream of [`Token`]s, tracking line/column
 //! positions for error reporting. The lexer performs attribute-value and
 //! text unescaping so downstream stages see logical strings.
+//!
+//! Tag and attribute names are interned into the lexer's [`Interner`] as
+//! they are read — one hash per occurrence, no per-name `String`
+//! allocation — and tokens carry [`crate::intern::Sym`] handles. The
+//! tree parser moves the lexer's table into the finished
+//! [`Document`](crate::Document); the pull parser threads one table
+//! across resumed lexing so symbols stay stable over chunk boundaries.
 
 use crate::error::{Position, XmlError, XmlErrorKind};
 use crate::escape::unescape;
-use crate::token::{SpannedToken, Token, TokenAttribute};
+use crate::intern::{Interner, Sym};
+use crate::token::{SpannedToken, SymAttribute, Token};
 
 /// Returns whether `c` may start an XML name.
 pub fn is_name_start(c: char) -> bool {
@@ -35,10 +43,12 @@ pub struct Lexer<'a> {
     offset: usize,
     line: u32,
     column: u32,
+    /// Name table the produced tokens' symbols point into.
+    interner: Interner,
 }
 
 impl<'a> Lexer<'a> {
-    /// Creates a lexer over `input`.
+    /// Creates a lexer over `input` with a fresh name table.
     pub fn new(input: &'a str) -> Self {
         Lexer::with_position(input, 1, 1)
     }
@@ -53,7 +63,32 @@ impl<'a> Lexer<'a> {
             offset: 0,
             line,
             column,
+            interner: Interner::new(),
         }
+    }
+
+    /// The name table behind the tokens produced so far.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the name table (the tree parser interns PI
+    /// targets through this before taking the table over).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Replaces the lexer's name table (resumed lexing: the pull parser
+    /// hands the accumulated table to each transient lexer so symbols
+    /// stay stable across chunks).
+    pub fn set_interner(&mut self, interner: Interner) {
+        self.interner = interner;
+    }
+
+    /// Takes the name table out of the lexer, leaving an empty one. The
+    /// tree parser installs the taken table into the built document.
+    pub fn take_interner(&mut self) -> Interner {
+        std::mem::take(&mut self.interner)
     }
 
     /// Current position (of the next unread character).
@@ -115,7 +150,8 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn read_name(&mut self) -> Result<String, XmlError> {
+    /// Scans one XML name, returning its byte span in the input.
+    fn name_span(&mut self) -> Result<(usize, usize), XmlError> {
         let start = self.offset;
         match self.peek() {
             Some(c) if is_name_start(c) => {
@@ -132,7 +168,18 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump();
         }
-        Ok(self.input[start..self.offset].to_string())
+        Ok((start, self.offset))
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let (start, end) = self.name_span()?;
+        Ok(self.input[start..end].to_string())
+    }
+
+    /// Reads a name and interns it — no allocation for repeated names.
+    fn read_name_sym(&mut self) -> Result<Sym, XmlError> {
+        let (start, end) = self.name_span()?;
+        Ok(self.interner.intern(&self.input[start..end]))
     }
 
     /// Reads text up to (not including) `delim`, consuming the delimiter.
@@ -207,7 +254,7 @@ impl<'a> Lexer<'a> {
         }
         if self.starts_with("</") {
             self.bump_n(2);
-            let name = self.read_name()?;
+            let name = self.read_name_sym()?;
             self.skip_whitespace();
             match self.bump() {
                 Some('>') => return Ok(Token::EndTag { name }),
@@ -278,7 +325,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_start_tag(&mut self) -> Result<Token, XmlError> {
-        let name = self.read_name()?;
+        let name = self.read_name_sym()?;
         let mut attributes = Vec::new();
         loop {
             let had_space = matches!(self.peek(), Some(c) if c.is_whitespace());
@@ -321,11 +368,11 @@ impl<'a> Lexer<'a> {
                     let attr = self.lex_attribute()?;
                     if attributes
                         .iter()
-                        .any(|a: &TokenAttribute| a.name == attr.name)
+                        .any(|a: &SymAttribute| a.name == attr.name)
                     {
-                        return Err(
-                            self.error(XmlErrorKind::DuplicateAttribute { name: attr.name })
-                        );
+                        return Err(self.error(XmlErrorKind::DuplicateAttribute {
+                            name: self.interner.resolve(attr.name).to_string(),
+                        }));
                     }
                     attributes.push(attr);
                 }
@@ -340,8 +387,8 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_attribute(&mut self) -> Result<TokenAttribute, XmlError> {
-        let name = self.read_name()?;
+    fn lex_attribute(&mut self) -> Result<SymAttribute, XmlError> {
+        let name = self.read_name_sym()?;
         self.skip_whitespace();
         match self.bump() {
             Some('=') => {}
@@ -379,21 +426,29 @@ impl<'a> Lexer<'a> {
                 column,
             ));
         }
-        Ok(TokenAttribute {
+        Ok(SymAttribute {
             name,
             value: unescape(raw, line, column)?,
         })
     }
 }
 
-/// Tokenizes the whole input eagerly. Convenience for tests.
+/// Tokenizes the whole input eagerly. Convenience for tests — symbol
+/// assignment is deterministic, so token sequences from the same input
+/// compare equal across lexers.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, XmlError> {
+    Ok(tokenize_with_interner(input)?.0)
+}
+
+/// Tokenizes the whole input and returns the name table the tokens'
+/// symbols point into.
+pub fn tokenize_with_interner(input: &str) -> Result<(Vec<Token>, Interner), XmlError> {
     let mut lexer = Lexer::new(input);
     let mut out = Vec::new();
     while let Some(spanned) = lexer.next_token()? {
         out.push(spanned.token);
     }
-    Ok(out)
+    Ok((out, lexer.take_interner()))
 }
 
 #[cfg(test)]
@@ -402,42 +457,66 @@ mod tests {
 
     #[test]
     fn simple_element() {
-        let tokens = tokenize("<a>hi</a>").unwrap();
+        let (tokens, names) = tokenize_with_interner("<a>hi</a>").unwrap();
+        let a = names.lookup("a").unwrap();
         assert_eq!(
             tokens,
             vec![
                 Token::StartTag {
-                    name: "a".into(),
+                    name: a,
                     attributes: vec![],
                     self_closing: false
                 },
                 Token::Text {
                     content: "hi".into()
                 },
-                Token::EndTag { name: "a".into() },
+                Token::EndTag { name: a },
             ]
         );
     }
 
     #[test]
     fn attributes_both_quote_styles() {
-        let tokens = tokenize(r#"<book publisher="mkp" year='1998'/>"#).unwrap();
+        let (tokens, names) =
+            tokenize_with_interner(r#"<book publisher="mkp" year='1998'/>"#).unwrap();
         match &tokens[0] {
             Token::StartTag {
                 name,
                 attributes,
                 self_closing,
             } => {
-                assert_eq!(name, "book");
+                assert_eq!(names.resolve(*name), "book");
                 assert!(*self_closing);
                 assert_eq!(attributes.len(), 2);
-                assert_eq!(attributes[0].name, "publisher");
+                assert_eq!(names.resolve(attributes[0].name), "publisher");
                 assert_eq!(attributes[0].value, "mkp");
-                assert_eq!(attributes[1].name, "year");
+                assert_eq!(names.resolve(attributes[1].name), "year");
                 assert_eq!(attributes[1].value, "1998");
+                // Resolution into the owned compat form.
+                let resolved = attributes[0].resolve(&names);
+                assert_eq!(resolved.name, "publisher");
+                assert_eq!(resolved.value, "mkp");
             }
             other => panic!("unexpected token {other:?}"),
         }
+    }
+
+    #[test]
+    fn repeated_names_share_symbols() {
+        let (tokens, names) = tokenize_with_interner("<r><r/><r></r></r>").unwrap();
+        let r = names.lookup("r").unwrap();
+        let mut tags = 0;
+        for t in &tokens {
+            match t {
+                Token::StartTag { name, .. } | Token::EndTag { name } => {
+                    assert_eq!(*name, r);
+                    tags += 1;
+                }
+                other => panic!("unexpected token {other:?}"),
+            }
+        }
+        assert_eq!(tags, 5);
+        assert_eq!(names.len(), 1);
     }
 
     #[test]
@@ -457,10 +536,11 @@ mod tests {
 
     #[test]
     fn comment_cdata_pi_doctype() {
-        let tokens = tokenize(
+        let (tokens, names) = tokenize_with_interner(
             "<?xml version=\"1.0\"?><!DOCTYPE db SYSTEM \"x.dtd\"><!-- note --><db><![CDATA[1<2]]><?app run?></db>",
         )
         .unwrap();
+        let db = names.lookup("db").unwrap();
         assert_eq!(
             tokens,
             vec![
@@ -474,7 +554,7 @@ mod tests {
                     content: " note ".into()
                 },
                 Token::StartTag {
-                    name: "db".into(),
+                    name: db,
                     attributes: vec![],
                     self_closing: false
                 },
@@ -485,7 +565,7 @@ mod tests {
                     target: "app".into(),
                     data: "run".into()
                 },
-                Token::EndTag { name: "db".into() },
+                Token::EndTag { name: db },
             ]
         );
     }

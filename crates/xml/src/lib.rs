@@ -12,9 +12,16 @@
 //! * a resumable [pull-token interface](pull) over the tokenizer
 //!   ([`PullParser`]) that accepts input in arbitrary chunks with bounded
 //!   memory — the foundation of the `wmx-stream` single-pass engine;
+//! * a per-document [string interner](intern) ([`Sym`], [`Interner`]):
+//!   element/attribute/PI names are interned once at lex time, name
+//!   comparisons are integer compares, and the DOM stores 4-byte symbols
+//!   instead of owned strings;
 //! * an arena-based mutable [DOM](dom) ([`Document`], [`NodeId`]) with
-//!   ordered children, attribute access, and structural editing — the
-//!   watermark encoder rewrites values and reorders siblings in place;
+//!   ordered children, attribute access, structural editing, and a
+//!   lazily built, mutation-invalidated [`NameIndex`] (symbol → elements
+//!   in document order) that the XPath engine queries instead of
+//!   re-traversing the tree — the watermark encoder rewrites values and
+//!   reorders siblings in place;
 //! * [serializers](serialize) (compact, pretty, canonical) — the
 //!   canonical form gives a stable byte representation used for document
 //!   comparison in tests and experiments;
@@ -39,6 +46,7 @@ pub mod build;
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pull;
@@ -46,9 +54,10 @@ pub mod serialize;
 pub mod token;
 
 pub use build::ElementBuilder;
-pub use dom::{Attribute, Document, NodeId, NodeKind};
+pub use dom::{Attribute, Document, NameIndex, NodeId, NodeKind};
 pub use error::{XmlError, XmlErrorKind};
+pub use intern::{Interner, Sym};
 pub use parser::{parse, parse_with_options, ParseOptions};
 pub use pull::{PullParser, Pulled};
 pub use serialize::{node_to_string, to_canonical_string, to_pretty_string, to_string};
-pub use token::{SpannedToken, Token, TokenAttribute};
+pub use token::{SpannedToken, SymAttribute, Token, TokenAttribute};

@@ -35,12 +35,16 @@ pub fn parse(input: &str) -> Result<Document, XmlError> {
 }
 
 /// Parses `input` with explicit options.
+///
+/// Names are interned once at lex time; the finished document takes over
+/// the lexer's symbol table, so tree construction never re-hashes a
+/// name.
 pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, XmlError> {
     let mut doc = Document::new();
     let mut lexer = Lexer::new(input);
     // Stack of open elements; the document node is the base.
     let mut stack: Vec<NodeId> = vec![doc.document_node()];
-    let mut open_names: Vec<String> = Vec::new();
+    let mut open_names: Vec<crate::intern::Sym> = Vec::new();
     let mut saw_root = false;
 
     while let Some(SpannedToken { token, position }) = lexer.next_token()? {
@@ -68,9 +72,9 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
                 if !in_root {
                     saw_root = true;
                 }
-                let element = doc.create_element(&name);
+                let element = doc.create_element_raw(name)?;
                 for attr in attributes {
-                    doc.set_attribute(element, attr.name, attr.value)
+                    doc.set_attribute_raw(element, attr.name, attr.value)
                         .expect("fresh element accepts attributes");
                 }
                 doc.append_child(parent, element);
@@ -82,7 +86,9 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
             Token::EndTag { name } => {
                 if !in_root {
                     return Err(XmlError::at(
-                        XmlErrorKind::UnmatchedClose { close: name },
+                        XmlErrorKind::UnmatchedClose {
+                            close: lexer.interner().resolve(name).to_string(),
+                        },
                         position.line,
                         position.column,
                     ));
@@ -90,7 +96,10 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
                 let open = open_names.pop().expect("open_names tracks stack");
                 if open != name {
                     return Err(XmlError::at(
-                        XmlErrorKind::MismatchedTag { open, close: name },
+                        XmlErrorKind::MismatchedTag {
+                            open: lexer.interner().resolve(open).to_string(),
+                            close: lexer.interner().resolve(name).to_string(),
+                        },
                         position.line,
                         position.column,
                     ));
@@ -127,7 +136,7 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
                         continue;
                     }
                 }
-                let t = doc.create_text(content);
+                let t = doc.create_text(content)?;
                 doc.append_child(parent, t);
             }
             Token::CData { content } => {
@@ -138,18 +147,22 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
                         position.column,
                     ));
                 }
-                let t = doc.create_cdata(content);
+                let t = doc.create_cdata(content)?;
                 doc.append_child(parent, t);
             }
             Token::Comment { content } => {
                 if options.keep_comments {
-                    let c = doc.create_comment(content);
+                    let c = doc.create_comment(content)?;
                     doc.append_child(parent, c);
                 }
             }
             Token::ProcessingInstruction { target, data } => {
                 if options.keep_processing_instructions {
-                    let p = doc.create_pi(target, data);
+                    // PI targets travel as plain strings in tokens (they
+                    // are rare); intern into the table the document will
+                    // take over below.
+                    let sym = lexer.interner_mut().intern(&target);
+                    let p = doc.create_pi_raw(sym, data)?;
                     doc.append_child(parent, p);
                 }
             }
@@ -166,6 +179,7 @@ pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document
             position.column,
         ));
     }
+    doc.install_interner(lexer.take_interner());
     if doc.root_element().is_none() {
         return Err(XmlError::dom(XmlErrorKind::NoRootElement));
     }

@@ -38,6 +38,7 @@
 //! ```
 
 use crate::error::{XmlError, XmlErrorKind};
+use crate::intern::Interner;
 use crate::lexer::Lexer;
 use crate::token::{SpannedToken, Token};
 
@@ -98,6 +99,9 @@ pub struct PullParser {
     /// one large token scan only the newly pushed bytes (linear total)
     /// instead of re-scanning the whole run each time.
     probed: usize,
+    /// Name table shared by every resumed lexing step, so the symbols in
+    /// pulled tokens stay stable across chunk boundaries.
+    interner: Interner,
 }
 
 impl Default for PullParser {
@@ -118,7 +122,13 @@ impl PullParser {
             finished: false,
             hold: None,
             probed: 0,
+            interner: Interner::new(),
         }
+    }
+
+    /// The name table the pulled tokens' symbols point into.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// Creates a parser over a complete input (pushed and finished).
@@ -248,8 +258,15 @@ impl PullParser {
                 self.probed = 0;
             }
         }
+        // Names interned while lexing a token that turns out to be
+        // incomplete must be rolled back, or a truncated tag name would
+        // occupy a symbol and chunked/batch lexing would diverge.
+        let checkpoint = self.interner.len();
         let mut lexer = Lexer::with_position(rest, self.line, self.column);
-        match lexer.next_token() {
+        lexer.set_interner(std::mem::take(&mut self.interner));
+        let outcome = lexer.next_token();
+        self.interner = lexer.take_interner();
+        match outcome {
             Ok(Some(spanned)) => {
                 let consumed = lexer.byte_offset();
                 if !self.finished
@@ -273,6 +290,7 @@ impl PullParser {
                 Pulled::NeedMore
             }),
             Err(e) if !self.finished && matches!(e.kind, XmlErrorKind::UnexpectedEof { .. }) => {
+                self.interner.truncate(checkpoint);
                 Ok(Pulled::NeedMore)
             }
             Err(e) => Err(e),

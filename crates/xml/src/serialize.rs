@@ -71,7 +71,20 @@ fn write_prolog(doc: &Document, out: &mut String, pretty: bool) {
 /// ` name="escaped value"`. Exposed so the streaming engine emits
 /// attributes with exactly the serializer's formatting.
 pub fn attribute_text(name: &str, value: &str) -> String {
-    format!(" {name}=\"{}\"", escape_attribute(value))
+    let mut out = String::new();
+    write_attribute(&mut out, name, value);
+    out
+}
+
+/// Writes one attribute (leading space included) straight into `out`,
+/// avoiding the per-attribute `String` the old `format!` path allocated.
+/// The escaped value borrows when it contains no specials.
+fn write_attribute(out: &mut String, name: &str, value: &str) {
+    out.push(' ');
+    out.push_str(name);
+    out.push_str("=\"");
+    out.push_str(&escape_attribute(value));
+    out.push('"');
 }
 
 /// The compact form of a comment: `<!--content-->`.
@@ -109,19 +122,21 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
             }
         }
         NodeKind::Element { name, attributes } => {
+            let name = doc.resolve(*name);
             if mode == WriteMode::Pretty && depth > 0 {
                 indent(out, depth);
             }
-            let _ = write!(out, "<{name}");
+            out.push('<');
+            out.push_str(name);
             if mode == WriteMode::Canonical {
                 let mut sorted: Vec<_> = attributes.iter().collect();
-                sorted.sort_by(|a, b| a.name.cmp(&b.name));
+                sorted.sort_by(|a, b| doc.attr_name(a).cmp(doc.attr_name(b)));
                 for attr in sorted {
-                    out.push_str(&attribute_text(&attr.name, &attr.value));
+                    write_attribute(out, doc.attr_name(attr), &attr.value);
                 }
             } else {
                 for attr in attributes {
-                    out.push_str(&attribute_text(&attr.name, &attr.value));
+                    write_attribute(out, doc.attr_name(attr), &attr.value);
                 }
             }
             let children = doc.children(node);
@@ -180,7 +195,9 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
                     write_node(doc, child, out, mode, depth + 1);
                 }
             }
-            let _ = write!(out, "</{name}>");
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
         }
         NodeKind::Text(text) => {
             out.push_str(&escape_text(text));
@@ -202,7 +219,7 @@ fn write_node(doc: &Document, node: NodeId, out: &mut String, mode: WriteMode, d
             if mode == WriteMode::Pretty && depth > 0 {
                 indent(out, depth);
             }
-            out.push_str(&pi_text(target, data));
+            out.push_str(&pi_text(doc.resolve(*target), data));
         }
     }
 }

@@ -1,8 +1,41 @@
 //! Token model produced by the [lexer](crate::lexer).
+//!
+//! Tag and attribute names are interned at lex time: [`Token::StartTag`],
+//! [`Token::EndTag`], and [`SymAttribute`] carry [`Sym`] handles into the
+//! lexer's [`Interner`](crate::intern::Interner) (which the tree parser
+//! later installs into the built [`Document`](crate::Document), so DOM
+//! construction never re-hashes a name). Symbol assignment is
+//! deterministic in first-occurrence order, so tokenizing the same input
+//! — batched or chunked through the pull parser — yields identical
+//! tokens. Consumers that need owned name strings resolve through the
+//! producing lexer/pull-parser's interner ([`SymAttribute::resolve`]).
 
 use crate::error::Position;
+use crate::intern::{Interner, Sym};
 
-/// An attribute as it appears in a start tag, value already unescaped.
+/// An attribute as it appears in a start tag: interned name, value
+/// already unescaped. The wire form inside [`Token::StartTag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymAttribute {
+    /// Attribute name, interned in the producing lexer's table.
+    pub name: Sym,
+    /// Unescaped attribute value.
+    pub value: String,
+}
+
+impl SymAttribute {
+    /// Resolves into the owned-name compat form.
+    pub fn resolve(&self, interner: &Interner) -> TokenAttribute {
+        TokenAttribute {
+            name: interner.resolve(self.name).to_string(),
+            value: self.value.clone(),
+        }
+    }
+}
+
+/// An attribute with an owned (resolved) name — the compat form used at
+/// API boundaries that outlive the producing interner (e.g. the
+/// streaming reader's root-start event).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TokenAttribute {
     /// Attribute name.
@@ -26,17 +59,17 @@ pub enum Token {
     },
     /// `<name attr="v" ...>` or `<name ... />`.
     StartTag {
-        /// Element name.
-        name: String,
+        /// Element name, interned.
+        name: Sym,
         /// Attributes in document order.
-        attributes: Vec<TokenAttribute>,
+        attributes: Vec<SymAttribute>,
         /// Whether the tag was self-closing (`/>`).
         self_closing: bool,
     },
     /// `</name>`.
     EndTag {
-        /// Element name.
-        name: String,
+        /// Element name, interned.
+        name: Sym,
     },
     /// Character data between tags, unescaped. Adjacent text/CDATA runs
     /// are *not* merged by the lexer; the parser merges them.

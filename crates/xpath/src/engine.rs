@@ -434,6 +434,23 @@ mod tests {
     }
 
     #[test]
+    fn descendant_queries_work_from_detached_contexts() {
+        // Detached subtrees are absent from the name index; descendant
+        // name steps must fall back to traversal, matching child steps.
+        let mut doc = db1();
+        let root = doc.root_element().unwrap();
+        let book1 = doc.child_elements_named(root, "book").next().unwrap();
+        let copy = doc.clone_subtree(book1).unwrap();
+        for q in [".//title", "descendant-or-self::title", "title"] {
+            let got = Query::compile(q)
+                .unwrap()
+                .select_from(&doc, NodeRef::Node(copy));
+            assert_eq!(got.len(), 1, "query {q} on detached context");
+            assert_eq!(got[0].string_value(&doc), "Readings in Database Systems");
+        }
+    }
+
+    #[test]
     fn duplicate_elimination_in_paths() {
         // `..` from both children must yield the parent once.
         let doc = db1();

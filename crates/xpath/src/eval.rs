@@ -1,16 +1,24 @@
 //! Expression and path evaluation over a [`Document`].
+//!
+//! Name tests are bound to the document's interned symbols at
+//! evaluation time: one symbol-table lookup per step, then integer
+//! compares per candidate. Descendant name steps (the `//name`
+//! shorthand and explicit `descendant-or-self::` steps with a name
+//! test) are answered from the document's cached
+//! [`NameIndex`](wmx_xml::NameIndex) instead of re-traversing the tree,
+//! and document-order sorting uses the same cached index — so repeated
+//! query evaluation over an immutable document (the detection hot path)
+//! pays one traversal total instead of one per query.
 
 use crate::ast::{Axis, BinaryOp, Expr, NodeTest, PathExpr, Step};
 use crate::error::XPathError;
 use crate::value::{format_number, parse_number, NodeRef, Value};
-use std::collections::{HashMap, HashSet};
-use wmx_xml::{Document, NodeId, NodeKind};
+use std::collections::HashSet;
+use wmx_xml::{Document, NodeId, NodeKind, Sym};
 
 /// Evaluation engine bound to one document.
 pub struct Evaluator<'d> {
     doc: &'d Document,
-    /// Document-order index, built lazily on the first sort.
-    order: std::cell::OnceCell<HashMap<NodeId, usize>>,
 }
 
 /// Evaluation context: the context node plus its position/size within the
@@ -39,21 +47,13 @@ impl Context {
 impl<'d> Evaluator<'d> {
     /// Creates an evaluator for `doc`.
     pub fn new(doc: &'d Document) -> Self {
-        Evaluator {
-            doc,
-            order: std::cell::OnceCell::new(),
-        }
+        Evaluator { doc }
     }
 
     fn order_of(&self, id: NodeId) -> usize {
-        let map = self.order.get_or_init(|| {
-            self.doc
-                .descendants(self.doc.document_node())
-                .enumerate()
-                .map(|(i, n)| (n, i))
-                .collect()
-        });
-        map.get(&id).copied().unwrap_or(usize::MAX)
+        // The document caches its order index across evaluations; only
+        // detached nodes (never produced by path steps) miss.
+        self.doc.name_index().order_of(id).unwrap_or(usize::MAX)
     }
 
     fn sort_key(&self, node: &NodeRef) -> (usize, u8, usize) {
@@ -64,7 +64,7 @@ impl<'d> Evaluator<'d> {
                     .doc
                     .attributes(*element)
                     .iter()
-                    .position(|a| &a.name == name)
+                    .position(|a| self.doc.attr_name(a) == name)
                     .unwrap_or(usize::MAX);
                 (self.order_of(*element), 1, idx)
             }
@@ -90,7 +90,48 @@ impl<'d> Evaluator<'d> {
         } else {
             vec![start.clone()]
         };
-        for step in &path.steps {
+        let mut i = 0;
+        while i < path.steps.len() {
+            let step = &path.steps[i];
+            // Fused `//name`: a bare descendant-or-self::node() step
+            // followed by a predicate-free child::name selects exactly
+            // the proper descendants of the context named `name` —
+            // answered from the document's name index instead of
+            // materializing every node of the subtree. Positional
+            // predicates are per-parent in XPath, so a predicated child
+            // step takes the unfused path.
+            if let Some(named) = path.steps.get(i + 1) {
+                if step.axis == Axis::DescendantOrSelf
+                    && step.test == NodeTest::AnyNode
+                    && step.predicates.is_empty()
+                    && named.axis == Axis::Child
+                    && named.predicates.is_empty()
+                {
+                    if let NodeTest::Name(n) = &named.test {
+                        let single_ctx = current.len() == 1;
+                        let mut next: Vec<NodeRef> = Vec::new();
+                        if let Some(sym) = self.doc.lookup_sym(n) {
+                            for ctx in &current {
+                                next.extend(self.descendants_named(ctx, sym));
+                            }
+                        }
+                        // One context (the common absolute `//name`)
+                        // yields an already unique, document-ordered
+                        // list straight from the index — skip the
+                        // dedup/sort pass.
+                        current = if single_ctx {
+                            next
+                        } else {
+                            self.document_order(next)
+                        };
+                        if current.is_empty() {
+                            break;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
             let mut next: Vec<NodeRef> = Vec::new();
             for ctx in &current {
                 let candidates = self.axis_candidates(ctx, step);
@@ -101,30 +142,108 @@ impl<'d> Evaluator<'d> {
             if current.is_empty() {
                 break;
             }
+            i += 1;
         }
         Ok(current)
+    }
+
+    /// Proper descendants of `ctx` that are elements named `sym`, in
+    /// document order — the expansion of `ctx//name`. From the document
+    /// node the index list is returned whole; from any other attached
+    /// node the list is filtered by an ancestor walk (index lists are
+    /// per-name, so this touches only same-named elements, not the
+    /// whole subtree). Detached contexts are absent from the index and
+    /// fall back to a subtree traversal.
+    fn descendants_named(&self, ctx: &NodeRef, sym: Sym) -> Vec<NodeRef> {
+        let NodeRef::Node(ctx_id) = ctx else {
+            return Vec::new(); // attributes have no element descendants
+        };
+        if *ctx_id == self.doc.document_node() {
+            let named = self.doc.name_index().elements_named(sym);
+            return named.iter().copied().map(NodeRef::Node).collect();
+        }
+        if !self.doc.is_attached(*ctx_id) {
+            return self
+                .doc
+                .descendants(*ctx_id)
+                .filter(|&n| n != *ctx_id && self.doc.name_sym(n) == Some(sym))
+                .map(NodeRef::Node)
+                .collect();
+        }
+        self.doc
+            .name_index()
+            .elements_named(sym)
+            .iter()
+            .copied()
+            .filter(|&n| self.is_proper_ancestor(*ctx_id, n))
+            .map(NodeRef::Node)
+            .collect()
+    }
+
+    /// Whether `ancestor` lies strictly above `node`.
+    fn is_proper_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cursor = self.doc.parent(node);
+        while let Some(p) = cursor {
+            if p == ancestor {
+                return true;
+            }
+            cursor = self.doc.parent(p);
+        }
+        false
     }
 
     fn axis_candidates(&self, ctx: &NodeRef, step: &Step) -> Vec<NodeRef> {
         match step.axis {
             Axis::Child => match ctx {
-                NodeRef::Node(id) => self
-                    .doc
-                    .children(*id)
-                    .iter()
-                    .copied()
-                    .filter(|&c| self.node_test_matches(c, &step.test))
-                    .map(NodeRef::Node)
-                    .collect(),
+                NodeRef::Node(id) => match &step.test {
+                    // Name tests compare interned symbols: one table
+                    // lookup, then integer compares per child.
+                    NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                        Some(sym) => self
+                            .doc
+                            .children(*id)
+                            .iter()
+                            .copied()
+                            .filter(|&c| self.doc.name_sym(c) == Some(sym))
+                            .map(NodeRef::Node)
+                            .collect(),
+                        None => Vec::new(),
+                    },
+                    test => self
+                        .doc
+                        .children(*id)
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.node_test_matches(c, test))
+                        .map(NodeRef::Node)
+                        .collect(),
+                },
                 NodeRef::Attribute { .. } => Vec::new(),
             },
             Axis::DescendantOrSelf => match ctx {
-                NodeRef::Node(id) => self
-                    .doc
-                    .descendants(*id)
-                    .filter(|&n| self.node_test_matches(n, &step.test))
-                    .map(NodeRef::Node)
-                    .collect(),
+                NodeRef::Node(id) => match &step.test {
+                    // An explicit descendant name step: answer from the
+                    // index (self is included iff it carries the name,
+                    // which descendants_named's ancestor filter misses,
+                    // so check it separately).
+                    NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                        Some(sym) => {
+                            let mut out = Vec::new();
+                            if self.doc.name_sym(*id) == Some(sym) {
+                                out.push(NodeRef::Node(*id));
+                            }
+                            out.extend(self.descendants_named(ctx, sym));
+                            out
+                        }
+                        None => Vec::new(),
+                    },
+                    test => self
+                        .doc
+                        .descendants(*id)
+                        .filter(|&n| self.node_test_matches(n, test))
+                        .map(NodeRef::Node)
+                        .collect(),
+                },
                 NodeRef::Attribute { .. } => Vec::new(),
             },
             Axis::SelfAxis => match ctx {
@@ -145,20 +264,25 @@ impl<'d> Evaluator<'d> {
                     .unwrap_or_default()
             }
             Axis::Attribute => match ctx {
-                NodeRef::Node(id) if self.doc.is_element(*id) => self
-                    .doc
-                    .attributes(*id)
-                    .iter()
-                    .filter(|a| match &step.test {
-                        NodeTest::Name(n) => &a.name == n,
-                        NodeTest::Wildcard | NodeTest::AnyNode => true,
-                        NodeTest::Text => false,
-                    })
-                    .map(|a| NodeRef::Attribute {
-                        element: *id,
-                        name: a.name.clone(),
-                    })
-                    .collect(),
+                NodeRef::Node(id) if self.doc.is_element(*id) => {
+                    let name_sym = match &step.test {
+                        NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                            Some(sym) => Some(sym),
+                            None => return Vec::new(),
+                        },
+                        NodeTest::Wildcard | NodeTest::AnyNode => None,
+                        NodeTest::Text => return Vec::new(),
+                    };
+                    self.doc
+                        .attributes(*id)
+                        .iter()
+                        .filter(|a| name_sym.is_none_or(|sym| a.name == sym))
+                        .map(|a| NodeRef::Attribute {
+                            element: *id,
+                            name: self.doc.attr_name(a).to_string(),
+                        })
+                        .collect()
+                }
                 _ => Vec::new(),
             },
         }
@@ -166,7 +290,10 @@ impl<'d> Evaluator<'d> {
 
     fn node_test_matches(&self, node: NodeId, test: &NodeTest) -> bool {
         match test {
-            NodeTest::Name(n) => self.doc.name(node) == Some(n.as_str()),
+            NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                Some(sym) => self.doc.name_sym(node) == Some(sym),
+                None => false,
+            },
             NodeTest::Wildcard => self.doc.is_element(node),
             NodeTest::Text => matches!(self.doc.kind(node), NodeKind::Text(_) | NodeKind::CData(_)),
             NodeTest::AnyNode => true,

@@ -1,0 +1,205 @@
+//! Interned-DOM equivalence suite: the symbol/index refactor must be
+//! observationally invisible.
+//!
+//! * Serialization is byte-identical across a parse→serialize round trip
+//!   on every generated corpus (publications, jobs, library) and on
+//!   adversarial documents — interning changes how names are *stored*,
+//!   never what is *emitted*.
+//! * Cross-document copies (`import_subtree`, `compact`) re-intern names
+//!   and serialize identically.
+//! * The name index agrees with brute-force traversal on every corpus,
+//!   before and after embedding (which mutates values and sibling
+//!   order), and indexed XPath evaluation returns what a scan returns.
+
+use wmx_core::{embed, Watermark};
+use wmx_crypto::SecretKey;
+use wmx_data::{jobs, library, publications, Dataset};
+use wmx_xml::{parse, to_canonical_string, to_string, Document};
+use wmx_xpath::Query;
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        publications::generate(&publications::PublicationsConfig {
+            records: 180,
+            editors: 7,
+            seed: 71,
+            gamma: 3,
+        }),
+        jobs::generate(&jobs::JobsConfig {
+            records: 180,
+            companies: 6,
+            seed: 72,
+            gamma: 3,
+        }),
+        library::generate(&library::LibraryConfig {
+            records: 90,
+            image_size: 12,
+            seed: 73,
+            gamma: 2,
+        }),
+    ]
+}
+
+const ADVERSARIAL: &[&str] = &[
+    "<db><r a=\"1\" b=\"2\"><x>1 &lt; 2 &amp; 3</x></r><r/></db>",
+    "<db><![CDATA[if (a<b && c>d) {}]]><r>mixed<b>bold</b>tail</r></db>",
+    "<?xml version=\"1.0\"?><!DOCTYPE db><!-- head --><db><?app run?><r/></db><!-- tail -->",
+    "<a><b><c><d><e deep=\"yes\"><f/></e></d></c></b></a>",
+    "<db><r k=\"say &quot;hi&quot;\">t&#9;ab</r><r k=\"x\"/></db>",
+];
+
+/// Every corpus document serializes to the same bytes after a round
+/// trip through the interned DOM (parse ∘ serialize is a fixpoint), and
+/// canonical forms are stable.
+#[test]
+fn corpora_serialize_byte_identically() {
+    for dataset in datasets() {
+        let original = to_string(&dataset.doc);
+        let reparsed = parse(&original).expect("corpus reparses");
+        assert_eq!(
+            to_string(&reparsed),
+            original,
+            "byte drift on corpus {}",
+            dataset.name
+        );
+        assert_eq!(
+            to_canonical_string(&reparsed),
+            to_canonical_string(&dataset.doc),
+            "canonical drift on corpus {}",
+            dataset.name
+        );
+    }
+}
+
+#[test]
+fn adversarial_documents_serialize_byte_identically() {
+    for input in ADVERSARIAL {
+        let doc = parse(input).expect("adversarial doc parses");
+        let once = to_string(&doc);
+        let twice = to_string(&parse(&once).expect("serialized form reparses"));
+        assert_eq!(once, twice, "fixpoint drift on {input}");
+    }
+}
+
+/// Embedding (value rewrites + sibling swaps) over the interned DOM
+/// serializes identically to a reparse of its own output — mutation and
+/// index invalidation never corrupt emitted bytes.
+#[test]
+fn marked_corpora_serialize_byte_identically() {
+    for dataset in datasets() {
+        let mut marked = dataset.doc.clone();
+        embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &SecretKey::from_passphrase("intern-eq"),
+            &Watermark::from_message("© intern", 24),
+        )
+        .expect("embed succeeds");
+        let bytes = to_string(&marked);
+        let reparsed = parse(&bytes).expect("marked doc reparses");
+        assert_eq!(
+            to_string(&reparsed),
+            bytes,
+            "marked byte drift on corpus {}",
+            dataset.name
+        );
+    }
+}
+
+/// `import_subtree` and `compact` re-intern symbols; the copies must
+/// serialize exactly like the originals.
+#[test]
+fn cross_document_copies_preserve_bytes() {
+    for input in ADVERSARIAL {
+        let source = parse(input).expect("parses");
+        let root = source.root_element().expect("has a root");
+        // Import the root into a fresh document with a different
+        // pre-existing symbol population.
+        let mut dest = Document::new();
+        for decoy in ["zzz", "yyy", "r", "db"] {
+            dest.intern(decoy);
+        }
+        let copied = dest.import_subtree(&source, root).expect("import fits");
+        let doc_node = dest.document_node();
+        dest.append_child(doc_node, copied);
+        assert_eq!(
+            to_canonical_string(&dest),
+            to_canonical_string(&source),
+            "import drift on {input}"
+        );
+        // Compaction rebuilds the interner from scratch.
+        assert_eq!(to_string(&source.compact()), to_string(&source));
+    }
+}
+
+/// The name index agrees with brute-force traversal on real corpora,
+/// before and after watermark embedding.
+#[test]
+fn name_index_matches_traversal_on_corpora() {
+    for dataset in datasets() {
+        let mut doc = dataset.doc.clone();
+        check_index(&doc, &dataset.name);
+        embed(
+            &mut doc,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &SecretKey::from_passphrase("intern-eq"),
+            &Watermark::from_message("© intern", 24),
+        )
+        .expect("embed succeeds");
+        check_index(&doc, &dataset.name);
+    }
+}
+
+fn check_index(doc: &Document, corpus: &str) {
+    use std::collections::BTreeMap;
+    let mut by_name: BTreeMap<String, Vec<wmx_xml::NodeId>> = BTreeMap::new();
+    for node in doc.descendant_elements(doc.document_node()) {
+        by_name
+            .entry(doc.name(node).expect("element has a name").to_string())
+            .or_default()
+            .push(node);
+    }
+    for (name, expected) in &by_name {
+        assert_eq!(
+            doc.elements_named(name),
+            expected.as_slice(),
+            "index mismatch for <{name}> on corpus {corpus}"
+        );
+    }
+}
+
+/// Indexed descendant steps return exactly what an unindexed scan
+/// returns, including from nested contexts.
+#[test]
+fn indexed_descendant_queries_match_scan() {
+    for dataset in datasets() {
+        let doc = &dataset.doc;
+        let root = doc.root_element().expect("corpus has a root");
+        // Collect the distinct element names below the root.
+        let mut names: Vec<String> = doc
+            .descendant_elements(root)
+            .filter_map(|n| doc.name(n).map(str::to_string))
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let indexed = Query::compile(&format!("//{name}"))
+                .expect("query compiles")
+                .select(doc);
+            let scanned: Vec<wmx_xpath::NodeRef> = doc
+                .descendant_elements(doc.document_node())
+                .filter(|&n| doc.name(n) == Some(name.as_str()) && doc.parent(n).is_some())
+                .map(wmx_xpath::NodeRef::Node)
+                .collect();
+            assert_eq!(
+                indexed, scanned,
+                "//{name} mismatch on corpus {}",
+                dataset.name
+            );
+        }
+    }
+}
