@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wmx_bench::workloads::marked_publications;
-use wmx_core::{detect, embed, enumerate_units, DetectionInput};
+use wmx_core::{detect, embed, enumerate_units, DetectionInput, SelectionTable};
 use wmx_data::publications::{generate, PublicationsConfig};
 
 fn bench_enumerate(c: &mut Criterion) {
@@ -14,6 +14,7 @@ fn bench_enumerate(c: &mut Criterion) {
         seed: 1,
         gamma: 3,
     });
+    let table = SelectionTable::build(&dataset.config, &dataset.fds);
     c.bench_function("enumerate_units_500rec", |b| {
         b.iter(|| {
             enumerate_units(
@@ -21,6 +22,7 @@ fn bench_enumerate(c: &mut Criterion) {
                 &dataset.binding,
                 &dataset.fds,
                 &dataset.config,
+                &table,
             )
             .expect("enumerates")
         });

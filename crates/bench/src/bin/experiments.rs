@@ -247,7 +247,8 @@ fn e1_capacity_and_imperceptibility() {
         });
         // WmXML units over year only (to compare like with like).
         let cfg = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
-        let units = wmx_core::enumerate_units(&dataset.doc, &dataset.binding, &[], &cfg)
+        let table = wmx_core::SelectionTable::build(&cfg, &[]);
+        let units = wmx_core::enumerate_units(&dataset.doc, &dataset.binding, &[], &cfg, &table)
             .expect("enumerate")
             .len();
         let mut scratch = dataset.doc.clone();

@@ -57,12 +57,16 @@ pub const E2_ALPHAS: [f64; 3] = [0.10, 0.30, 0.50];
 pub const E3_KEEPS: [f64; 3] = [0.80, 0.40, 0.10];
 
 /// The throughput entry points every suite measures. Besides the six
-/// pipeline entry points, the suite pins the three substrate stages the
-/// interned-DOM refactor targets: `parse` (text → DOM), `serialize`
-/// (DOM → text), and `query_eval` (the safeguarded identity-query set
-/// re-evaluated against the marked document — the detection hot path in
-/// isolation; its `records_per_s` reads as queries/s).
-pub const THROUGHPUT_NAMES: [&str; 9] = [
+/// pipeline entry points, the suite pins the substrate stages the
+/// interned-DOM and symbol-native refactors target: `parse`
+/// (text → DOM), `serialize` (DOM → text), `query_eval` (the
+/// safeguarded identity-query set re-evaluated against the marked
+/// document — the detection hot path in isolation; its `records_per_s`
+/// reads as queries/s), and `unit_select` (unit enumeration + keyed
+/// PRF selection over every unit, no marking — the `UnitKey` layer in
+/// isolation; its `records_per_s` reads as units/s). `stream_detect`'s
+/// `records_per_s` doubles as the streaming per-record detect gauge.
+pub const THROUGHPUT_NAMES: [&str; 10] = [
     "embed",
     "detect",
     "stream_embed",
@@ -72,6 +76,7 @@ pub const THROUGHPUT_NAMES: [&str; 9] = [
     "parse",
     "serialize",
     "query_eval",
+    "unit_select",
 ];
 
 /// Grid-point names in emission order.
@@ -299,6 +304,40 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
         assert!(located > 0, "identity queries must locate nodes");
     });
     throughput.push(ThroughputStat::from_measurement("query_eval", &m));
+
+    // Symbol-native unit selection in isolation: enumerate every
+    // markable unit and run the keyed PRF selection over its compact
+    // key — the shared front half of embed and streaming detect.
+    // records_per_iter is the unit count, so `records_per_s` reads as
+    // units selected per second.
+    let table = wmx_core::SelectionTable::build(&w.dataset.config, &w.dataset.fds);
+    let unit_count = wmx_core::enumerate_units(
+        &w.marked,
+        &w.dataset.binding,
+        &w.dataset.fds,
+        &w.dataset.config,
+        &table,
+    )
+    .expect("suite enumerates")
+    .len() as u64;
+    assert!(unit_count > 0, "suite workload has units");
+    let marker = wmx_core::UnitMarker::new(w.key.clone());
+    let m = Measurement::run(&mcfg, input_bytes, unit_count, || {
+        let units = wmx_core::enumerate_units(
+            &w.marked,
+            &w.dataset.binding,
+            &w.dataset.fds,
+            &w.dataset.config,
+            &table,
+        )
+        .expect("suite enumerates");
+        let selected = units
+            .iter()
+            .filter(|u| marker.is_selected(&u.key.id(&table), w.dataset.config.gamma))
+            .count();
+        assert!(selected > 0, "selection must pick units at gamma");
+    });
+    throughput.push(ThroughputStat::from_measurement("unit_select", &m));
 
     BenchReport {
         schema_version: SCHEMA_VERSION,

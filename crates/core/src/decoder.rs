@@ -15,7 +15,7 @@ use crate::wm::Watermark;
 use wmx_crypto::SecretKey;
 use wmx_rewrite::{rewrite::rewrite_through, SchemaMapping};
 use wmx_xml::Document;
-use wmx_xpath::Query;
+use wmx_xpath::{Evaluator, Query};
 
 /// Detection parameters.
 #[derive(Debug, Clone)]
@@ -131,6 +131,11 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     let mut located_queries = 0usize;
     let mut unrewritable = 0usize;
     let mut votes_cast = 0usize;
+    // One evaluator for the whole query set: name→symbol resolutions
+    // are memoized across queries (identity queries share a small
+    // vocabulary), so each name is resolved once per detection run
+    // instead of once per candidate node per query.
+    let evaluator = Evaluator::new(doc);
 
     for stored in input.queries {
         let query = match resolve_query(stored, input.mapping) {
@@ -140,7 +145,7 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
                 continue;
             }
         };
-        let nodes = query.select(doc);
+        let nodes = query.select_with(&evaluator);
         if nodes.is_empty() {
             continue;
         }

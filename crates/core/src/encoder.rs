@@ -1,7 +1,7 @@
 //! Watermark insertion (§2.2 step 2).
 
 use crate::config::EncoderConfig;
-use crate::identifier::{enumerate_units, MarkKind};
+use crate::identifier::{enumerate_units, MarkKind, SelectionTable};
 use crate::nodectx::{DomNodesMut, UnitMarker};
 use crate::wm::Watermark;
 use crate::WmError;
@@ -69,7 +69,8 @@ pub fn embed(
     if watermark.is_empty() {
         return Err(WmError::new("watermark must have at least one bit"));
     }
-    let units = enumerate_units(doc, binding, fds, config)?;
+    let table = SelectionTable::build(config, fds);
+    let units = enumerate_units(doc, binding, fds, config, &table)?;
     let marker = UnitMarker::new(key.clone());
 
     let mut report = EmbedReport {
@@ -81,7 +82,9 @@ pub fn embed(
     };
 
     for unit in units {
-        if !marker.is_selected(&unit.unit_id, config.gamma) {
+        // Selection feeds the compact key straight into the PRF — no
+        // unit-id string is built for the ~(γ−1)/γ unselected units.
+        if !marker.is_selected(&unit.key.id(&table), config.gamma) {
             continue;
         }
         report.selected_units += 1;
@@ -89,7 +92,7 @@ pub fn embed(
         // streaming engine); this path feeds it the DOM-backed context.
         let marked_nodes = marker.mark_unit(
             &mut DomNodesMut::new(doc, &unit.nodes),
-            &unit.unit_id,
+            &unit.key.id(&table),
             unit.mark,
             watermark,
         )?;
@@ -98,10 +101,13 @@ pub fn embed(
         }
         report.marked_units += 1;
         report.marked_nodes += marked_nodes;
+        // Only marked units pay for query construction and the textual
+        // unit id (the persisted safeguard format is unchanged).
+        let (query, logical) = unit.query_and_logical(&table, binding, fds)?;
         report.queries.push(StoredQuery {
-            unit_id: unit.unit_id.clone(),
-            xpath: unit.query.to_string(),
-            logical: unit.logical.clone(),
+            unit_id: unit.key.display(&table),
+            xpath: query.to_string(),
+            logical,
             mark: unit.mark,
         });
     }

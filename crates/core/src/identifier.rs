@@ -1,5 +1,6 @@
 //! Identifier creation (§2.3): enumerating markable units and building
-//! their identity queries from keys and functional dependencies.
+//! their identity keys and queries from keys and functional
+//! dependencies.
 //!
 //! The three criteria of §2.3, and how this module meets them:
 //!
@@ -15,44 +16,216 @@
 //!    the same key/attribute accesses the usability templates use, so an
 //!    attack cannot disable the identifiers without breaking the
 //!    templates themselves.
+//!
+//! # Symbol-native unit identity
+//!
+//! A unit's identity used to be a `format!`-built `String` — one
+//! allocation per unit on the hottest loop of both engines, hashed
+//! again every time it keyed a set. It is now a compact [`UnitKey`]:
+//! the entity/attribute/FD names are interned [`Sym`]s in a
+//! [`SelectionTable`] (built once per run from the configuration, so
+//! symbol ids agree across records, chunks, and worker threads), and
+//! only the document-derived key value / determinant tuple is owned
+//! bytes. The keyed PRF consumes the key **incrementally**
+//! ([`UnitKey::id`] feeds the exact byte sequence of the old textual
+//! id), so selection, bit assignment, whitening, and nonces are
+//! bit-for-bit identical to the string path — `UnitKey::display`
+//! lazily renders that same text for reports and persisted query files.
 
 use crate::config::EncoderConfig;
 use crate::WmError;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use wmx_crypto::{HmacSha256, PrfInput};
 use wmx_rewrite::{LogicalQuery, SchemaBinding};
-use wmx_schema::{discover_groups, DataType, Fd};
-use wmx_xml::Document;
+use wmx_schema::{discover_groups_with, DataType, Fd};
+use wmx_xml::{Document, Interner, Sym};
 use wmx_xpath::ast::Expr;
-use wmx_xpath::{NodeRef, Query};
+use wmx_xpath::{Evaluator, NodeRef, Query};
 
-/// What kind of unit this is.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum UnitKind {
+/// What kind of unit a [`UnitKey`] identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnitTag {
     /// An entity-attribute value identified by the entity key.
-    KeyAttr {
-        /// Logical entity.
-        entity: String,
-        /// The instance's key value.
-        key_value: String,
-        /// The marked logical attribute.
-        attr: String,
-    },
-    /// An FD-redundancy group identified by the determinant tuple.
-    FdGroup {
-        /// FD name.
-        fd_name: String,
-        /// Determinant tuple.
-        lhs: Vec<String>,
-    },
+    KeyAttr,
     /// A structure unit: the sibling order of a multi-valued attribute.
-    SiblingOrder {
-        /// Logical entity.
-        entity: String,
-        /// The instance's key value.
+    SiblingOrder,
+    /// An FD-redundancy group identified by the determinant tuple.
+    FdGroup,
+}
+
+/// Interned names of the selection vocabulary: every entity, markable
+/// attribute, structural attribute, and FD name of one configuration.
+///
+/// Built deterministically (configuration order) so two tables built
+/// from the same configuration assign identical symbols — that is what
+/// lets the streaming engine compare and merge [`UnitKey`]s across
+/// records, chunks, and worker threads without ever rendering them.
+#[derive(Debug, Clone)]
+pub struct SelectionTable {
+    names: Interner,
+}
+
+impl SelectionTable {
+    /// Builds the table for one configuration + FD set.
+    pub fn build(config: &EncoderConfig, fds: &[Fd]) -> Self {
+        let mut names = Interner::new();
+        for s in &config.structural {
+            names.intern(&s.entity);
+            names.intern(&s.attr);
+        }
+        for m in &config.markable {
+            names.intern(&m.entity);
+            names.intern(&m.attr);
+        }
+        for fd in fds {
+            names.intern(&fd.name);
+        }
+        SelectionTable { names }
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.names.resolve(sym)
+    }
+
+    fn lookup(&self, name: &str) -> Sym {
+        self.names
+            .lookup(name)
+            .expect("selection vocabulary interned at build")
+    }
+}
+
+/// The compact identity of one markable unit: interned names plus the
+/// document-derived key bytes. `Eq`/`Ord`/`Hash` are cheap (two `u32`s
+/// and the value bytes), which is what FD-group sets and cross-chunk
+/// vote merging key on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnitKey {
+    /// Unit flavour (drives the id prefix and the mark family).
+    pub tag: UnitTag,
+    /// Entity name ([`UnitTag::KeyAttr`]/[`UnitTag::SiblingOrder`]) or
+    /// FD name ([`UnitTag::FdGroup`]), interned in the run's
+    /// [`SelectionTable`].
+    pub name: Sym,
+    /// The marked logical attribute (`None` for FD groups).
+    pub attr: Option<Sym>,
+    /// Key value (single element) or FD determinant tuple.
+    pub values: Box<[Box<str>]>,
+}
+
+/// ASCII unit separator: joins determinant tuples exactly like the
+/// legacy string ids did (`RedundancyGroup::unit_id`).
+const LHS_SEPARATOR: &str = "\u{1f}";
+
+impl UnitKey {
+    fn key_attr(table: &SelectionTable, entity: &str, key_value: String, attr: &str) -> UnitKey {
+        UnitKey {
+            tag: UnitTag::KeyAttr,
+            name: table.lookup(entity),
+            attr: Some(table.lookup(attr)),
+            values: Box::new([key_value.into()]),
+        }
+    }
+
+    fn sibling_order(
+        table: &SelectionTable,
+        entity: &str,
         key_value: String,
-        /// The multi-valued logical attribute.
-        attr: String,
-    },
+        attr: &str,
+    ) -> UnitKey {
+        UnitKey {
+            tag: UnitTag::SiblingOrder,
+            name: table.lookup(entity),
+            attr: Some(table.lookup(attr)),
+            values: Box::new([key_value.into()]),
+        }
+    }
+
+    fn fd_group(table: &SelectionTable, fd_name: &str, lhs: Vec<String>) -> UnitKey {
+        UnitKey {
+            tag: UnitTag::FdGroup,
+            name: table.lookup(fd_name),
+            attr: None,
+            values: lhs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The PRF input view of this key: feeds the byte sequence of
+    /// [`UnitKey::display`] into the MAC without materializing it.
+    pub fn id<'a>(&'a self, table: &'a SelectionTable) -> UnitId<'a> {
+        UnitId { key: self, table }
+    }
+
+    /// Renders the textual unit id (`key:…`, `ord:…`, `fd:…`) — the
+    /// form persisted in safeguarded query files and shown in reports.
+    /// Byte-for-byte equal to what [`UnitKey::id`] feeds the PRF.
+    pub fn display(&self, table: &SelectionTable) -> String {
+        match self.tag {
+            UnitTag::KeyAttr => format!(
+                "key:{}|{}|attr={}",
+                table.resolve(self.name),
+                self.values[0],
+                table.resolve(self.attr.expect("key units carry an attr")),
+            ),
+            UnitTag::SiblingOrder => format!(
+                "ord:{}|{}|attr={}",
+                table.resolve(self.name),
+                self.values[0],
+                table.resolve(self.attr.expect("order units carry an attr")),
+            ),
+            UnitTag::FdGroup => format!(
+                "fd:{}|lhs={}",
+                table.resolve(self.name),
+                self.values.join(LHS_SEPARATOR),
+            ),
+        }
+    }
+}
+
+/// Borrowed PRF-input view of a [`UnitKey`] (see [`UnitKey::id`]).
+#[derive(Clone, Copy)]
+pub struct UnitId<'a> {
+    key: &'a UnitKey,
+    table: &'a SelectionTable,
+}
+
+impl PrfInput for UnitId<'_> {
+    fn feed(&self, mac: &mut HmacSha256) {
+        let table = self.table;
+        let key = self.key;
+        match key.tag {
+            UnitTag::KeyAttr | UnitTag::SiblingOrder => {
+                mac.update(if key.tag == UnitTag::KeyAttr {
+                    b"key:"
+                } else {
+                    b"ord:"
+                });
+                mac.update(table.resolve(key.name).as_bytes());
+                mac.update(b"|");
+                mac.update(key.values[0].as_bytes());
+                mac.update(b"|attr=");
+                mac.update(
+                    table
+                        .resolve(key.attr.expect("value units carry an attr"))
+                        .as_bytes(),
+                );
+            }
+            UnitTag::FdGroup => {
+                mac.update(b"fd:");
+                mac.update(table.resolve(key.name).as_bytes());
+                mac.update(b"|lhs=");
+                for (i, value) in key.values.iter().enumerate() {
+                    if i > 0 {
+                        mac.update(LHS_SEPARATOR.as_bytes());
+                    }
+                    mac.update(value.as_bytes());
+                }
+            }
+        }
+    }
 }
 
 /// How the unit physically carries its bit.
@@ -65,27 +238,59 @@ pub enum MarkKind {
     SiblingOrder,
 }
 
-/// One markable unit: a stable identity, the nodes currently holding the
-/// value, and the identity query that will re-locate them at detection.
+/// One markable unit: a compact stable identity and the nodes currently
+/// holding the value. The identity query is **not** pre-built — only
+/// marked units need one (≈ 1/γ of enumerated units), so callers build
+/// it on demand through [`MarkUnit::query_and_logical`].
 #[derive(Debug, Clone)]
 pub struct MarkUnit {
-    /// Stable unit id (input to the keyed PRF).
-    pub unit_id: String,
-    /// Unit kind.
-    pub kind: UnitKind,
+    /// Stable unit identity (input to the keyed PRF).
+    pub key: UnitKey,
     /// Value nodes (≥ 1; > 1 for FD groups and multi-valued attributes).
     pub nodes: Vec<NodeRef>,
     /// How the bit is carried (value plug-in vs sibling order).
     pub mark: MarkKind,
-    /// Concrete identity query (under the embedding-time binding).
-    pub query: Query,
-    /// Logical form, when the unit is key-identified (enables automated
-    /// rewriting after re-organization).
-    pub logical: Option<LogicalQuery>,
+}
+
+impl MarkUnit {
+    /// Builds the unit's identity query (and logical form, when the
+    /// unit is key-identified) under `binding`/`fds`. Deferred from
+    /// enumeration so the ~(γ−1)/γ unselected units never pay query
+    /// construction.
+    pub fn query_and_logical(
+        &self,
+        table: &SelectionTable,
+        binding: &SchemaBinding,
+        fds: &[Fd],
+    ) -> Result<(Query, Option<LogicalQuery>), WmError> {
+        match self.key.tag {
+            UnitTag::KeyAttr | UnitTag::SiblingOrder => {
+                let logical = LogicalQuery::new(
+                    table.resolve(self.key.name),
+                    &self.key.values[0],
+                    table.resolve(self.key.attr.expect("value units carry an attr")),
+                );
+                let query = logical.compile(binding)?;
+                Ok((query, Some(logical)))
+            }
+            UnitTag::FdGroup => {
+                let fd_name = table.resolve(self.key.name);
+                let fd = fds
+                    .iter()
+                    .find(|f| f.name == fd_name)
+                    .ok_or_else(|| WmError::new(format!("unknown fd {fd_name:?}")))?;
+                let query = fd_group_query(fd, &self.key.values)?;
+                Ok((query, None))
+            }
+        }
+    }
 }
 
 /// Enumerates all markable units of `doc` under `binding`, honouring
-/// `config` (markable attributes, FD-group switch) and `fds`.
+/// `config` (markable attributes, FD-group switch) and `fds`. `table`
+/// must be built from the same `config`/`fds`
+/// ([`SelectionTable::build`]); the streaming engine builds it once and
+/// reuses it for every record.
 ///
 /// # Errors
 /// Fails if a markable attribute is an entity key (keys identify units
@@ -95,12 +300,23 @@ pub fn enumerate_units(
     binding: &SchemaBinding,
     fds: &[Fd],
     config: &EncoderConfig,
+    table: &SelectionTable,
 ) -> Result<Vec<MarkUnit>, WmError> {
     let mut units = Vec::new();
     let mut fd_covered: HashSet<NodeRef> = HashSet::new();
+    // One evaluator for the whole enumeration: every per-instance
+    // key/attribute access shares its memoized symbol resolutions.
+    let evaluator = Evaluator::new(doc);
 
     if config.use_fd_groups {
-        units.extend(fd_group_units(doc, binding, fds, config, &mut fd_covered)?);
+        units.extend(fd_group_units(
+            &evaluator,
+            binding,
+            fds,
+            config,
+            table,
+            &mut fd_covered,
+        )?);
     }
 
     // Structure units: sibling order of multi-valued attributes.
@@ -117,31 +333,19 @@ pub fn enumerate_units(
                 structural.entity, structural.attr, binding.name
             )));
         }
-        for instance in entity.instances(doc) {
-            let Some(key_value) = entity.key_of(doc, &instance) else {
+        for instance in entity.instances_with(&evaluator) {
+            let Some(key_value) = entity.key_of_with(&evaluator, &instance) else {
                 continue;
             };
-            let nodes = entity.attr_nodes(doc, &instance, &structural.attr);
+            let nodes = entity.attr_nodes_with(&evaluator, &instance, &structural.attr);
             // An order bit needs at least two distinct sibling values.
             if nodes.len() < 2 {
                 continue;
             }
-            let logical = LogicalQuery::new(&structural.entity, &key_value, &structural.attr);
-            let query = logical.compile(binding)?;
             units.push(MarkUnit {
-                unit_id: format!(
-                    "ord:{}|{}|attr={}",
-                    structural.entity, key_value, structural.attr
-                ),
-                kind: UnitKind::SiblingOrder {
-                    entity: structural.entity.clone(),
-                    key_value,
-                    attr: structural.attr.clone(),
-                },
+                key: UnitKey::sibling_order(table, &structural.entity, key_value, &structural.attr),
                 nodes,
                 mark: MarkKind::SiblingOrder,
-                query,
-                logical: Some(logical),
             });
         }
     }
@@ -166,34 +370,22 @@ pub fn enumerate_units(
                 markable.entity, markable.attr, binding.name
             )));
         }
-        for instance in entity.instances(doc) {
-            let Some(key_value) = entity.key_of(doc, &instance) else {
+        for instance in entity.instances_with(&evaluator) {
+            let Some(key_value) = entity.key_of_with(&evaluator, &instance) else {
                 continue; // keyless instances cannot be identified
             };
             let nodes: Vec<NodeRef> = entity
-                .attr_nodes(doc, &instance, &markable.attr)
+                .attr_nodes_with(&evaluator, &instance, &markable.attr)
                 .into_iter()
                 .filter(|n| !fd_covered.contains(n))
                 .collect();
             if nodes.is_empty() {
                 continue;
             }
-            let logical = LogicalQuery::new(&markable.entity, &key_value, &markable.attr);
-            let query = logical.compile(binding)?;
             units.push(MarkUnit {
-                unit_id: format!(
-                    "key:{}|{}|attr={}",
-                    markable.entity, key_value, markable.attr
-                ),
-                kind: UnitKind::KeyAttr {
-                    entity: markable.entity.clone(),
-                    key_value,
-                    attr: markable.attr.clone(),
-                },
+                key: UnitKey::key_attr(table, &markable.entity, key_value, &markable.attr),
                 nodes,
                 mark: MarkKind::Value(markable.data_type),
-                query,
-                logical: Some(logical),
             });
         }
     }
@@ -202,44 +394,45 @@ pub fn enumerate_units(
 
 /// Builds FD-group units and records which value nodes they cover.
 fn fd_group_units(
-    doc: &Document,
+    evaluator: &Evaluator<'_>,
     binding: &SchemaBinding,
     fds: &[Fd],
     config: &EncoderConfig,
+    table: &SelectionTable,
     fd_covered: &mut HashSet<NodeRef>,
 ) -> Result<Vec<MarkUnit>, WmError> {
     let mut units = Vec::new();
-    let groups = discover_groups(doc, fds);
+    if fds.is_empty() {
+        return Ok(units);
+    }
+    // The markable declaration backing each FD depends only on the
+    // configuration — resolve it once per FD, not once per group (the
+    // per-group path used to render both query texts per comparison).
+    let fd_markable: HashMap<&str, &crate::config::MarkableAttr> = fds
+        .iter()
+        .filter_map(|fd| {
+            markable_for_fd(binding, fds, &fd.name, config).map(|m| (fd.name.as_str(), m))
+        })
+        .collect();
+    let groups = discover_groups_with(evaluator, fds);
     for group in groups {
-        let fd = fds
-            .iter()
-            .find(|f| f.name == group.fd_name)
-            .expect("group came from this fd list");
         // The FD's dependent must correspond to a markable attribute so
         // we know its type/tolerance; otherwise the group is not marked.
-        let Some(markable) = markable_for_fd(binding, fds, &group.fd_name, config) else {
+        let Some(markable) = fd_markable.get(group.fd_name.as_str()) else {
             continue;
         };
         // All group members carry the mark, even singleton groups: the
         // unit identity must not depend on how many duplicates exist.
-        let nodes: Vec<NodeRef> = group.members.clone();
-        if nodes.is_empty() {
+        if group.members.is_empty() {
             continue;
         }
-        for n in &nodes {
+        for n in &group.members {
             fd_covered.insert(n.clone());
         }
-        let query = fd_group_query(fd, &group.lhs)?;
         units.push(MarkUnit {
-            unit_id: group.unit_id(),
-            kind: UnitKind::FdGroup {
-                fd_name: group.fd_name.clone(),
-                lhs: group.lhs.clone(),
-            },
-            nodes,
+            key: UnitKey::fd_group(table, &group.fd_name, group.lhs),
+            nodes: group.members,
             mark: MarkKind::Value(markable.data_type),
-            query,
-            logical: None,
         });
     }
     Ok(units)
@@ -297,7 +490,7 @@ fn queries_equal(a: &str, b: &str) -> bool {
 /// Builds the identity query of an FD group:
 /// `entity_path[lhs1 = 'v1' and …]/rhs_path` — selecting *all* duplicate
 /// value nodes at once.
-fn fd_group_query(fd: &Fd, lhs_values: &[String]) -> Result<Query, WmError> {
+fn fd_group_query(fd: &Fd, lhs_values: &[Box<str>]) -> Result<Query, WmError> {
     let Expr::Path(entity_path) = fd.entity.expr() else {
         return Err(WmError::new(format!(
             "fd {}: entity selector is not a path",
@@ -318,7 +511,7 @@ fn fd_group_query(fd: &Fd, lhs_values: &[String]) -> Result<Query, WmError> {
         };
         last.predicates.push(Expr::eq(
             Expr::Path(lhs_path.clone()),
-            Expr::Literal(value.clone()),
+            Expr::Literal(value.to_string()),
         ));
     }
     let Expr::Path(rhs_path) = fd.rhs[0].expr() else {
@@ -371,6 +564,20 @@ mod tests {
         Fd::new("editor-publisher", "/db/book", &["editor"], &["@publisher"]).unwrap()
     }
 
+    fn enumerate(
+        doc: &Document,
+        fds: &[Fd],
+        config: &EncoderConfig,
+    ) -> Result<(SelectionTable, Vec<MarkUnit>), WmError> {
+        let table = SelectionTable::build(config, fds);
+        let units = enumerate_units(doc, &binding(), fds, config, &table)?;
+        Ok((table, units))
+    }
+
+    fn unit_ids(table: &SelectionTable, units: &[MarkUnit]) -> Vec<String> {
+        units.iter().map(|u| u.key.display(table)).collect()
+    }
+
     #[test]
     fn queries_equal_fast_path_and_normalization() {
         // Identical canonical texts short-circuit without compiling.
@@ -385,17 +592,18 @@ mod tests {
     #[test]
     fn key_units_enumerated_per_instance() {
         let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
-        let units = enumerate_units(&doc(), &binding(), &[], &config).unwrap();
+        let (table, units) = enumerate(&doc(), &[], &config).unwrap();
         assert_eq!(units.len(), 3);
-        let ids: Vec<&str> = units.iter().map(|u| u.unit_id.as_str()).collect();
-        assert!(ids.contains(&"key:book|A|attr=year"));
-        assert!(ids.contains(&"key:book|B|attr=year"));
-        assert!(ids.contains(&"key:book|C|attr=year"));
+        let ids = unit_ids(&table, &units);
+        assert!(ids.contains(&"key:book|A|attr=year".to_string()));
+        assert!(ids.contains(&"key:book|B|attr=year".to_string()));
+        assert!(ids.contains(&"key:book|C|attr=year".to_string()));
         for u in &units {
             assert_eq!(u.nodes.len(), 1);
-            assert!(u.logical.is_some());
+            let (query, logical) = u.query_and_logical(&table, &binding(), &[]).unwrap();
+            assert!(logical.is_some());
             // Identity query re-selects exactly the unit's nodes.
-            assert_eq!(u.query.select(&doc()), u.nodes);
+            assert_eq!(query.select(&doc()), u.nodes);
         }
     }
 
@@ -408,36 +616,46 @@ mod tests {
                 MarkableAttr::text("book", "publisher"),
             ],
         );
-        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
+        let fds = [editor_publisher_fd()];
+        let (table, units) = enumerate(&doc(), &fds, &config).unwrap();
 
         let fd_units: Vec<&MarkUnit> = units
             .iter()
-            .filter(|u| matches!(u.kind, UnitKind::FdGroup { .. }))
+            .filter(|u| u.key.tag == UnitTag::FdGroup)
             .collect();
         assert_eq!(fd_units.len(), 2); // Potter group, Gamer group
         let potter = fd_units
             .iter()
-            .find(|u| u.unit_id.contains("Potter"))
+            .find(|u| u.key.display(&table).contains("Potter"))
             .unwrap();
         assert_eq!(potter.nodes.len(), 2);
+        let (potter_query, potter_logical) =
+            potter.query_and_logical(&table, &binding(), &fds).unwrap();
+        assert!(potter_logical.is_none());
         assert_eq!(
-            potter.query.to_string(),
+            potter_query.to_string(),
             "/db/book[editor = 'Potter']/@publisher"
         );
         // The query selects both duplicates.
-        assert_eq!(potter.query.select(&doc()).len(), 2);
+        assert_eq!(potter_query.select(&doc()).len(), 2);
 
         // publisher values are NOT also enumerated as key units.
         let key_publisher_units = units
             .iter()
-            .filter(|u| matches!(&u.kind, UnitKind::KeyAttr { attr, .. } if attr == "publisher"))
+            .filter(|u| {
+                u.key.tag == UnitTag::KeyAttr
+                    && u.key.attr.is_some_and(|a| table.resolve(a) == "publisher")
+            })
             .count();
         assert_eq!(key_publisher_units, 0);
 
         // year units remain key-identified.
         let year_units = units
             .iter()
-            .filter(|u| matches!(&u.kind, UnitKind::KeyAttr { attr, .. } if attr == "year"))
+            .filter(|u| {
+                u.key.tag == UnitTag::KeyAttr
+                    && u.key.attr.is_some_and(|a| table.resolve(a) == "year")
+            })
             .count();
         assert_eq!(year_units, 3);
     }
@@ -446,26 +664,24 @@ mod tests {
     fn fd_groups_disabled_leaves_per_entity_units() {
         let config = EncoderConfig::new(1, vec![MarkableAttr::text("book", "publisher")])
             .without_fd_groups();
-        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
+        let (_, units) = enumerate(&doc(), &[editor_publisher_fd()], &config).unwrap();
         assert_eq!(units.len(), 3);
-        assert!(units
-            .iter()
-            .all(|u| matches!(u.kind, UnitKind::KeyAttr { .. })));
+        assert!(units.iter().all(|u| u.key.tag == UnitTag::KeyAttr));
     }
 
     #[test]
     fn marking_the_key_is_rejected() {
         let config = EncoderConfig::new(1, vec![MarkableAttr::text("book", "title")]);
-        let err = enumerate_units(&doc(), &binding(), &[], &config).unwrap_err();
+        let err = enumerate(&doc(), &[], &config).unwrap_err();
         assert!(err.message.contains("entity key"));
     }
 
     #[test]
     fn unbound_attribute_is_rejected() {
         let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "isbn", 1)]);
-        assert!(enumerate_units(&doc(), &binding(), &[], &config).is_err());
+        assert!(enumerate(&doc(), &[], &config).is_err());
         let config = EncoderConfig::new(1, vec![MarkableAttr::integer("journal", "year", 1)]);
-        assert!(enumerate_units(&doc(), &binding(), &[], &config).is_err());
+        assert!(enumerate(&doc(), &[], &config).is_err());
     }
 
     #[test]
@@ -475,24 +691,71 @@ mod tests {
         let mut d2 = doc();
         let root = d2.root_element().unwrap();
         d2.reorder_children(root, &[2, 0, 1]);
-        let ids = |d: &Document| -> std::collections::BTreeSet<String> {
-            enumerate_units(d, &binding(), &[], &config)
+        let keys = |d: &Document| -> std::collections::BTreeSet<UnitKey> {
+            let table = SelectionTable::build(&config, &[]);
+            enumerate_units(d, &binding(), &[], &config, &table)
                 .unwrap()
                 .into_iter()
-                .map(|u| u.unit_id)
+                .map(|u| u.key)
                 .collect()
         };
-        assert_eq!(ids(&d1), ids(&d2));
+        assert_eq!(keys(&d1), keys(&d2));
     }
 
     #[test]
     fn fd_group_without_matching_markable_is_skipped() {
         // FD on a dependent that is not declared markable → no FD units.
         let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)]);
-        let units = enumerate_units(&doc(), &binding(), &[editor_publisher_fd()], &config).unwrap();
-        assert!(units
-            .iter()
-            .all(|u| matches!(u.kind, UnitKind::KeyAttr { .. })));
+        let (_, units) = enumerate(&doc(), &[editor_publisher_fd()], &config).unwrap();
+        assert!(units.iter().all(|u| u.key.tag == UnitTag::KeyAttr));
+    }
+
+    #[test]
+    fn unit_id_bytes_match_display() {
+        // The incremental PRF feed and the rendered display must agree
+        // byte for byte — that is the selection-compatibility contract.
+        let config = EncoderConfig::new(
+            1,
+            vec![
+                MarkableAttr::integer("book", "year", 1),
+                MarkableAttr::text("book", "publisher"),
+            ],
+        )
+        .with_structural("book", "author");
+        let fds = [editor_publisher_fd()];
+        let table = SelectionTable::build(&config, &fds);
+        let keys = [
+            UnitKey::key_attr(&table, "book", "A|odd".into(), "year"),
+            UnitKey::sibling_order(&table, "book", "K".into(), "author"),
+            UnitKey::fd_group(
+                &table,
+                "editor-publisher",
+                vec!["Potter".into(), "Second".into()],
+            ),
+        ];
+        let prf = wmx_crypto::Prf::new(wmx_crypto::SecretKey::from_passphrase("bytes"));
+        for key in &keys {
+            let rendered = key.display(&table);
+            for gamma in [1u32, 2, 7] {
+                assert_eq!(
+                    prf.is_selected(&key.id(&table), gamma),
+                    prf.is_selected(rendered.as_str(), gamma),
+                    "selection mismatch for {rendered}"
+                );
+            }
+            assert_eq!(
+                prf.bit_index(&key.id(&table), 16),
+                prf.bit_index(rendered.as_str(), 16)
+            );
+            assert_eq!(
+                prf.value_nonce(&key.id(&table)),
+                prf.value_nonce(rendered.as_str())
+            );
+            assert_eq!(
+                prf.whiten_bit(&key.id(&table)),
+                prf.whiten_bit(rendered.as_str())
+            );
+        }
     }
 
     fn doc_multi_author() -> Document {
@@ -523,28 +786,38 @@ mod tests {
         )
     }
 
+    fn enumerate_authors(
+        config: &EncoderConfig,
+    ) -> Result<(SelectionTable, Vec<MarkUnit>), WmError> {
+        let table = SelectionTable::build(config, &[]);
+        let units = enumerate_units(
+            &doc_multi_author(),
+            &binding_with_author(),
+            &[],
+            config,
+            &table,
+        )?;
+        Ok((table, units))
+    }
+
     #[test]
     fn structural_units_require_two_values() {
         let config = EncoderConfig::new(1, vec![]).with_structural("book", "author");
-        let units =
-            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).unwrap();
+        let (table, units) = enumerate_authors(&config).unwrap();
         // Books A and C have ≥ 2 authors; B has one.
         assert_eq!(units.len(), 2);
-        assert!(units
-            .iter()
-            .all(|u| matches!(u.kind, UnitKind::SiblingOrder { .. })));
+        assert!(units.iter().all(|u| u.key.tag == UnitTag::SiblingOrder));
         assert!(units.iter().all(|u| u.mark == MarkKind::SiblingOrder));
-        let ids: Vec<&str> = units.iter().map(|u| u.unit_id.as_str()).collect();
-        assert!(ids.contains(&"ord:book|A|attr=author"));
-        assert!(ids.contains(&"ord:book|C|attr=author"));
+        let ids = unit_ids(&table, &units);
+        assert!(ids.contains(&"ord:book|A|attr=author".to_string()));
+        assert!(ids.contains(&"ord:book|C|attr=author".to_string()));
     }
 
     #[test]
     fn structural_units_coexist_with_value_units() {
         let config = EncoderConfig::new(1, vec![MarkableAttr::integer("book", "year", 1)])
             .with_structural("book", "author");
-        let units =
-            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).unwrap();
+        let (_, units) = enumerate_authors(&config).unwrap();
         let value = units
             .iter()
             .filter(|u| matches!(u.mark, MarkKind::Value(_)))
@@ -560,12 +833,8 @@ mod tests {
     #[test]
     fn structural_unit_on_unbound_attr_rejected() {
         let config = EncoderConfig::new(1, vec![]).with_structural("book", "translator");
-        assert!(
-            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).is_err()
-        );
+        assert!(enumerate_authors(&config).is_err());
         let config = EncoderConfig::new(1, vec![]).with_structural("journal", "author");
-        assert!(
-            enumerate_units(&doc_multi_author(), &binding_with_author(), &[], &config).is_err()
-        );
+        assert!(enumerate_authors(&config).is_err());
     }
 }

@@ -45,7 +45,7 @@ pub use decoder::{
     detect, report_from_votes, BitVotes, DetectionInput, DetectionReport, VoteCounters,
 };
 pub use encoder::{embed, EmbedReport, StoredQuery};
-pub use identifier::{enumerate_units, MarkKind, MarkUnit, UnitKind};
+pub use identifier::{enumerate_units, MarkKind, MarkUnit, SelectionTable, UnitKey, UnitTag};
 pub use nodectx::{DomNodes, DomNodesMut, NodeCtx, NodeCtxMut, UnitMarker, UnitVotes};
 pub use template::QueryTemplate;
 pub use usability::{measure_usability, UsabilityReport};

@@ -14,7 +14,7 @@ use crate::embed::plugin_for;
 use crate::identifier::MarkKind;
 use crate::wm::Watermark;
 use crate::WmError;
-use wmx_crypto::{Prf, SecretKey};
+use wmx_crypto::{Prf, PrfInput, SecretKey};
 use wmx_xml::Document;
 use wmx_xpath::NodeRef;
 
@@ -160,13 +160,16 @@ impl UnitMarker {
         &self.prf
     }
 
-    /// Whether the unit is selected at density 1/γ.
-    pub fn is_selected(&self, unit_id: &str, gamma: u32) -> bool {
+    /// Whether the unit is selected at density 1/γ. The unit id may be
+    /// any [`PrfInput`] — the persisted `&str` form or the compact
+    /// [`crate::identifier::UnitKey`] view; equal byte streams make
+    /// equal decisions.
+    pub fn is_selected<I: PrfInput + ?Sized>(&self, unit_id: &I, gamma: u32) -> bool {
         self.prf.is_selected(unit_id, gamma)
     }
 
     /// The physically stored (whitened) bit for the unit.
-    pub fn stored_bit(&self, unit_id: &str, watermark: &Watermark) -> bool {
+    pub fn stored_bit<I: PrfInput + ?Sized>(&self, unit_id: &I, watermark: &Watermark) -> bool {
         let index = self.prf.bit_index(unit_id, watermark.len());
         watermark.bit(index) ^ self.prf.whiten_bit(unit_id)
     }
@@ -174,10 +177,10 @@ impl UnitMarker {
     /// Writes the unit's assigned bit into `ctx`. Returns the number of
     /// nodes rewritten/reordered (0 when the unit cannot carry the bit:
     /// unmarkable values, equal order values, non-reorderable nodes).
-    pub fn mark_unit(
+    pub fn mark_unit<I: PrfInput + ?Sized>(
         &self,
         ctx: &mut dyn NodeCtxMut,
-        unit_id: &str,
+        unit_id: &I,
         mark: MarkKind,
         watermark: &Watermark,
     ) -> Result<usize, WmError> {
@@ -219,10 +222,10 @@ impl UnitMarker {
     /// Extracts the unit's votes from `ctx` (detection side): one
     /// whitened bit per readable node, under the unit's assigned bit
     /// index for a watermark of `wm_len` bits.
-    pub fn extract_unit(
+    pub fn extract_unit<I: PrfInput + ?Sized>(
         &self,
         ctx: &dyn NodeCtx,
-        unit_id: &str,
+        unit_id: &I,
         mark: MarkKind,
         wm_len: usize,
     ) -> UnitVotes {

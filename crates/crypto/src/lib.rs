@@ -31,5 +31,5 @@ pub mod sha256;
 pub use base64::{decode as base64_decode, encode as base64_encode, Base64Error};
 pub use hex::{decode as hex_decode, encode as hex_encode, HexError};
 pub use hmac::{hmac_sha256, HmacSha256};
-pub use prf::{Prf, SecretKey};
+pub use prf::{Prf, PrfInput, PrfStream, SecretKey};
 pub use sha256::{sha256, Sha256, DIGEST_LEN};

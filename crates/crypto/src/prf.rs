@@ -63,6 +63,46 @@ const DOMAIN_STREAM: &[u8] = b"wmxml/stream/v1";
 const DOMAIN_VALUE: &[u8] = b"wmxml/value/v1";
 const DOMAIN_WHITEN: &[u8] = b"wmxml/whiten/v1";
 
+/// A unit identity that can feed its bytes into an HMAC incrementally.
+///
+/// The PRF is defined over the unit id's *bytes*, not over any
+/// particular container: a composite key (entity symbol, key value,
+/// attribute symbol) that feeds the same byte sequence as its textual
+/// rendering produces the same MAC as the rendered `String` — without
+/// ever materializing it. That is the contract the symbol-native
+/// selection pipeline in `wmx-core` relies on: `&str` unit ids (the
+/// persisted form in safeguarded query files) and compact `UnitKey`s
+/// (the in-memory form on the embed/detect hot path) are
+/// interchangeable PRF inputs as long as their byte streams agree.
+pub trait PrfInput {
+    /// Feeds the identity's bytes into `mac`, in order.
+    fn feed(&self, mac: &mut HmacSha256);
+}
+
+impl PrfInput for str {
+    fn feed(&self, mac: &mut HmacSha256) {
+        mac.update(self.as_bytes());
+    }
+}
+
+impl PrfInput for [u8] {
+    fn feed(&self, mac: &mut HmacSha256) {
+        mac.update(self);
+    }
+}
+
+impl PrfInput for String {
+    fn feed(&self, mac: &mut HmacSha256) {
+        mac.update(self.as_bytes());
+    }
+}
+
+impl<T: PrfInput + ?Sized> PrfInput for &T {
+    fn feed(&self, mac: &mut HmacSha256) {
+        (**self).feed(mac);
+    }
+}
+
 /// Keyed PRF bound to one secret key.
 #[derive(Clone, Debug)]
 pub struct Prf {
@@ -80,15 +120,15 @@ impl Prf {
         &self.key
     }
 
-    fn mac(&self, domain: &[u8], unit_id: &str) -> [u8; DIGEST_LEN] {
+    fn mac<I: PrfInput + ?Sized>(&self, domain: &[u8], unit_id: &I) -> [u8; DIGEST_LEN] {
         let mut mac = HmacSha256::new(self.key.as_bytes());
         mac.update(domain);
         mac.update(&[0u8]);
-        mac.update(unit_id.as_bytes());
+        unit_id.feed(&mut mac);
         mac.finalize()
     }
 
-    fn mac_u64(&self, domain: &[u8], unit_id: &str) -> u64 {
+    fn mac_u64<I: PrfInput + ?Sized>(&self, domain: &[u8], unit_id: &I) -> u64 {
         let digest = self.mac(domain, unit_id);
         u64::from_be_bytes(digest[..8].try_into().expect("digest >= 8 bytes"))
     }
@@ -98,7 +138,7 @@ impl Prf {
     ///
     /// `gamma == 0` is treated as "select nothing"; `gamma == 1` selects
     /// every unit.
-    pub fn is_selected(&self, unit_id: &str, gamma: u32) -> bool {
+    pub fn is_selected<I: PrfInput + ?Sized>(&self, unit_id: &I, gamma: u32) -> bool {
         if gamma == 0 {
             return false;
         }
@@ -110,14 +150,14 @@ impl Prf {
     ///
     /// # Panics
     /// Panics if `wm_len == 0`; a zero-length watermark cannot be embedded.
-    pub fn bit_index(&self, unit_id: &str, wm_len: usize) -> usize {
+    pub fn bit_index<I: PrfInput + ?Sized>(&self, unit_id: &I, wm_len: usize) -> usize {
         assert!(wm_len > 0, "watermark length must be positive");
         (self.mac_u64(DOMAIN_BIT_INDEX, unit_id) % wm_len as u64) as usize
     }
 
     /// A keyed pseudo-random `u64` used by embedding plug-ins to vary
     /// *how* a mark is written into a value (e.g. perturbation direction).
-    pub fn value_nonce(&self, unit_id: &str) -> u64 {
+    pub fn value_nonce<I: PrfInput + ?Sized>(&self, unit_id: &I) -> u64 {
         self.mac_u64(DOMAIN_VALUE, unit_id)
     }
 
@@ -127,13 +167,13 @@ impl Prf {
     /// itself is biased; without this, a heavily biased watermark would
     /// let *wrong* keys reach match fractions near the bias (the
     /// majority-vote degeneracy).
-    pub fn whiten_bit(&self, unit_id: &str) -> bool {
+    pub fn whiten_bit<I: PrfInput + ?Sized>(&self, unit_id: &I) -> bool {
         self.mac_u64(DOMAIN_WHITEN, unit_id) & 1 == 1
     }
 
     /// An iterator of keyed pseudo-random bytes for `unit_id`, generated
     /// in counter mode: `HMAC(K, stream-domain || unit-id || counter)`.
-    pub fn byte_stream<'a>(&'a self, unit_id: &'a str) -> PrfStream<'a> {
+    pub fn byte_stream<'a, I: PrfInput + ?Sized>(&'a self, unit_id: &'a I) -> PrfStream<'a, I> {
         PrfStream {
             prf: self,
             unit_id,
@@ -145,20 +185,20 @@ impl Prf {
 }
 
 /// Counter-mode byte stream produced by [`Prf::byte_stream`].
-pub struct PrfStream<'a> {
+pub struct PrfStream<'a, I: PrfInput + ?Sized = str> {
     prf: &'a Prf,
-    unit_id: &'a str,
+    unit_id: &'a I,
     counter: u64,
     block: [u8; DIGEST_LEN],
     pos: usize,
 }
 
-impl PrfStream<'_> {
+impl<I: PrfInput + ?Sized> PrfStream<'_, I> {
     fn refill(&mut self) {
         let mut mac = HmacSha256::new(self.prf.key.as_bytes());
         mac.update(DOMAIN_STREAM);
         mac.update(&[0u8]);
-        mac.update(self.unit_id.as_bytes());
+        self.unit_id.feed(&mut mac);
         mac.update(&[0u8]);
         mac.update(&self.counter.to_be_bytes());
         self.block = mac.finalize();
@@ -167,7 +207,7 @@ impl PrfStream<'_> {
     }
 }
 
-impl Iterator for PrfStream<'_> {
+impl<I: PrfInput + ?Sized> Iterator for PrfStream<'_, I> {
     type Item = u8;
 
     fn next(&mut self) -> Option<u8> {

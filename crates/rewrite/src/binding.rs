@@ -3,7 +3,9 @@
 use crate::RewriteError;
 use std::collections::BTreeMap;
 use wmx_xml::Document;
-use wmx_xpath::{NodeRef, Query};
+use wmx_xpath::ast::{Expr, PathExpr};
+use wmx_xpath::parser::parse_path;
+use wmx_xpath::{Evaluator, NodeRef, Query};
 
 /// How a logical attribute is reached from an entity instance node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +40,13 @@ impl AttrBinding {
 }
 
 /// Binding of one logical entity onto a physical schema.
+///
+/// Construction compiles every access path **once**: the instance
+/// query, one query per bound attribute, and the parsed path prototypes
+/// identity queries are assembled from. The per-instance accessors
+/// ([`EntityBinding::attr_nodes`], [`EntityBinding::key_of`], …) reuse
+/// those compiled forms — the unit-enumeration hot path never re-parses
+/// a path text.
 #[derive(Debug, Clone)]
 pub struct EntityBinding {
     /// Logical entity name, e.g. `"book"`.
@@ -46,9 +55,23 @@ pub struct EntityBinding {
     pub instance_path: String,
     /// Name of the logical attribute acting as the entity key.
     pub key_attr: String,
-    /// Logical attribute name → access path.
+    /// Logical attribute name → access path. Attributes *added* here
+    /// after construction are served by a compile-per-call fallback;
+    /// *replacing* an existing binding in place is not supported (the
+    /// construction-time caches would go stale) — build a new
+    /// [`EntityBinding`] instead.
     pub attrs: BTreeMap<String, AttrBinding>,
     instance_query: Query,
+    /// Compiled access queries per attribute (`None` when the bound
+    /// path does not compile — such attributes locate no nodes, the
+    /// same behaviour the lazily-compiling accessor had).
+    attr_queries: BTreeMap<String, Option<Query>>,
+    /// Parsed relative paths per attribute, for identity-query assembly.
+    attr_rels: BTreeMap<String, Option<PathExpr>>,
+    /// Parsed instance path + key path, for identity-query assembly
+    /// (`None` when either fails to parse; identity construction then
+    /// falls back to the re-parsing path and reports its error).
+    identity_proto: Option<(PathExpr, PathExpr)>,
 }
 
 impl EntityBinding {
@@ -67,12 +90,30 @@ impl EntityBinding {
             )));
         }
         let instance_query = Query::compile(instance_path)?;
+        let attr_queries: BTreeMap<String, Option<Query>> = attrs
+            .iter()
+            .map(|(name, binding)| (name.clone(), binding.to_query().ok()))
+            .collect();
+        let attr_rels: BTreeMap<String, Option<PathExpr>> = attrs
+            .iter()
+            .map(|(name, binding)| (name.clone(), parse_path(&binding.to_path_text()).ok()))
+            .collect();
+        let identity_proto = match (
+            parse_path(instance_path),
+            attr_rels.get(key_attr).cloned().flatten(),
+        ) {
+            (Ok(instance), Some(key_rel)) => Some((instance, key_rel)),
+            _ => None,
+        };
         Ok(EntityBinding {
             entity: entity.to_string(),
             instance_path: instance_path.to_string(),
             key_attr: key_attr.to_string(),
             attrs,
             instance_query,
+            attr_queries,
+            attr_rels,
+            identity_proto,
         })
     }
 
@@ -81,9 +122,35 @@ impl EntityBinding {
         self.instance_query.select(doc)
     }
 
+    /// All instances, evaluated through a shared [`Evaluator`].
+    pub fn instances_with(&self, evaluator: &Evaluator<'_>) -> Vec<NodeRef> {
+        self.instance_query.select_with(evaluator)
+    }
+
     /// The binding of a logical attribute.
     pub fn attr(&self, name: &str) -> Option<&AttrBinding> {
         self.attrs.get(name)
+    }
+
+    /// The compiled access query of a logical attribute (`None` when
+    /// the attribute is unbound or its path does not compile).
+    pub fn attr_query(&self, name: &str) -> Option<&Query> {
+        self.attr_queries.get(name)?.as_ref()
+    }
+
+    /// The cache entry for `name`, or a freshly compiled query when the
+    /// attribute was added to the public `attrs` map after construction
+    /// (the caches cover construction-time attributes only; late
+    /// additions fall back to the old compile-per-call behaviour rather
+    /// than silently locating nothing).
+    fn attr_query_or_compile(&self, name: &str) -> Option<std::borrow::Cow<'_, Query>> {
+        match self.attr_queries.get(name) {
+            Some(cached) => cached.as_ref().map(std::borrow::Cow::Borrowed),
+            None => self
+                .attr(name)
+                .and_then(|binding| binding.to_query().ok())
+                .map(std::borrow::Cow::Owned),
+        }
     }
 
     /// The binding of the key attribute.
@@ -93,13 +160,45 @@ impl EntityBinding {
             .expect("validated at construction")
     }
 
+    /// Assembles the identity query
+    /// `instance_path[key_path = 'key_value']/attr_path` from the
+    /// prototypes parsed at construction — no path text is re-parsed.
+    /// `None` when `attr` is unbound or a prototype failed to parse
+    /// (callers fall back to the error-reporting compile path).
+    pub fn identity_query(&self, key_value: &str, attr: &str) -> Option<Query> {
+        let (instance, key_rel) = self.identity_proto.as_ref()?;
+        let attr_binding = self.attr(attr)?;
+        let mut path = instance.clone();
+        let predicate = Expr::eq(
+            Expr::Path(key_rel.clone()),
+            Expr::Literal(key_value.to_string()),
+        );
+        path.steps.last_mut()?.predicates.push(predicate);
+        if !matches!(attr_binding, AttrBinding::SelfText) {
+            let rel = self.attr_rels.get(attr)?.as_ref()?;
+            path.steps.extend(rel.steps.iter().cloned());
+        }
+        Some(Query::from_expr(Expr::Path(path)))
+    }
+
     /// Value nodes of a logical attribute for one instance.
     pub fn attr_nodes(&self, doc: &Document, instance: &NodeRef, name: &str) -> Vec<NodeRef> {
-        match self.attr(name) {
-            Some(binding) => match binding.to_query() {
-                Ok(q) => q.select_from(doc, instance.clone()),
-                Err(_) => Vec::new(),
-            },
+        match self.attr_query_or_compile(name) {
+            Some(q) => q.select_from(doc, instance.clone()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Value nodes of a logical attribute, evaluated through a shared
+    /// [`Evaluator`].
+    pub fn attr_nodes_with(
+        &self,
+        evaluator: &Evaluator<'_>,
+        instance: &NodeRef,
+        name: &str,
+    ) -> Vec<NodeRef> {
+        match self.attr_query_or_compile(name) {
+            Some(q) => q.select_from_with(evaluator, instance.clone()),
             None => Vec::new(),
         }
     }
@@ -122,6 +221,14 @@ impl EntityBinding {
     /// The key value of one instance.
     pub fn key_of(&self, doc: &Document, instance: &NodeRef) -> Option<String> {
         self.attr_value(doc, instance, &self.key_attr)
+    }
+
+    /// The key value of one instance, evaluated through a shared
+    /// [`Evaluator`].
+    pub fn key_of_with(&self, evaluator: &Evaluator<'_>, instance: &NodeRef) -> Option<String> {
+        self.attr_nodes_with(evaluator, instance, &self.key_attr)
+            .first()
+            .map(|n| n.string_value(evaluator.document()))
     }
 }
 
@@ -302,6 +409,24 @@ mod tests {
     fn key_attr_must_be_bound() {
         let err = EntityBinding::new("x", "/a/x", "id", vec![]).unwrap_err();
         assert!(err.message.contains("key attribute"));
+    }
+
+    #[test]
+    fn attrs_added_after_construction_still_locate_nodes() {
+        let doc = db1_doc();
+        let binding = paper_db1_binding();
+        let mut book = binding.entity("book").unwrap().clone();
+        // The compiled caches predate this attribute; the accessor must
+        // fall back to compile-per-call, not silently locate nothing.
+        book.attrs
+            .insert("ed".into(), AttrBinding::ChildText("editor".into()));
+        let instances = book.instances(&doc);
+        assert_eq!(
+            book.attr_value(&doc, &instances[0], "ed").unwrap(),
+            "Harrypotter"
+        );
+        let ev = Evaluator::new(&doc);
+        assert_eq!(book.attr_nodes_with(&ev, &instances[1], "ed").len(), 1);
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl LogicalQuery {
             ))
         })?;
 
+        // Fast path: assemble from the prototypes the binding parsed at
+        // construction (semantically identical to the re-parsing path
+        // below, which only remains to produce parse errors for
+        // bindings whose paths never compiled).
+        if let Some(query) = entity.identity_query(&self.key_value, &self.attr) {
+            return Ok(query);
+        }
+
         let mut path: PathExpr = parse_path(&entity.instance_path)?;
         let key_rel: PathExpr = parse_path(&entity.key_binding().to_path_text())?;
         let predicate = Expr::eq(Expr::Path(key_rel), Expr::Literal(self.key_value.clone()));

@@ -12,7 +12,7 @@ use crate::SchemaError;
 use std::collections::HashMap;
 use std::fmt;
 use wmx_xml::Document;
-use wmx_xpath::{NodeRef, Query};
+use wmx_xpath::{Evaluator, NodeRef, Query};
 
 /// A functional dependency `lhs → rhs` scoped to an entity.
 #[derive(Debug, Clone)]
@@ -51,20 +51,44 @@ impl Fd {
 
     /// The determinant tuple of an instance (`None` if any part missing).
     pub fn lhs_of(&self, doc: &Document, instance: &NodeRef) -> Option<Vec<String>> {
-        tuple_of(doc, instance, &self.lhs)
+        self.lhs_of_with(&Evaluator::new(doc), instance)
+    }
+
+    /// The determinant tuple, evaluated through a shared [`Evaluator`].
+    pub fn lhs_of_with(
+        &self,
+        evaluator: &Evaluator<'_>,
+        instance: &NodeRef,
+    ) -> Option<Vec<String>> {
+        tuple_of(evaluator, instance, &self.lhs)
     }
 
     /// The dependent tuple of an instance (`None` if any part missing).
     pub fn rhs_of(&self, doc: &Document, instance: &NodeRef) -> Option<Vec<String>> {
-        tuple_of(doc, instance, &self.rhs)
+        self.rhs_of_with(&Evaluator::new(doc), instance)
+    }
+
+    /// The dependent tuple, evaluated through a shared [`Evaluator`].
+    pub fn rhs_of_with(
+        &self,
+        evaluator: &Evaluator<'_>,
+        instance: &NodeRef,
+    ) -> Option<Vec<String>> {
+        tuple_of(evaluator, instance, &self.rhs)
     }
 
     /// The dependent *value nodes* of an instance (the nodes a watermark
     /// mark would be written into).
     pub fn rhs_nodes(&self, doc: &Document, instance: &NodeRef) -> Vec<NodeRef> {
+        self.rhs_nodes_with(&Evaluator::new(doc), instance)
+    }
+
+    /// The dependent value nodes, evaluated through a shared
+    /// [`Evaluator`].
+    pub fn rhs_nodes_with(&self, evaluator: &Evaluator<'_>, instance: &NodeRef) -> Vec<NodeRef> {
         self.rhs
             .iter()
-            .flat_map(|q| q.select_from(doc, instance.clone()))
+            .flat_map(|q| q.select_from_with(evaluator, instance.clone()))
             .collect()
     }
 
@@ -99,12 +123,12 @@ impl Fd {
     }
 }
 
-fn tuple_of(doc: &Document, instance: &NodeRef, parts: &[Query]) -> Option<Vec<String>> {
+fn tuple_of(evaluator: &Evaluator<'_>, instance: &NodeRef, parts: &[Query]) -> Option<Vec<String>> {
     let mut tuple = Vec::with_capacity(parts.len());
     for part in parts {
-        let hits = part.select_from(doc, instance.clone());
+        let hits = part.select_from_with(evaluator, instance.clone());
         let first = hits.first()?;
-        tuple.push(first.string_value(doc));
+        tuple.push(first.string_value(evaluator.document()));
     }
     Some(tuple)
 }

@@ -34,7 +34,7 @@ pub use fd::{Fd, FdViolation};
 pub use infer::infer_schema;
 pub use key::{Key, KeyViolation};
 pub use model::{child, AttrDecl, ChildDecl, ContentModel, DataType, ElementDecl, Occurs, Schema};
-pub use redundancy::{discover_groups, RedundancyGroup};
+pub use redundancy::{discover_groups, discover_groups_with, RedundancyGroup};
 pub use validate::{validate, ValidationIssue};
 
 /// Errors raised while constructing schema artifacts (bad selector

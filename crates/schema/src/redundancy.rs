@@ -12,7 +12,7 @@
 use crate::fd::Fd;
 use std::collections::BTreeMap;
 use wmx_xml::Document;
-use wmx_xpath::NodeRef;
+use wmx_xpath::{Evaluator, NodeRef};
 
 /// One group of FD-duplicated value nodes.
 #[derive(Debug, Clone)]
@@ -49,15 +49,24 @@ impl RedundancyGroup {
 /// outside the FD's scope). Groups are returned in deterministic order
 /// (by FD, then determinant tuple).
 pub fn discover_groups(doc: &Document, fds: &[Fd]) -> Vec<RedundancyGroup> {
+    discover_groups_with(&Evaluator::new(doc), fds)
+}
+
+/// [`discover_groups`] through a shared [`Evaluator`], so the caller's
+/// memoized symbol resolutions carry across the per-instance
+/// determinant/dependent tuple evaluations.
+pub fn discover_groups_with(evaluator: &Evaluator<'_>, fds: &[Fd]) -> Vec<RedundancyGroup> {
     let mut out = Vec::new();
     for fd in fds {
         let mut groups: BTreeMap<Vec<String>, RedundancyGroup> = BTreeMap::new();
-        for instance in fd.entity.select(doc) {
-            let (Some(lhs), Some(rhs)) = (fd.lhs_of(doc, &instance), fd.rhs_of(doc, &instance))
-            else {
+        for instance in fd.entity.select_with(evaluator) {
+            let (Some(lhs), Some(rhs)) = (
+                fd.lhs_of_with(evaluator, &instance),
+                fd.rhs_of_with(evaluator, &instance),
+            ) else {
                 continue;
             };
-            let members = fd.rhs_nodes(doc, &instance);
+            let members = fd.rhs_nodes_with(evaluator, &instance);
             let group = groups
                 .entry(lhs.clone())
                 .or_insert_with(|| RedundancyGroup {

@@ -9,13 +9,25 @@
 //! are identical whether the unit was found in a 10 GB document or in
 //! its own record: that is what makes streaming output bit-for-bit equal
 //! to DOM output.
+//!
+//! The engine is compiled **once per stream** and shared by every
+//! record (and every worker thread): the [`SelectionTable`] interns the
+//! selection vocabulary so [`wmx_core::UnitKey`]s from different
+//! records/chunks compare and merge directly, record mini-documents are
+//! parsed from a clone of a seeded prototype [`Interner`] (root +
+//! binding vocabulary) so their symbol ids stay stable across the whole
+//! stream, and identity queries are only constructed for units that
+//! actually mark — detection builds none at all.
 
 use crate::report::{PartialDetect, PartialEmbed};
 use crate::{StreamContext, StreamError};
-use wmx_core::{enumerate_units, DomNodes, DomNodesMut, UnitKind, UnitMarker, Watermark};
+use wmx_core::{
+    enumerate_units, DomNodes, DomNodesMut, SelectionTable, UnitMarker, UnitTag, Watermark,
+};
 use wmx_crypto::SecretKey;
+use wmx_rewrite::binding::AttrBinding;
 use wmx_xml::token::TokenAttribute;
-use wmx_xml::{node_to_string, parse, Document};
+use wmx_xml::{node_to_string, parse, parse_seeded, Document, Interner, ParseOptions};
 
 /// A compiled streaming engine for one document's root + semantics.
 pub(crate) struct RecordEngine<'a> {
@@ -24,6 +36,12 @@ pub(crate) struct RecordEngine<'a> {
     watermark: &'a Watermark,
     root_open: String,
     root_close: String,
+    /// Interned selection vocabulary; shared by every record and chunk
+    /// so unit keys merge without rendering.
+    table: SelectionTable,
+    /// Seeded prototype symbol table cloned into every record
+    /// mini-document: record symbols are stable across the stream.
+    prototype: Interner,
 }
 
 /// Builds the compact open tag `<name a="v" ...>` from the serializer's
@@ -36,6 +54,17 @@ pub(crate) fn open_tag(name: &str, attributes: &[TokenAttribute]) -> String {
     }
     out.push('>');
     out
+}
+
+/// Interns the name-shaped fragments of a path text (step and attribute
+/// names) into `proto` — a cheap overapproximation that pre-seeds the
+/// vocabulary records will re-use.
+fn seed_path_names(proto: &mut Interner, path: &str) {
+    for part in path.split(|c: char| !(c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))) {
+        if !part.is_empty() && !part.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            proto.intern(part);
+        }
+    }
 }
 
 impl<'a> RecordEngine<'a> {
@@ -52,11 +81,13 @@ impl<'a> RecordEngine<'a> {
     ) -> Result<Self, StreamError> {
         let root_open = open_tag(root_name, root_attributes);
         let root_close = format!("</{root_name}>");
+        let table = SelectionTable::build(ctx.config, ctx.fds);
         let probe = parse(&format!("{root_open}{root_close}")).map_err(StreamError::Xml)?;
         // Binding/config validation (unbound attributes, markable keys…)
         // happens before any instance loop, so the probe surfaces the
         // same errors the DOM encoder would.
-        enumerate_units(&probe, ctx.binding, ctx.fds, ctx.config).map_err(StreamError::Wm)?;
+        enumerate_units(&probe, ctx.binding, ctx.fds, ctx.config, &table)
+            .map_err(StreamError::Wm)?;
         let probe_root = probe.root_element().expect("probe has a root");
         let mut entity_names: Vec<&str> = ctx
             .config
@@ -82,19 +113,39 @@ impl<'a> RecordEngine<'a> {
                 }
             }
         }
+        // Prototype = the probe's symbols (root + root attributes) plus
+        // the binding vocabulary records will mention. Every record's
+        // mini-document starts from a clone, so shared names resolve to
+        // the same symbol id in every record of the stream.
+        let mut prototype = probe.interner().clone();
+        for entity in ctx.binding.entities.values() {
+            seed_path_names(&mut prototype, &entity.instance_path);
+            for attr_binding in entity.attrs.values() {
+                match attr_binding {
+                    AttrBinding::ChildText(name) | AttrBinding::Attribute(name) => {
+                        prototype.intern(name);
+                    }
+                    AttrBinding::Path(path) => seed_path_names(&mut prototype, path),
+                    AttrBinding::SelfText => {}
+                }
+            }
+        }
         Ok(RecordEngine {
             ctx,
             marker: UnitMarker::new(key.clone()),
             watermark,
             root_open,
             root_close,
+            table,
+            prototype,
         })
     }
 
     /// Parses one raw record slice into its wrapped mini-document.
     fn mini_doc(&self, record_raw: &str) -> Result<Document, StreamError> {
         let text = format!("{}{record_raw}{}", self.root_open, self.root_close);
-        parse(&text).map_err(StreamError::Xml)
+        parse_seeded(&text, ParseOptions::default(), self.prototype.clone())
+            .map_err(StreamError::Xml)
     }
 
     /// Embeds into one record; returns the record's serialized bytes.
@@ -104,34 +155,37 @@ impl<'a> RecordEngine<'a> {
         partial: &mut PartialEmbed,
     ) -> Result<String, StreamError> {
         let mut mini = self.mini_doc(record_raw)?;
-        let units = enumerate_units(&mini, self.ctx.binding, self.ctx.fds, self.ctx.config)
-            .map_err(StreamError::Wm)?;
+        let units = enumerate_units(
+            &mini,
+            self.ctx.binding,
+            self.ctx.fds,
+            self.ctx.config,
+            &self.table,
+        )
+        .map_err(StreamError::Wm)?;
         for unit in units {
-            let fd_id = match &unit.kind {
-                UnitKind::FdGroup { .. } => Some(unit.unit_id.clone()),
-                _ => None,
-            };
-            match &fd_id {
-                Some(id) => {
-                    partial.fd_total.insert(id.clone());
-                }
-                None => partial.total_local += 1,
-            }
-            if !self
+            let is_fd = unit.key.tag == UnitTag::FdGroup;
+            let selected = self
                 .marker
-                .is_selected(&unit.unit_id, self.ctx.config.gamma)
-            {
-                continue;
-            }
-            match &fd_id {
-                Some(id) => {
-                    partial.fd_selected.insert(id.clone());
+                .is_selected(&unit.key.id(&self.table), self.ctx.config.gamma);
+            if is_fd {
+                // One map entry per FD group carries total/selected/
+                // marked flags — the key is cloned at most once per
+                // chunk instead of once per counter set per record.
+                let flags = partial.fd_entry(&unit.key);
+                flags.selected |= selected;
+            } else {
+                partial.total_local += 1;
+                if selected {
+                    partial.selected_local += 1;
                 }
-                None => partial.selected_local += 1,
+            }
+            if !selected {
+                continue;
             }
             let marked_nodes = self.marker.mark_unit(
                 &mut DomNodesMut::new(&mut mini, &unit.nodes),
-                &unit.unit_id,
+                &unit.key.id(&self.table),
                 unit.mark,
                 self.watermark,
             )?;
@@ -139,23 +193,27 @@ impl<'a> RecordEngine<'a> {
                 continue;
             }
             partial.marked_nodes += marked_nodes;
-            let newly_marked = match &fd_id {
-                Some(id) => partial.fd_marked.insert(id.clone()),
-                None => {
-                    partial.marked_local += 1;
-                    true
-                }
+            let newly_marked = if is_fd {
+                let flags = partial.fd_entry(&unit.key);
+                let first = !flags.marked;
+                flags.marked = true;
+                first
+            } else {
+                partial.marked_local += 1;
+                true
             };
             if newly_marked {
-                partial.queries.push((
-                    fd_id,
-                    wmx_core::StoredQuery {
-                        unit_id: unit.unit_id.clone(),
-                        xpath: unit.query.to_string(),
-                        logical: unit.logical.clone(),
-                        mark: unit.mark,
-                    },
-                ));
+                // Identity queries (and textual unit ids) exist only
+                // for units that actually marked.
+                let (query, logical) =
+                    unit.query_and_logical(&self.table, self.ctx.binding, self.ctx.fds)?;
+                let stored = wmx_core::StoredQuery {
+                    unit_id: unit.key.display(&self.table),
+                    xpath: query.to_string(),
+                    logical,
+                    mark: unit.mark,
+                };
+                partial.queries.push((is_fd.then_some(unit.key), stored));
             }
         }
         partial.records += 1;
@@ -175,35 +233,39 @@ impl<'a> RecordEngine<'a> {
         partial: &mut PartialDetect,
     ) -> Result<(), StreamError> {
         let mini = self.mini_doc(record_raw)?;
-        let units = enumerate_units(&mini, self.ctx.binding, self.ctx.fds, self.ctx.config)
-            .map_err(StreamError::Wm)?;
+        let units = enumerate_units(
+            &mini,
+            self.ctx.binding,
+            self.ctx.fds,
+            self.ctx.config,
+            &self.table,
+        )
+        .map_err(StreamError::Wm)?;
         let wm_len = self.watermark.len();
         for unit in units {
             if !self
                 .marker
-                .is_selected(&unit.unit_id, self.ctx.config.gamma)
+                .is_selected(&unit.key.id(&self.table), self.ctx.config.gamma)
             {
                 continue;
             }
-            let is_fd = matches!(unit.kind, UnitKind::FdGroup { .. });
-            if is_fd {
-                partial.fd_total.insert(unit.unit_id.clone());
-            } else {
-                partial.total_local += 1;
-            }
+            let is_fd = unit.key.tag == UnitTag::FdGroup;
             let votes = self.marker.extract_unit(
                 &DomNodes::new(&mini, &unit.nodes),
-                &unit.unit_id,
+                &unit.key.id(&self.table),
                 unit.mark,
                 wm_len,
             );
-            if votes.bits.is_empty() {
-                continue;
-            }
+            let located = !votes.bits.is_empty();
             if is_fd {
-                partial.fd_located.insert(unit.unit_id.clone());
+                // Map presence = selected FD unit; the flag = located.
+                let entry = partial.fd_entry(unit.key);
+                *entry |= located;
             } else {
-                partial.located_local += 1;
+                partial.total_local += 1;
+                if located {
+                    partial.located_local += 1;
+                }
             }
             for bit in votes.bits {
                 partial.votes_cast += 1;

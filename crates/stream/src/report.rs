@@ -3,12 +3,16 @@
 //! Key-identified and order units are local to one record, so their
 //! counters simply add up. FD-redundancy groups span records (every
 //! member of `editor → publisher` carries the same mark wherever it
-//! lives), so each chunk counts them into id *sets* and the merge takes
-//! unions — reproducing exactly the whole-document counts the DOM
-//! encoder reports.
+//! lives), so each chunk tracks them in a single [`UnitKey`]-keyed flag
+//! map — one entry per group carrying its total/selected/marked (or
+//! located) state — and the merge ORs the flags, reproducing exactly
+//! the whole-document counts the DOM encoder reports. Keys are compact
+//! symbol tuples ([`wmx_core::SelectionTable`] symbols are stable
+//! across chunks), so no unit-id strings are built or cloned anywhere
+//! on the merge path.
 
-use std::collections::BTreeSet;
-use wmx_core::{BitVotes, EmbedReport, StoredQuery};
+use std::collections::{BTreeMap, BTreeSet};
+use wmx_core::{BitVotes, EmbedReport, StoredQuery, UnitKey};
 
 /// Wall-clock telemetry for one contiguous run of records, consumed by
 /// the `wmx-bench` telemetry reports. The two driver families time
@@ -58,6 +62,17 @@ pub struct StreamDetectReport {
     pub chunk_timings: Vec<ChunkTiming>,
 }
 
+/// Per-FD-group embed state: one map entry per group replaces the three
+/// id-keyed sets the merge path used to clone unit-id strings into.
+/// Presence in the map means the group was enumerated (total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FdEmbedFlags {
+    /// The PRF selected the group.
+    pub selected: bool,
+    /// Some chunk wrote the mark into the group.
+    pub marked: bool,
+}
+
 /// Per-chunk embed accumulator.
 #[derive(Debug, Default)]
 pub(crate) struct PartialEmbed {
@@ -67,16 +82,23 @@ pub(crate) struct PartialEmbed {
     pub selected_local: usize,
     pub marked_local: usize,
     pub marked_nodes: usize,
-    /// Stored queries in discovery order, tagged with the FD unit id
+    /// Stored queries in discovery order, tagged with the FD unit key
     /// when the unit is an FD group (for cross-chunk dedup).
-    pub queries: Vec<(Option<String>, StoredQuery)>,
-    pub fd_total: BTreeSet<String>,
-    pub fd_selected: BTreeSet<String>,
-    pub fd_marked: BTreeSet<String>,
+    pub queries: Vec<(Option<UnitKey>, StoredQuery)>,
+    pub fd_flags: BTreeMap<UnitKey, FdEmbedFlags>,
     pub chunk_timings: Vec<ChunkTiming>,
 }
 
 impl PartialEmbed {
+    /// The flag entry for an FD group, created on first sight (the only
+    /// point the key is cloned in this chunk).
+    pub fn fd_entry(&mut self, key: &UnitKey) -> &mut FdEmbedFlags {
+        if !self.fd_flags.contains_key(key) {
+            self.fd_flags.insert(key.clone(), FdEmbedFlags::default());
+        }
+        self.fd_flags.get_mut(key).expect("inserted above")
+    }
+
     pub fn merge(&mut self, other: PartialEmbed) {
         self.records += other.records;
         self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
@@ -84,30 +106,33 @@ impl PartialEmbed {
         self.selected_local += other.selected_local;
         self.marked_local += other.marked_local;
         self.marked_nodes += other.marked_nodes;
-        self.fd_total.extend(other.fd_total);
-        self.fd_selected.extend(other.fd_selected);
+        for (key, flags) in other.fd_flags {
+            let mine = self.fd_flags.entry(key).or_default();
+            mine.selected |= flags.selected;
+            mine.marked |= flags.marked;
+        }
         self.queries.extend(other.queries);
-        // fd_marked is unioned implicitly by finalize()'s dedup walk.
-        self.fd_marked.extend(other.fd_marked);
         self.chunk_timings.extend(other.chunk_timings);
     }
 
     pub fn finalize(self) -> StreamEmbedReport {
-        let mut seen_fd: BTreeSet<String> = BTreeSet::new();
+        let mut seen_fd: BTreeSet<UnitKey> = BTreeSet::new();
         let mut queries = Vec::with_capacity(self.queries.len());
-        for (fd_id, query) in self.queries {
-            if let Some(id) = fd_id {
-                if !seen_fd.insert(id) {
+        for (fd_key, query) in self.queries {
+            if let Some(key) = fd_key {
+                if !seen_fd.insert(key) {
                     continue; // the same FD group marked in another chunk
                 }
             }
             queries.push(query);
         }
+        let fd_selected = self.fd_flags.values().filter(|f| f.selected).count();
+        let fd_marked = self.fd_flags.values().filter(|f| f.marked).count();
         StreamEmbedReport {
             report: EmbedReport {
-                total_units: self.total_local + self.fd_total.len(),
-                selected_units: self.selected_local + self.fd_selected.len(),
-                marked_units: self.marked_local + self.fd_marked.len(),
+                total_units: self.total_local + self.fd_flags.len(),
+                selected_units: self.selected_local + fd_selected,
+                marked_units: self.marked_local + fd_marked,
                 marked_nodes: self.marked_nodes,
                 queries,
             },
@@ -127,8 +152,8 @@ pub(crate) struct PartialDetect {
     pub votes_cast: usize,
     pub total_local: usize,
     pub located_local: usize,
-    pub fd_total: BTreeSet<String>,
-    pub fd_located: BTreeSet<String>,
+    /// Selected FD groups → whether any chunk located votes for them.
+    pub fd_located: BTreeMap<UnitKey, bool>,
     pub chunk_timings: Vec<ChunkTiming>,
 }
 
@@ -141,10 +166,15 @@ impl PartialDetect {
             votes_cast: 0,
             total_local: 0,
             located_local: 0,
-            fd_total: BTreeSet::new(),
-            fd_located: BTreeSet::new(),
+            fd_located: BTreeMap::new(),
             chunk_timings: Vec::new(),
         }
+    }
+
+    /// The located flag for a selected FD group. Takes the key by value:
+    /// an already-present key is dropped, not cloned.
+    pub fn fd_entry(&mut self, key: UnitKey) -> &mut bool {
+        self.fd_located.entry(key).or_default()
     }
 
     pub fn merge(&mut self, other: PartialDetect) {
@@ -156,19 +186,21 @@ impl PartialDetect {
         self.votes_cast += other.votes_cast;
         self.total_local += other.total_local;
         self.located_local += other.located_local;
-        self.fd_total.extend(other.fd_total);
-        self.fd_located.extend(other.fd_located);
+        for (key, located) in other.fd_located {
+            *self.fd_located.entry(key).or_default() |= located;
+        }
         self.chunk_timings.extend(other.chunk_timings);
     }
 
     pub fn finalize(self, watermark: &wmx_core::Watermark, threshold: f64) -> StreamDetectReport {
+        let fd_located = self.fd_located.values().filter(|l| **l).count();
         let report = wmx_core::report_from_votes(
             self.bit_votes,
             watermark,
             threshold,
             wmx_core::VoteCounters {
-                total_queries: self.total_local + self.fd_total.len(),
-                located_queries: self.located_local + self.fd_located.len(),
+                total_queries: self.total_local + self.fd_located.len(),
+                located_queries: self.located_local + fd_located,
                 unrewritable_queries: 0,
                 votes_cast: self.votes_cast,
             },

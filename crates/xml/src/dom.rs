@@ -19,9 +19,11 @@
 //! document-order rank of every attached node. The XPath evaluator
 //! answers descendant name steps and document-order sorting from this
 //! index instead of re-traversing the tree per query. The index is
-//! invalidated by any mutation that changes tree shape, sibling order,
-//! or an element name (value edits — text and attribute writes — keep it
-//! valid), and is rebuilt on next use.
+//! invalidated by any mutation that adds/removes structure or changes
+//! an element name and rebuilt on next use; sibling reorders *patch*
+//! it in place (only the reordered subtree's ranks and name buckets are
+//! touched), and value edits — text and attribute writes — keep it
+//! valid untouched.
 //!
 //! Mutation is index-based: children are stored as ordered `Vec<NodeId>`
 //! per parent, which makes the operations the watermark encoder needs —
@@ -33,8 +35,20 @@
 use crate::error::{XmlError, XmlErrorKind};
 use crate::intern::{Interner, Sym};
 use std::cell::OnceCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global source of symbol-binding generations. Every value is handed
+/// out exactly once, so two documents share a generation only when one
+/// is a clone of the other *and* neither has grown its symbol table
+/// since — exactly the condition under which a cached name→[`Sym`]
+/// resolution is valid for both.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Index of a node within its [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -108,9 +122,11 @@ struct Node {
 /// Symbol → attached elements (document order) plus document-order ranks.
 ///
 /// Built lazily by [`Document::name_index`] in one traversal; dropped by
-/// any structural or name mutation. Value edits (text content, attribute
-/// values) do not invalidate it, which is what keeps detection — many
-/// query evaluations over an immutable document — at one build total.
+/// mutations that add/remove structure or rename elements, *patched* in
+/// place by sibling reorders (see [`NameIndex::patch_reorder`]). Value
+/// edits (text content, attribute values) do not invalidate it, which is
+/// what keeps detection — many query evaluations over an immutable
+/// document — at one build total.
 #[derive(Debug, Clone, Default)]
 pub struct NameIndex {
     by_name: HashMap<Sym, Vec<NodeId>>,
@@ -140,6 +156,52 @@ impl NameIndex {
         self.order.get(&node).copied()
     }
 
+    /// Incrementally repairs the index after a sibling reorder under
+    /// `parent`. A reorder permutes `parent`'s children without adding
+    /// or removing nodes, so the subtree below `parent` keeps its
+    /// contiguous rank interval `(rank(parent), rank(parent) + size]` —
+    /// only the assignment of ranks *within* the interval changes, and
+    /// only name buckets with members inside the subtree need
+    /// re-sorting. Everything outside the subtree keeps its cached
+    /// entries. No-op when `parent` is detached (the index never
+    /// covered it).
+    fn patch_reorder(&mut self, doc: &Document, parent: NodeId) {
+        let Some(parent_rank) = self.order_of(parent) else {
+            return;
+        };
+        let mut rank = parent_rank;
+        let mut dirty_names: HashSet<Sym> = HashSet::new();
+        for node in doc.descendants(parent) {
+            if node == parent {
+                continue;
+            }
+            rank += 1;
+            self.order.insert(node, rank);
+            if let NodeKind::Element { name, .. } = doc.kind(node) {
+                dirty_names.insert(*name);
+            }
+        }
+        let subtree_end = rank; // inclusive end of the patched interval
+        let order = &self.order;
+        for sym in dirty_names {
+            if let Some(bucket) = self.by_name.get_mut(&sym) {
+                // Membership is unchanged by a reorder, and every moved
+                // member keeps a rank inside `(parent_rank, subtree_end]`
+                // — so members of the patched subtree still occupy one
+                // contiguous run of the rank-sorted bucket, and only
+                // that run can be out of order. Binary search stays
+                // valid on the run boundaries (the predicates are
+                // monotone even while the run itself is unsorted), so a
+                // document-wide bucket costs two partition points plus
+                // a sort of the run, not a full re-sort per swap.
+                let rank_of = |n: &NodeId| order.get(n).copied().unwrap_or(usize::MAX);
+                let start = bucket.partition_point(|n| rank_of(n) <= parent_rank);
+                let end = bucket.partition_point(|n| rank_of(n) <= subtree_end);
+                bucket[start..end].sort_by_key(rank_of);
+            }
+        }
+    }
+
     /// Number of attached nodes the index covers.
     pub fn len(&self) -> usize {
         self.order.len()
@@ -156,6 +218,10 @@ impl NameIndex {
 pub struct Document {
     nodes: Vec<Node>,
     interner: Interner,
+    /// Symbol-binding generation: changes whenever a name→[`Sym`]
+    /// resolution against this document could change (interner growth,
+    /// table installation). See [`Document::generation`].
+    generation: u64,
     /// Lazily built name/order index; dropped on structural mutation.
     index: OnceCell<NameIndex>,
     /// Content of the `<?xml ...?>` declaration, if present.
@@ -169,6 +235,9 @@ impl Clone for Document {
         Document {
             nodes: self.nodes.clone(),
             interner: self.interner.clone(),
+            // The clone's symbol table is identical, so cached
+            // resolutions stay valid for both until either grows.
+            generation: self.generation,
             // The clone rebuilds its index on first use; copying two
             // arena-sized maps for it would be pure waste.
             index: OnceCell::new(),
@@ -194,6 +263,7 @@ impl Document {
                 kind: NodeKind::Document,
             }],
             interner: Interner::new(),
+            generation: next_generation(),
             index: OnceCell::new(),
             xml_decl: None,
             doctype: None,
@@ -233,9 +303,25 @@ impl Document {
     }
 
     /// Drops the cached [`NameIndex`]; called by every mutation that
-    /// changes tree shape, sibling order, or a name.
+    /// changes tree shape or a name. Sibling reorders take the cheaper
+    /// [`Document::touch_reorder`] path instead.
     fn touch(&mut self) {
         self.index.take();
+    }
+
+    /// Patches the cached [`NameIndex`] (when built) after a sibling
+    /// reorder under `parent` instead of dropping it: only the ranks of
+    /// `parent`'s proper descendants change, and only name buckets with
+    /// members inside that subtree need re-sorting — the rest of the
+    /// document keeps its cached entries. This is what keeps embed-side
+    /// order marks (sibling swaps) from paying a whole-document rebuild
+    /// on the next query.
+    fn touch_reorder(&mut self, parent: NodeId) {
+        let Some(mut index) = self.index.take() else {
+            return; // nothing built yet; next read builds fresh
+        };
+        index.patch_reorder(self, parent);
+        let _ = self.index.set(index);
     }
 
     // ------------------------------------------------------------------
@@ -244,7 +330,25 @@ impl Document {
 
     /// Interns `name` into this document's symbol table.
     pub fn intern(&mut self, name: &str) -> Sym {
-        self.interner.intern(name)
+        let before = self.interner.len();
+        let sym = self.interner.intern(name);
+        if self.interner.len() != before {
+            // A fresh name can turn a cached lookup miss into a hit:
+            // invalidate downstream symbol caches.
+            self.generation = next_generation();
+        }
+        sym
+    }
+
+    /// The document's symbol-binding generation. Two calls return the
+    /// same value iff no name has been interned in between, and a
+    /// cloned document shares its source's generation until either
+    /// grows its table — so `(generation, name)` is a sound cache key
+    /// for `lookup_sym` results held outside the document (compiled
+    /// queries, evaluators). Structural edits do *not* change the
+    /// generation; they cannot change what a name resolves to.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The symbol for `name`, if any node of this document ever used it.
@@ -277,6 +381,7 @@ impl Document {
             "install_interner would invalidate existing symbols"
         );
         self.interner = interner;
+        self.generation = next_generation();
     }
 
     /// Resolved name of `attr` (which must belong to this document).
@@ -323,7 +428,7 @@ impl Document {
     /// # Errors
     /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
     pub fn create_element(&mut self, name: impl AsRef<str>) -> Result<NodeId, XmlError> {
-        let name = self.interner.intern(name.as_ref());
+        let name = self.intern(name.as_ref());
         self.create_element_raw(name)
     }
 
@@ -368,7 +473,7 @@ impl Document {
         target: impl AsRef<str>,
         data: impl Into<String>,
     ) -> Result<NodeId, XmlError> {
-        let target = self.interner.intern(target.as_ref());
+        let target = self.intern(target.as_ref());
         self.push_node(NodeKind::Pi {
             target,
             data: data.into(),
@@ -464,13 +569,13 @@ impl Document {
             new_children.push(old[from]);
         }
         self.node_mut(parent).children = new_children;
-        self.touch();
+        self.touch_reorder(parent);
     }
 
     /// Swaps children at positions `i` and `j` under `parent`.
     pub fn swap_children(&mut self, parent: NodeId, i: usize, j: usize) {
         self.node_mut(parent).children.swap(i, j);
-        self.touch();
+        self.touch_reorder(parent);
     }
 
     /// Whether `node` is reachable from the document node.
@@ -530,7 +635,7 @@ impl Document {
         if !self.is_element(node) {
             return Err(XmlError::dom(XmlErrorKind::NotAnElement));
         }
-        let sym = self.interner.intern(name.as_ref());
+        let sym = self.intern(name.as_ref());
         match &mut self.node_mut(node).kind {
             NodeKind::Element { name: n, .. } => {
                 *n = sym;
@@ -596,7 +701,7 @@ impl Document {
         if !self.is_element(node) {
             return Err(XmlError::dom(XmlErrorKind::NotAnElement));
         }
-        let sym = self.interner.intern(name.as_ref());
+        let sym = self.intern(name.as_ref());
         self.set_attribute_raw(node, sym, value.into())
     }
 
@@ -746,18 +851,19 @@ impl Document {
             // fresh element-less subtree root; callers normally import
             // the source's root element instead.
             NodeKind::Document => NodeKind::Document,
-            NodeKind::Element { name, attributes } => NodeKind::Element {
-                name: self.interner.intern(source.resolve(*name)),
-                attributes: attributes
+            NodeKind::Element { name, attributes } => {
+                let name = self.intern(source.resolve(*name));
+                let attributes = attributes
                     .iter()
                     .map(|a| Attribute {
-                        name: self.interner.intern(source.resolve(a.name)),
+                        name: self.intern(source.resolve(a.name)),
                         value: a.value.clone(),
                     })
-                    .collect(),
-            },
+                    .collect();
+                NodeKind::Element { name, attributes }
+            }
             NodeKind::Pi { target, data } => NodeKind::Pi {
-                target: self.interner.intern(source.resolve(*target)),
+                target: self.intern(source.resolve(*target)),
                 data: data.clone(),
             },
             other => other.clone(),
@@ -892,6 +998,79 @@ mod tests {
         doc.set_name(book1, "tome").unwrap();
         assert_eq!(doc.elements_named("book"), &[book2]);
         assert_eq!(doc.elements_named("tome"), &[book1]);
+    }
+
+    /// Rebuilds a fresh index and checks the patched one agrees with it.
+    fn assert_index_matches_rebuild(doc: &Document) {
+        let rebuilt = NameIndex::build(doc);
+        let patched = doc.name_index();
+        assert_eq!(patched.len(), rebuilt.len());
+        for (node, rank) in &rebuilt.order {
+            assert_eq!(
+                patched.order_of(*node),
+                Some(*rank),
+                "rank mismatch for {node}"
+            );
+        }
+        for (sym, bucket) in &rebuilt.by_name {
+            assert_eq!(
+                patched.elements_named(*sym),
+                bucket.as_slice(),
+                "bucket mismatch for {sym}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_reorder_patches_index_incrementally() {
+        let (mut doc, db, book1, book2) = sample();
+        // Build the index, then swap: the patched index must equal a
+        // fresh rebuild (ranks and every name bucket).
+        assert_eq!(doc.elements_named("book"), &[book1, book2]);
+        doc.swap_children(db, 0, 1);
+        assert_index_matches_rebuild(&doc);
+        assert_eq!(doc.elements_named("book"), &[book2, book1]);
+        // Permute back via reorder_children; still consistent.
+        doc.reorder_children(db, &[1, 0]);
+        assert_index_matches_rebuild(&doc);
+        assert_eq!(doc.elements_named("book"), &[book1, book2]);
+    }
+
+    #[test]
+    fn reorder_on_detached_subtree_keeps_index() {
+        let (mut doc, _db, book1, _) = sample();
+        let before: Vec<NodeId> = doc.elements_named("book").to_vec();
+        doc.detach(book1);
+        let _ = doc.name_index(); // build with book1 detached
+                                  // A reorder inside the detached subtree must not disturb the
+                                  // attached index.
+        doc.swap_children(book1, 0, 0);
+        assert_index_matches_rebuild(&doc);
+        assert_ne!(doc.elements_named("book"), before.as_slice());
+    }
+
+    #[test]
+    fn generation_tracks_symbol_table_growth_only() {
+        let (mut doc, db, book1, _) = sample();
+        let g0 = doc.generation();
+        // Structural edits and value edits keep the generation.
+        doc.swap_children(db, 0, 1);
+        doc.set_attribute(book1, "book", "reuses-existing-name")
+            .unwrap();
+        assert_eq!(doc.generation(), g0);
+        // A new name bumps it.
+        doc.set_attribute(book1, "brand-new-attr", "v").unwrap();
+        let g1 = doc.generation();
+        assert_ne!(g1, g0);
+        // Re-interning the same name does not.
+        doc.set_attribute(book1, "brand-new-attr", "w").unwrap();
+        assert_eq!(doc.generation(), g1);
+        // A clone shares the generation until either side grows.
+        let mut clone = doc.clone();
+        assert_eq!(clone.generation(), g1);
+        clone.create_element("clone-only").unwrap();
+        assert_ne!(clone.generation(), g1);
+        assert_eq!(doc.generation(), g1);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use build::ElementBuilder;
 pub use dom::{Attribute, Document, NameIndex, NodeId, NodeKind};
 pub use error::{XmlError, XmlErrorKind};
 pub use intern::{Interner, Sym};
-pub use parser::{parse, parse_with_options, ParseOptions};
+pub use parser::{parse, parse_seeded, parse_with_options, ParseOptions};
 pub use pull::{PullParser, Pulled};
 pub use serialize::{node_to_string, to_canonical_string, to_pretty_string, to_string};
 pub use token::{SpannedToken, SymAttribute, Token, TokenAttribute};

@@ -40,8 +40,27 @@ pub fn parse(input: &str) -> Result<Document, XmlError> {
 /// the lexer's symbol table, so tree construction never re-hashes a
 /// name.
 pub fn parse_with_options(input: &str, options: ParseOptions) -> Result<Document, XmlError> {
+    parse_seeded(input, options, crate::intern::Interner::new())
+}
+
+/// Parses `input` starting from a pre-populated symbol table.
+///
+/// Every name already in `seed` keeps its symbol id in the resulting
+/// document; new names extend the table in first-occurrence order. Two
+/// documents parsed from clones of the same seed therefore agree on the
+/// symbol ids of all seeded names (and of any further names they
+/// introduce in the same order) — the property the `wmx-stream` engine
+/// uses to keep record mini-document symbols stable across a whole
+/// stream, so per-record work keyed by [`crate::Sym`] carries over from
+/// record to record.
+pub fn parse_seeded(
+    input: &str,
+    options: ParseOptions,
+    seed: crate::intern::Interner,
+) -> Result<Document, XmlError> {
     let mut doc = Document::new();
     let mut lexer = Lexer::new(input);
+    lexer.set_interner(seed);
     // Stack of open elements; the document node is the base.
     let mut stack: Vec<NodeId> = vec![doc.document_node()];
     let mut open_names: Vec<crate::intern::Sym> = Vec::new();
@@ -357,6 +376,27 @@ mod tests {
         let doc = parse(&input).unwrap();
         assert_eq!(doc.element_count(), depth);
         assert_eq!(doc.text_content(doc.root_element().unwrap()), "leaf");
+    }
+
+    #[test]
+    fn seeded_parse_keeps_prototype_symbol_ids() {
+        let mut seed = crate::intern::Interner::new();
+        let db = seed.intern("db");
+        let book = seed.intern("book");
+        let title = seed.intern("title");
+        for input in [
+            "<db><book><title>A</title></book></db>",
+            // Different document shape, same vocabulary: ids must agree.
+            "<db><book><extra/><title>B</title></book></db>",
+        ] {
+            let doc = parse_seeded(input, ParseOptions::default(), seed.clone()).unwrap();
+            assert_eq!(doc.lookup_sym("db"), Some(db));
+            assert_eq!(doc.lookup_sym("book"), Some(book));
+            assert_eq!(doc.lookup_sym("title"), Some(title));
+        }
+        // Unseeded names extend past the seed.
+        let doc = parse_seeded("<db><new/></db>", ParseOptions::default(), seed.clone()).unwrap();
+        assert!(doc.lookup_sym("new").unwrap().index() >= seed.len());
     }
 
     #[test]

@@ -38,14 +38,32 @@ impl Query {
 
     /// Evaluates the query from the document root context.
     pub fn evaluate(&self, doc: &Document) -> Result<Value, XPathError> {
-        let evaluator = Evaluator::new(doc);
-        let ctx = Context::solo(NodeRef::Node(doc.document_node()));
+        self.evaluate_with(&Evaluator::new(doc))
+    }
+
+    /// Evaluates from the document root through an existing evaluator.
+    ///
+    /// Reusing one [`Evaluator`] across many queries against the same
+    /// document (the detection loop) shares its memoized name→symbol
+    /// resolutions instead of rebuilding them per query.
+    pub fn evaluate_with(&self, evaluator: &Evaluator<'_>) -> Result<Value, XPathError> {
+        let ctx = Context::solo(NodeRef::Node(evaluator.document().document_node()));
         evaluator.eval_expr(&self.expr, &ctx)
     }
 
     /// Evaluates from an explicit context node.
     pub fn evaluate_from(&self, doc: &Document, context: NodeRef) -> Result<Value, XPathError> {
         let evaluator = Evaluator::new(doc);
+        evaluator.eval_expr(&self.expr, &Context::solo(context))
+    }
+
+    /// Evaluates from an explicit context node through an existing
+    /// evaluator.
+    pub fn evaluate_from_with(
+        &self,
+        evaluator: &Evaluator<'_>,
+        context: NodeRef,
+    ) -> Result<Value, XPathError> {
         evaluator.eval_expr(&self.expr, &Context::solo(context))
     }
 
@@ -57,9 +75,24 @@ impl Query {
             .unwrap_or_default()
     }
 
+    /// Evaluates through an existing evaluator, returning the node-set.
+    pub fn select_with(&self, evaluator: &Evaluator<'_>) -> Vec<NodeRef> {
+        self.evaluate_with(evaluator)
+            .map(Value::into_nodes)
+            .unwrap_or_default()
+    }
+
     /// Evaluates from a context node, returning the node-set.
     pub fn select_from(&self, doc: &Document, context: NodeRef) -> Vec<NodeRef> {
         self.evaluate_from(doc, context)
+            .map(Value::into_nodes)
+            .unwrap_or_default()
+    }
+
+    /// Evaluates from a context node through an existing evaluator,
+    /// returning the node-set.
+    pub fn select_from_with(&self, evaluator: &Evaluator<'_>, context: NodeRef) -> Vec<NodeRef> {
+        self.evaluate_from_with(evaluator, context)
             .map(Value::into_nodes)
             .unwrap_or_default()
     }

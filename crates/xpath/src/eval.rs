@@ -13,12 +13,45 @@
 use crate::ast::{Axis, BinaryOp, Expr, NodeTest, PathExpr, Step};
 use crate::error::XPathError;
 use crate::value::{format_number, parse_number, NodeRef, Value};
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
 use wmx_xml::{Document, NodeId, NodeKind, Sym};
 
+/// A fast non-cryptographic hasher for the short name strings on the
+/// symbol-memo path (FxHash-style byte folding). Collisions only cost a
+/// probe; correctness is content-equality like any hash map.
+#[derive(Default)]
+struct NameHasher(u64);
+
+impl Hasher for NameHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+}
+
+type SymMemo = HashMap<Box<str>, Option<Sym>, BuildHasherDefault<NameHasher>>;
+
 /// Evaluation engine bound to one document.
+///
+/// An evaluator may be reused across many queries against the same
+/// document (the detection hot path does exactly that): it memoizes
+/// name-test → [`Sym`] resolutions, so a predicate like `[title = 'X']`
+/// evaluated once per candidate resolves `title` against the document's
+/// symbol table once instead of once per candidate. The memo is sound
+/// because the evaluator holds the document borrowed for its whole
+/// lifetime (no mutation can change a binding) — the captured
+/// [`Document::generation`] is asserted in debug builds as a guard.
 pub struct Evaluator<'d> {
     doc: &'d Document,
+    generation: u64,
+    sym_memo: RefCell<SymMemo>,
 }
 
 /// Evaluation context: the context node plus its position/size within the
@@ -47,7 +80,31 @@ impl Context {
 impl<'d> Evaluator<'d> {
     /// Creates an evaluator for `doc`.
     pub fn new(doc: &'d Document) -> Self {
-        Evaluator { doc }
+        Evaluator {
+            doc,
+            generation: doc.generation(),
+            sym_memo: RefCell::new(SymMemo::default()),
+        }
+    }
+
+    /// The document this evaluator is bound to.
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Memoized name→symbol resolution (see the type docs).
+    fn sym_of(&self, name: &str) -> Option<Sym> {
+        debug_assert_eq!(
+            self.doc.generation(),
+            self.generation,
+            "document symbol table changed under a live evaluator"
+        );
+        if let Some(&cached) = self.sym_memo.borrow().get(name) {
+            return cached;
+        }
+        let sym = self.doc.lookup_sym(name);
+        self.sym_memo.borrow_mut().insert(name.into(), sym);
+        sym
     }
 
     fn order_of(&self, id: NodeId) -> usize {
@@ -73,6 +130,9 @@ impl<'d> Evaluator<'d> {
 
     /// Sorts `nodes` into document order and removes duplicates.
     pub fn document_order(&self, mut nodes: Vec<NodeRef>) -> Vec<NodeRef> {
+        if nodes.len() <= 1 {
+            return nodes; // already unique and ordered; skip the hashing
+        }
         let mut seen = HashSet::with_capacity(nodes.len());
         nodes.retain(|n| seen.insert(n.clone()));
         nodes.sort_by_key(|n| self.sort_key(n));
@@ -110,7 +170,7 @@ impl<'d> Evaluator<'d> {
                     if let NodeTest::Name(n) = &named.test {
                         let single_ctx = current.len() == 1;
                         let mut next: Vec<NodeRef> = Vec::new();
-                        if let Some(sym) = self.doc.lookup_sym(n) {
+                        if let Some(sym) = self.sym_of(n) {
                             for ctx in &current {
                                 next.extend(self.descendants_named(ctx, sym));
                             }
@@ -132,13 +192,22 @@ impl<'d> Evaluator<'d> {
                     }
                 }
             }
+            let single_ctx = current.len() == 1;
             let mut next: Vec<NodeRef> = Vec::new();
             for ctx in &current {
                 let candidates = self.axis_candidates(ctx, step);
                 let filtered = self.apply_predicates(candidates, &step.predicates)?;
                 next.extend(filtered);
             }
-            current = self.document_order(next);
+            // Every axis yields unique candidates in document order for
+            // one context node, and predicates only filter — so a
+            // single-context step needs no dedup/sort pass. This is the
+            // common shape of identity queries (`/db/book[pred]/year`).
+            current = if single_ctx {
+                next
+            } else {
+                self.document_order(next)
+            };
             if current.is_empty() {
                 break;
             }
@@ -196,9 +265,9 @@ impl<'d> Evaluator<'d> {
         match step.axis {
             Axis::Child => match ctx {
                 NodeRef::Node(id) => match &step.test {
-                    // Name tests compare interned symbols: one table
-                    // lookup, then integer compares per child.
-                    NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                    // Name tests compare interned symbols: one memoized
+                    // table lookup, then integer compares per child.
+                    NodeTest::Name(n) => match self.sym_of(n) {
                         Some(sym) => self
                             .doc
                             .children(*id)
@@ -226,7 +295,7 @@ impl<'d> Evaluator<'d> {
                     // index (self is included iff it carries the name,
                     // which descendants_named's ancestor filter misses,
                     // so check it separately).
-                    NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                    NodeTest::Name(n) => match self.sym_of(n) {
                         Some(sym) => {
                             let mut out = Vec::new();
                             if self.doc.name_sym(*id) == Some(sym) {
@@ -266,7 +335,7 @@ impl<'d> Evaluator<'d> {
             Axis::Attribute => match ctx {
                 NodeRef::Node(id) if self.doc.is_element(*id) => {
                     let name_sym = match &step.test {
-                        NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+                        NodeTest::Name(n) => match self.sym_of(n) {
                             Some(sym) => Some(sym),
                             None => return Vec::new(),
                         },
@@ -290,7 +359,7 @@ impl<'d> Evaluator<'d> {
 
     fn node_test_matches(&self, node: NodeId, test: &NodeTest) -> bool {
         match test {
-            NodeTest::Name(n) => match self.doc.lookup_sym(n) {
+            NodeTest::Name(n) => match self.sym_of(n) {
                 Some(sym) => self.doc.name_sym(node) == Some(sym),
                 None => false,
             },
@@ -418,9 +487,9 @@ impl<'d> Evaluator<'d> {
                     }
                 })
             }
-            (Value::Nodes(ns), Value::Text(s)) | (Value::Text(s), Value::Nodes(ns)) => ns
-                .iter()
-                .any(|n| (n.string_value(self.doc) == *s) != negate),
+            (Value::Nodes(ns), Value::Text(s)) | (Value::Text(s), Value::Nodes(ns)) => {
+                ns.iter().any(|n| n.string_value_eq(self.doc, s) != negate)
+            }
             (Value::Nodes(ns), Value::Number(x)) | (Value::Number(x), Value::Nodes(ns)) => ns
                 .iter()
                 .any(|n| (parse_number(&n.string_value(self.doc)) == *x) != negate),

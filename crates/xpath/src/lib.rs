@@ -47,6 +47,7 @@ pub mod value;
 pub use ast::{Axis, Expr, NodeTest, PathExpr, Step};
 pub use engine::Query;
 pub use error::XPathError;
+pub use eval::Evaluator;
 pub use value::{NodeRef, Value};
 
 pub mod error {

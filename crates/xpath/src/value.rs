@@ -29,6 +29,32 @@ impl NodeRef {
         }
     }
 
+    /// Whether this node's XPath string-value equals `expected`,
+    /// without materializing the string-value. Equivalent to
+    /// `self.string_value(doc) == expected` — the text pieces of the
+    /// subtree are matched prefix-wise against `expected` instead of
+    /// being concatenated. This is the predicate-comparison hot path:
+    /// identity queries evaluate `[key = 'value']` once per candidate.
+    pub fn string_value_eq(&self, doc: &Document, expected: &str) -> bool {
+        match self {
+            NodeRef::Node(id) => {
+                let mut rest = expected;
+                for n in doc.descendants(*id) {
+                    if let Some(t) = doc.text(n) {
+                        match rest.strip_prefix(t) {
+                            Some(r) => rest = r,
+                            None => return false,
+                        }
+                    }
+                }
+                rest.is_empty()
+            }
+            NodeRef::Attribute { element, name } => {
+                doc.attribute(*element, name).unwrap_or("") == expected
+            }
+        }
+    }
+
     /// The element id, when this reference is an element node.
     pub fn as_element(&self, doc: &Document) -> Option<NodeId> {
         match self {

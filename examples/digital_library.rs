@@ -7,7 +7,7 @@
 //! cargo run -p wmx-examples --bin digital_library
 //! ```
 
-use wmx_core::{detect, embed, measure_usability, DetectionInput, UnitKind, Watermark};
+use wmx_core::{detect, embed, measure_usability, DetectionInput, UnitTag, Watermark};
 use wmx_crypto::SecretKey;
 use wmx_data::image::GrayImage;
 use wmx_data::library::{generate, LibraryConfig};
@@ -94,11 +94,7 @@ fn main() {
 
     // Sanity: every unit here is key-identified (no FDs declared).
     assert!(report.queries.iter().all(|q| q.logical.is_some()));
-    let _ = UnitKind::KeyAttr {
-        entity: String::new(),
-        key_value: String::new(),
-        attr: String::new(),
-    };
+    let _ = UnitTag::KeyAttr;
     assert!(detection.detected);
     println!("\ndigital library scenario OK");
 }

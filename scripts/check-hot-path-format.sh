@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Hot-path allocation guard: the embed/detect loops in wmx-core must
+# stay symbol-native. Unit identity is a compact UnitKey fed to the PRF
+# incrementally; textual ids are rendered only by UnitKey::display for
+# marked units. A `format!` creeping back into the non-test region of
+# the encoder/decoder would put a per-unit allocation on the hottest
+# loop, so CI denies it here (tests below `#[cfg(test)]` are exempt).
+set -eu
+
+cd "$(dirname "$0")/.."
+status=0
+for f in crates/core/src/encoder.rs crates/core/src/decoder.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} /format!/{print FILENAME ":" FNR ": " $0}' "$f")
+    if [ -n "$hits" ]; then
+        echo "error: format! on the embed/detect hot path (use UnitKey/display):" >&2
+        printf '%s\n' "$hits" >&2
+        status=1
+    fi
+done
+if [ "$status" -eq 0 ]; then
+    echo "hot-path format! guard: clean"
+fi
+exit $status
