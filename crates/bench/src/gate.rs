@@ -66,7 +66,11 @@ pub const E3_KEEPS: [f64; 3] = [0.80, 0.40, 0.10];
 /// PRF selection over every unit, no marking — the `UnitKey` layer in
 /// isolation; its `records_per_s` reads as units/s). `stream_detect`'s
 /// `records_per_s` doubles as the streaming per-record detect gauge.
-pub const THROUGHPUT_NAMES: [&str; 10] = [
+/// `batch_detect` re-answers the same query set through
+/// [`wmx_xpath::batch_select`] — one shared scan per identity-query
+/// family instead of one evaluator pass per query; the contrast with
+/// `query_eval` is the batch-detection speedup in isolation.
+pub const THROUGHPUT_NAMES: [&str; 11] = [
     "embed",
     "detect",
     "stream_embed",
@@ -77,6 +81,7 @@ pub const THROUGHPUT_NAMES: [&str; 10] = [
     "serialize",
     "query_eval",
     "unit_select",
+    "batch_detect",
 ];
 
 /// Grid-point names in emission order.
@@ -338,6 +343,26 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
         assert!(selected > 0, "selection must pick units at gamma");
     });
     throughput.push(ThroughputStat::from_measurement("unit_select", &m));
+
+    // Batched identity-query evaluation: the safeguarded query set
+    // answered through `batch_select`, which groups queries by family
+    // and runs one shared instance scan + key-path evaluation per
+    // group. records_per_iter is the query count, so `records_per_s`
+    // reads as queries answered per second, directly comparable to
+    // `query_eval` above.
+    let m = Measurement::run(&mcfg, input_bytes, queries.len() as u64, || {
+        let evaluator = wmx_xpath::Evaluator::new(&w.marked);
+        let answers = wmx_xpath::batch_select(&evaluator, &queries);
+        let mut located = 0usize;
+        for (q, batch) in queries.iter().zip(&answers) {
+            located += match batch {
+                Some(nodes) => nodes.len(),
+                None => q.select_with(&evaluator).len(),
+            };
+        }
+        assert!(located > 0, "batched identity queries must locate nodes");
+    });
+    throughput.push(ThroughputStat::from_measurement("batch_detect", &m));
 
     BenchReport {
         schema_version: SCHEMA_VERSION,

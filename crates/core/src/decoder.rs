@@ -137,15 +137,29 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     // instead of once per candidate node per query.
     let evaluator = Evaluator::new(doc);
 
-    for stored in input.queries {
-        let query = match resolve_query(stored, input.mapping) {
-            Ok(q) => q,
-            Err(()) => {
-                unrewritable += 1;
-                continue;
-            }
+    // Resolve every stored query up front, then answer whole families
+    // through `batch_select`: identity queries of one (entity, attr)
+    // family share their instance scan and per-candidate key-path
+    // evaluation instead of repeating both per query. Non-batchable
+    // queries fall back to per-query evaluation; either way the node
+    // lists — and therefore every vote — are identical to the
+    // query-at-a-time loop.
+    let mut resolved: Vec<(usize, Query)> = Vec::with_capacity(input.queries.len());
+    for (i, stored) in input.queries.iter().enumerate() {
+        match resolve_query(stored, input.mapping) {
+            Ok(q) => resolved.push((i, q)),
+            Err(()) => unrewritable += 1,
+        }
+    }
+    let compiled: Vec<Query> = resolved.iter().map(|(_, q)| q.clone()).collect();
+    let batched = wmx_xpath::batch_select(&evaluator, &compiled);
+
+    for (slot, (stored_idx, query)) in resolved.iter().enumerate() {
+        let stored = &input.queries[*stored_idx];
+        let nodes = match &batched[slot] {
+            Some(nodes) => nodes.clone(),
+            None => query.select_with(&evaluator),
         };
-        let nodes = query.select_with(&evaluator);
         if nodes.is_empty() {
             continue;
         }

@@ -1,8 +1,9 @@
 //! Watermark insertion (§2.2 step 2).
 
 use crate::config::EncoderConfig;
-use crate::identifier::{enumerate_units, MarkKind, SelectionTable};
+use crate::identifier::MarkKind;
 use crate::nodectx::{DomNodesMut, UnitMarker};
+use crate::plan::global_plan_cache;
 use crate::wm::Watermark;
 use crate::WmError;
 use wmx_crypto::SecretKey;
@@ -69,8 +70,12 @@ pub fn embed(
     if watermark.is_empty() {
         return Err(WmError::new("watermark must have at least one bit"));
     }
-    let table = SelectionTable::build(config, fds);
-    let units = enumerate_units(doc, binding, fds, config, &table)?;
+    // The compiled plan replays `enumerate_units` with its name
+    // lookups and query parsing hoisted to (cached) compile time;
+    // `plan_equivalence.rs` pins the bit-for-bit agreement.
+    let plan = global_plan_cache().get_or_compile(binding, fds, config)?;
+    let table = plan.table();
+    let units = plan.execute(doc);
     let marker = UnitMarker::new(key.clone());
 
     let mut report = EmbedReport {
@@ -84,7 +89,7 @@ pub fn embed(
     for unit in units {
         // Selection feeds the compact key straight into the PRF — no
         // unit-id string is built for the ~(γ−1)/γ unselected units.
-        if !marker.is_selected(&unit.key.id(&table), config.gamma) {
+        if !marker.is_selected(&unit.key.id(table), config.gamma) {
             continue;
         }
         report.selected_units += 1;
@@ -92,7 +97,7 @@ pub fn embed(
         // streaming engine); this path feeds it the DOM-backed context.
         let marked_nodes = marker.mark_unit(
             &mut DomNodesMut::new(doc, &unit.nodes),
-            &unit.key.id(&table),
+            &unit.key.id(table),
             unit.mark,
             watermark,
         )?;
@@ -103,9 +108,9 @@ pub fn embed(
         report.marked_nodes += marked_nodes;
         // Only marked units pay for query construction and the textual
         // unit id (the persisted safeguard format is unchanged).
-        let (query, logical) = unit.query_and_logical(&table, binding, fds)?;
+        let (query, logical) = unit.query_and_logical(table, binding, fds)?;
         report.queries.push(StoredQuery {
-            unit_id: unit.key.display(&table),
+            unit_id: unit.key.display(table),
             xpath: query.to_string(),
             logical,
             mark: unit.mark,

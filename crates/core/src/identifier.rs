@@ -91,7 +91,7 @@ impl SelectionTable {
         self.names.resolve(sym)
     }
 
-    fn lookup(&self, name: &str) -> Sym {
+    pub(crate) fn lookup(&self, name: &str) -> Sym {
         self.names
             .lookup(name)
             .expect("selection vocabulary interned at build")
@@ -441,7 +441,7 @@ fn fd_group_units(
 /// Finds the markable declaration whose bound access path equals the
 /// FD's dependent path (the FD is expressed physically, markables
 /// logically; the binding connects them).
-fn markable_for_fd<'c>(
+pub(crate) fn markable_for_fd<'c>(
     binding: &SchemaBinding,
     fds: &[Fd],
     fd_name: &str,

@@ -36,6 +36,7 @@ pub mod embed;
 pub mod encoder;
 pub mod identifier;
 pub mod nodectx;
+pub mod plan;
 pub mod template;
 pub mod usability;
 pub mod wm;
@@ -47,6 +48,7 @@ pub use decoder::{
 pub use encoder::{embed, EmbedReport, StoredQuery};
 pub use identifier::{enumerate_units, MarkKind, MarkUnit, SelectionTable, UnitKey, UnitTag};
 pub use nodectx::{DomNodes, DomNodesMut, NodeCtx, NodeCtxMut, UnitMarker, UnitVotes};
+pub use plan::{global_plan_cache, PlanCache, SelectionPlan};
 pub use template::QueryTemplate;
 pub use usability::{measure_usability, UsabilityReport};
 pub use wm::Watermark;

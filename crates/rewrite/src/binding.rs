@@ -127,6 +127,13 @@ impl EntityBinding {
         self.instance_query.select_with(evaluator)
     }
 
+    /// The compiled instance query (selects all entity instances).
+    /// Compiled selection plans clone this instead of re-parsing
+    /// `instance_path`, so plan and binding agree by construction.
+    pub fn instance_query(&self) -> &Query {
+        &self.instance_query
+    }
+
     /// The binding of a logical attribute.
     pub fn attr(&self, name: &str) -> Option<&AttrBinding> {
         self.attrs.get(name)

@@ -2,27 +2,32 @@
 //!
 //! Each raw record slice is re-parsed into a *mini-document* wrapped in
 //! a copy of the root element (so absolute instance paths like
-//! `/db/book` resolve), the shared unit enumeration from `wmx-core` runs
-//! over it, and every unit goes through the same [`UnitMarker`] the DOM
-//! encoder/decoder uses. Unit identities are key-based — never
+//! `/db/book` resolve), the compiled [`SelectionPlan`] from `wmx-core`
+//! runs over it, and every unit goes through the same [`UnitMarker`] the
+//! DOM encoder/decoder uses. Unit identities are key-based — never
 //! positional — so a unit's selection, bit index, nonce, and whitening
 //! are identical whether the unit was found in a 10 GB document or in
 //! its own record: that is what makes streaming output bit-for-bit equal
 //! to DOM output.
 //!
 //! The engine is compiled **once per stream** and shared by every
-//! record (and every worker thread): the [`SelectionTable`] interns the
-//! selection vocabulary so [`wmx_core::UnitKey`]s from different
-//! records/chunks compare and merge directly, record mini-documents are
-//! parsed from a clone of a seeded prototype [`Interner`] (root +
-//! binding vocabulary) so their symbol ids stay stable across the whole
-//! stream, and identity queries are only constructed for units that
-//! actually mark — detection builds none at all.
+//! record (and every worker thread): the plan is fetched from the
+//! process-wide [`wmx_core::PlanCache`], so repeated streams over the
+//! same schema reuse one compiled plan, its interned selection
+//! vocabulary lets [`wmx_core::UnitKey`]s from different records/chunks
+//! compare and merge directly, record mini-documents are parsed from a
+//! clone of a seeded prototype [`Interner`] (root + binding vocabulary)
+//! so their symbol ids stay stable across the whole stream, and identity
+//! queries are only constructed for units that actually mark — detection
+//! builds none at all. Per-record work does no name lookups and parses
+//! no queries: every access step was resolved at plan compile time.
 
 use crate::report::{PartialDetect, PartialEmbed};
 use crate::{StreamContext, StreamError};
+use std::fmt::Write as _;
+use std::sync::Arc;
 use wmx_core::{
-    enumerate_units, DomNodes, DomNodesMut, SelectionTable, UnitMarker, UnitTag, Watermark,
+    global_plan_cache, DomNodes, DomNodesMut, SelectionPlan, UnitMarker, UnitTag, Watermark,
 };
 use wmx_crypto::SecretKey;
 use wmx_rewrite::binding::AttrBinding;
@@ -36,9 +41,11 @@ pub(crate) struct RecordEngine<'a> {
     watermark: &'a Watermark,
     root_open: String,
     root_close: String,
-    /// Interned selection vocabulary; shared by every record and chunk
-    /// so unit keys merge without rendering.
-    table: SelectionTable,
+    /// Compiled selection plan shared across records, chunks, and worker
+    /// threads (and, through the global cache, across streams with the
+    /// same schema). Pre-resolved symbols and pre-compiled access steps
+    /// mean per-record execution never touches an interner or a parser.
+    plan: Arc<SelectionPlan>,
     /// Seeded prototype symbol table cloned into every record
     /// mini-document: record symbols are stable across the stream.
     prototype: Interner,
@@ -48,7 +55,9 @@ pub(crate) struct RecordEngine<'a> {
 /// own attribute formatting, so streaming/DOM byte parity holds by
 /// construction.
 pub(crate) fn open_tag(name: &str, attributes: &[TokenAttribute]) -> String {
-    let mut out = format!("<{name}");
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('<');
+    out.push_str(name);
     for attr in attributes {
         out.push_str(&wmx_xml::serialize::attribute_text(&attr.name, &attr.value));
     }
@@ -70,8 +79,9 @@ fn seed_path_names(proto: &mut Interner, path: &str) {
 impl<'a> RecordEngine<'a> {
     /// Creates the engine and validates that the semantic package is
     /// usable under streaming: configuration errors the DOM encoder
-    /// would raise are raised here up front (even for empty documents),
-    /// and entities bound to the document root itself are rejected.
+    /// would raise are raised here up front (even for empty documents)
+    /// by plan compilation, and entities bound to the document root
+    /// itself are rejected.
     pub fn new(
         ctx: StreamContext<'a>,
         key: &SecretKey,
@@ -80,14 +90,20 @@ impl<'a> RecordEngine<'a> {
         root_attributes: &[TokenAttribute],
     ) -> Result<Self, StreamError> {
         let root_open = open_tag(root_name, root_attributes);
-        let root_close = format!("</{root_name}>");
-        let table = SelectionTable::build(ctx.config, ctx.fds);
-        let probe = parse(&format!("{root_open}{root_close}")).map_err(StreamError::Xml)?;
+        let mut root_close = String::with_capacity(root_name.len() + 3);
+        root_close.push_str("</");
+        root_close.push_str(root_name);
+        root_close.push('>');
         // Binding/config validation (unbound attributes, markable keys…)
-        // happens before any instance loop, so the probe surfaces the
-        // same errors the DOM encoder would.
-        enumerate_units(&probe, ctx.binding, ctx.fds, ctx.config, &table)
+        // happens at plan compile time, before any record is seen, so
+        // the same errors the DOM encoder would raise surface here.
+        let plan = global_plan_cache()
+            .get_or_compile(ctx.binding, ctx.fds, ctx.config)
             .map_err(StreamError::Wm)?;
+        let mut probe_text = String::with_capacity(root_open.len() + root_close.len());
+        probe_text.push_str(&root_open);
+        probe_text.push_str(&root_close);
+        let probe = parse(&probe_text).map_err(StreamError::Xml)?;
         let probe_root = probe.root_element().expect("probe has a root");
         let mut entity_names: Vec<&str> = ctx
             .config
@@ -105,11 +121,14 @@ impl<'a> RecordEngine<'a> {
                     .iter()
                     .any(|n| matches!(n, wmx_xpath::NodeRef::Node(id) if *id == probe_root));
                 if hits_root {
-                    return Err(StreamError::Unsupported(format!(
+                    let mut msg = String::new();
+                    let _ = write!(
+                        msg,
                         "entity {name:?} is bound to the document root ({}); \
                          record streaming needs instances below the root — use the DOM engine",
                         entity.instance_path
-                    )));
+                    );
+                    return Err(StreamError::Unsupported(msg));
                 }
             }
         }
@@ -136,14 +155,18 @@ impl<'a> RecordEngine<'a> {
             watermark,
             root_open,
             root_close,
-            table,
+            plan,
             prototype,
         })
     }
 
     /// Parses one raw record slice into its wrapped mini-document.
     fn mini_doc(&self, record_raw: &str) -> Result<Document, StreamError> {
-        let text = format!("{}{record_raw}{}", self.root_open, self.root_close);
+        let mut text =
+            String::with_capacity(self.root_open.len() + record_raw.len() + self.root_close.len());
+        text.push_str(&self.root_open);
+        text.push_str(record_raw);
+        text.push_str(&self.root_close);
         parse_seeded(&text, ParseOptions::default(), self.prototype.clone())
             .map_err(StreamError::Xml)
     }
@@ -155,19 +178,13 @@ impl<'a> RecordEngine<'a> {
         partial: &mut PartialEmbed,
     ) -> Result<String, StreamError> {
         let mut mini = self.mini_doc(record_raw)?;
-        let units = enumerate_units(
-            &mini,
-            self.ctx.binding,
-            self.ctx.fds,
-            self.ctx.config,
-            &self.table,
-        )
-        .map_err(StreamError::Wm)?;
+        let units = self.plan.execute(&mini);
+        let table = self.plan.table();
         for unit in units {
             let is_fd = unit.key.tag == UnitTag::FdGroup;
             let selected = self
                 .marker
-                .is_selected(&unit.key.id(&self.table), self.ctx.config.gamma);
+                .is_selected(&unit.key.id(table), self.ctx.config.gamma);
             if is_fd {
                 // One map entry per FD group carries total/selected/
                 // marked flags — the key is cloned at most once per
@@ -185,7 +202,7 @@ impl<'a> RecordEngine<'a> {
             }
             let marked_nodes = self.marker.mark_unit(
                 &mut DomNodesMut::new(&mut mini, &unit.nodes),
-                &unit.key.id(&self.table),
+                &unit.key.id(table),
                 unit.mark,
                 self.watermark,
             )?;
@@ -206,9 +223,9 @@ impl<'a> RecordEngine<'a> {
                 // Identity queries (and textual unit ids) exist only
                 // for units that actually marked.
                 let (query, logical) =
-                    unit.query_and_logical(&self.table, self.ctx.binding, self.ctx.fds)?;
+                    unit.query_and_logical(table, self.ctx.binding, self.ctx.fds)?;
                 let stored = wmx_core::StoredQuery {
-                    unit_id: unit.key.display(&self.table),
+                    unit_id: unit.key.display(table),
                     xpath: query.to_string(),
                     logical,
                     mark: unit.mark,
@@ -233,26 +250,20 @@ impl<'a> RecordEngine<'a> {
         partial: &mut PartialDetect,
     ) -> Result<(), StreamError> {
         let mini = self.mini_doc(record_raw)?;
-        let units = enumerate_units(
-            &mini,
-            self.ctx.binding,
-            self.ctx.fds,
-            self.ctx.config,
-            &self.table,
-        )
-        .map_err(StreamError::Wm)?;
+        let units = self.plan.execute(&mini);
+        let table = self.plan.table();
         let wm_len = self.watermark.len();
         for unit in units {
             if !self
                 .marker
-                .is_selected(&unit.key.id(&self.table), self.ctx.config.gamma)
+                .is_selected(&unit.key.id(table), self.ctx.config.gamma)
             {
                 continue;
             }
             let is_fd = unit.key.tag == UnitTag::FdGroup;
             let votes = self.marker.extract_unit(
                 &DomNodes::new(&mini, &unit.nodes),
-                &unit.key.id(&self.table),
+                &unit.key.id(table),
                 unit.mark,
                 wm_len,
             );

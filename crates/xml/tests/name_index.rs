@@ -1,0 +1,219 @@
+//! NameIndex incremental-maintenance property suite.
+//!
+//! The index is built lazily, *patched* in place by sibling reorders
+//! (`reorder_children` / `swap_children`), dropped by structural edits
+//! (`set_name`, `insert_child`, `detach`), and deliberately untouched by
+//! value edits. The invariant under test: after ANY interleaving of
+//! those mutations with index reads — reads force the lazy build, so
+//! the patch path actually runs — the maintained index must be
+//! indistinguishable from an index rebuilt from scratch on the final
+//! document, for every name bucket and every document-order rank.
+
+use proptest::prelude::*;
+use wmx_xml::{Document, NodeId};
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// One step of a mutation script. Indices are free-ranging and reduced
+/// modulo whatever is available when the step runs, so every script is
+/// valid on every intermediate document shape.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Force the lazy build so later patches run against a live index.
+    ReadIndex,
+    /// Swap two children of some element (incremental patch path).
+    Swap { parent: usize, i: usize, j: usize },
+    /// Rotate an element's child list by `k` (incremental patch path).
+    Rotate { parent: usize, k: usize },
+    /// Rename an element (full invalidation path).
+    Rename { element: usize, name: usize },
+    /// Detach an element and re-insert it under the root (full
+    /// invalidation path; exercises rank reassignment of whole subtrees).
+    Relocate { element: usize, slot: usize },
+    /// Attribute value edit — must NOT invalidate the index.
+    SetAttr { element: usize, name: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..1).prop_map(|_| Op::ReadIndex),
+        (0usize..64, 0usize..8, 0usize..8).prop_map(|(parent, i, j)| Op::Swap { parent, i, j }),
+        (0usize..64, 1usize..8).prop_map(|(parent, k)| Op::Rotate { parent, k }),
+        (0usize..64, 0usize..NAMES.len()).prop_map(|(element, name)| Op::Rename { element, name }),
+        (0usize..64, 0usize..8).prop_map(|(element, slot)| Op::Relocate { element, slot }),
+        (0usize..64, 0usize..NAMES.len()).prop_map(|(element, name)| Op::SetAttr { element, name }),
+    ]
+}
+
+/// Builds a three-level document: root → `groups` children → `leaves`
+/// grandchildren each, names cycling through the alphabet.
+fn build_doc(groups: usize, leaves: usize) -> Document {
+    let mut doc = Document::new();
+    let root = doc.create_element("root").expect("arena fits");
+    let doc_node = doc.document_node();
+    doc.append_child(doc_node, root);
+    for g in 0..groups {
+        let group = doc
+            .create_element(NAMES[g % NAMES.len()])
+            .expect("arena fits");
+        doc.append_child(root, group);
+        for l in 0..leaves {
+            let leaf = doc
+                .create_element(NAMES[(g + l + 1) % NAMES.len()])
+                .expect("arena fits");
+            doc.append_child(group, leaf);
+        }
+    }
+    doc
+}
+
+/// All attached elements, in document order.
+fn attached_elements(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.document_node())
+        .filter(|&n| doc.is_element(n))
+        .collect()
+}
+
+fn apply(doc: &mut Document, op: &Op) {
+    let elements = attached_elements(doc);
+    match op {
+        Op::ReadIndex => {
+            for name in NAMES {
+                let _ = doc.elements_named(name).len();
+            }
+        }
+        Op::Swap { parent, i, j } => {
+            let parent = elements[parent % elements.len()];
+            let n = doc.children(parent).len();
+            if n >= 2 {
+                doc.swap_children(parent, i % n, j % n);
+            }
+        }
+        Op::Rotate { parent, k } => {
+            let parent = elements[parent % elements.len()];
+            let n = doc.children(parent).len();
+            if n >= 2 {
+                let k = k % n;
+                let permutation: Vec<usize> = (0..n).map(|i| (i + k) % n).collect();
+                doc.reorder_children(parent, &permutation);
+            }
+        }
+        Op::Rename { element, name } => {
+            let element = elements[element % elements.len()];
+            doc.set_name(element, NAMES[*name]).expect("arena fits");
+        }
+        Op::Relocate { element, slot } => {
+            // Never relocate the root itself: pick among its proper
+            // descendants, falling back to a no-op when there are none.
+            let root = doc.root_element().expect("doc has a root");
+            let candidates: Vec<NodeId> = elements.iter().copied().filter(|&e| e != root).collect();
+            if candidates.is_empty() {
+                return;
+            }
+            let node = candidates[element % candidates.len()];
+            doc.detach(node);
+            let slots = doc.children(root).len() + 1;
+            doc.insert_child(root, slot % slots, node);
+        }
+        Op::SetAttr { element, name } => {
+            let element = elements[element % elements.len()];
+            doc.set_attribute(element, NAMES[*name], "v")
+                .expect("arena fits");
+        }
+    }
+}
+
+/// The maintained index equals a from-scratch rebuild: same bucket
+/// contents per name and same rank for every attached node.
+fn assert_index_fresh(doc: &Document) {
+    // Cloning drops the cached index, so `fresh` rebuilds from scratch.
+    let fresh = doc.clone();
+    for name in NAMES {
+        assert_eq!(
+            doc.elements_named(name),
+            fresh.elements_named(name),
+            "bucket {name:?} diverged from rebuild"
+        );
+    }
+    let maintained = doc.name_index();
+    let rebuilt = fresh.name_index();
+    for (expected_rank, node) in doc.descendants(doc.document_node()).enumerate() {
+        assert_eq!(
+            maintained.order_of(node),
+            Some(expected_rank),
+            "maintained rank wrong for {node:?}"
+        );
+        assert_eq!(
+            rebuilt.order_of(node),
+            Some(expected_rank),
+            "rebuilt rank wrong for {node:?}"
+        );
+    }
+}
+
+#[test]
+fn swap_and_rotate_patch_the_live_index() {
+    let mut doc = build_doc(4, 3);
+    // Force the build, then go through the patch path only.
+    let _ = doc.elements_named("alpha").len();
+    let root = doc.root_element().expect("root");
+    doc.swap_children(root, 0, 3);
+    assert_index_fresh(&doc);
+    doc.reorder_children(root, &[2, 0, 3, 1]);
+    assert_index_fresh(&doc);
+    let group = doc.children(root)[1];
+    doc.swap_children(group, 0, 2);
+    assert_index_fresh(&doc);
+}
+
+#[test]
+fn rename_invalidates_and_rebuild_matches() {
+    let mut doc = build_doc(3, 2);
+    let _ = doc.elements_named("beta").len();
+    let root = doc.root_element().expect("root");
+    let first = doc.children(root)[0];
+    doc.set_name(first, "epsilon").expect("arena fits");
+    assert_index_fresh(&doc);
+    // Rename followed by a reorder: the patch must run against the
+    // post-rename rebuild, not a stale bucket.
+    doc.swap_children(root, 0, 2);
+    assert_index_fresh(&doc);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of reads, reorders, renames, relocations, and
+    /// value edits leaves the maintained index equal to a rebuild.
+    #[test]
+    fn random_mutation_scripts_keep_index_fresh(
+        groups in 2usize..5,
+        leaves in 1usize..4,
+        script in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut doc = build_doc(groups, leaves);
+        // Start with a live index so the very first reorder patches.
+        let _ = doc.elements_named("alpha").len();
+        for op in &script {
+            apply(&mut doc, op);
+        }
+        assert_index_fresh(&doc);
+    }
+
+    /// Reorder-only scripts (the pure patch path, no invalidation in
+    /// between) stay equal to a rebuild at EVERY step, not just at the
+    /// end.
+    #[test]
+    fn reorder_only_scripts_stay_fresh_stepwise(
+        groups in 2usize..5,
+        leaves in 1usize..4,
+        swaps in prop::collection::vec((0usize..64, 0usize..8, 0usize..8), 1..12),
+    ) {
+        let mut doc = build_doc(groups, leaves);
+        let _ = doc.elements_named("alpha").len();
+        for (parent, i, j) in swaps {
+            apply(&mut doc, &Op::Swap { parent, i, j });
+            assert_index_fresh(&doc);
+        }
+    }
+}

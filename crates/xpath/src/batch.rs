@@ -1,0 +1,308 @@
+//! Batched evaluation of identity-query sets.
+//!
+//! DOM detection answers one stored identity query per marked unit, and
+//! every query of one family (`/db/book[year = '1998']/year`, …) walks
+//! the same instance list and evaluates the same key path per instance
+//! — Q queries × C candidates predicate evaluations. [`batch_select`]
+//! decomposes each query into *shared shape* + *literal tuple*, groups
+//! queries by shape, evaluates the shared part once per group (one pass
+//! over the `NameIndex`-backed instance scan, one key-path evaluation
+//! per candidate), and answers every member query from the resulting
+//! value index — C evaluations total.
+//!
+//! The contract is exactness: for every query the returned node list is
+//! identical (same nodes, same order) to `Query::select_with` on the
+//! same evaluator. Queries that do not fit the decomposable shape — or
+//! whose shared pass raises an evaluation error, which per-query
+//! evaluation may swallow differently — come back as `None` and the
+//! caller falls back to the per-query path.
+
+use crate::ast::{Axis, BinaryOp, Expr, NodeTest, PathExpr, Step};
+use crate::engine::Query;
+use crate::error::XPathError;
+use crate::eval::Evaluator;
+use crate::value::NodeRef;
+use std::collections::HashMap;
+
+/// One decomposed identity query: `/prefix/split[pre][p1 = 'l1']…/suffix`
+/// where the stripped trailing predicates are `path = 'literal'`
+/// comparisons on the *last* predicated step. Everything except the
+/// literal tuple is shape, shared across a group.
+struct Decomposed<'q> {
+    prefix: &'q [Step],
+    split_axis: Axis,
+    split_test: &'q NodeTest,
+    pre_predicates: &'q [Expr],
+    pred_paths: Vec<&'q PathExpr>,
+    literals: Vec<&'q str>,
+    suffix: &'q [Step],
+}
+
+fn eq_path_literal(expr: &Expr) -> Option<(&PathExpr, &str)> {
+    let Expr::Binary {
+        op: BinaryOp::Eq,
+        lhs,
+        rhs,
+    } = expr
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Path(path), Expr::Literal(lit)) => Some((path, lit)),
+        _ => None,
+    }
+}
+
+/// Splits an absolute path query at its last predicated step, stripping
+/// the maximal trailing run of `path = 'literal'` predicates. Returns
+/// `None` for anything else (caller falls back to per-query eval).
+fn decompose(query: &Query) -> Option<Decomposed<'_>> {
+    let Expr::Path(path) = query.expr() else {
+        return None;
+    };
+    if !path.absolute {
+        return None;
+    }
+    let k = path.steps.iter().rposition(|s| !s.predicates.is_empty())?;
+    let step = &path.steps[k];
+    let mut first_eq = step.predicates.len();
+    while first_eq > 0 && eq_path_literal(&step.predicates[first_eq - 1]).is_some() {
+        first_eq -= 1;
+    }
+    if first_eq == step.predicates.len() {
+        return None; // nothing strippable on the split step
+    }
+    let mut pred_paths = Vec::with_capacity(step.predicates.len() - first_eq);
+    let mut literals = Vec::with_capacity(step.predicates.len() - first_eq);
+    for p in &step.predicates[first_eq..] {
+        let (pp, lit) = eq_path_literal(p).expect("trailing run is eq-path-literal");
+        pred_paths.push(pp);
+        literals.push(lit);
+    }
+    Some(Decomposed {
+        prefix: &path.steps[..k],
+        split_axis: step.axis,
+        split_test: &step.test,
+        pre_predicates: &step.predicates[..first_eq],
+        pred_paths,
+        literals,
+        suffix: &path.steps[k + 1..],
+    })
+}
+
+/// Shape equality: everything except the literal tuple. Two queries of
+/// the same shape share one candidate scan.
+fn same_shape(a: &Decomposed<'_>, b: &Decomposed<'_>) -> bool {
+    a.prefix == b.prefix
+        && a.split_axis == b.split_axis
+        && a.split_test == b.split_test
+        && a.pre_predicates == b.pre_predicates
+        && a.pred_paths == b.pred_paths
+        && a.suffix == b.suffix
+}
+
+/// Evaluates `queries` against `evaluator`, answering shape groups from
+/// shared scans. One entry per query: `Some(nodes)` is exactly what
+/// `Query::select_with` would return; `None` means this query was not
+/// batchable (fall back to per-query evaluation).
+pub fn batch_select(evaluator: &Evaluator<'_>, queries: &[Query]) -> Vec<Option<Vec<NodeRef>>> {
+    let mut results: Vec<Option<Vec<NodeRef>>> = Vec::with_capacity(queries.len());
+    results.resize_with(queries.len(), || None);
+    let decomposed: Vec<Option<Decomposed<'_>>> = queries.iter().map(decompose).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, d) in decomposed.iter().enumerate() {
+        let Some(d) = d else { continue };
+        match groups
+            .iter_mut()
+            .find(|g| same_shape(decomposed[g[0]].as_ref().expect("grouped"), d))
+        {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    for group in &groups {
+        if run_group(evaluator, &decomposed, group, &mut results).is_err() {
+            // A shared-pass evaluation error: per-query evaluation may
+            // swallow it into an empty result, so hand the whole group
+            // back to the fallback path instead of guessing.
+            for &qi in group {
+                results[qi] = None;
+            }
+        }
+    }
+    results
+}
+
+fn run_group(
+    ev: &Evaluator<'_>,
+    decomposed: &[Option<Decomposed<'_>>],
+    group: &[usize],
+    results: &mut [Option<Vec<NodeRef>>],
+) -> Result<(), XPathError> {
+    let rep = decomposed[group[0]].as_ref().expect("grouped");
+
+    // Shared pass 1: the prefix steps from the document node — the same
+    // start `eval_path` uses for an absolute path.
+    let start = vec![NodeRef::Node(ev.document().document_node())];
+    let prefix_result = ev.eval_steps(rep.prefix, start)?;
+    let single_ctx = prefix_result.len() == 1;
+
+    // Shared pass 2: split-step candidates (axis + any predicates that
+    // precede the stripped run), flattened in per-context order — the
+    // exact order `next` accumulates in the step loop.
+    let base = Step {
+        axis: rep.split_axis,
+        test: rep.split_test.clone(),
+        predicates: rep.pre_predicates.to_vec(),
+    };
+    let mut cands: Vec<NodeRef> = Vec::new();
+    for ctx in &prefix_result {
+        cands.extend(ev.step_candidates(ctx, &base)?);
+    }
+
+    // Shared pass 3: evaluate each stripped predicate path once per
+    // candidate. The per-query filter keeps a candidate iff every
+    // predicate's node-set contains its literal (XPath existential `=`
+    // against a string, string-value equality).
+    let npreds = rep.pred_paths.len();
+    let mut value_sets: Vec<Vec<Vec<String>>> = Vec::with_capacity(cands.len());
+    for cand in &cands {
+        let mut per_pred = Vec::with_capacity(npreds);
+        for pp in &rep.pred_paths {
+            let nodes = ev.eval_path(pp, cand)?;
+            per_pred.push(
+                nodes
+                    .iter()
+                    .map(|n| n.string_value(ev.document()))
+                    .collect::<Vec<String>>(),
+            );
+        }
+        value_sets.push(per_pred);
+    }
+
+    // Candidates whose predicate paths are all single-valued (the
+    // overwhelmingly common case: one key child per instance) are
+    // indexed by their value tuple; multi-valued ones fall into a
+    // short scan list checked existentially per query.
+    let mut index: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+    let mut irregular: Vec<usize> = Vec::new();
+    for (i, per_pred) in value_sets.iter().enumerate() {
+        if per_pred.iter().all(|vals| vals.len() == 1) {
+            let tuple: Vec<&str> = per_pred.iter().map(|vals| vals[0].as_str()).collect();
+            index.entry(tuple).or_default().push(i);
+        } else {
+            irregular.push(i);
+        }
+    }
+
+    for &qi in group {
+        let dq = decomposed[qi].as_ref().expect("grouped");
+        let mut matched_idx: Vec<usize> = index.get(&dq.literals).cloned().unwrap_or_default();
+        for &i in &irregular {
+            let per_pred = &value_sets[i];
+            if dq
+                .literals
+                .iter()
+                .zip(per_pred)
+                .all(|(lit, vals)| vals.iter().any(|v| v == lit))
+            {
+                matched_idx.push(i);
+            }
+        }
+        // Ascending candidate index restores the flat per-context
+        // accumulation order of the step loop.
+        matched_idx.sort_unstable();
+        let matched: Vec<NodeRef> = matched_idx.iter().map(|&i| cands[i].clone()).collect();
+        let current = if single_ctx {
+            matched
+        } else {
+            ev.document_order(matched)
+        };
+        let nodes = if current.is_empty() {
+            current
+        } else {
+            ev.eval_steps(dq.suffix, current)?
+        };
+        results[qi] = Some(nodes);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmx_xml::parse;
+
+    fn q(text: &str) -> Query {
+        Query::compile(text).unwrap()
+    }
+
+    fn doc() -> wmx_xml::Document {
+        parse(
+            r#"<db>
+                <book><title>A</title><year>1998</year></book>
+                <book><title>B</title><year>1999</year></book>
+                <book><title>A</title><year>2000</year></book>
+                <book><year>1998</year></book>
+            </db>"#,
+        )
+        .unwrap()
+    }
+
+    fn assert_matches_select(queries: &[Query]) {
+        let doc = doc();
+        let ev = Evaluator::new(&doc);
+        let batched = batch_select(&ev, queries);
+        for (query, batch) in queries.iter().zip(&batched) {
+            let direct = query.select_with(&ev);
+            // None = fallback path: the caller runs select_with itself.
+            if let Some(nodes) = batch {
+                assert_eq!(nodes, &direct, "batch drift on {query}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_identity_queries_match_direct_eval() {
+        assert_matches_select(&[
+            q("/db/book[title = 'A']/year"),
+            q("/db/book[title = 'B']/year"),
+            q("/db/book[title = 'Z']/year"),
+            q("/db/book[year = '1998']/title"),
+        ]);
+    }
+
+    #[test]
+    fn multi_predicate_and_duplicate_matches() {
+        assert_matches_select(&[
+            q("/db/book[title = 'A'][year = '1998']/year"),
+            q("/db/book[title = 'A'][year = '2000']/year"),
+            q("/db/book[title = 'A']/title"),
+        ]);
+    }
+
+    #[test]
+    fn unbatchable_queries_fall_back() {
+        let queries = [
+            q("/db/book/year"),
+            q("//book[1]/year"),
+            q("count(/db/book)"),
+        ];
+        let doc = doc();
+        let ev = Evaluator::new(&doc);
+        let batched = batch_select(&ev, &queries);
+        assert!(batched[0].is_none(), "no predicates to strip");
+        assert!(batched[1].is_none(), "positional predicate");
+        assert!(batched[2].is_none(), "not a path");
+    }
+
+    #[test]
+    fn suffix_and_descendant_prefixes_match() {
+        assert_matches_select(&[
+            q("//book[title = 'A']/year"),
+            q("//book[title = 'B']/year"),
+            q("/db/book[year = '1998']"),
+            q("/db/book[year = '1999']"),
+        ]);
+    }
+}

@@ -52,7 +52,18 @@ pub struct Evaluator<'d> {
     doc: &'d Document,
     generation: u64,
     sym_memo: RefCell<SymMemo>,
+    /// Recycled per-step candidate buffers: path evaluation allocates
+    /// one `Vec<NodeRef>` per step, and the detection hot path runs
+    /// thousands of short paths against one document. Buffers are
+    /// checked out for the duration of a step (never across a borrow
+    /// of the pool itself, so predicate recursion is safe) and
+    /// returned cleared.
+    scratch: RefCell<Vec<Vec<NodeRef>>>,
 }
+
+/// How many cleared buffers the scratch pool retains; deeper recursion
+/// simply allocates fresh ones.
+const SCRATCH_POOL_CAP: usize = 16;
 
 /// Evaluation context: the context node plus its position/size within the
 /// current candidate list (1-based, per XPath).
@@ -84,6 +95,21 @@ impl<'d> Evaluator<'d> {
             doc,
             generation: doc.generation(),
             sym_memo: RefCell::new(SymMemo::default()),
+            scratch: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Checks a cleared candidate buffer out of the scratch pool.
+    fn take_buf(&self) -> Vec<NodeRef> {
+        self.scratch.borrow_mut().pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (cleared; dropped when full).
+    fn put_buf(&self, mut buf: Vec<NodeRef>) {
+        buf.clear();
+        let mut pool = self.scratch.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(buf);
         }
     }
 
@@ -145,14 +171,30 @@ impl<'d> Evaluator<'d> {
 
     /// Evaluates a location path from `start`.
     pub fn eval_path(&self, path: &PathExpr, start: &NodeRef) -> Result<Vec<NodeRef>, XPathError> {
-        let mut current: Vec<NodeRef> = if path.absolute {
-            vec![NodeRef::Node(self.doc.document_node())]
+        let mut current = self.take_buf();
+        current.push(if path.absolute {
+            NodeRef::Node(self.doc.document_node())
         } else {
-            vec![start.clone()]
-        };
+            start.clone()
+        });
+        self.eval_steps(&path.steps, current)
+    }
+
+    /// Runs the per-step path loop over `steps` starting from the
+    /// candidate set `current` — exactly the body of [`eval_path`]
+    /// (including `//name` fusion and the single-context fast path).
+    /// Exposed so batch detection can resume a decomposed path after a
+    /// shared predicate scan.
+    ///
+    /// [`eval_path`]: Evaluator::eval_path
+    pub fn eval_steps(
+        &self,
+        steps: &[Step],
+        mut current: Vec<NodeRef>,
+    ) -> Result<Vec<NodeRef>, XPathError> {
         let mut i = 0;
-        while i < path.steps.len() {
-            let step = &path.steps[i];
+        while i < steps.len() {
+            let step = &steps[i];
             // Fused `//name`: a bare descendant-or-self::node() step
             // followed by a predicate-free child::name selects exactly
             // the proper descendants of the context named `name` —
@@ -160,7 +202,7 @@ impl<'d> Evaluator<'d> {
             // materializing every node of the subtree. Positional
             // predicates are per-parent in XPath, so a predicated child
             // step takes the unfused path.
-            if let Some(named) = path.steps.get(i + 1) {
+            if let Some(named) = steps.get(i + 1) {
                 if step.axis == Axis::DescendantOrSelf
                     && step.test == NodeTest::AnyNode
                     && step.predicates.is_empty()
@@ -169,21 +211,20 @@ impl<'d> Evaluator<'d> {
                 {
                     if let NodeTest::Name(n) = &named.test {
                         let single_ctx = current.len() == 1;
-                        let mut next: Vec<NodeRef> = Vec::new();
+                        let mut next = self.take_buf();
                         if let Some(sym) = self.sym_of(n) {
                             for ctx in &current {
-                                next.extend(self.descendants_named(ctx, sym));
+                                self.descendants_named_into(ctx, sym, &mut next);
                             }
                         }
                         // One context (the common absolute `//name`)
                         // yields an already unique, document-ordered
                         // list straight from the index — skip the
                         // dedup/sort pass.
-                        current = if single_ctx {
-                            next
-                        } else {
-                            self.document_order(next)
-                        };
+                        if !single_ctx {
+                            next = self.document_order(next);
+                        }
+                        self.put_buf(std::mem::replace(&mut current, next));
                         if current.is_empty() {
                             break;
                         }
@@ -193,21 +234,20 @@ impl<'d> Evaluator<'d> {
                 }
             }
             let single_ctx = current.len() == 1;
-            let mut next: Vec<NodeRef> = Vec::new();
+            let mut next = self.take_buf();
             for ctx in &current {
-                let candidates = self.axis_candidates(ctx, step);
-                let filtered = self.apply_predicates(candidates, &step.predicates)?;
-                next.extend(filtered);
+                let start_len = next.len();
+                self.axis_candidates_into(ctx, step, &mut next);
+                self.apply_predicates_in_place(&mut next, start_len, &step.predicates)?;
             }
             // Every axis yields unique candidates in document order for
             // one context node, and predicates only filter — so a
             // single-context step needs no dedup/sort pass. This is the
             // common shape of identity queries (`/db/book[pred]/year`).
-            current = if single_ctx {
-                next
-            } else {
-                self.document_order(next)
-            };
+            if !single_ctx {
+                next = self.document_order(next);
+            }
+            self.put_buf(std::mem::replace(&mut current, next));
             if current.is_empty() {
                 break;
             }
@@ -216,37 +256,50 @@ impl<'d> Evaluator<'d> {
         Ok(current)
     }
 
+    /// Candidates of one step from one context: axis candidates run
+    /// through the step's predicates — the per-context body of the path
+    /// loop. Exposed for batch detection's shared candidate scan.
+    pub fn step_candidates(&self, ctx: &NodeRef, step: &Step) -> Result<Vec<NodeRef>, XPathError> {
+        let mut out = Vec::new();
+        self.axis_candidates_into(ctx, step, &mut out);
+        self.apply_predicates_in_place(&mut out, 0, &step.predicates)?;
+        Ok(out)
+    }
+
     /// Proper descendants of `ctx` that are elements named `sym`, in
-    /// document order — the expansion of `ctx//name`. From the document
-    /// node the index list is returned whole; from any other attached
-    /// node the list is filtered by an ancestor walk (index lists are
-    /// per-name, so this touches only same-named elements, not the
-    /// whole subtree). Detached contexts are absent from the index and
-    /// fall back to a subtree traversal.
-    fn descendants_named(&self, ctx: &NodeRef, sym: Sym) -> Vec<NodeRef> {
+    /// document order — the expansion of `ctx//name`, appended to
+    /// `out`. From the document node the index list is copied whole;
+    /// from any other attached node the list is filtered by an ancestor
+    /// walk (index lists are per-name, so this touches only same-named
+    /// elements, not the whole subtree). Detached contexts are absent
+    /// from the index and fall back to a subtree traversal.
+    fn descendants_named_into(&self, ctx: &NodeRef, sym: Sym, out: &mut Vec<NodeRef>) {
         let NodeRef::Node(ctx_id) = ctx else {
-            return Vec::new(); // attributes have no element descendants
+            return; // attributes have no element descendants
         };
         if *ctx_id == self.doc.document_node() {
             let named = self.doc.name_index().elements_named(sym);
-            return named.iter().copied().map(NodeRef::Node).collect();
+            out.extend(named.iter().copied().map(NodeRef::Node));
+            return;
         }
         if !self.doc.is_attached(*ctx_id) {
-            return self
-                .doc
-                .descendants(*ctx_id)
-                .filter(|&n| n != *ctx_id && self.doc.name_sym(n) == Some(sym))
-                .map(NodeRef::Node)
-                .collect();
+            out.extend(
+                self.doc
+                    .descendants(*ctx_id)
+                    .filter(|&n| n != *ctx_id && self.doc.name_sym(n) == Some(sym))
+                    .map(NodeRef::Node),
+            );
+            return;
         }
-        self.doc
-            .name_index()
-            .elements_named(sym)
-            .iter()
-            .copied()
-            .filter(|&n| self.is_proper_ancestor(*ctx_id, n))
-            .map(NodeRef::Node)
-            .collect()
+        out.extend(
+            self.doc
+                .name_index()
+                .elements_named(sym)
+                .iter()
+                .copied()
+                .filter(|&n| self.is_proper_ancestor(*ctx_id, n))
+                .map(NodeRef::Node),
+        );
     }
 
     /// Whether `ancestor` lies strictly above `node`.
@@ -261,98 +314,98 @@ impl<'d> Evaluator<'d> {
         false
     }
 
-    fn axis_candidates(&self, ctx: &NodeRef, step: &Step) -> Vec<NodeRef> {
+    fn axis_candidates_into(&self, ctx: &NodeRef, step: &Step, out: &mut Vec<NodeRef>) {
         match step.axis {
             Axis::Child => match ctx {
                 NodeRef::Node(id) => match &step.test {
                     // Name tests compare interned symbols: one memoized
                     // table lookup, then integer compares per child.
-                    NodeTest::Name(n) => match self.sym_of(n) {
-                        Some(sym) => self
-                            .doc
+                    NodeTest::Name(n) => {
+                        if let Some(sym) = self.sym_of(n) {
+                            out.extend(
+                                self.doc
+                                    .children(*id)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| self.doc.name_sym(c) == Some(sym))
+                                    .map(NodeRef::Node),
+                            );
+                        }
+                    }
+                    test => out.extend(
+                        self.doc
                             .children(*id)
                             .iter()
                             .copied()
-                            .filter(|&c| self.doc.name_sym(c) == Some(sym))
-                            .map(NodeRef::Node)
-                            .collect(),
-                        None => Vec::new(),
-                    },
-                    test => self
-                        .doc
-                        .children(*id)
-                        .iter()
-                        .copied()
-                        .filter(|&c| self.node_test_matches(c, test))
-                        .map(NodeRef::Node)
-                        .collect(),
+                            .filter(|&c| self.node_test_matches(c, test))
+                            .map(NodeRef::Node),
+                    ),
                 },
-                NodeRef::Attribute { .. } => Vec::new(),
+                NodeRef::Attribute { .. } => {}
             },
             Axis::DescendantOrSelf => match ctx {
                 NodeRef::Node(id) => match &step.test {
                     // An explicit descendant name step: answer from the
                     // index (self is included iff it carries the name,
-                    // which descendants_named's ancestor filter misses,
-                    // so check it separately).
-                    NodeTest::Name(n) => match self.sym_of(n) {
-                        Some(sym) => {
-                            let mut out = Vec::new();
+                    // which descendants_named_into's ancestor filter
+                    // misses, so check it separately).
+                    NodeTest::Name(n) => {
+                        if let Some(sym) = self.sym_of(n) {
                             if self.doc.name_sym(*id) == Some(sym) {
                                 out.push(NodeRef::Node(*id));
                             }
-                            out.extend(self.descendants_named(ctx, sym));
-                            out
+                            self.descendants_named_into(ctx, sym, out);
                         }
-                        None => Vec::new(),
-                    },
-                    test => self
-                        .doc
-                        .descendants(*id)
-                        .filter(|&n| self.node_test_matches(n, test))
-                        .map(NodeRef::Node)
-                        .collect(),
+                    }
+                    test => out.extend(
+                        self.doc
+                            .descendants(*id)
+                            .filter(|&n| self.node_test_matches(n, test))
+                            .map(NodeRef::Node),
+                    ),
                 },
-                NodeRef::Attribute { .. } => Vec::new(),
+                NodeRef::Attribute { .. } => {}
             },
             Axis::SelfAxis => match ctx {
                 NodeRef::Node(id) if self.node_test_matches(*id, &step.test) => {
-                    vec![ctx.clone()]
+                    out.push(ctx.clone());
                 }
-                NodeRef::Attribute { .. } if step.test == NodeTest::AnyNode => vec![ctx.clone()],
-                _ => Vec::new(),
+                NodeRef::Attribute { .. } if step.test == NodeTest::AnyNode => {
+                    out.push(ctx.clone());
+                }
+                _ => {}
             },
             Axis::Parent => {
                 let parent = match ctx {
                     NodeRef::Node(id) => self.doc.parent(*id),
                     NodeRef::Attribute { element, .. } => Some(*element),
                 };
-                parent
-                    .filter(|&p| self.node_test_matches(p, &step.test))
-                    .map(|p| vec![NodeRef::Node(p)])
-                    .unwrap_or_default()
+                if let Some(p) = parent.filter(|&p| self.node_test_matches(p, &step.test)) {
+                    out.push(NodeRef::Node(p));
+                }
             }
             Axis::Attribute => match ctx {
                 NodeRef::Node(id) if self.doc.is_element(*id) => {
                     let name_sym = match &step.test {
                         NodeTest::Name(n) => match self.sym_of(n) {
                             Some(sym) => Some(sym),
-                            None => return Vec::new(),
+                            None => return,
                         },
                         NodeTest::Wildcard | NodeTest::AnyNode => None,
-                        NodeTest::Text => return Vec::new(),
+                        NodeTest::Text => return,
                     };
-                    self.doc
-                        .attributes(*id)
-                        .iter()
-                        .filter(|a| name_sym.is_none_or(|sym| a.name == sym))
-                        .map(|a| NodeRef::Attribute {
-                            element: *id,
-                            name: self.doc.attr_name(a).to_string(),
-                        })
-                        .collect()
+                    out.extend(
+                        self.doc
+                            .attributes(*id)
+                            .iter()
+                            .filter(|a| name_sym.is_none_or(|sym| a.name == sym))
+                            .map(|a| NodeRef::Attribute {
+                                element: *id,
+                                name: self.doc.attr_name(a).to_string(),
+                            }),
+                    );
                 }
-                _ => Vec::new(),
+                _ => {}
             },
         }
     }
@@ -369,17 +422,23 @@ impl<'d> Evaluator<'d> {
         }
     }
 
-    fn apply_predicates(
+    /// Filters `buf[start..]` in place through `predicates`, preserving
+    /// order; context position/size are relative to that range (the
+    /// candidates of one context node), matching per-context predicate
+    /// semantics.
+    fn apply_predicates_in_place(
         &self,
-        mut candidates: Vec<NodeRef>,
+        buf: &mut Vec<NodeRef>,
+        start: usize,
         predicates: &[Expr],
-    ) -> Result<Vec<NodeRef>, XPathError> {
+    ) -> Result<(), XPathError> {
         for predicate in predicates {
-            let size = candidates.len();
-            let mut kept = Vec::with_capacity(size);
-            for (i, node) in candidates.into_iter().enumerate() {
+            let size = buf.len() - start;
+            let mut write = start;
+            for i in 0..size {
+                let idx = start + i;
                 let ctx = Context {
-                    node: node.clone(),
+                    node: buf[idx].clone(),
                     position: i + 1,
                     size,
                 };
@@ -390,12 +449,13 @@ impl<'d> Evaluator<'d> {
                     other => other.to_boolean(),
                 };
                 if keep {
-                    kept.push(node);
+                    buf.swap(write, idx);
+                    write += 1;
                 }
             }
-            candidates = kept;
+            buf.truncate(write);
         }
-        Ok(candidates)
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod engine;
 pub mod eval;
 pub mod lexer;
@@ -45,6 +46,7 @@ pub mod parser;
 pub mod value;
 
 pub use ast::{Axis, Expr, NodeTest, PathExpr, Step};
+pub use batch::batch_select;
 pub use engine::Query;
 pub use error::XPathError;
 pub use eval::Evaluator;

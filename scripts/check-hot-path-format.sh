@@ -1,22 +1,33 @@
 #!/usr/bin/env sh
-# Hot-path allocation guard: the embed/detect loops in wmx-core must
-# stay symbol-native. Unit identity is a compact UnitKey fed to the PRF
-# incrementally; textual ids are rendered only by UnitKey::display for
-# marked units. A `format!` creeping back into the non-test region of
-# the encoder/decoder would put a per-unit allocation on the hottest
-# loop, so CI denies it here (tests below `#[cfg(test)]` are exempt).
+# Hot-path allocation guard: the embed/detect loops in wmx-core and the
+# per-record loop in wmx-stream must stay symbol-native. Unit identity
+# is a compact UnitKey fed to the PRF incrementally; textual ids are
+# rendered only by UnitKey::display for marked units; record
+# mini-documents and wrapper tags are assembled with push_str into
+# pre-sized buffers. A `format!` creeping back into the non-test region
+# of these files would put a per-unit (or per-record) allocation on the
+# hottest loop, so CI denies it here (tests below `#[cfg(test)]` are
+# exempt). The streaming engine additionally must never parse a query
+# per record — every access step is compiled once into the cached
+# SelectionPlan — so `Query::compile` is denied there too.
 set -eu
 
 cd "$(dirname "$0")/.."
 status=0
-for f in crates/core/src/encoder.rs crates/core/src/decoder.rs; do
+for f in crates/core/src/encoder.rs crates/core/src/decoder.rs crates/stream/src/engine.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} /format!/{print FILENAME ":" FNR ": " $0}' "$f")
     if [ -n "$hits" ]; then
-        echo "error: format! on the embed/detect hot path (use UnitKey/display):" >&2
+        echo "error: format! on the embed/detect hot path (use UnitKey/display or push_str):" >&2
         printf '%s\n' "$hits" >&2
         status=1
     fi
 done
+hits=$(awk '/#\[cfg\(test\)\]/{exit} /Query::compile/{print FILENAME ":" FNR ": " $0}' crates/stream/src/engine.rs)
+if [ -n "$hits" ]; then
+    echo "error: per-record query compilation in the streaming engine (use the cached SelectionPlan):" >&2
+    printf '%s\n' "$hits" >&2
+    status=1
+fi
 if [ "$status" -eq 0 ]; then
     echo "hot-path format! guard: clean"
 fi

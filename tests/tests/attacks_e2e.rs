@@ -9,6 +9,7 @@ use wmx_core::{detect, embed, measure_usability, DetectionInput, EmbedReport, Wa
 use wmx_crypto::SecretKey;
 use wmx_data::publications::{generate, PublicationsConfig};
 use wmx_data::Dataset;
+use wmx_stream::{par_detect, stream_detect, StreamContext};
 use wmx_xml::Document;
 
 fn setup(gamma: u32) -> (Dataset, Document, EmbedReport, SecretKey, Watermark) {
@@ -224,6 +225,64 @@ fn attack_d_wmxml_immune_fd_unaware_dies() {
     )
     .unwrap();
     assert!(usability.overall() > 0.95);
+}
+
+#[test]
+fn attack_c_record_shuffle_across_chunk_boundaries_is_worker_invariant() {
+    // A shuffle permutes records, so after the attack the records that
+    // used to share a worker chunk land in different chunks — every
+    // parallel chunking of the shuffled stream is a different partition
+    // of the same unit set. Key-based identity makes chunk membership
+    // irrelevant: the sequential driver and every worker count must
+    // tally the exact same votes, and all must agree with the verdict.
+    let (dataset, marked, _report, key, wm) = setup(2);
+    let mut attacked = marked.clone();
+    let reordered = ShuffleAttack::new(77).apply(&mut attacked);
+    assert!(reordered > 0, "shuffle must actually permute records");
+    let serialized = wmx_xml::to_string(&attacked);
+    let ctx = StreamContext {
+        binding: &dataset.binding,
+        fds: &dataset.fds,
+        config: &dataset.config,
+    };
+
+    let sequential =
+        stream_detect(serialized.as_bytes(), ctx, &key, &wm, 0.8).expect("sequential detect runs");
+    assert!(
+        sequential.report.detected,
+        "shuffle must not defeat streaming detection (match {:.2})",
+        sequential.report.match_fraction()
+    );
+
+    for workers in [2usize, 3, 5, 8] {
+        let parallel =
+            par_detect(&serialized, workers, ctx, &key, &wm, 0.8).expect("parallel detect runs");
+        assert_eq!(
+            sequential.report.bit_votes, parallel.report.bit_votes,
+            "vote tallies diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.report.vote_totals(),
+            parallel.report.vote_totals(),
+            "vote totals diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.report.located_queries, parallel.report.located_queries,
+            "located counts diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.report.total_queries, parallel.report.total_queries,
+            "selected-unit counts diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.report.detected, parallel.report.detected,
+            "verdicts diverged at {workers} workers"
+        );
+        assert_eq!(
+            sequential.records, parallel.records,
+            "record counts diverged at {workers} workers"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,378 @@
+//! Compiled-plan ≡ legacy-enumeration equivalence suite: the
+//! [`wmx_core::SelectionPlan`] layer (pre-resolved symbols, pre-compiled
+//! access steps, cached per schema) must make bit-for-bit the same
+//! decisions as interpreting the schema per call with
+//! [`wmx_core::enumerate_units`], and batch detection must locate
+//! exactly the nodes per-query evaluation locates.
+//!
+//! * Over generated corpora and adversarial proptest documents, plan
+//!   execution yields the same unit sequence — same keys, same nodes,
+//!   same marks — and the same PRF byte stream (selection, bit index,
+//!   nonce, whitening) as the legacy path.
+//! * A plan-cache hit returns the very same compiled plan a cold
+//!   compile produces, and reusing it changes nothing.
+//! * Batched stored-query evaluation ([`wmx_xpath::batch_select`])
+//!   returns the same node lists as one-query-at-a-time evaluation.
+//! * End to end, DOM detection and streaming detection — both running
+//!   on compiled plans now — tally identical votes and verdicts.
+
+use proptest::prelude::*;
+use wmx_core::{
+    detect, embed, enumerate_units, DetectionInput, EncoderConfig, MarkableAttr, PlanCache,
+    SelectionPlan, SelectionTable, Watermark,
+};
+use wmx_crypto::{Prf, SecretKey};
+use wmx_data::{jobs, library, publications, Dataset};
+use wmx_rewrite::binding::{AttrBinding, EntityBinding};
+use wmx_rewrite::SchemaBinding;
+use wmx_stream::{stream_detect, StreamContext};
+use wmx_xml::Document;
+use wmx_xpath::{batch_select, Evaluator, Query};
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        publications::generate(&publications::PublicationsConfig {
+            records: 150,
+            editors: 6,
+            seed: 81,
+            gamma: 3,
+        }),
+        jobs::generate(&jobs::JobsConfig {
+            records: 150,
+            companies: 5,
+            seed: 82,
+            gamma: 3,
+        }),
+        library::generate(&library::LibraryConfig {
+            records: 80,
+            image_size: 12,
+            seed: 83,
+            gamma: 2,
+        }),
+    ]
+}
+
+/// Asserts plan execution over `doc` reproduces the legacy enumeration
+/// exactly: unit count, per-unit id text, node lists, mark kinds, and
+/// the full PRF decision stream.
+fn assert_plan_matches_legacy(
+    dataset_name: &str,
+    doc: &Document,
+    binding: &SchemaBinding,
+    fds: &[wmx_schema::Fd],
+    config: &EncoderConfig,
+) {
+    let table = SelectionTable::build(config, fds);
+    let legacy = enumerate_units(doc, binding, fds, config, &table).expect("legacy enumerates");
+    let plan = SelectionPlan::compile(binding, fds, config).expect("plan compiles");
+    let planned = plan.execute(doc);
+    assert_eq!(
+        legacy.len(),
+        planned.len(),
+        "unit count diverged on {dataset_name}"
+    );
+    let prf = Prf::new(SecretKey::from_passphrase("plan-eq"));
+    for (l, p) in legacy.iter().zip(&planned) {
+        // Same identity, rendered through each side's own table.
+        assert_eq!(
+            l.key.display(&table),
+            p.key.display(plan.table()),
+            "unit id diverged on {dataset_name}"
+        );
+        assert_eq!(l.nodes, p.nodes, "node list diverged on {dataset_name}");
+        assert_eq!(l.mark, p.mark, "mark kind diverged on {dataset_name}");
+        // Same PRF byte stream: every decision the marker derives from
+        // the id must be identical between the two feeds.
+        for gamma in [1u32, 2, 3, 7, 100] {
+            assert_eq!(
+                prf.is_selected(&l.key.id(&table), gamma),
+                prf.is_selected(&p.key.id(plan.table()), gamma),
+                "selection diverged on {dataset_name} at gamma {gamma}"
+            );
+        }
+        for wm_len in [1usize, 8, 24] {
+            assert_eq!(
+                prf.bit_index(&l.key.id(&table), wm_len),
+                prf.bit_index(&p.key.id(plan.table()), wm_len),
+                "bit index diverged on {dataset_name}"
+            );
+        }
+        assert_eq!(
+            prf.value_nonce(&l.key.id(&table)),
+            prf.value_nonce(&p.key.id(plan.table())),
+            "nonce diverged on {dataset_name}"
+        );
+        assert_eq!(
+            prf.whiten_bit(&l.key.id(&table)),
+            prf.whiten_bit(&p.key.id(plan.table())),
+            "whitening diverged on {dataset_name}"
+        );
+    }
+    assert!(
+        plan.matches_legacy(doc, binding, fds, config),
+        "matches_legacy rejected {dataset_name}"
+    );
+}
+
+/// Every corpus: compiled plans reproduce the legacy enumeration and
+/// PRF stream exactly, with and without FD groups.
+#[test]
+fn corpus_plans_match_legacy_enumeration() {
+    for dataset in datasets() {
+        assert!(
+            !SelectionPlan::compile(&dataset.binding, &dataset.fds, &dataset.config)
+                .expect("plan compiles")
+                .execute(&dataset.doc)
+                .is_empty(),
+            "corpus {} has units",
+            dataset.name
+        );
+        assert_plan_matches_legacy(
+            &dataset.name,
+            &dataset.doc,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+        );
+        // The FD-free configuration exercises the pure structural +
+        // markable phases.
+        let no_fd = dataset.config.clone().without_fd_groups();
+        assert_plan_matches_legacy(
+            &dataset.name,
+            &dataset.doc,
+            &dataset.binding,
+            &dataset.fds,
+            &no_fd,
+        );
+    }
+}
+
+/// A cache hit returns the very same `Arc` the cold compile inserted,
+/// counts as a hit, and executes identically to an uncached compile.
+#[test]
+fn cache_hit_equals_cold_compile() {
+    let dataset = &datasets()[0];
+    let cache = PlanCache::new();
+    let first = cache
+        .get_or_compile(&dataset.binding, &dataset.fds, &dataset.config)
+        .expect("cold compile");
+    let second = cache
+        .get_or_compile(&dataset.binding, &dataset.fds, &dataset.config)
+        .expect("cache hit");
+    assert!(
+        std::sync::Arc::ptr_eq(&first, &second),
+        "hit must return the cached plan"
+    );
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), 1);
+
+    let cold = SelectionPlan::compile(&dataset.binding, &dataset.fds, &dataset.config)
+        .expect("uncached compile");
+    assert_eq!(cold.schema_hash(), first.schema_hash());
+    let from_cache = first.execute(&dataset.doc);
+    let from_cold = cold.execute(&dataset.doc);
+    assert_eq!(from_cache.len(), from_cold.len());
+    for (a, b) in from_cache.iter().zip(&from_cold) {
+        assert_eq!(a.key.display(first.table()), b.key.display(cold.table()));
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.mark, b.mark);
+    }
+}
+
+/// Batched evaluation of the safeguarded query set locates exactly the
+/// nodes one-query-at-a-time evaluation locates, in the same order.
+#[test]
+fn batch_select_matches_per_query_evaluation() {
+    for dataset in datasets() {
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &SecretKey::from_passphrase("plan-eq-batch"),
+            &Watermark::from_message("© batch", 16),
+        )
+        .expect("embed succeeds");
+        assert!(!report.queries.is_empty());
+        let compiled: Vec<Query> = report
+            .queries
+            .iter()
+            .map(|s| Query::compile(&s.xpath).expect("stored query compiles"))
+            .collect();
+        let evaluator = Evaluator::new(&marked);
+        let batched = batch_select(&evaluator, &compiled);
+        assert_eq!(batched.len(), compiled.len());
+        let mut answered = 0usize;
+        for (query, batch) in compiled.iter().zip(&batched) {
+            let direct = query.select_with(&evaluator);
+            if let Some(nodes) = batch {
+                answered += 1;
+                assert_eq!(
+                    nodes, &direct,
+                    "batched nodes diverged on corpus {} for {}",
+                    dataset.name, query
+                );
+            }
+            assert!(
+                !direct.is_empty(),
+                "stored query must locate its unit on the unattacked corpus"
+            );
+        }
+        assert!(
+            answered > 0,
+            "identity queries of corpus {} must be batchable",
+            dataset.name
+        );
+    }
+}
+
+/// End to end through the compiled plans on both engines: DOM detection
+/// and streaming detection tally identical votes and verdicts.
+#[test]
+fn dom_and_stream_votes_agree_via_plans() {
+    for dataset in datasets() {
+        let key = SecretKey::from_passphrase("plan-eq-votes");
+        let wm = Watermark::from_message("© plan votes", 16);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &dataset.config,
+            &key,
+            &wm,
+        )
+        .expect("embed succeeds");
+        let dom = detect(
+            &marked,
+            &DetectionInput {
+                queries: &report.queries,
+                key: key.clone(),
+                watermark: wm.clone(),
+                threshold: 0.85,
+                mapping: None,
+            },
+        );
+        let streamed = stream_detect(
+            wmx_xml::to_string(&marked).as_bytes(),
+            StreamContext {
+                binding: &dataset.binding,
+                fds: &dataset.fds,
+                config: &dataset.config,
+            },
+            &key,
+            &wm,
+            0.85,
+        )
+        .expect("stream detect runs");
+        assert_eq!(
+            dom.bit_votes, streamed.report.bit_votes,
+            "vote tallies diverged on corpus {}",
+            dataset.name
+        );
+        assert_eq!(dom.vote_totals(), streamed.report.vote_totals());
+        assert_eq!(dom.detected, streamed.report.detected);
+        assert!(dom.detected, "corpus {} must detect", dataset.name);
+    }
+}
+
+/// Builds `<db>` with one `<book>` per (title, year) pair, attaching the
+/// values as raw DOM text so arbitrary characters survive verbatim.
+fn doc_with_titles(titles: &[String]) -> Document {
+    let mut doc = Document::new();
+    let db = doc.create_element("db").expect("arena fits");
+    let doc_node = doc.document_node();
+    doc.append_child(doc_node, db);
+    for (i, title) in titles.iter().enumerate() {
+        let book = doc.create_element("book").expect("arena fits");
+        doc.append_child(db, book);
+        let t = doc.create_element("title").expect("arena fits");
+        doc.append_child(book, t);
+        doc.set_text_content(t, title.clone()).expect("arena fits");
+        let y = doc.create_element("year").expect("arena fits");
+        doc.append_child(book, y);
+        doc.set_text_content(y, format!("{}", 1990 + (i % 10)))
+            .expect("arena fits");
+    }
+    doc
+}
+
+fn title_binding() -> SchemaBinding {
+    SchemaBinding::new(
+        "db",
+        vec![EntityBinding::new(
+            "book",
+            "/db/book",
+            "title",
+            vec![
+                ("title", AttrBinding::ChildText("title".into())),
+                ("year", AttrBinding::ChildText("year".into())),
+            ],
+        )
+        .expect("static binding is valid")],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adversarial key values — pipes, the id prefixes themselves, the
+    /// FD tuple separator, unicode — never split the compiled plan from
+    /// the legacy enumeration.
+    #[test]
+    fn adversarial_docs_plan_matches_legacy(
+        random in prop::collection::vec("[ -~]{0,12}", 1..8),
+        gamma in 1u32..9,
+    ) {
+        let mut titles = random;
+        for nasty in [
+            "|attr=year",
+            "key:x|y",
+            "fd:e|lhs=v",
+            "\u{1f}",
+            "a|b|c",
+            "ünïcode·νame",
+            "",
+        ] {
+            titles.push(nasty.to_string());
+        }
+        let doc = doc_with_titles(&titles);
+        let binding = title_binding();
+        let config = EncoderConfig::new(gamma, vec![MarkableAttr::integer("book", "year", 1)]);
+        assert_plan_matches_legacy("adversarial", &doc, &binding, &[], &config);
+    }
+
+    /// Batched and per-query evaluation agree on stored query sets from
+    /// adversarial documents (selection varies with the seed).
+    #[test]
+    fn adversarial_batch_matches_per_query(seed in 0u64..500) {
+        let titles: Vec<String> = (0..30).map(|i| format!("T{}-{seed}", i * 7 % 13)).collect();
+        let doc = doc_with_titles(&titles);
+        let binding = title_binding();
+        let config = EncoderConfig::new(2, vec![MarkableAttr::integer("book", "year", 1)]);
+        let mut marked = doc.clone();
+        let report = embed(
+            &mut marked,
+            &binding,
+            &[],
+            &config,
+            &SecretKey::new(seed.to_be_bytes().to_vec()),
+            &Watermark::from_message("© adversarial", 8),
+        )
+        .expect("embed succeeds");
+        let compiled: Vec<Query> = report
+            .queries
+            .iter()
+            .map(|s| Query::compile(&s.xpath).expect("stored query compiles"))
+            .collect();
+        let evaluator = Evaluator::new(&marked);
+        let batched = batch_select(&evaluator, &compiled);
+        for (query, batch) in compiled.iter().zip(&batched) {
+            let direct = query.select_with(&evaluator);
+            if let Some(nodes) = batch {
+                prop_assert_eq!(nodes, &direct);
+            }
+        }
+    }
+}
