@@ -75,6 +75,7 @@ fn main() {
     match run_gate(&opts) {
         Ok(outcome) => {
             println!("report: {}", outcome.report_path.display());
+            println!("telemetry: {}", outcome.telemetry_path.display());
             println!("{}", outcome.summary);
             std::process::exit(outcome.exit_code);
         }

@@ -555,6 +555,8 @@ impl GateOptions {
 pub struct GateOutcome {
     /// Where the report was written.
     pub report_path: PathBuf,
+    /// Where the validated telemetry snapshot was written.
+    pub telemetry_path: PathBuf,
     /// The comparison (absent with `--write-baseline`/`--no-compare`).
     pub comparison: Option<Comparison>,
     /// Process exit code per the module contract.
@@ -579,6 +581,19 @@ pub fn default_baseline_path(workload: &str) -> PathBuf {
         .join(file)
 }
 
+/// Writes `TELEMETRY_<workload>.json` — the process-wide registry
+/// snapshot — into `out_dir`, validating it against the snapshot schema
+/// before returning.
+fn write_telemetry_snapshot(workload: &str, out_dir: &Path) -> Result<PathBuf, String> {
+    let snapshot = wmx_telemetry::global_snapshot();
+    wmx_telemetry::validate_snapshot(&snapshot)
+        .map_err(|e| format!("telemetry snapshot failed schema validation: {e}"))?;
+    let path = out_dir.join(format!("TELEMETRY_{workload}.json"));
+    std::fs::write(&path, snapshot.to_pretty_string())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
 /// Runs the suite, writes the report, and compares or refreshes the
 /// baseline. `Err` means an operational failure (exit 1 in the binary);
 /// a failed comparison is `Ok` with `exit_code` 2.
@@ -587,6 +602,11 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
     let report_path = report
         .write_to_dir(&opts.out_dir)
         .map_err(|e| format!("cannot write report into {}: {e}", opts.out_dir.display()))?;
+    // The suite just drove both engines end to end, so the global
+    // telemetry registry is fully populated: export it next to the
+    // BENCH report and hold it to the snapshot schema — the gate is
+    // also the CI proof that instrumentation stays well-formed.
+    let telemetry_path = write_telemetry_snapshot(&opts.params.workload, &opts.out_dir)?;
     let baseline_path = opts
         .baseline_path
         .clone()
@@ -601,6 +621,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
         baseline.save(&baseline_path)?;
         return Ok(GateOutcome {
             report_path,
+            telemetry_path,
             comparison: None,
             exit_code: 0,
             summary: format!(
@@ -617,6 +638,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
         );
         return Ok(GateOutcome {
             report_path,
+            telemetry_path,
             comparison: None,
             exit_code: 0,
             summary,
@@ -643,6 +665,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
     );
     Ok(GateOutcome {
         report_path,
+        telemetry_path,
         comparison: Some(comparison),
         exit_code: if passed { 0 } else { 2 },
         summary,

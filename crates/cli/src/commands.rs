@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
+use crate::obs::Obs;
 use crate::profile::{resolve, PROFILE_NAMES};
 use crate::queryfile;
 use std::fs;
@@ -9,6 +10,7 @@ use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, Sh
 use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
 use wmx_crypto::SecretKey;
 use wmx_data::{jobs, library, publications};
+use wmx_telemetry::{span, AuditEvent};
 use wmx_xml::{parse, to_pretty_string};
 
 /// Runs a parsed command; returns the process exit code.
@@ -21,6 +23,7 @@ pub fn run(args: &Args) -> Result<i32, String> {
         "stream-detect" => cmd_stream_detect(args),
         "attack" => cmd_attack(args),
         "validate" => cmd_validate(args),
+        "validate-telemetry" => cmd_validate_telemetry(args),
         "inspect" => cmd_inspect(args),
         "bench" => cmd_bench(args),
         "help" | "--help" => {
@@ -63,13 +66,25 @@ COMMANDS
             apply a demo attack
   validate  --profile P --in FILE
             validate against the profile schema, keys, and FDs
+  validate-telemetry
+            --in FILE [--audit FILE]
+            check a --telemetry-json snapshot (and optionally an
+            --audit-log file) against the telemetry schemas
+            (exit 0 = valid, 2 = invalid)
   inspect   --in FILE
             print document statistics
   bench     [--suite smoke|full] [--out DIR] [--baseline FILE]
             [--write-baseline] [--no-compare]
-            run the telemetry suite, write BENCH_<workload>.json, and
-            gate against the checked-in baseline (exit 0 = pass,
-            2 = throughput regression or detection-rate drop)
+            run the telemetry suite, write BENCH_<workload>.json and
+            TELEMETRY_<workload>.json, and gate against the checked-in
+            baseline (exit 0 = pass, 2 = throughput regression or
+            detection-rate drop)
+
+OBSERVABILITY (embed, detect, stream-embed, stream-detect)
+  --telemetry-json FILE   write a schema-versioned metrics snapshot
+  --audit-log FILE        append one JSON line per invocation (workload,
+                          per-phase timings, vote totals, verdict)
+  --trace                 pretty-print the span tree after the run
 
 PROFILES: {}",
         PROFILE_NAMES.join(", ")
@@ -77,6 +92,7 @@ PROFILES: {}",
 }
 
 fn read_doc(path: &str) -> Result<wmx_xml::Document, String> {
+    let _s = span("parse");
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
@@ -164,6 +180,8 @@ fn cmd_embed(args: &Args) -> Result<i32, String> {
     let queries_path = args.required("queries").map_err(|e| e.to_string())?;
     let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
     let watermark = watermark_from(args)?;
+    let obs = Obs::from_args(args);
+    obs.begin();
 
     let original = read_doc(in_path)?;
     let mut config = profile.config.clone();
@@ -201,8 +219,26 @@ fn cmd_embed(args: &Args) -> Result<i32, String> {
     )
     .map_err(|e| format!("usability check failed: {e}"))?;
 
-    write_file(out_path, &to_pretty_string(&marked))?;
+    {
+        let _s = span("serialize");
+        write_file(out_path, &to_pretty_string(&marked))?;
+    }
     write_file(queries_path, &queryfile::to_string(&report.queries))?;
+    obs.finish(AuditEvent {
+        operation: "embed".to_string(),
+        engine: "dom".to_string(),
+        workload: in_path.to_string(),
+        records: None,
+        phases: Vec::new(),
+        counts: vec![
+            ("total_units".to_string(), report.total_units as u64),
+            ("selected_units".to_string(), report.selected_units as u64),
+            ("marked_units".to_string(), report.marked_units as u64),
+            ("marked_nodes".to_string(), report.marked_nodes as u64),
+        ],
+        detected: None,
+        p_value: None,
+    })?;
     println!(
         "embedded {} marks across {} units (γ={}, utilization {:.1}%)",
         report.marked_units,
@@ -227,6 +263,8 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
     let threshold: f64 = args
         .parsed_or("threshold", 0.85)
         .map_err(|e| e.to_string())?;
+    let obs = Obs::from_args(args);
+    obs.begin();
 
     let doc = read_doc(in_path)?;
     let queries_text =
@@ -243,6 +281,25 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
             mapping: None,
         },
     );
+    let (votes_ones, votes_zeros) = report.vote_totals();
+    obs.finish(AuditEvent {
+        operation: "detect".to_string(),
+        engine: "dom".to_string(),
+        workload: in_path.to_string(),
+        records: None,
+        phases: Vec::new(),
+        counts: vec![
+            ("total_queries".to_string(), report.total_queries as u64),
+            ("located_queries".to_string(), report.located_queries as u64),
+            ("votes_cast".to_string(), report.votes_cast as u64),
+            ("votes_ones".to_string(), votes_ones as u64),
+            ("votes_zeros".to_string(), votes_zeros as u64),
+            ("matched_bits".to_string(), report.matched_bits as u64),
+            ("voted_bits".to_string(), report.voted_bits as u64),
+        ],
+        detected: Some(report.detected),
+        p_value: Some(report.p_value),
+    })?;
     println!(
         "queries located: {}/{}; bits matched {}/{} ({:.1}%); p-value {:.2e}",
         report.located_queries,
@@ -269,6 +326,8 @@ fn cmd_stream_embed(args: &Args) -> Result<i32, String> {
     let key = SecretKey::from_passphrase(args.required("key").map_err(|e| e.to_string())?);
     let watermark = watermark_from(args)?;
     let workers: usize = args.parsed_or("workers", 1).map_err(|e| e.to_string())?;
+    let obs = Obs::from_args(args);
+    obs.begin();
 
     let config = stream_config(args, &profile)?;
     let ctx = wmx_stream::StreamContext {
@@ -277,6 +336,7 @@ fn cmd_stream_embed(args: &Args) -> Result<i32, String> {
         config: &config,
     };
 
+    let embed_span = span("stream_embed");
     let report = if workers > 1 {
         let text =
             fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
@@ -311,7 +371,29 @@ fn cmd_stream_embed(args: &Args) -> Result<i32, String> {
         }
     };
 
+    drop(embed_span);
+
     write_file(queries_path, &queryfile::to_string(&report.report.queries))?;
+    obs.finish(AuditEvent {
+        operation: "stream-embed".to_string(),
+        engine: if workers > 1 { "parallel" } else { "stream" }.to_string(),
+        workload: in_path.to_string(),
+        records: Some(report.records as u64),
+        phases: Vec::new(),
+        counts: vec![
+            ("total_units".to_string(), report.report.total_units as u64),
+            (
+                "marked_units".to_string(),
+                report.report.marked_units as u64,
+            ),
+            (
+                "chunks".to_string(),
+                report.chunk_summary().map_or(0, |s| s.chunks as u64),
+            ),
+        ],
+        detected: None,
+        p_value: None,
+    })?;
     println!(
         "stream-embedded {} marks across {} units in {} records (γ={}, workers {workers})",
         report.report.marked_units, report.report.total_units, report.records, config.gamma,
@@ -334,6 +416,8 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
         .parsed_or("threshold", 0.85)
         .map_err(|e| e.to_string())?;
     let workers: usize = args.parsed_or("workers", 1).map_err(|e| e.to_string())?;
+    let obs = Obs::from_args(args);
+    obs.begin();
 
     let config = stream_config(args, &profile)?;
     let ctx = wmx_stream::StreamContext {
@@ -342,6 +426,7 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
         config: &config,
     };
 
+    let detect_span = span("stream_detect");
     let detection = if workers > 1 {
         let text =
             fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
@@ -358,8 +443,40 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
         )
         .map_err(|e| format!("streaming detect failed: {e}"))?
     };
+    drop(detect_span);
 
     let report = &detection.report;
+    let (votes_ones, votes_zeros) = report.vote_totals();
+    obs.finish(AuditEvent {
+        operation: "stream-detect".to_string(),
+        engine: if workers > 1 { "parallel" } else { "stream" }.to_string(),
+        workload: in_path.to_string(),
+        records: Some(detection.records as u64),
+        phases: Vec::new(),
+        counts: vec![
+            ("total_units".to_string(), report.total_queries as u64),
+            ("located_units".to_string(), report.located_queries as u64),
+            ("votes_cast".to_string(), report.votes_cast as u64),
+            ("votes_ones".to_string(), votes_ones as u64),
+            ("votes_zeros".to_string(), votes_zeros as u64),
+            (
+                "chunks".to_string(),
+                detection.chunk_summary().map_or(0, |s| s.chunks as u64),
+            ),
+        ],
+        detected: Some(report.detected),
+        p_value: Some(report.p_value),
+    })?;
+    if let Some(summary) = detection.chunk_summary() {
+        println!(
+            "chunks: {} ({} records; {}µs min / {}µs mean / {}µs max)",
+            summary.chunks,
+            summary.records,
+            summary.min_micros,
+            summary.mean_micros(),
+            summary.max_micros
+        );
+    }
     println!(
         "units voted: {}/{} across {} records; bits matched {}/{} ({:.1}%); p-value {:.2e}",
         report.located_queries,
@@ -455,6 +572,44 @@ fn cmd_validate(args: &Args) -> Result<i32, String> {
     }
 }
 
+fn cmd_validate_telemetry(args: &Args) -> Result<i32, String> {
+    let in_path = args.required("in").map_err(|e| e.to_string())?;
+    let text = fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
+    let mut problems = 0usize;
+    match wmx_telemetry::Json::parse(&text) {
+        Ok(snapshot) => match wmx_telemetry::validate_snapshot(&snapshot) {
+            Ok(()) => println!("snapshot {in_path}: valid (schema v1)"),
+            Err(e) => {
+                println!("snapshot {in_path}: INVALID — {e}");
+                problems += 1;
+            }
+        },
+        Err(e) => {
+            println!("snapshot {in_path}: INVALID — not JSON: {e}");
+            problems += 1;
+        }
+    }
+    if let Some(audit_path) = args.optional("audit") {
+        let text =
+            fs::read_to_string(audit_path).map_err(|e| format!("cannot read {audit_path}: {e}"))?;
+        let mut lines = 0usize;
+        for (idx, line) in text.lines().enumerate() {
+            lines += 1;
+            if let Err(e) = wmx_telemetry::validate_audit_line(line) {
+                println!("audit {audit_path}:{}: INVALID — {e}", idx + 1);
+                problems += 1;
+            }
+        }
+        if lines == 0 {
+            println!("audit {audit_path}: INVALID — no audit lines");
+            problems += 1;
+        } else if problems == 0 {
+            println!("audit {audit_path}: {lines} valid line(s) (schema v1)");
+        }
+    }
+    Ok(if problems == 0 { 0 } else { 2 })
+}
+
 fn cmd_bench(args: &Args) -> Result<i32, String> {
     let params = match args.optional("suite").unwrap_or("smoke") {
         "smoke" => wmx_bench::SuiteParams::smoke(),
@@ -474,6 +629,7 @@ fn cmd_bench(args: &Args) -> Result<i32, String> {
     );
     let outcome = wmx_bench::run_gate(&opts)?;
     println!("report: {}", outcome.report_path.display());
+    println!("telemetry: {}", outcome.telemetry_path.display());
     println!("{}", outcome.summary);
     Ok(outcome.exit_code)
 }
@@ -775,6 +931,185 @@ mod tests {
             .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn telemetry_flags_emit_validated_snapshot_and_audit_lines() {
+        let db = tmp("obs-db.xml");
+        let marked = tmp("obs-marked.xml");
+        let queries = tmp("obs-q.wmxq");
+        let snapshot = tmp("obs-telemetry.json");
+        let audit = tmp("obs-audit.jsonl");
+        let _ = fs::remove_file(&audit); // append mode: start clean
+
+        run(&args(&[
+            "generate",
+            "--profile",
+            "publications",
+            "--records",
+            "80",
+            "--out",
+            &db,
+        ]))
+        .unwrap();
+        assert_eq!(
+            run(&args(&[
+                "embed",
+                "--profile",
+                "publications",
+                "--in",
+                &db,
+                "--key",
+                "obs-secret",
+                "--message",
+                "© obs",
+                "--out",
+                &marked,
+                "--queries",
+                &queries,
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            0
+        );
+        // Detected verdict, with snapshot + audit + trace all on.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "obs-secret",
+                "--message",
+                "© obs",
+                "--queries",
+                &queries,
+                "--telemetry-json",
+                &snapshot,
+                "--audit-log",
+                &audit,
+                "--trace",
+            ]))
+            .unwrap(),
+            0
+        );
+        // Not-detected verdict must also append a valid audit line.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "wrong-key",
+                "--message",
+                "© obs",
+                "--queries",
+                &queries,
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            2
+        );
+        // Streaming detect rides the same flags.
+        assert_eq!(
+            run(&args(&[
+                "stream-detect",
+                "--profile",
+                "publications",
+                "--in",
+                &marked,
+                "--key",
+                "obs-secret",
+                "--message",
+                "© obs",
+                "--workers",
+                "2",
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            0
+        );
+
+        // The snapshot validates and carries the warmed catalog: phase
+        // spans, plan-cache counters, and chunk histograms are all
+        // present even though this invocation only ran a DOM detect.
+        let text = fs::read_to_string(&snapshot).unwrap();
+        let parsed = wmx_telemetry::Json::parse(&text).unwrap();
+        wmx_telemetry::validate_snapshot(&parsed).unwrap();
+        let counters = parsed.get("counters").unwrap();
+        for name in crate::obs::COUNTER_CATALOG {
+            assert!(counters.get(name).is_some(), "missing counter {name}");
+        }
+        let histograms = parsed.get("histograms").unwrap();
+        for name in crate::obs::HISTOGRAM_CATALOG {
+            assert!(histograms.get(name).is_some(), "missing histogram {name}");
+        }
+        // The detect that wrote this snapshot actually timed its phases.
+        for phase in ["span.parse", "span.detect", "span.detect.select"] {
+            let count = histograms
+                .get(phase)
+                .and_then(|h| h.get("count"))
+                .and_then(wmx_telemetry::Json::as_usize)
+                .unwrap();
+            assert!(count > 0, "{phase} recorded no observations");
+        }
+
+        // Audit log: one line per invocation, both verdict outcomes.
+        let audit_text = fs::read_to_string(&audit).unwrap();
+        let lines: Vec<&str> = audit_text.lines().collect();
+        assert_eq!(lines.len(), 4, "one audit line per invocation");
+        for line in &lines {
+            wmx_telemetry::validate_audit_line(line).unwrap();
+        }
+        let verdicts: Vec<Option<bool>> = lines
+            .iter()
+            .map(|l| {
+                wmx_telemetry::Json::parse(l)
+                    .unwrap()
+                    .get("detected")
+                    .and_then(wmx_telemetry::Json::as_bool)
+            })
+            .collect();
+        assert_eq!(verdicts, [None, Some(true), Some(false), Some(true)]);
+        // Detect lines carry vote totals and phase timings.
+        let detect_line = wmx_telemetry::Json::parse(lines[1]).unwrap();
+        assert!(detect_line
+            .get("counts")
+            .and_then(|c| c.get("votes_ones"))
+            .and_then(wmx_telemetry::Json::as_usize)
+            .is_some_and(|v| v > 0));
+        assert!(matches!(
+            detect_line.get("phases"),
+            Some(wmx_telemetry::Json::Object(phases)) if !phases.is_empty()
+        ));
+
+        // The validator subcommand agrees, and flags corruption.
+        assert_eq!(
+            run(&args(&[
+                "validate-telemetry",
+                "--in",
+                &snapshot,
+                "--audit",
+                &audit
+            ]))
+            .unwrap(),
+            0
+        );
+        let bad = tmp("obs-bad.json");
+        fs::write(&bad, "{\"schema_version\": 99}").unwrap();
+        assert_eq!(
+            run(&args(&["validate-telemetry", "--in", &bad])).unwrap(),
+            2
+        );
+        assert!(run(&args(&[
+            "validate-telemetry",
+            "--in",
+            &tmp("obs-missing.json")
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -21,5 +21,6 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 pub mod profile;
 pub mod queryfile;

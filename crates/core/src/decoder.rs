@@ -125,6 +125,7 @@ impl DetectionReport {
 
 /// Runs detection over `doc`.
 pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
+    let _detect_span = wmx_telemetry::span("detect");
     let marker = UnitMarker::new(input.key.clone());
     let wm_len = input.watermark.len();
     let mut bit_votes = vec![BitVotes::default(); wm_len];
@@ -145,15 +146,22 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     // lists — and therefore every vote — are identical to the
     // query-at-a-time loop.
     let mut resolved: Vec<(usize, Query)> = Vec::with_capacity(input.queries.len());
-    for (i, stored) in input.queries.iter().enumerate() {
-        match resolve_query(stored, input.mapping) {
-            Ok(q) => resolved.push((i, q)),
-            Err(()) => unrewritable += 1,
+    {
+        let _s = wmx_telemetry::span("detect.resolve");
+        for (i, stored) in input.queries.iter().enumerate() {
+            match resolve_query(stored, input.mapping) {
+                Ok(q) => resolved.push((i, q)),
+                Err(()) => unrewritable += 1,
+            }
         }
     }
     let compiled: Vec<Query> = resolved.iter().map(|(_, q)| q.clone()).collect();
-    let batched = wmx_xpath::batch_select(&evaluator, &compiled);
+    let batched = {
+        let _s = wmx_telemetry::span("detect.select");
+        wmx_xpath::batch_select(&evaluator, &compiled)
+    };
 
+    let _extract_span = wmx_telemetry::span("detect.extract");
     for (slot, (stored_idx, query)) in resolved.iter().enumerate() {
         let stored = &input.queries[*stored_idx];
         let nodes = match &batched[slot] {
@@ -177,6 +185,7 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
             bit_votes[votes.bit_index].add(bit);
         }
     }
+    drop(_extract_span);
 
     report_from_votes(
         bit_votes,

@@ -67,15 +67,22 @@ pub fn embed(
     key: &SecretKey,
     watermark: &Watermark,
 ) -> Result<EmbedReport, WmError> {
+    let _embed_span = wmx_telemetry::span("embed");
     if watermark.is_empty() {
         return Err(WmError::new("watermark must have at least one bit"));
     }
     // The compiled plan replays `enumerate_units` with its name
     // lookups and query parsing hoisted to (cached) compile time;
     // `plan_equivalence.rs` pins the bit-for-bit agreement.
-    let plan = global_plan_cache().get_or_compile(binding, fds, config)?;
+    let plan = {
+        let _s = wmx_telemetry::span("embed.plan");
+        global_plan_cache().get_or_compile(binding, fds, config)?
+    };
     let table = plan.table();
-    let units = plan.execute(doc);
+    let units = {
+        let _s = wmx_telemetry::span("embed.select");
+        plan.execute(doc)
+    };
     let marker = UnitMarker::new(key.clone());
 
     let mut report = EmbedReport {
@@ -86,6 +93,7 @@ pub fn embed(
         queries: Vec::new(),
     };
 
+    let _mark_span = wmx_telemetry::span("embed.mark");
     for unit in units {
         // Selection feeds the compact key straight into the PRF — no
         // unit-id string is built for the ~(γ−1)/γ unselected units.

@@ -33,10 +33,11 @@ use crate::identifier::{
 };
 use crate::WmError;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
 use wmx_rewrite::SchemaBinding;
 use wmx_schema::{discover_groups_with, DataType, Fd};
+use wmx_telemetry::Counter;
 use wmx_xml::{Document, Sym};
 use wmx_xpath::{Evaluator, NodeRef, Query};
 
@@ -373,17 +374,37 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// A concurrent cache of compiled plans keyed by schema hash (verified
 /// by canonical-description equality, so collisions cost a scan, never
 /// a wrong plan).
-#[derive(Debug, Default)]
+///
+/// Hit/miss tallies live on `wmx-telemetry` counters: the global cache
+/// registers them by name so they show up in telemetry snapshots, while
+/// standalone caches (tests, tools) get private unregistered counters.
+#[derive(Debug)]
 pub struct PlanCache {
     shelves: Mutex<HashMap<u64, Vec<Arc<SelectionPlan>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with private (unregistered) stat counters.
     pub fn new() -> Self {
-        PlanCache::default()
+        PlanCache::with_counters(Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// An empty cache tallying onto caller-supplied counters — the
+    /// global cache passes registry-owned handles here.
+    pub fn with_counters(hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
+        PlanCache {
+            shelves: Mutex::new(HashMap::new()),
+            hits,
+            misses,
+        }
     }
 
     /// Returns the cached plan for this schema, compiling it on first
@@ -401,13 +422,13 @@ impl PlanCache {
             let shelves = self.shelves.lock().expect("plan cache lock");
             if let Some(bucket) = shelves.get(&hash) {
                 if let Some(plan) = bucket.iter().find(|p| p.canon == canon) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Ok(Arc::clone(plan));
                 }
             }
         }
         let plan = Arc::new(SelectionPlan::compile(binding, fds, config)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let mut shelves = self.shelves.lock().expect("plan cache lock");
         let bucket = shelves.entry(hash).or_default();
         if let Some(existing) = bucket.iter().find(|p| p.canon == canon) {
@@ -419,12 +440,12 @@ impl PlanCache {
 
     /// Cache hits served so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cold compiles performed so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 }
 
@@ -433,7 +454,13 @@ impl PlanCache {
 /// drivers share one compiled plan per schema.
 pub fn global_plan_cache() -> &'static PlanCache {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
-    CACHE.get_or_init(PlanCache::new)
+    CACHE.get_or_init(|| {
+        let registry = wmx_telemetry::global();
+        PlanCache::with_counters(
+            registry.counter("core.plan_cache.hits"),
+            registry.counter("core.plan_cache.misses"),
+        )
+    })
 }
 
 #[cfg(test)]

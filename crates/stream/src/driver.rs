@@ -2,6 +2,7 @@
 //! tally, both with O(depth + one record) resident nodes.
 
 use crate::engine::{open_tag, RecordEngine};
+use crate::metrics::stream_metrics;
 use crate::reader::{Misc, TopEvent, TopLevelReader};
 use crate::report::{
     ChunkTiming, PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport,
@@ -156,10 +157,12 @@ pub fn stream_embed<R: BufRead, W: Write>(
         }
     }
     emitter.finish()?;
-    partial.chunk_timings.push(ChunkTiming {
+    let timing = ChunkTiming {
         records: partial.records,
         micros: start.elapsed().as_micros(),
-    });
+    };
+    stream_metrics().record_chunk(&timing);
+    partial.chunk_timings.push(timing);
     Ok(partial.finalize())
 }
 
@@ -195,10 +198,14 @@ pub fn stream_detect<R: BufRead>(
             _ => {}
         }
     }
-    partial.chunk_timings.push(ChunkTiming {
+    let timing = ChunkTiming {
         records: partial.records,
         micros: start.elapsed().as_micros(),
-    });
+    };
+    let metrics = stream_metrics();
+    metrics.record_chunk(&timing);
+    metrics.votes.add(partial.votes_cast as u64);
+    partial.chunk_timings.push(timing);
     Ok(partial.finalize(watermark, threshold))
 }
 

@@ -44,6 +44,7 @@
 
 pub mod driver;
 pub mod engine;
+mod metrics;
 pub mod parallel;
 pub mod reader;
 pub mod report;
@@ -51,7 +52,7 @@ pub mod report;
 pub use driver::{stream_detect, stream_embed};
 pub use parallel::{par_detect, par_embed};
 pub use reader::{Misc, TopEvent, TopLevelReader};
-pub use report::{ChunkTiming, StreamDetectReport, StreamEmbedReport};
+pub use report::{ChunkSummary, ChunkTiming, StreamDetectReport, StreamEmbedReport};
 
 use wmx_core::WmError;
 use wmx_xml::XmlError;

@@ -1,0 +1,51 @@
+//! Registry handles for the streaming drivers' chunk-level metrics.
+//!
+//! Resolved once per process via `OnceLock`; the handles themselves are
+//! lock-free, so recording from parallel worker chunks costs only
+//! Relaxed atomics. Per-record work inside `RecordEngine` is left
+//! uninstrumented on purpose — chunk granularity is the finest level
+//! that doesn't tax the record loop.
+
+use std::sync::{Arc, OnceLock};
+
+use wmx_telemetry::{Counter, Histogram};
+
+use crate::report::ChunkTiming;
+
+pub(crate) struct StreamMetrics {
+    /// Wall-clock per chunk (sequential: whole pass; parallel: one
+    /// worker chunk) — see `ChunkTiming`'s family caveat.
+    pub chunk_micros: Arc<Histogram>,
+    /// Records processed across all chunks.
+    pub records: Arc<Counter>,
+    /// Chunks timed.
+    pub chunks: Arc<Counter>,
+    /// Node votes cast by detect chunks.
+    pub votes: Arc<Counter>,
+    /// Cross-chunk partial-report merges performed by parallel drivers.
+    pub merges: Arc<Counter>,
+}
+
+impl StreamMetrics {
+    /// Folds one finished chunk into the histograms/counters.
+    pub fn record_chunk(&self, timing: &ChunkTiming) {
+        self.chunk_micros
+            .record(u64::try_from(timing.micros).unwrap_or(u64::MAX));
+        self.records.add(timing.records as u64);
+        self.chunks.inc();
+    }
+}
+
+pub(crate) fn stream_metrics() -> &'static StreamMetrics {
+    static METRICS: OnceLock<StreamMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = wmx_telemetry::global();
+        StreamMetrics {
+            chunk_micros: registry.histogram("stream.chunk_micros"),
+            records: registry.counter("stream.records"),
+            chunks: registry.counter("stream.chunks"),
+            votes: registry.counter("stream.votes"),
+            merges: registry.counter("stream.merges"),
+        }
+    })
+}

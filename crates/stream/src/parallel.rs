@@ -10,6 +10,7 @@
 
 use crate::driver::Emitter;
 use crate::engine::RecordEngine;
+use crate::metrics::stream_metrics;
 use crate::reader::{TopEvent, TopLevelReader};
 use crate::report::{
     ChunkTiming, PartialDetect, PartialEmbed, StreamDetectReport, StreamEmbedReport,
@@ -98,10 +99,12 @@ pub fn par_embed(
         for raw in slice {
             outputs.push(engine.embed_record(raw, &mut partial)?);
         }
-        partial.chunk_timings.push(ChunkTiming {
+        let timing = ChunkTiming {
             records: slice.len(),
             micros: start.elapsed().as_micros(),
-        });
+        };
+        stream_metrics().record_chunk(&timing);
+        partial.chunk_timings.push(timing);
         Ok((outputs, partial))
     })?;
 
@@ -110,6 +113,7 @@ pub fn par_embed(
     for (outputs, chunk_partial) in chunk_results {
         record_outputs.extend(outputs);
         partial.merge(chunk_partial);
+        stream_metrics().merges.inc();
     }
 
     let mut buf: Vec<u8> = Vec::with_capacity(input.len());
@@ -161,16 +165,21 @@ pub fn par_detect(
         for raw in slice {
             engine.detect_record(raw, &mut partial)?;
         }
-        partial.chunk_timings.push(ChunkTiming {
+        let timing = ChunkTiming {
             records: slice.len(),
             micros: start.elapsed().as_micros(),
-        });
+        };
+        let metrics = stream_metrics();
+        metrics.record_chunk(&timing);
+        metrics.votes.add(partial.votes_cast as u64);
+        partial.chunk_timings.push(timing);
         Ok(partial)
     })?;
 
     let mut merged = PartialDetect::new(watermark.len());
     for chunk_partial in chunk_results {
         merged.merge(chunk_partial);
+        stream_metrics().merges.inc();
     }
     Ok(merged.finalize(watermark, threshold))
 }

@@ -30,6 +30,51 @@ pub struct ChunkTiming {
     pub micros: u128,
 }
 
+/// Aggregated view of a run's [`ChunkTiming`]s — the user-visible
+/// summary the raw per-chunk vector never had (it was collected but
+/// silently dropped by every consumer until the telemetry layer landed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSummary {
+    /// Chunks timed.
+    pub chunks: usize,
+    /// Records across all timed chunks.
+    pub records: usize,
+    /// Summed chunk wall-clock, in µs (not wall time of the run: chunks
+    /// overlap under parallel drivers).
+    pub total_micros: u128,
+    /// Fastest chunk, in µs.
+    pub min_micros: u128,
+    /// Slowest chunk, in µs.
+    pub max_micros: u128,
+}
+
+impl ChunkSummary {
+    /// Folds raw timings into a summary (`None` when nothing was timed).
+    pub fn from_timings(timings: &[ChunkTiming]) -> Option<ChunkSummary> {
+        let first = timings.first()?;
+        let mut summary = ChunkSummary {
+            chunks: 0,
+            records: 0,
+            total_micros: 0,
+            min_micros: first.micros,
+            max_micros: first.micros,
+        };
+        for t in timings {
+            summary.chunks += 1;
+            summary.records += t.records;
+            summary.total_micros += t.micros;
+            summary.min_micros = summary.min_micros.min(t.micros);
+            summary.max_micros = summary.max_micros.max(t.micros);
+        }
+        Some(summary)
+    }
+
+    /// Mean chunk wall-clock, in µs.
+    pub fn mean_micros(&self) -> u128 {
+        self.total_micros / self.chunks as u128
+    }
+}
+
 /// Streaming embed outcome: the DOM-equivalent report plus streaming
 /// telemetry.
 #[derive(Debug, Clone)]
@@ -47,6 +92,13 @@ pub struct StreamEmbedReport {
     pub chunk_timings: Vec<ChunkTiming>,
 }
 
+impl StreamEmbedReport {
+    /// Aggregated chunk-timing summary (`None` when nothing was timed).
+    pub fn chunk_summary(&self) -> Option<ChunkSummary> {
+        ChunkSummary::from_timings(&self.chunk_timings)
+    }
+}
+
 /// Streaming detect outcome.
 #[derive(Debug, Clone)]
 pub struct StreamDetectReport {
@@ -60,6 +112,13 @@ pub struct StreamDetectReport {
     /// Per-chunk wall-clock timings (one entry for sequential runs, one
     /// per worker chunk for parallel runs).
     pub chunk_timings: Vec<ChunkTiming>,
+}
+
+impl StreamDetectReport {
+    /// Aggregated chunk-timing summary (`None` when nothing was timed).
+    pub fn chunk_summary(&self) -> Option<ChunkSummary> {
+        ChunkSummary::from_timings(&self.chunk_timings)
+    }
 }
 
 /// Per-FD-group embed state: one map entry per group replaces the three
@@ -211,5 +270,36 @@ impl PartialDetect {
             peak_resident_nodes: self.peak_resident_nodes,
             chunk_timings: self.chunk_timings,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_summary_aggregates_timings() {
+        assert_eq!(ChunkSummary::from_timings(&[]), None);
+        let timings = [
+            ChunkTiming {
+                records: 10,
+                micros: 40,
+            },
+            ChunkTiming {
+                records: 30,
+                micros: 100,
+            },
+            ChunkTiming {
+                records: 20,
+                micros: 70,
+            },
+        ];
+        let summary = ChunkSummary::from_timings(&timings).unwrap();
+        assert_eq!(summary.chunks, 3);
+        assert_eq!(summary.records, 60);
+        assert_eq!(summary.total_micros, 210);
+        assert_eq!(summary.min_micros, 40);
+        assert_eq!(summary.max_micros, 100);
+        assert_eq!(summary.mean_micros(), 70);
     }
 }

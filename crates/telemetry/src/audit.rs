@@ -1,0 +1,267 @@
+//! Structured JSON-lines audit events.
+//!
+//! Every embed/detect invocation appends exactly one line to the audit
+//! log: a compact JSON object identifying the workload, how long each
+//! phase took, the vote totals, and the verdict. This is the evidence
+//! trail the fingerprinting roadmap items need — a detection verdict is
+//! only worth arguing about if the run that produced it is recorded.
+//!
+//! ```json
+//! {"schema_version":1,"operation":"detect","engine":"dom","workload":"orders.xml",
+//!  "records":null,"phases":{"detect":1812,"detect.select":1490},
+//!  "counts":{"votes_ones":38,"votes_zeros":2},"detected":true,"p_value":1.2e-9}
+//! ```
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::{obj, Json};
+
+/// Version stamped into every audit line; bump on shape changes.
+pub const AUDIT_SCHEMA_VERSION: u64 = 1;
+
+/// One embed/detect invocation, ready to serialize.
+#[derive(Debug, Clone, Default)]
+pub struct AuditEvent {
+    /// What ran: `"embed"`, `"detect"`, `"stream-embed"`, …
+    pub operation: String,
+    /// Which engine: `"dom"`, `"stream"`, or `"parallel"`.
+    pub engine: String,
+    /// Workload identity — typically the input path.
+    pub workload: String,
+    /// Records processed, when the engine counts them.
+    pub records: Option<u64>,
+    /// Per-phase wall time in microseconds, from the span trace.
+    pub phases: Vec<(String, u64)>,
+    /// Operation tallies (vote totals, marked units, …).
+    pub counts: Vec<(String, u64)>,
+    /// The detection verdict; `None` for embed operations.
+    pub detected: Option<bool>,
+    /// The detection p-value; `None` for embed operations.
+    pub p_value: Option<f64>,
+}
+
+impl AuditEvent {
+    /// Serializes to a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|(name, micros)| (name.clone(), Json::Number(*micros as f64)))
+            .collect();
+        let counts = self
+            .counts
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::Number(*value as f64)))
+            .collect();
+        obj(vec![
+            ("schema_version", Json::Number(AUDIT_SCHEMA_VERSION as f64)),
+            ("operation", Json::String(self.operation.clone())),
+            ("engine", Json::String(self.engine.clone())),
+            ("workload", Json::String(self.workload.clone())),
+            (
+                "records",
+                self.records.map_or(Json::Null, |r| Json::Number(r as f64)),
+            ),
+            ("phases", Json::Object(phases)),
+            ("counts", Json::Object(counts)),
+            ("detected", self.detected.map_or(Json::Null, Json::Bool)),
+            ("p_value", self.p_value.map_or(Json::Null, Json::Number)),
+        ])
+        .to_compact_string()
+    }
+}
+
+/// An append-only audit log.
+///
+/// The sink serializes writers behind a `Mutex` so concurrent
+/// invocations in one process emit whole lines, never interleaved
+/// fragments. Events are flushed per line — audit logs are worthless if
+/// the crash that mattered lost them.
+pub struct AuditSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for AuditSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditSink").finish_non_exhaustive()
+    }
+}
+
+impl AuditSink {
+    /// Opens (creating if needed) `path` for appending.
+    pub fn append_to(path: &Path) -> std::io::Result<AuditSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AuditSink::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (tests pass a `Vec<u8>` buffer).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> AuditSink {
+        AuditSink {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Appends one event as one line and flushes.
+    pub fn record(&self, event: &AuditEvent) -> std::io::Result<()> {
+        let line = event.to_json_line();
+        let mut out = self.out.lock().expect("audit sink poisoned");
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()
+    }
+}
+
+/// Checks that `line` is a well-formed version-1 audit event.
+pub fn validate_audit_line(line: &str) -> Result<(), String> {
+    let value = Json::parse(line).map_err(|e| format!("audit line is not JSON: {e}"))?;
+    let version = value
+        .get("schema_version")
+        .and_then(Json::as_usize)
+        .ok_or("audit line is missing a numeric schema_version")?;
+    if version as u64 != AUDIT_SCHEMA_VERSION {
+        return Err(format!(
+            "audit schema_version {version} != supported {AUDIT_SCHEMA_VERSION}"
+        ));
+    }
+    for field in ["operation", "engine", "workload"] {
+        if value.get(field).and_then(Json::as_str).is_none() {
+            return Err(format!("audit line is missing string field {field:?}"));
+        }
+    }
+    for field in ["phases", "counts"] {
+        let Some(Json::Object(members)) = value.get(field) else {
+            return Err(format!("audit line field {field:?} must be an object"));
+        };
+        for (name, v) in members {
+            if v.as_f64().is_none() {
+                return Err(format!("audit {field} entry {name:?} is not a number"));
+            }
+        }
+    }
+    match value.get("detected") {
+        Some(Json::Bool(_)) | Some(Json::Null) => {}
+        _ => return Err("audit line field \"detected\" must be bool or null".to_string()),
+    }
+    match value.get("p_value") {
+        Some(Json::Number(_)) | Some(Json::Null) => {}
+        _ => return Err("audit line field \"p_value\" must be number or null".to_string()),
+    }
+    match value.get("records") {
+        Some(Json::Number(_)) | Some(Json::Null) => {}
+        _ => return Err("audit line field \"records\" must be number or null".to_string()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` handle into a shared buffer, so tests can read back
+    /// what the sink wrote.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn detect_event(detected: bool) -> AuditEvent {
+        AuditEvent {
+            operation: "detect".to_string(),
+            engine: "dom".to_string(),
+            workload: "orders.xml".to_string(),
+            records: Some(400),
+            phases: vec![
+                ("detect".to_string(), 1812),
+                ("detect.select".to_string(), 1490),
+            ],
+            counts: vec![
+                ("votes_ones".to_string(), if detected { 38 } else { 3 }),
+                ("votes_zeros".to_string(), 2),
+            ],
+            detected: Some(detected),
+            p_value: Some(if detected { 1.2e-9 } else { 0.61 }),
+        }
+    }
+
+    #[test]
+    fn both_verdicts_serialize_to_valid_single_lines() {
+        for detected in [true, false] {
+            let line = detect_event(detected).to_json_line();
+            assert!(!line.contains('\n'));
+            validate_audit_line(&line).unwrap();
+            let value = Json::parse(&line).unwrap();
+            assert_eq!(
+                value.get("detected").and_then(Json::as_bool),
+                Some(detected)
+            );
+            assert_eq!(
+                value
+                    .get("counts")
+                    .and_then(|c| c.get("votes_zeros"))
+                    .and_then(Json::as_usize),
+                Some(2)
+            );
+        }
+    }
+
+    #[test]
+    fn embed_events_carry_null_verdict_fields() {
+        let event = AuditEvent {
+            operation: "embed".to_string(),
+            engine: "stream".to_string(),
+            workload: "orders.xml".to_string(),
+            ..AuditEvent::default()
+        };
+        let line = event.to_json_line();
+        validate_audit_line(&line).unwrap();
+        let value = Json::parse(&line).unwrap();
+        assert_eq!(value.get("detected"), Some(&Json::Null));
+        assert_eq!(value.get("p_value"), Some(&Json::Null));
+        assert_eq!(value.get("records"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn sink_appends_one_line_per_event() {
+        let buf = SharedBuf(Arc::new(StdMutex::new(Vec::new())));
+        let sink = AuditSink::from_writer(Box::new(buf.clone()));
+        sink.record(&detect_event(true)).unwrap();
+        sink.record(&detect_event(false)).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_audit_line(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_audit_line("not json").is_err());
+        assert!(validate_audit_line("{}").is_err());
+        assert!(validate_audit_line(
+            r#"{"schema_version":2,"operation":"x","engine":"y","workload":"z","records":null,"phases":{},"counts":{},"detected":null,"p_value":null}"#
+        )
+        .unwrap_err()
+        .contains("schema_version"));
+        assert!(validate_audit_line(
+            r#"{"schema_version":1,"operation":"x","engine":"y","workload":"z","records":null,"phases":{"p":"late"},"counts":{},"detected":null,"p_value":null}"#
+        )
+        .is_err());
+        assert!(validate_audit_line(
+            r#"{"schema_version":1,"operation":"x","engine":"y","workload":"z","records":null,"phases":{},"counts":{},"detected":"yes","p_value":null}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! `wmx-telemetry`: zero-dependency observability for WmXML.
+//!
+//! The paper's pipeline is multi-phase — parse, unit selection,
+//! PRF-driven marking, vote-tallied detection — and this crate is the
+//! substrate that makes a live run of it inspectable:
+//!
+//! - [`metrics`] — lock-free [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   primitives safe for the per-record streaming hot path (Relaxed
+//!   atomics, zero allocation, zero locks).
+//! - [`registry`] — a process-wide named [`Registry`] handing out
+//!   `Arc` handles; registration is the cold path.
+//! - [`span`] — RAII [`Span`]s for phase timing, with an optional
+//!   thread-local trace buffer behind a single atomic flag.
+//! - [`snapshot`] — a schema-versioned JSON export of a registry.
+//! - [`audit`] — JSON-lines [`AuditEvent`]s recording each embed or
+//!   detect invocation: workload, per-phase timings, vote totals,
+//!   verdict.
+//! - [`json`] — the hand-rolled JSON value/reader/writer (moved here
+//!   from `wmx-bench`, which re-exports it).
+//!
+//! The crate has no dependencies at all, matching the workspace's
+//! vendored-shim policy, so every other crate can depend on it without
+//! cycles.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use audit::{validate_audit_line, AuditEvent, AuditSink, AUDIT_SCHEMA_VERSION};
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Gauge, Histogram, BUCKET_BOUNDS_MICROS, BUCKET_COUNT};
+pub use registry::{global, Registry};
+pub use snapshot::{global_snapshot, snapshot, validate_snapshot, SNAPSHOT_SCHEMA_VERSION};
+pub use span::{
+    disable_trace, enable_trace, phase_totals, render_trace, span, take_trace, Span, TraceEvent,
+};

@@ -1,0 +1,239 @@
+//! The record path: lock-free, allocation-free metric primitives.
+//!
+//! Everything in this module is built from `Relaxed` atomics only — no
+//! `Mutex`/`RwLock`, no heap allocation, no string formatting — so a
+//! counter increment or histogram record costs one (or a few) atomic
+//! RMW operations and can sit on the per-record streaming hot path.
+//! `scripts/check-hot-path-format.sh` denies locking and allocating
+//! tokens in this file's non-test code, the same way it guards the
+//! embed/detect loops.
+//!
+//! Registration (naming a metric, handing out `Arc` handles) is the
+//! cold path and lives in [`crate::registry`]; these types are plain
+//! const-constructible values so they can also be embedded directly in
+//! statics or structs without touching the registry at all.
+//!
+//! Relaxed ordering is deliberate: metrics are monotone tallies whose
+//! readers (snapshot export) tolerate being a few operations behind;
+//! per-value totals are still exact once the writing threads are joined,
+//! which is what the concurrency tests pin.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. resident nodes, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v` (a high-water mark).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds (inclusive) of [`Histogram`], in microseconds.
+/// Chosen to cover everything from a sub-microsecond chunk to a
+/// multi-second whole-document pass; the final implicit bucket is
+/// +infinity.
+pub const BUCKET_BOUNDS_MICROS: [u64; 20] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 5_000_000,
+];
+
+/// Bucket count of [`Histogram`]: the fixed bounds plus the +infinity
+/// overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_MICROS.len() + 1;
+
+/// A fixed-bucket latency histogram over microsecond observations.
+///
+/// All state is a const-sized array of atomics: recording is a bounds
+/// scan plus four Relaxed RMWs, with zero allocation and zero locking.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+        }
+    }
+
+    /// Records one observation of `micros`.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        let idx = BUCKET_BOUNDS_MICROS.partition_point(|&bound| micros > bound);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.min.fetch_min(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (`None` while empty).
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Largest observation (`None` while empty).
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Observations in bucket `idx` (the last index is the +infinity
+    /// overflow bucket).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.fetch_max(5);
+        assert_eq!(g.get(), 7);
+        g.fetch_max(12);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+
+        h.record(0); // <= 1µs bucket
+        h.record(1);
+        h.record(3); // <= 5µs bucket
+        h.record(7_000_000); // overflow bucket
+
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 7_000_004);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(7_000_000));
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(BUCKET_COUNT - 1), 1);
+
+        let total: u64 = (0..BUCKET_COUNT).map(|i| h.bucket_count(i)).sum();
+        assert_eq!(total, h.count(), "every observation lands in a bucket");
+    }
+
+    #[test]
+    fn bucket_bounds_are_sorted_and_distinct() {
+        for pair in BUCKET_BOUNDS_MICROS.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        // Boundary values land in the bucket whose bound they equal.
+        let h = Histogram::new();
+        h.record(1_000);
+        assert_eq!(h.bucket_count(9), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! The named-metric registry: the cold path.
+//!
+//! A [`Registry`] hands out `Arc` handles to [`Counter`]s, [`Gauge`]s,
+//! and [`Histogram`]s keyed by name. Registration takes a `Mutex` and
+//! may allocate — callers do it once at startup (or first use) and keep
+//! the handle; the record path then touches only the lock-free
+//! primitives in [`crate::metrics`]. `BTreeMap` keeps snapshot output
+//! deterministically ordered.
+//!
+//! [`global()`] is the process-wide registry every subsystem shares;
+//! tests that need exact totals build their own `Registry` instead so
+//! parallel test threads cannot interleave.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A named collection of metrics.
+///
+/// Lookup/creation locks briefly; the returned handles are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        self.gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+
+        let h1 = reg.histogram("lat");
+        let h2 = reg.histogram("lat");
+        h1.record(5);
+        assert_eq!(h2.count(), 1);
+    }
+
+    #[test]
+    fn listing_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zeta");
+        reg.counter("alpha");
+        reg.counter("mid");
+        let names: Vec<String> = reg.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn kinds_are_namespaced_independently() {
+        let reg = Registry::new();
+        reg.counter("shared");
+        reg.gauge("shared");
+        reg.histogram("shared");
+        assert_eq!(reg.counters().len(), 1);
+        assert_eq!(reg.gauges().len(), 1);
+        assert_eq!(reg.histograms().len(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("test.registry.global_singleton");
+        let b = global().counter("test.registry.global_singleton");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -130,7 +130,34 @@ pub fn batch_select(evaluator: &Evaluator<'_>, queries: &[Query]) -> Vec<Option<
             }
         }
     }
+    let metrics = batch_metrics();
+    metrics.calls.inc();
+    metrics.groups.add(groups.len() as u64);
+    let answered = results.iter().filter(|r| r.is_some()).count() as u64;
+    metrics.answered.add(answered);
+    metrics.fallback.add(results.len() as u64 - answered);
     results
+}
+
+/// Registry handles for the batch-selection tallies, resolved once.
+struct BatchMetrics {
+    calls: std::sync::Arc<wmx_telemetry::Counter>,
+    groups: std::sync::Arc<wmx_telemetry::Counter>,
+    answered: std::sync::Arc<wmx_telemetry::Counter>,
+    fallback: std::sync::Arc<wmx_telemetry::Counter>,
+}
+
+fn batch_metrics() -> &'static BatchMetrics {
+    static METRICS: std::sync::OnceLock<BatchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = wmx_telemetry::global();
+        BatchMetrics {
+            calls: registry.counter("xpath.batch.calls"),
+            groups: registry.counter("xpath.batch.groups"),
+            answered: registry.counter("xpath.batch.answered"),
+            fallback: registry.counter("xpath.batch.fallback"),
+        }
+    })
 }
 
 fn run_group(

@@ -28,6 +28,21 @@ if [ -n "$hits" ]; then
     printf '%s\n' "$hits" >&2
     status=1
 fi
+# The telemetry record path carries the same contract one step further:
+# a Counter::inc/Histogram::record sits inside the per-record loops, so
+# its module must stay entirely lock-free and allocation-free — no
+# Mutex/RwLock, no String/Vec/Box construction, no formatting. Comment
+# lines are exempt (the module documents exactly this rule); tests
+# below #[cfg(test)] are exempt as everywhere else.
+hits=$(awk '/#\[cfg\(test\)\]/{exit}
+    /^[[:space:]]*\/\//{next}
+    /Mutex|RwLock|format!|String|Vec<|vec!|Box::|to_string|to_owned/{print FILENAME ":" FNR ": " $0}' \
+    crates/telemetry/src/metrics.rs)
+if [ -n "$hits" ]; then
+    echo "error: lock or allocation on the telemetry record path (metrics.rs must stay Relaxed-atomics-only):" >&2
+    printf '%s\n' "$hits" >&2
+    status=1
+fi
 if [ "$status" -eq 0 ]; then
     echo "hot-path format! guard: clean"
 fi
