@@ -15,7 +15,7 @@
 use crate::baseline::{baseline_from_report, compare, Baseline, Comparison};
 use crate::measure::{peak_rss_kb, MeasureConfig, Measurement};
 use crate::report::{BenchReport, RobustnessStat, RunContext, ThroughputStat, SCHEMA_VERSION};
-use crate::workloads::{marked_publications, streaming_publications};
+use crate::workloads::{escape_microbench_input, marked_publications, streaming_publications};
 use std::path::{Path, PathBuf};
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, RoundingAttack};
@@ -70,7 +70,12 @@ pub const E3_KEEPS: [f64; 3] = [0.80, 0.40, 0.10];
 /// [`wmx_xpath::batch_select`] — one shared scan per identity-query
 /// family instead of one evaluator pass per query; the contrast with
 /// `query_eval` is the batch-detection speedup in isolation.
-pub const THROUGHPUT_NAMES: [&str; 11] = [
+/// `parse_escape_free` / `parse_unescape_heavy` parse two synthetic
+/// documents of identical shape, one with no entity references (all
+/// values stay zero-copy spans) and one with references in every value
+/// (all values materialize through unescape) — the pair brackets the
+/// lexer's escape economy.
+pub const THROUGHPUT_NAMES: [&str; 13] = [
     "embed",
     "detect",
     "stream_embed",
@@ -78,6 +83,8 @@ pub const THROUGHPUT_NAMES: [&str; 11] = [
     "par_embed",
     "par_detect",
     "parse",
+    "parse_escape_free",
+    "parse_unescape_heavy",
     "serialize",
     "query_eval",
     "unit_select",
@@ -281,6 +288,26 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
         assert!(doc.root_element().is_some());
     });
     throughput.push(ThroughputStat::from_measurement("parse", &m));
+
+    // Escape-economy microbench pair: same document shape, one input
+    // entirely free of entity references (every text/attribute value
+    // stays a zero-copy span of the parse buffer) and one salted with
+    // references in every value (every value materializes through
+    // unescape). The gap between the two isolates the cost of the
+    // copy-and-rewrite path that clean input now skips.
+    let escape_free = escape_microbench_input(p.records, false);
+    let m = Measurement::run(&mcfg, escape_free.len() as u64, records, || {
+        let doc = wmx_xml::parse(&escape_free).expect("escape-free parse");
+        assert!(doc.root_element().is_some());
+    });
+    throughput.push(ThroughputStat::from_measurement("parse_escape_free", &m));
+
+    let unescape_heavy = escape_microbench_input(p.records, true);
+    let m = Measurement::run(&mcfg, unescape_heavy.len() as u64, records, || {
+        let doc = wmx_xml::parse(&unescape_heavy).expect("unescape-heavy parse");
+        assert!(doc.root_element().is_some());
+    });
+    throughput.push(ThroughputStat::from_measurement("parse_unescape_heavy", &m));
 
     // Compact serialization of the marked document (symbol resolution +
     // escaping; must stay byte-identical and fast).

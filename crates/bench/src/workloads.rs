@@ -104,6 +104,38 @@ pub fn streaming_publications(
     }
 }
 
+/// Synthesizes a document for the escape-economy microbench pair:
+/// `records` flat records with text and attribute payloads that are
+/// either entirely reference-free (`heavy = false` — every value can
+/// stay a zero-copy span of the input) or salted with entity
+/// references in every value (`heavy = true` — every value must be
+/// unescaped into an owned copy). Same element shape and similar byte
+/// volume either way, so the throughput gap isolates the cost of the
+/// materialize-and-rewrite path.
+pub fn escape_microbench_input(records: usize, heavy: bool) -> String {
+    let mut out = String::with_capacity(records * 96 + 16);
+    out.push_str("<db>");
+    for i in 0..records {
+        out.push_str("<rec id=\"");
+        if heavy {
+            out.push_str("id &amp; ");
+        } else {
+            out.push_str("id no.  ");
+        }
+        out.push_str(&i.to_string());
+        out.push_str("\"><v>");
+        if heavy {
+            out.push_str("R &amp; D &lt;payload&gt; &#65;&#66; value ");
+        } else {
+            out.push_str("R and D (payload) AB text body value ");
+        }
+        out.push_str(&i.to_string());
+        out.push_str("</v></rec>");
+    }
+    out.push_str("</db>");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@ use wmx_telemetry::{
 /// snapshot still get the full catalog with zero values, the standard
 /// metrics-exporter contract. Kept in one place so the README catalog,
 /// this list, and the snapshot contents cannot drift apart.
-pub const COUNTER_CATALOG: [&str; 11] = [
+pub const COUNTER_CATALOG: [&str; 13] = [
     "core.plan_cache.hits",
     "core.plan_cache.misses",
     "stream.records",
@@ -34,6 +34,8 @@ pub const COUNTER_CATALOG: [&str; 11] = [
     "xpath.batch.groups",
     "xpath.batch.answered",
     "xpath.batch.fallback",
+    "lexer.text_spans_zero_copy",
+    "lexer.text_spans_materialized",
     "cli.invocations",
 ];
 

@@ -116,7 +116,7 @@ fn collect(doc: &Document, element: NodeId, stats: &mut BTreeMap<String, Element
         stat.attr_values
             .entry(attr_name.to_string())
             .or_default()
-            .push(attr.value.clone());
+            .push(attr.value.as_str().to_string());
     }
     // Attributes previously thought required but absent here: demote.
     let known: Vec<String> = stat.attrs.keys().cloned().collect();

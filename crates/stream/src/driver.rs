@@ -13,7 +13,7 @@ use std::time::Instant;
 use wmx_core::{Watermark, WmError};
 use wmx_crypto::SecretKey;
 use wmx_xml::escape::escape_text;
-use wmx_xml::serialize::{cdata_text, comment_text, pi_text};
+use wmx_xml::serialize::{cdata_text, comment_text, pi_text, BufferPool};
 
 /// Incremental output writer that reproduces `wmx_xml::to_string` bytes
 /// from top-level events: prolog pieces are buffered until the root
@@ -139,6 +139,10 @@ pub fn stream_embed<R: BufRead, W: Write>(
     let mut emitter = Emitter::new(output);
     let mut engine: Option<RecordEngine<'_>> = None;
     let mut partial = PartialEmbed::default();
+    // One pooled output buffer serves every record: its capacity warms
+    // up to the largest record seen and is recycled instead of re-grown.
+    let mut pool = BufferPool::new();
+    let mut record_buf = pool.acquire();
     let start = Instant::now();
     while let Some(ev) = reader.next_event()? {
         match &ev {
@@ -147,15 +151,17 @@ pub fn stream_embed<R: BufRead, W: Write>(
                 emitter.event(&ev, None)?;
             }
             TopEvent::Record(raw) => {
-                let processed = engine
+                record_buf.clear();
+                engine
                     .as_ref()
                     .expect("record implies root")
-                    .embed_record(raw, &mut partial)?;
-                emitter.event(&ev, Some(&processed))?;
+                    .embed_record_into(raw, &mut partial, &mut record_buf)?;
+                emitter.event(&ev, Some(&record_buf))?;
             }
             _ => emitter.event(&ev, None)?,
         }
     }
+    pool.release(record_buf);
     emitter.finish()?;
     let timing = ChunkTiming {
         records: partial.records,

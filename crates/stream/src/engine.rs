@@ -31,8 +31,9 @@ use wmx_core::{
 };
 use wmx_crypto::SecretKey;
 use wmx_rewrite::binding::AttrBinding;
+use wmx_xml::serialize::node_to_string_into;
 use wmx_xml::token::TokenAttribute;
-use wmx_xml::{node_to_string, parse, parse_seeded, Document, Interner, ParseOptions};
+use wmx_xml::{parse, parse_seeded_owned, Document, Interner, ParseOptions};
 
 /// A compiled streaming engine for one document's root + semantics.
 pub(crate) struct RecordEngine<'a> {
@@ -167,7 +168,10 @@ impl<'a> RecordEngine<'a> {
         text.push_str(&self.root_open);
         text.push_str(record_raw);
         text.push_str(&self.root_close);
-        parse_seeded(&text, ParseOptions::default(), self.prototype.clone())
+        // Handing the buffer to the parser (instead of re-borrowing it)
+        // lets the lexer back text/attribute spans with the shared input
+        // — record values land in the DOM as zero-copy slices.
+        parse_seeded_owned(text, ParseOptions::default(), self.prototype.clone())
             .map_err(StreamError::Xml)
     }
 
@@ -177,6 +181,20 @@ impl<'a> RecordEngine<'a> {
         record_raw: &str,
         partial: &mut PartialEmbed,
     ) -> Result<String, StreamError> {
+        let mut out = String::new();
+        self.embed_record_into(record_raw, partial, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reuse twin of [`RecordEngine::embed_record`]: appends the
+    /// record's serialized bytes to `out` so the sequential driver can
+    /// recycle one output allocation across all records.
+    pub fn embed_record_into(
+        &self,
+        record_raw: &str,
+        partial: &mut PartialEmbed,
+        out: &mut String,
+    ) -> Result<(), StreamError> {
         let mut mini = self.mini_doc(record_raw)?;
         let units = self.plan.execute(&mini);
         let table = self.plan.table();
@@ -240,7 +258,8 @@ impl<'a> RecordEngine<'a> {
             .child_elements(root)
             .next()
             .expect("mini doc wraps exactly one record");
-        Ok(node_to_string(&mini, record_node))
+        node_to_string_into(&mini, record_node, out);
+        Ok(())
     }
 
     /// Extracts votes from one record.

@@ -242,7 +242,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         return Ok(Some(TopEvent::PrologMisc(Misc::Pi { target, data })))
                     }
                     Token::Text { content } => {
-                        if content.chars().all(char::is_whitespace) {
+                        if wmx_xml::scan::is_all_whitespace(&content) {
                             continue;
                         }
                         return Err(self.err_at(XmlErrorKind::NoRootElement));
@@ -289,16 +289,16 @@ impl<R: BufRead> TopLevelReader<R> {
                         return Ok(Some(TopEvent::RootEnd));
                     }
                     Token::Text { content } => {
-                        if content.chars().all(char::is_whitespace) {
+                        if wmx_xml::scan::is_all_whitespace(&content) {
                             continue; // default ParseOptions drop these
                         }
-                        return Ok(Some(TopEvent::Misc(Misc::Text(content))));
+                        return Ok(Some(TopEvent::Misc(Misc::Text(content.into_string()))));
                     }
                     Token::CData { content } => {
                         if content.is_empty() {
                             continue; // invisible to the compact serializer
                         }
-                        return Ok(Some(TopEvent::Misc(Misc::CData(content))));
+                        return Ok(Some(TopEvent::Misc(Misc::CData(content.into_string()))));
                     }
                     Token::Comment { content } => {
                         return Ok(Some(TopEvent::Misc(Misc::Comment(content))))
@@ -320,7 +320,7 @@ impl<R: BufRead> TopLevelReader<R> {
                         return Ok(Some(TopEvent::TrailingMisc(Misc::Pi { target, data })))
                     }
                     Token::Text { content } => {
-                        if content.chars().all(char::is_whitespace) {
+                        if wmx_xml::scan::is_all_whitespace(&content) {
                             continue;
                         }
                         return Err(self.err_at(XmlErrorKind::TrailingContent));

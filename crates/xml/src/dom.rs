@@ -34,6 +34,7 @@
 
 use crate::error::{XmlError, XmlErrorKind};
 use crate::intern::{Interner, Sym};
+use crate::text::XmlText;
 use std::cell::OnceCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -80,8 +81,9 @@ impl fmt::Display for NodeId {
 pub struct Attribute {
     /// Attribute name (interned in the owning document).
     pub name: Sym,
-    /// Unescaped value.
-    pub value: String,
+    /// Unescaped value — a zero-copy span into the parse buffer until
+    /// the first mutation materializes it.
+    pub value: XmlText,
 }
 
 /// The payload of a node. Names are [`Sym`]s in the owning document's
@@ -98,9 +100,9 @@ pub enum NodeKind {
         attributes: Vec<Attribute>,
     },
     /// A run of character data.
-    Text(String),
+    Text(XmlText),
     /// A CDATA section (serialized back as CDATA).
-    CData(String),
+    CData(XmlText),
     /// A comment.
     Comment(String),
     /// A processing instruction.
@@ -112,10 +114,118 @@ pub enum NodeKind {
     },
 }
 
+/// Inline capacity of a node's child list. Data-centric XML is shallow
+/// and narrow at the leaves: text holders have one child, records a
+/// handful, and only hub nodes (the root over all records) overflow to
+/// the heap.
+const INLINE_CHILDREN: usize = 4;
+
+/// A node's ordered child list with small-size inline storage, so the
+/// overwhelmingly common few-children node costs the arena no heap
+/// allocation (a measurable share of parse time was child-`Vec`
+/// mallocs).
+#[derive(Debug, Clone)]
+enum Children {
+    Inline {
+        len: u8,
+        buf: [NodeId; INLINE_CHILDREN],
+    },
+    Heap(Vec<NodeId>),
+}
+
+impl Children {
+    fn new() -> Self {
+        Children::Inline {
+            len: 0,
+            buf: [NodeId(0); INLINE_CHILDREN],
+        }
+    }
+
+    /// Moves inline storage to the heap (no-op when already there) and
+    /// returns the heap vector.
+    fn spill(&mut self) -> &mut Vec<NodeId> {
+        if let Children::Inline { len, buf } = self {
+            let mut v = Vec::with_capacity(INLINE_CHILDREN * 2);
+            v.extend_from_slice(&buf[..*len as usize]);
+            *self = Children::Heap(v);
+        }
+        match self {
+            Children::Heap(v) => v,
+            Children::Inline { .. } => unreachable!("just spilled"),
+        }
+    }
+
+    fn push(&mut self, id: NodeId) {
+        match self {
+            Children::Inline { len, buf } if (*len as usize) < INLINE_CHILDREN => {
+                buf[*len as usize] = id;
+                *len += 1;
+            }
+            Children::Inline { .. } => self.spill().push(id),
+            Children::Heap(v) => v.push(id),
+        }
+    }
+
+    fn insert(&mut self, index: usize, id: NodeId) {
+        match self {
+            Children::Inline { len, buf } if (*len as usize) < INLINE_CHILDREN => {
+                let n = *len as usize;
+                assert!(index <= n, "insert index {index} out of bounds (len {n})");
+                buf.copy_within(index..n, index + 1);
+                buf[index] = id;
+                *len += 1;
+            }
+            Children::Inline { .. } => self.spill().insert(index, id),
+            Children::Heap(v) => v.insert(index, id),
+        }
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&NodeId) -> bool) {
+        match self {
+            Children::Inline { len, buf } => {
+                let mut kept = 0usize;
+                for read in 0..*len as usize {
+                    if keep(&buf[read]) {
+                        buf[kept] = buf[read];
+                        kept += 1;
+                    }
+                }
+                *len = kept as u8;
+            }
+            Children::Heap(v) => v.retain(keep),
+        }
+    }
+}
+
+impl std::ops::Deref for Children {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        match self {
+            Children::Inline { len, buf } => &buf[..*len as usize],
+            Children::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for Children {
+    fn deref_mut(&mut self) -> &mut [NodeId] {
+        match self {
+            Children::Inline { len, buf } => &mut buf[..*len as usize],
+            Children::Heap(v) => v,
+        }
+    }
+}
+
+impl From<Vec<NodeId>> for Children {
+    fn from(v: Vec<NodeId>) -> Self {
+        Children::Heap(v)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Node {
     parent: Option<NodeId>,
-    children: Vec<NodeId>,
+    children: Children,
     kind: NodeKind,
 }
 
@@ -259,7 +369,7 @@ impl Document {
         Document {
             nodes: vec![Node {
                 parent: None,
-                children: Vec::new(),
+                children: Children::new(),
                 kind: NodeKind::Document,
             }],
             interner: Interner::new(),
@@ -413,11 +523,18 @@ impl Document {
     // Node creation
     // ------------------------------------------------------------------
 
+    /// Reserves arena room for about `additional` more nodes. A hint:
+    /// the arena still grows on demand, this just skips the doubling
+    /// copies when the caller can estimate the final size up front.
+    pub(crate) fn reserve_nodes(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
     fn push_node(&mut self, kind: NodeKind) -> Result<NodeId, XmlError> {
         let id = NodeId::try_from_index(self.nodes.len())?;
         self.nodes.push(Node {
             parent: None,
-            children: Vec::new(),
+            children: Children::new(),
             kind,
         });
         Ok(id)
@@ -440,11 +557,31 @@ impl Document {
         })
     }
 
+    /// Parser fast path: creates an element taking over the lexer's
+    /// already-validated attribute list (the lexer rejects duplicate
+    /// names, so no per-attribute dedup pass is repeated here). The
+    /// token and DOM attribute structs have identical `{Sym, XmlText}`
+    /// shape, so the conversion reuses the allocation.
+    pub(crate) fn create_element_with_attributes(
+        &mut self,
+        name: Sym,
+        attributes: Vec<crate::token::SymAttribute>,
+    ) -> Result<NodeId, XmlError> {
+        let attributes = attributes
+            .into_iter()
+            .map(|a| Attribute {
+                name: a.name,
+                value: a.value,
+            })
+            .collect();
+        self.push_node(NodeKind::Element { name, attributes })
+    }
+
     /// Creates a detached text node.
     ///
     /// # Errors
     /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
-    pub fn create_text(&mut self, text: impl Into<String>) -> Result<NodeId, XmlError> {
+    pub fn create_text(&mut self, text: impl Into<XmlText>) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::Text(text.into()))
     }
 
@@ -452,7 +589,7 @@ impl Document {
     ///
     /// # Errors
     /// Returns [`XmlErrorKind::ArenaOverflow`] when the arena is full.
-    pub fn create_cdata(&mut self, text: impl Into<String>) -> Result<NodeId, XmlError> {
+    pub fn create_cdata(&mut self, text: impl Into<XmlText>) -> Result<NodeId, XmlError> {
         self.push_node(NodeKind::CData(text.into()))
     }
 
@@ -527,6 +664,19 @@ impl Document {
         self.touch();
     }
 
+    /// Parser fast path: appends a node that was created this instant
+    /// and never attached. Detachedness and childlessness hold by
+    /// construction, so the cycle walk and public-API asserts of
+    /// [`Document::insert_child`] reduce to debug assertions.
+    pub(crate) fn attach_new_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.node(child).parent.is_none());
+        debug_assert!(self.node(child).children.is_empty());
+        debug_assert!(child != parent);
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(parent).children.push(child);
+        self.touch();
+    }
+
     /// Detaches `node` from its parent (no-op if already detached). The
     /// subtree below `node` stays intact.
     pub fn detach(&mut self, node: NodeId) {
@@ -568,7 +718,7 @@ impl Document {
             seen[from] = true;
             new_children.push(old[from]);
         }
-        self.node_mut(parent).children = new_children;
+        self.node_mut(parent).children = new_children.into();
         self.touch_reorder(parent);
     }
 
@@ -649,14 +799,14 @@ impl Document {
     /// The text of a text/CDATA node.
     pub fn text(&self, node: NodeId) -> Option<&str> {
         match &self.node(node).kind {
-            NodeKind::Text(t) | NodeKind::CData(t) => Some(t),
+            NodeKind::Text(t) | NodeKind::CData(t) => Some(t.as_str()),
             _ => None,
         }
     }
 
     /// Replaces the text of a text/CDATA node. A value edit: the name
     /// index stays valid.
-    pub fn set_text(&mut self, node: NodeId, text: impl Into<String>) {
+    pub fn set_text(&mut self, node: NodeId, text: impl Into<XmlText>) {
         match &mut self.node_mut(node).kind {
             NodeKind::Text(t) | NodeKind::CData(t) => *t = text.into(),
             _ => panic!("set_text on non-text node {node}"),
@@ -694,7 +844,7 @@ impl Document {
         &mut self,
         node: NodeId,
         name: impl AsRef<str>,
-        value: impl Into<String>,
+        value: impl Into<XmlText>,
     ) -> Result<(), XmlError> {
         // Validate before interning so error paths never grow the
         // symbol table (lookup_sym must stay a proof of presence).
@@ -710,7 +860,7 @@ impl Document {
         &mut self,
         node: NodeId,
         name: Sym,
-        value: String,
+        value: XmlText,
     ) -> Result<(), XmlError> {
         match &mut self.node_mut(node).kind {
             NodeKind::Element { attributes, .. } => {
@@ -731,7 +881,7 @@ impl Document {
         match &mut self.node_mut(node).kind {
             NodeKind::Element { attributes, .. } => {
                 let idx = attributes.iter().position(|a| a.name == sym)?;
-                Some(attributes.remove(idx).value)
+                Some(attributes.remove(idx).value.into_string())
             }
             _ => None,
         }
@@ -800,9 +950,9 @@ impl Document {
     pub fn set_text_content(
         &mut self,
         node: NodeId,
-        text: impl Into<String>,
+        text: impl Into<XmlText>,
     ) -> Result<(), XmlError> {
-        let children: Vec<NodeId> = self.node(node).children.clone();
+        let children: Vec<NodeId> = self.node(node).children.to_vec();
         for child in children {
             self.detach(child);
         }

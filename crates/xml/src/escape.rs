@@ -5,34 +5,41 @@
 //! values additionally escape the quote character. Unescaping resolves the
 //! five predefined entities and decimal/hexadecimal character references.
 //!
-//! Both escape functions return [`Cow`]: the common case — no special
-//! characters — borrows the input and allocates nothing, which is what
-//! keeps serialization allocation-free per clean text run.
+//! All three functions return [`Cow`]: the common case — no special
+//! characters — borrows the input and allocates nothing. The scan loops
+//! are byte-level ([`crate::scan`] SWAR skip loops for text, a jump
+//! table for the larger attribute special set); every special is ASCII,
+//! and UTF-8 continuation bytes are all ≥ 0x80, so whole multibyte runs
+//! are copied with `push_str` without ever decoding a scalar.
 
 use crate::error::{XmlError, XmlErrorKind};
+use crate::scan;
 use std::borrow::Cow;
-
-/// Characters that force text content to be escaped.
-const TEXT_SPECIALS: [char; 3] = ['<', '>', '&'];
-
-/// Characters that force an attribute value to be escaped.
-const ATTR_SPECIALS: [char; 7] = ['<', '>', '&', '"', '\n', '\t', '\r'];
 
 /// Escapes `text` for use as element text content. Borrows when `text`
 /// contains no specials.
 pub fn escape_text(text: &str) -> Cow<'_, str> {
-    let Some(first) = text.find(TEXT_SPECIALS) else {
+    let bytes = text.as_bytes();
+    let Some(first) = scan::memchr3(b'<', b'>', b'&', bytes) else {
         return Cow::Borrowed(text);
     };
     let mut out = String::with_capacity(text.len() + 8);
     out.push_str(&text[..first]);
-    for c in text[first..].chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            _ => out.push(c),
+    let mut i = first;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => out.push_str("&lt;"),
+            b'>' => out.push_str("&gt;"),
+            b'&' => out.push_str("&amp;"),
+            _ => {
+                // Copy the clean run up to the next special in one shot.
+                let len = scan::memchr3(b'<', b'>', b'&', &bytes[i..]).unwrap_or(bytes.len() - i);
+                out.push_str(&text[i..i + len]);
+                i += len;
+                continue;
+            }
         }
+        i += 1;
     }
     Cow::Owned(out)
 }
@@ -40,24 +47,39 @@ pub fn escape_text(text: &str) -> Cow<'_, str> {
 /// Escapes `value` for use inside a double-quoted attribute value.
 /// Borrows when `value` contains no specials.
 pub fn escape_attribute(value: &str) -> Cow<'_, str> {
-    let Some(first) = value.find(ATTR_SPECIALS) else {
-        return Cow::Borrowed(value);
+    let bytes = value.as_bytes();
+    let first = match bytes.iter().position(|&b| attr_escape(b).is_some()) {
+        Some(i) => i,
+        None => return Cow::Borrowed(value),
     };
     let mut out = String::with_capacity(value.len() + 8);
     out.push_str(&value[..first]);
-    for c in value[first..].chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            '\n' => out.push_str("&#10;"),
-            '\t' => out.push_str("&#9;"),
-            '\r' => out.push_str("&#13;"),
-            _ => out.push(c),
+    let mut run = first;
+    for i in first..bytes.len() {
+        if let Some(rep) = attr_escape(bytes[i]) {
+            out.push_str(&value[run..i]);
+            out.push_str(rep);
+            run = i + 1;
         }
     }
+    out.push_str(&value[run..]);
     Cow::Owned(out)
+}
+
+/// The escape sequence for `b` inside an attribute value, if it needs
+/// one. All specials are ASCII, so bytes ≥ 0x80 always pass through.
+#[inline]
+fn attr_escape(b: u8) -> Option<&'static str> {
+    match b {
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        b'&' => Some("&amp;"),
+        b'"' => Some("&quot;"),
+        b'\n' => Some("&#10;"),
+        b'\t' => Some("&#9;"),
+        b'\r' => Some("&#13;"),
+        _ => None,
+    }
 }
 
 /// Resolves one reference body (the text between `&` and `;`).
@@ -82,49 +104,54 @@ pub fn resolve_reference(body: &str) -> Option<char> {
     }
 }
 
-/// Unescapes text containing character and entity references.
+/// Unescapes text containing character and entity references. Borrows
+/// the input when it contains no `&` at all — the zero-copy fast path
+/// the lexer leans on.
 ///
 /// `line`/`column` locate the start of `text` for error reporting.
-pub fn unescape(text: &str, line: u32, column: u32) -> Result<String, XmlError> {
-    if !text.contains('&') {
-        return Ok(text.to_string());
-    }
+pub fn unescape(text: &str, line: u32, column: u32) -> Result<Cow<'_, str>, XmlError> {
+    let bytes = text.as_bytes();
+    let Some(first_amp) = scan::memchr(b'&', bytes) else {
+        return Ok(Cow::Borrowed(text));
+    };
     let mut out = String::with_capacity(text.len());
-    let mut chars = text.char_indices();
-    while let Some((start, c)) = chars.next() {
-        if c != '&' {
-            out.push(c);
-            continue;
-        }
-        let rest = &text[start + 1..];
-        let Some(end) = rest.find(';') else {
-            return Err(XmlError::at(
-                XmlErrorKind::InvalidReference {
-                    reference: rest.chars().take(12).collect(),
-                },
-                line,
-                column,
-            ));
-        };
-        let body = &rest[..end];
-        match resolve_reference(body) {
-            Some(resolved) => out.push(resolved),
-            None => {
+    out.push_str(&text[..first_amp]);
+    let mut i = first_amp;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            let rest = &text[i + 1..];
+            let Some(end) = scan::memchr(b';', rest.as_bytes()) else {
                 return Err(XmlError::at(
                     XmlErrorKind::InvalidReference {
-                        reference: body.to_string(),
+                        reference: scan::prefix_chars(rest, 12).to_string(),
                     },
                     line,
                     column,
-                ))
+                ));
+            };
+            let body = &rest[..end];
+            match resolve_reference(body) {
+                Some(resolved) => out.push(resolved),
+                None => {
+                    return Err(XmlError::at(
+                        XmlErrorKind::InvalidReference {
+                            reference: body.to_string(),
+                        },
+                        line,
+                        column,
+                    ))
+                }
             }
-        }
-        // Skip over the reference body and the ';'.
-        for _ in 0..body.len() + 1 {
-            chars.next();
+            // Skip '&' + body + ';'.
+            i += 1 + body.len() + 1;
+        } else {
+            // Copy the clean run up to the next '&' in one shot.
+            let len = scan::memchr(b'&', &bytes[i..]).unwrap_or(bytes.len() - i);
+            out.push_str(&text[i..i + len]);
+            i += len;
         }
     }
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 #[cfg(test)]
@@ -164,6 +191,15 @@ mod tests {
     fn unescapes_numeric_references() {
         assert_eq!(unescape("&#65;&#x42;&#x63;", 1, 1).unwrap(), "ABc");
         assert_eq!(unescape("&#x4e2d;", 1, 1).unwrap(), "中");
+    }
+
+    #[test]
+    fn unescape_borrows_without_references() {
+        assert!(matches!(
+            unescape("plain ü text", 1, 1).unwrap(),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(unescape("a&amp;b", 1, 1).unwrap(), Cow::Owned(_)));
     }
 
     #[test]

@@ -18,6 +18,61 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast non-cryptographic hasher for the intern map (the same
+/// multiply-rotate-xor scheme rustc uses for its symbol tables). The
+/// interner hashes every element/attribute name occurrence on the parse
+/// hot path, and the names are short ASCII identifiers — SipHash's
+/// DoS-resistance buys nothing here (the map is scoped to one document
+/// and bounded by the distinct-name vocabulary) while costing several
+/// times the lookup.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A handle to an interned name. Copy, 4 bytes, meaningful only
 /// together with the [`Interner`] (or [`crate::Document`]) it came from.
@@ -37,13 +92,42 @@ impl fmt::Display for Sym {
     }
 }
 
+/// Slots in the direct-mapped recent-name cache.
+const CACHE_SIZE: usize = 16;
+
+/// Sentinel for an empty cache slot (no symbol table holds 2^32 names:
+/// [`Interner::intern`] panics long before).
+const CACHE_EMPTY: u32 = u32::MAX;
+
+/// Cache slot for `name` (which must be non-empty): first byte and
+/// length spread the tiny, highly repetitive tag vocabularies apart.
+#[inline]
+fn cache_slot(name: &str) -> usize {
+    (name.as_bytes()[0] as usize ^ (name.len() << 3)) & (CACHE_SIZE - 1)
+}
+
 /// A string interner handing out dense [`Sym`] handles.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Interner {
     /// Resolution table: `names[sym.index()]` is the name text.
     names: Vec<Box<str>>,
     /// Reverse map for interning.
-    map: HashMap<Box<str>, Sym>,
+    map: HashMap<Box<str>, Sym, FxBuildHasher>,
+    /// Direct-mapped cache of recently interned symbols. The lexer
+    /// interns every element/attribute name *occurrence*, and documents
+    /// cycle through a handful of names — most interns resolve here
+    /// with one short memcmp instead of a hash plus map probe.
+    cache: [u32; CACHE_SIZE],
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner {
+            names: Vec::new(),
+            map: HashMap::default(),
+            cache: [CACHE_EMPTY; CACHE_SIZE],
+        }
+    }
 }
 
 impl Interner {
@@ -55,6 +139,22 @@ impl Interner {
     /// Interns `name`, returning its symbol. Repeated calls with the
     /// same text return the same symbol.
     pub fn intern(&mut self, name: &str) -> Sym {
+        if name.is_empty() {
+            return self.intern_slow(name);
+        }
+        let slot = cache_slot(name);
+        let cached = self.cache[slot];
+        if let Some(text) = self.names.get(cached as usize) {
+            if &**text == name {
+                return Sym(cached);
+            }
+        }
+        let sym = self.intern_slow(name);
+        self.cache[slot] = sym.0;
+        sym
+    }
+
+    fn intern_slow(&mut self, name: &str) -> Sym {
         if let Some(&sym) = self.map.get(name) {
             return sym;
         }
@@ -104,6 +204,9 @@ impl Interner {
             let name = self.names.pop().expect("length checked");
             self.map.remove(&*name);
         }
+        // Discarded symbols may sit in the recent-name cache; a blanket
+        // reset keeps every cached entry pointing at a live name.
+        self.cache = [CACHE_EMPTY; CACHE_SIZE];
     }
 }
 

@@ -30,8 +30,25 @@ impl Default for ParseOptions {
 }
 
 /// Parses `input` with default [`ParseOptions`].
+///
+/// The input is copied once into a shared buffer so escape-free text
+/// runs and attribute values become zero-copy spans. Callers that
+/// already own the input should prefer [`parse_owned`], which skips
+/// even that one copy.
 pub fn parse(input: &str) -> Result<Document, XmlError> {
-    parse_with_options(input, ParseOptions::default())
+    parse_owned(input.to_string())
+}
+
+/// Parses an owned input buffer with default [`ParseOptions`] — the
+/// zero-copy entry point: the buffer becomes the document's shared text
+/// backing, and escape-free text/CDATA/attribute runs are stored as
+/// spans into it without copying.
+pub fn parse_owned(input: String) -> Result<Document, XmlError> {
+    parse_seeded_owned(
+        input,
+        ParseOptions::default(),
+        crate::intern::Interner::new(),
+    )
 }
 
 /// Parses `input` with explicit options.
@@ -58,9 +75,36 @@ pub fn parse_seeded(
     options: ParseOptions,
     seed: crate::intern::Interner,
 ) -> Result<Document, XmlError> {
-    let mut doc = Document::new();
-    let mut lexer = Lexer::new(input);
+    parse_seeded_owned(input.to_string(), options, seed)
+}
+
+/// [`parse_seeded`] over an owned buffer — the streaming engine's
+/// per-record path: the assembled mini-document string is consumed
+/// directly as the shared text backing, so record values reach the DOM
+/// without a per-value copy.
+pub fn parse_seeded_owned(
+    input: String,
+    options: ParseOptions,
+    seed: crate::intern::Interner,
+) -> Result<Document, XmlError> {
+    let buf = std::sync::Arc::new(input);
+    let mut lexer = Lexer::from_shared(&buf);
     lexer.set_interner(seed);
+    let result = build_tree(&mut lexer, options);
+    let (zero_copy, materialized) = lexer.span_stats();
+    crate::lexer::record_span_stats(zero_copy, materialized);
+    result
+}
+
+/// Drives the lexer to completion, building the tree.
+fn build_tree(lexer: &mut Lexer<'_>, options: ParseOptions) -> Result<Document, XmlError> {
+    let mut doc = Document::new();
+    // Data-centric XML runs well under one node per 32 input bytes
+    // (`<a>x</a>` is two nodes in nine bytes; real tags are longer), so
+    // this reservation skips the arena's doubling copies without
+    // overcommitting. Capped so a huge input cannot demand gigabytes up
+    // front; past the cap the arena falls back to amortized growth.
+    doc.reserve_nodes((lexer.remaining_len() / 32).min(1 << 20));
     // Stack of open elements; the document node is the base.
     let mut stack: Vec<NodeId> = vec![doc.document_node()];
     let mut open_names: Vec<crate::intern::Sym> = Vec::new();
@@ -91,12 +135,8 @@ pub fn parse_seeded(
                 if !in_root {
                     saw_root = true;
                 }
-                let element = doc.create_element_raw(name)?;
-                for attr in attributes {
-                    doc.set_attribute_raw(element, attr.name, attr.value)
-                        .expect("fresh element accepts attributes");
-                }
-                doc.append_child(parent, element);
+                let element = doc.create_element_with_attributes(name, attributes)?;
+                doc.attach_new_child(parent, element);
                 if !self_closing {
                     stack.push(element);
                     open_names.push(name);
@@ -126,7 +166,7 @@ pub fn parse_seeded(
                 stack.pop();
             }
             Token::Text { content } => {
-                let all_whitespace = content.chars().all(char::is_whitespace);
+                let all_whitespace = crate::scan::is_all_whitespace(content.as_str());
                 if !in_root {
                     if all_whitespace {
                         continue;
@@ -150,13 +190,16 @@ pub fn parse_seeded(
                     if doc.text(last).is_some()
                         && !matches!(doc.kind(last), crate::dom::NodeKind::CData(_))
                     {
-                        let merged = format!("{}{}", doc.text(last).expect("checked"), content);
+                        let existing = doc.text(last).expect("checked");
+                        let mut merged = String::with_capacity(existing.len() + content.len());
+                        merged.push_str(existing);
+                        merged.push_str(content.as_str());
                         doc.set_text(last, merged);
                         continue;
                     }
                 }
                 let t = doc.create_text(content)?;
-                doc.append_child(parent, t);
+                doc.attach_new_child(parent, t);
             }
             Token::CData { content } => {
                 if !in_root {
@@ -167,12 +210,12 @@ pub fn parse_seeded(
                     ));
                 }
                 let t = doc.create_cdata(content)?;
-                doc.append_child(parent, t);
+                doc.attach_new_child(parent, t);
             }
             Token::Comment { content } => {
                 if options.keep_comments {
                     let c = doc.create_comment(content)?;
-                    doc.append_child(parent, c);
+                    doc.attach_new_child(parent, c);
                 }
             }
             Token::ProcessingInstruction { target, data } => {
@@ -182,7 +225,7 @@ pub fn parse_seeded(
                     // take over below.
                     let sym = lexer.interner_mut().intern(&target);
                     let p = doc.create_pi_raw(sym, data)?;
-                    doc.append_child(parent, p);
+                    doc.attach_new_child(parent, p);
                 }
             }
         }

@@ -102,6 +102,16 @@ pub struct PullParser {
     /// Name table shared by every resumed lexing step, so the symbols in
     /// pulled tokens stay stable across chunk boundaries.
     interner: Interner,
+    /// Accumulated lexer span counters for *accepted* tokens (rolled-back
+    /// NeedMore attempts are excluded); flushed to telemetry on drop.
+    spans_zero_copy: u64,
+    spans_materialized: u64,
+}
+
+impl Drop for PullParser {
+    fn drop(&mut self) {
+        crate::lexer::record_span_stats(self.spans_zero_copy, self.spans_materialized);
+    }
 }
 
 impl Default for PullParser {
@@ -123,6 +133,8 @@ impl PullParser {
             hold: None,
             probed: 0,
             interner: Interner::new(),
+            spans_zero_copy: 0,
+            spans_materialized: 0,
         }
     }
 
@@ -277,6 +289,9 @@ impl PullParser {
                     // continue in the next chunk.
                     return Ok(Pulled::NeedMore);
                 }
+                let (zero_copy, materialized) = lexer.span_stats();
+                self.spans_zero_copy += zero_copy;
+                self.spans_materialized += materialized;
                 self.pos += consumed;
                 self.probed = 0;
                 let after = lexer.position();

@@ -1,0 +1,232 @@
+//! Span-backed text values.
+//!
+//! [`XmlText`] is the payload type for text runs, CDATA sections, and
+//! attribute values. When a document is parsed from an owned buffer
+//! ([`crate::parse`] / [`crate::parse_owned`]), escape-free runs are
+//! stored as `Shared` spans into one `Arc<String>` holding the whole
+//! input — zero copies, one refcount bump per run. Materialization to
+//! `Owned` happens only when the bytes actually change: unescaping a
+//! run that contains `&`, mutation through the DOM (`set_text`,
+//! `set_attribute`), or lexing from a transient buffer that cannot
+//! outlive the token (the pull parser's compacting window).
+//!
+//! The variant is an implementation detail: equality, hashing, and
+//! ordering all compare string contents, and `Deref<Target = str>`
+//! makes every `&str` API available directly.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Text content: either an owned string or a zero-copy span into a
+/// shared parse buffer.
+#[derive(Clone)]
+pub enum XmlText {
+    /// Owned, materialized text.
+    Owned(String),
+    /// A span into a shared input buffer (`buf[start..end]`).
+    Shared {
+        /// The backing buffer (typically the whole parse input).
+        buf: Arc<String>,
+        /// Span start, in bytes. Always a char boundary.
+        start: usize,
+        /// Span end, in bytes. Always a char boundary.
+        end: usize,
+    },
+}
+
+impl XmlText {
+    /// Builds a zero-copy span over `buf[start..end]`.
+    ///
+    /// `start..end` must lie on char boundaries of `buf` — guaranteed by
+    /// the lexer, which only splits at ASCII delimiters.
+    pub fn shared(buf: Arc<String>, start: usize, end: usize) -> XmlText {
+        debug_assert!(buf.is_char_boundary(start) && buf.is_char_boundary(end));
+        XmlText::Shared { buf, start, end }
+    }
+
+    /// The text as a string slice.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match self {
+            XmlText::Owned(s) => s,
+            XmlText::Shared { buf, start, end } => &buf[*start..*end],
+        }
+    }
+
+    /// Converts into an owned `String` (copies only if `Shared`).
+    pub fn into_string(self) -> String {
+        match self {
+            XmlText::Owned(s) => s,
+            XmlText::Shared { buf, start, end } => buf[start..end].to_string(),
+        }
+    }
+
+    /// Whether this value is a zero-copy span (true) or materialized
+    /// owned text (false).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, XmlText::Shared { .. })
+    }
+}
+
+impl Deref for XmlText {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for XmlText {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for XmlText {
+    fn from(s: String) -> XmlText {
+        XmlText::Owned(s)
+    }
+}
+
+impl From<&str> for XmlText {
+    fn from(s: &str) -> XmlText {
+        XmlText::Owned(s.to_string())
+    }
+}
+
+impl From<Cow<'_, str>> for XmlText {
+    fn from(c: Cow<'_, str>) -> XmlText {
+        XmlText::Owned(c.into_owned())
+    }
+}
+
+impl From<XmlText> for String {
+    fn from(t: XmlText) -> String {
+        t.into_string()
+    }
+}
+
+// Equality is by content, never by representation: a Shared span and an
+// Owned copy of the same text compare equal, so token/DOM comparisons
+// (and the equivalence suites) are representation-blind.
+impl PartialEq for XmlText {
+    fn eq(&self, other: &XmlText) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for XmlText {}
+
+impl PartialEq<str> for XmlText {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for XmlText {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for XmlText {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<XmlText> for str {
+    fn eq(&self, other: &XmlText) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<XmlText> for &str {
+    fn eq(&self, other: &XmlText) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl Hash for XmlText {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for XmlText {
+    fn partial_cmp(&self, other: &XmlText) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for XmlText {
+    fn cmp(&self, other: &XmlText) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Debug for XmlText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for XmlText {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
+impl Default for XmlText {
+    fn default() -> XmlText {
+        XmlText::Owned(String::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_and_owned_compare_by_content() {
+        let buf = Arc::new(String::from("<a>hello</a>"));
+        let shared = XmlText::shared(Arc::clone(&buf), 3, 8);
+        let owned = XmlText::from("hello");
+        assert_eq!(shared, owned);
+        assert_eq!(shared, "hello");
+        assert_eq!("hello", shared);
+        assert_eq!(shared.as_str(), "hello");
+        assert!(shared.is_shared());
+        assert!(!owned.is_shared());
+        assert_eq!(shared.into_string(), "hello");
+    }
+
+    #[test]
+    fn deref_gives_str_api() {
+        let t = XmlText::from("  pad  ");
+        assert_eq!(t.trim(), "pad");
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn hash_matches_content() {
+        use std::collections::HashSet;
+        let buf = Arc::new(String::from("xyz"));
+        let mut set = HashSet::new();
+        set.insert(XmlText::shared(buf, 0, 3));
+        assert!(set.contains(&XmlText::from("xyz")));
+    }
+
+    #[test]
+    fn debug_is_transparent() {
+        let buf = Arc::new(String::from("v"));
+        assert_eq!(
+            format!("{:?}", XmlText::shared(buf, 0, 1)),
+            format!("{:?}", "v")
+        );
+    }
+}

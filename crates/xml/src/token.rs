@@ -9,9 +9,16 @@
 //! — batched or chunked through the pull parser — yields identical
 //! tokens. Consumers that need owned name strings resolve through the
 //! producing lexer/pull-parser's interner ([`SymAttribute::resolve`]).
+//!
+//! Text runs, CDATA content, and attribute values are [`XmlText`]:
+//! zero-copy spans into the parse buffer when lexing from an owned
+//! input and the run needs no unescaping, owned strings otherwise.
+//! `XmlText` compares by content, so token equality is
+//! representation-blind.
 
 use crate::error::Position;
 use crate::intern::{Interner, Sym};
+use crate::text::XmlText;
 
 /// An attribute as it appears in a start tag: interned name, value
 /// already unescaped. The wire form inside [`Token::StartTag`].
@@ -20,7 +27,7 @@ pub struct SymAttribute {
     /// Attribute name, interned in the producing lexer's table.
     pub name: Sym,
     /// Unescaped attribute value.
-    pub value: String,
+    pub value: XmlText,
 }
 
 impl SymAttribute {
@@ -28,7 +35,7 @@ impl SymAttribute {
     pub fn resolve(&self, interner: &Interner) -> TokenAttribute {
         TokenAttribute {
             name: interner.resolve(self.name).to_string(),
-            value: self.value.clone(),
+            value: self.value.as_str().to_string(),
         }
     }
 }
@@ -74,13 +81,13 @@ pub enum Token {
     /// Character data between tags, unescaped. Adjacent text/CDATA runs
     /// are *not* merged by the lexer; the parser merges them.
     Text {
-        /// Unescaped text.
-        content: String,
+        /// Unescaped text — a zero-copy span when no reference appeared.
+        content: XmlText,
     },
     /// `<![CDATA[...]]>` content (never contains `]]>`).
     CData {
-        /// Verbatim CDATA content.
-        content: String,
+        /// Verbatim CDATA content — a zero-copy span when possible.
+        content: XmlText,
     },
     /// `<!-- ... -->`.
     Comment {

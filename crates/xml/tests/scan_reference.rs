@@ -1,0 +1,268 @@
+//! Oracle suite for the byte-scanning lexer substrate.
+//!
+//! The lexer scans raw bytes (SWAR word loops, span consumption, lazy
+//! line/column accounting); this suite pins it against char-by-char
+//! reference computations on adversarial UTF-8:
+//!
+//! * every token position the lexer reports must equal a naive
+//!   character walk over the consumed prefix (columns count characters,
+//!   not bytes — multibyte text must not skew them);
+//! * the chunked pull parser, fed the same document split at arbitrary
+//!   (char-boundary-snapped) points — entities, CDATA `]]>` edges, and
+//!   CR/LF pairs landing across chunk seams — must produce exactly the
+//!   batch lexer's token stream, positions, and terminal error.
+
+use proptest::prelude::*;
+use wmx_xml::error::{Position, XmlError};
+use wmx_xml::lexer::Lexer;
+use wmx_xml::pull::{PullParser, Pulled};
+use wmx_xml::{Interner, Token};
+
+/// Reference position of byte offset `at` in `input`, computed the slow
+/// way: one character at a time from the start.
+fn ref_position(input: &str, at: usize) -> (u32, u32) {
+    let mut line = 1u32;
+    let mut column = 1u32;
+    for c in input[..at].chars() {
+        if c == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
+}
+
+/// A token with names resolved and text materialized — comparable
+/// across lexers with different interners and span backings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RTok {
+    Start {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    End {
+        name: String,
+    },
+    Text(String),
+    CData(String),
+    Comment(String),
+    Pi {
+        target: String,
+        data: String,
+    },
+    XmlDecl(String),
+    Doctype(String),
+}
+
+fn resolve_tok(token: &Token, names: &Interner) -> RTok {
+    match token {
+        Token::StartTag {
+            name,
+            attributes,
+            self_closing,
+        } => RTok::Start {
+            name: names.resolve(*name).to_string(),
+            attrs: attributes
+                .iter()
+                .map(|a| {
+                    (
+                        names.resolve(a.name).to_string(),
+                        a.value.as_str().to_string(),
+                    )
+                })
+                .collect(),
+            self_closing: *self_closing,
+        },
+        Token::EndTag { name } => RTok::End {
+            name: names.resolve(*name).to_string(),
+        },
+        Token::Text { content } => RTok::Text(content.as_str().to_string()),
+        Token::CData { content } => RTok::CData(content.as_str().to_string()),
+        Token::Comment { content } => RTok::Comment(content.clone()),
+        Token::ProcessingInstruction { target, data } => RTok::Pi {
+            target: target.clone(),
+            data: data.clone(),
+        },
+        Token::XmlDecl { content } => RTok::XmlDecl(content.clone()),
+        Token::Doctype { content } => RTok::Doctype(content.clone()),
+    }
+}
+
+/// Errors compared by kind and position (the message formatting is not
+/// part of the equivalence contract).
+fn err_key(e: &XmlError) -> (String, Option<Position>) {
+    (format!("{:?}", e.kind), e.position)
+}
+
+type Stream = (Vec<(RTok, Position)>, Option<(String, Option<Position>)>);
+
+/// Runs the batch lexer over `input`, checking every reported position
+/// against the reference walk, and returns the resolved stream plus the
+/// terminal error (if any).
+fn batch_stream(input: &str) -> Stream {
+    let mut lexer = Lexer::new(input);
+    let mut out = Vec::new();
+    loop {
+        // Between tokens every consumed character belongs to some
+        // token, so the lexer's own cursor position must equal the
+        // reference walk at its byte offset.
+        let (line, column) = ref_position(input, lexer.byte_offset());
+        let here = lexer.position();
+        assert_eq!(
+            (here.line, here.column),
+            (line, column),
+            "lexer cursor drifted from the reference walk at byte {} of {input:?}",
+            lexer.byte_offset()
+        );
+        match lexer.next_token() {
+            Ok(Some(spanned)) => {
+                out.push((
+                    resolve_tok(&spanned.token, lexer.interner()),
+                    spanned.position,
+                ));
+            }
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(err_key(&e))),
+        }
+    }
+}
+
+/// Runs the pull parser over the same input split into chunks at the
+/// given byte positions (snapped to char boundaries) and returns the
+/// resolved stream plus the terminal error.
+fn pulled_stream(input: &str, splits: &[usize]) -> Stream {
+    let mut cuts: Vec<usize> = splits
+        .iter()
+        .map(|&p| {
+            let mut at = p.min(input.len());
+            while !input.is_char_boundary(at) {
+                at -= 1;
+            }
+            at
+        })
+        .collect();
+    cuts.push(0);
+    cuts.push(input.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut pull = PullParser::new();
+    let mut out = Vec::new();
+    let mut err = None;
+    'feed: for window in cuts.windows(2) {
+        pull.push_str(&input[window[0]..window[1]]);
+        if window[1] == input.len() {
+            pull.finish();
+        }
+        loop {
+            match pull.next() {
+                Ok(Pulled::Token(spanned)) => {
+                    out.push((
+                        resolve_tok(&spanned.token, pull.interner()),
+                        spanned.position,
+                    ));
+                }
+                Ok(Pulled::NeedMore) => continue 'feed,
+                Ok(Pulled::End) => break 'feed,
+                Err(e) => {
+                    err = Some(err_key(&e));
+                    break 'feed;
+                }
+            }
+        }
+    }
+    (out, err)
+}
+
+/// Exhaustive split check: the chunked stream must match the batch
+/// stream for a single cut at every char boundary of `input`.
+fn assert_all_single_splits_agree(input: &str) {
+    let batch = batch_stream(input);
+    for at in 0..=input.len() {
+        if !input.is_char_boundary(at) {
+            continue;
+        }
+        let pulled = pulled_stream(input, &[at]);
+        assert_eq!(
+            pulled, batch,
+            "chunked parse at split {at} diverged for {input:?}"
+        );
+    }
+}
+
+#[test]
+fn entity_split_across_chunks() {
+    assert_all_single_splits_agree("<a t=\"x&amp;y\">R &amp; D &#228;</a>");
+}
+
+#[test]
+fn cdata_close_edge_across_chunks() {
+    assert_all_single_splits_agree("<a><![CDATA[x]] ]]>t]]>tail</a>");
+}
+
+#[test]
+fn crlf_mixes_keep_positions_aligned() {
+    assert_all_single_splits_agree("<a>\r\nline&#10;two\rthree\n</a><!--\r\n-->");
+}
+
+#[test]
+fn multibyte_names_and_text() {
+    assert_all_single_splits_agree("<Mün höhe=\"über\">中文 – text</Mün>");
+}
+
+#[test]
+fn error_positions_agree_on_bad_entity() {
+    assert_all_single_splits_agree("<a>ok &nope; tail</a>");
+}
+
+#[test]
+fn error_positions_agree_on_unclosed_markup() {
+    assert_all_single_splits_agree("<a><b att=\"v");
+}
+
+/// Fragments chosen to stress the byte scanner: multibyte names and
+/// text, references (valid and invalid), CDATA `]]>` edges, CR/LF
+/// mixes, comments, PIs, and plain markup.
+fn arb_fragment() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "<a>".to_string(),
+        "</a>".to_string(),
+        "<Mün x=\"ü&amp;ö\">".to_string(),
+        "</Mün>".to_string(),
+        "<r a='1' b=\"two\"/>".to_string(),
+        "plain text ".to_string(),
+        "中文 – naïve ".to_string(),
+        "&amp;&lt;&gt;&#65;&#x42;".to_string(),
+        "&broken;".to_string(),
+        "\r\n \r \n".to_string(),
+        "<![CDATA[x]]y ]]>".to_string(),
+        "<![CDATA[]]>".to_string(),
+        "<!-- co\r\nmment -->".to_string(),
+        "<?pi some data?>".to_string(),
+        "<bad att=\"unterminated".to_string(),
+        "< misplaced".to_string(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random fragment concatenations, random chunk splits: resolved
+    /// token streams, token positions, and terminal errors must agree
+    /// exactly between batch lexing and chunked pull parsing — and
+    /// every reported position must match the char-by-char walk (the
+    /// assertion inside `batch_stream`).
+    #[test]
+    fn chunked_pull_matches_batch(
+        parts in prop::collection::vec(arb_fragment(), 0..8),
+        raw_splits in prop::collection::vec(0usize..512, 0..4),
+    ) {
+        let input: String = parts.concat();
+        let batch = batch_stream(&input);
+        let pulled = pulled_stream(&input, &raw_splits);
+        prop_assert_eq!(pulled, batch);
+    }
+}

@@ -43,6 +43,24 @@ if [ -n "$hits" ]; then
     printf '%s\n' "$hits" >&2
     status=1
 fi
+# The byte-scanning substrate contract: the lexer and escaper scan raw
+# bytes (SWAR word loops in scan.rs) and only decode UTF-8 at validation
+# boundaries through the helpers scan.rs exposes. A `chars()` or
+# `char_indices()` iteration creeping back into the non-test region of
+# lexer.rs or escape.rs would put a per-character decode on the hottest
+# loop, so CI denies it here. Comment lines and tests below
+# #[cfg(test)] are exempt; char-decoding helpers live in scan.rs, which
+# is deliberately not covered.
+for f in crates/xml/src/lexer.rs crates/xml/src/escape.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit}
+        /^[[:space:]]*\/\//{next}
+        /\.chars\(\)|\.char_indices\(\)/{print FILENAME ":" FNR ": " $0}' "$f")
+    if [ -n "$hits" ]; then
+        echo "error: per-char decoding on the byte-scanning hot path (use the scan.rs helpers):" >&2
+        printf '%s\n' "$hits" >&2
+        status=1
+    fi
+done
 if [ "$status" -eq 0 ]; then
     echo "hot-path format! guard: clean"
 fi
