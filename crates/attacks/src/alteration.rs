@@ -282,6 +282,9 @@ mod tests {
 /// zero usability cost; text, image, and sibling-order marks are
 /// unaffected (see experiment E10 for the measured trade-off and the
 /// mitigation discussion).
+///
+/// Deterministic: uses no randomness (rounding is a pure function of
+/// the granularity), hence no seed field.
 #[derive(Debug, Clone)]
 pub struct RoundingAttack {
     /// Round to the nearest multiple of this.

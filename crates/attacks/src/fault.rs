@@ -1,0 +1,312 @@
+//! Stream-scale fault injection: attacks on the *serialized bytes* of a
+//! marked document rather than on its DOM.
+//!
+//! The DOM attack families (A–D) model an adversary editing data; this
+//! module models transport- and storage-level damage — truncated files,
+//! garbled byte ranges, namespace mangling, and entity re-encoding — the
+//! robustness gate drives through the fault-tolerant streaming decoders
+//! to assert *partial verdicts with precise localization* instead of
+//! errors. Every attack here is a pure function of its inputs (plus an
+//! explicit `seed` where randomness is involved): corpora are exactly
+//! reproducible.
+
+/// Cuts a serialized document at a byte fraction, backing off to the
+/// nearest UTF-8 character boundary — the classic torn-download /
+/// half-written-file fault. The result is (almost always) malformed
+/// XML: records after the cut are gone and the record straddling it is
+/// damaged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationAttack {
+    /// Fraction of the byte length to keep (0.0–1.0).
+    pub keep_fraction: f64,
+}
+
+impl TruncationAttack {
+    /// Creates the attack; `keep_fraction` is clamped to `[0, 1]`.
+    pub fn new(keep_fraction: f64) -> Self {
+        TruncationAttack {
+            keep_fraction: keep_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Returns the truncated prefix.
+    pub fn apply(&self, xml: &str) -> String {
+        let mut cut = (xml.len() as f64 * self.keep_fraction) as usize;
+        while cut < xml.len() && !xml.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        xml[..cut.min(xml.len())].to_string()
+    }
+}
+
+/// How [`GarbleAttack`] damages its byte window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GarbleMode {
+    /// Rotate every ASCII digit in the window by a seed-derived amount
+    /// (never zero): the document still parses, but every numeric value
+    /// in the window is wrong — the forensic pass must localize the
+    /// damage to exactly those records.
+    ScrambleDigits,
+    /// Overwrite the window with `0xFF` bytes: the result is not valid
+    /// UTF-8, so streaming readers fail at the window — the
+    /// fault-tolerant decoders must salvage the head as a partial
+    /// verdict.
+    InvalidUtf8,
+}
+
+/// Garbles a contiguous byte window of a serialized document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GarbleAttack {
+    /// Window start as a fraction of the byte length.
+    pub offset_fraction: f64,
+    /// Window length in bytes.
+    pub length: usize,
+    /// Damage mode.
+    pub mode: GarbleMode,
+    /// Seed for the digit rotation (documented: the only randomness is
+    /// the rotation amount `1 + seed % 9`; the window placement is
+    /// fully determined by `offset_fraction`/`length`).
+    pub seed: u64,
+}
+
+impl GarbleAttack {
+    /// Creates the attack; `offset_fraction` is clamped to `[0, 1]`.
+    pub fn new(offset_fraction: f64, length: usize, mode: GarbleMode, seed: u64) -> Self {
+        GarbleAttack {
+            offset_fraction: offset_fraction.clamp(0.0, 1.0),
+            length,
+            mode,
+            seed,
+        }
+    }
+
+    /// Returns the garbled bytes. [`GarbleMode::ScrambleDigits`] output
+    /// is still valid UTF-8 (digits map to digits);
+    /// [`GarbleMode::InvalidUtf8`] output deliberately is not.
+    pub fn apply(&self, xml: &str) -> Vec<u8> {
+        let mut bytes = xml.as_bytes().to_vec();
+        let start = (bytes.len() as f64 * self.offset_fraction) as usize;
+        let end = (start + self.length).min(bytes.len());
+        match self.mode {
+            GarbleMode::ScrambleDigits => {
+                let rot = (1 + self.seed % 9) as u8;
+                for b in &mut bytes[start..end] {
+                    if b.is_ascii_digit() {
+                        *b = b'0' + (*b - b'0' + rot) % 10;
+                    }
+                }
+            }
+            GarbleMode::InvalidUtf8 => {
+                for b in &mut bytes[start..end] {
+                    *b = 0xFF;
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// Prefixes every element name with an undeclared-vocabulary namespace
+/// prefix (and declares it on the root): `<book>` becomes
+/// `<m:book xmlns:m="urn:wmx-mangle">…`. The document stays well-formed,
+/// but entity bindings no longer match any instance path — detection
+/// must report the watermark as absent (a correct negative), never
+/// crash. No randomness: the rewrite is a pure function of the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceMangleAttack {
+    /// The prefix to graft onto element names (without the colon).
+    pub prefix: String,
+}
+
+impl NamespaceMangleAttack {
+    /// Creates the attack with the given prefix.
+    pub fn new(prefix: &str) -> Self {
+        NamespaceMangleAttack {
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Returns the mangled serialization. Operates on markup only: `<`
+    /// inside values is escaped by the serializer, so every literal `<`
+    /// starts a tag.
+    pub fn apply(&self, xml: &str) -> String {
+        let mut out = String::with_capacity(xml.len() + xml.len() / 8);
+        let bytes = xml.as_bytes();
+        let mut i = 0usize;
+        let mut root_declared = false;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b == b'<' {
+                let next = bytes.get(i + 1).copied();
+                match next {
+                    // Opening tag of an element.
+                    Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                        out.push('<');
+                        out.push_str(&self.prefix);
+                        out.push(':');
+                        i += 1;
+                        // Copy the element name.
+                        let name_start = i;
+                        while i < bytes.len()
+                            && !(bytes[i] as char).is_whitespace()
+                            && bytes[i] != b'>'
+                            && bytes[i] != b'/'
+                        {
+                            i += 1;
+                        }
+                        out.push_str(&xml[name_start..i]);
+                        if !root_declared {
+                            out.push_str(" xmlns:");
+                            out.push_str(&self.prefix);
+                            out.push_str("=\"urn:wmx-mangle\"");
+                            root_declared = true;
+                        }
+                        continue;
+                    }
+                    // Closing tag.
+                    Some(b'/')
+                        if bytes
+                            .get(i + 2)
+                            .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_') =>
+                    {
+                        out.push_str("</");
+                        out.push_str(&self.prefix);
+                        out.push(':');
+                        i += 2;
+                        continue;
+                    }
+                    // Comments, PIs, CDATA, doctype: copy verbatim.
+                    _ => {}
+                }
+            }
+            let ch = xml[i..].chars().next().expect("in-bounds char");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+        out
+    }
+}
+
+/// Re-encodes character content using numeric character references:
+/// every `e`/`o` in text content becomes `&#101;`/`&#111;`. The bytes
+/// change substantially, but the *parsed values* are identical — a
+/// correct decoder detects the watermark exactly as before (the gate's
+/// re-encoded corpus asserts this). Markup, existing entity references,
+/// and attribute delimiters are left alone. Deterministic: no RNG.
+pub fn reencode_char_refs(xml: &str) -> String {
+    let mut out = String::with_capacity(xml.len() * 2);
+    let mut in_tag = false;
+    let mut in_entity = false;
+    for ch in xml.chars() {
+        match ch {
+            '<' => {
+                in_tag = true;
+                out.push(ch);
+            }
+            '>' => {
+                in_tag = false;
+                out.push(ch);
+            }
+            '&' if !in_tag => {
+                in_entity = true;
+                out.push(ch);
+            }
+            ';' if in_entity => {
+                in_entity = false;
+                out.push(ch);
+            }
+            'e' if !in_tag && !in_entity => out.push_str("&#101;"),
+            'o' if !in_tag && !in_entity => out.push_str("&#111;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "<db><book publisher=\"pub0\"><title>Book 10</title>\
+                       <year>1998</year></book><book publisher=\"pub1\">\
+                       <title>Tome 11</title><year>2003</year></book></db>";
+
+    #[test]
+    fn truncation_keeps_a_prefix_on_char_boundaries() {
+        let attack = TruncationAttack::new(0.5);
+        let cut = attack.apply(DOC);
+        assert!(DOC.starts_with(&cut));
+        assert_eq!(cut.len(), DOC.len() / 2);
+        // Multi-byte safety: cutting through a © backs off.
+        let uni = "<db><t>©©©©©©©©</t></db>";
+        for pct in [0.3, 0.5, 0.7, 0.9] {
+            let _ = TruncationAttack::new(pct).apply(uni); // must not panic
+        }
+        assert_eq!(TruncationAttack::new(1.0).apply(DOC), DOC);
+        assert_eq!(TruncationAttack::new(0.0).apply(DOC), "");
+    }
+
+    #[test]
+    fn digit_scramble_stays_parseable_and_is_deterministic() {
+        let attack = GarbleAttack::new(0.2, 60, GarbleMode::ScrambleDigits, 7);
+        let a = attack.apply(DOC);
+        let b = attack.apply(DOC);
+        assert_eq!(a, b);
+        let garbled = String::from_utf8(a).expect("digit rotation is UTF-8 safe");
+        assert_ne!(garbled, DOC);
+        wmx_xml::parse(&garbled).expect("scrambled digits still parse");
+        // Rotation is never the identity.
+        for seed in 0..20 {
+            let g = GarbleAttack::new(0.0, DOC.len(), GarbleMode::ScrambleDigits, seed);
+            let out = String::from_utf8(g.apply(DOC)).unwrap();
+            assert_ne!(out, DOC, "seed {seed} must change digits");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_garble_is_not_a_string() {
+        let attack = GarbleAttack::new(0.5, 10, GarbleMode::InvalidUtf8, 0);
+        let bytes = attack.apply(DOC);
+        assert!(String::from_utf8(bytes.clone()).is_err());
+        assert_eq!(bytes.len(), DOC.len());
+    }
+
+    #[test]
+    fn namespace_mangle_stays_well_formed() {
+        let mangled = NamespaceMangleAttack::new("m").apply(DOC);
+        let doc = wmx_xml::parse(&mangled).expect("mangled doc parses");
+        let root = doc.root_element().unwrap();
+        assert_eq!(doc.name(root), Some("m:db"));
+        assert!(mangled.contains("xmlns:m=\"urn:wmx-mangle\""));
+        assert!(mangled.contains("<m:book"));
+        assert!(mangled.contains("</m:book>"));
+        // Idempotent on comments/PIs.
+        let with_misc = "<?xml version=\"1.0\"?><!-- c --><db><v>1</v></db>";
+        let m = NamespaceMangleAttack::new("m").apply(with_misc);
+        assert!(m.contains("<?xml version=\"1.0\"?>"));
+        assert!(m.contains("<!-- c -->"));
+        wmx_xml::parse(&m).unwrap();
+    }
+
+    #[test]
+    fn reencode_preserves_parsed_values() {
+        let encoded = reencode_char_refs(DOC);
+        assert_ne!(encoded, DOC);
+        assert!(encoded.contains("&#111;")); // Book -> B&#111;&#111;k
+        let a = wmx_xml::parse(DOC).unwrap();
+        let b = wmx_xml::parse(&encoded).unwrap();
+        assert_eq!(
+            wmx_xml::to_canonical_string(&a),
+            wmx_xml::to_canonical_string(&b),
+            "re-encoding must be value-preserving"
+        );
+        // Entity references survive untouched.
+        let amp = "<db><t>Tom &amp; Joe</t></db>";
+        let e = reencode_char_refs(amp);
+        assert!(e.contains("&amp;"));
+        assert_eq!(
+            wmx_xml::to_canonical_string(&wmx_xml::parse(&e).unwrap()),
+            wmx_xml::to_canonical_string(&wmx_xml::parse(amp).unwrap())
+        );
+    }
+}

@@ -15,18 +15,38 @@
 //!   data": unify every FD-duplicate group to a single consensus value,
 //!   erasing minority marks.
 //!
-//! All attacks are deterministic given their seed, so experiments are
-//! reproducible.
+//! A fifth family, **[fault]**, attacks the *serialized bytes* rather
+//! than the data: truncation, garbled byte windows, namespace mangling,
+//! and entity re-encoding — the stream-scale scenarios the robustness
+//! gate drives through the fault-tolerant decoders.
+//!
+//! # Determinism
+//!
+//! Every attack is a pure function of its configuration: the randomized
+//! ones ([`AlterationAttack`], [`ReductionAttack`], [`ShuffleAttack`],
+//! [`GarbleAttack`]) carry an **explicit `seed` field** and derive all
+//! randomness from a `StdRng` (or arithmetic) seeded with it — no
+//! global or thread-local RNG state anywhere; the rest
+//! ([`RoundingAttack`], [`RenameAttack`], [`ReorganizationAttack`],
+//! [`RedundancyRemovalAttack`], [`TruncationAttack`],
+//! [`NamespaceMangleAttack`], [`reencode_char_refs`]) use no randomness
+//! at all. Applying the same attack value to the same document always
+//! yields byte-identical output, so experiment corpora and gate metrics
+//! are exactly reproducible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alteration;
+pub mod fault;
 pub mod reduction;
 pub mod redundancy;
 pub mod reorganization;
 
 pub use alteration::{AlterationAttack, RoundingAttack};
+pub use fault::{
+    reencode_char_refs, GarbleAttack, GarbleMode, NamespaceMangleAttack, TruncationAttack,
+};
 pub use reduction::ReductionAttack;
 pub use redundancy::RedundancyRemovalAttack;
 pub use reorganization::{RenameAttack, ReorganizationAttack, ShuffleAttack};

@@ -22,6 +22,10 @@ pub enum UnifyStrategy {
 }
 
 /// The redundancy-removal attack.
+///
+/// Deterministic: uses no randomness — [`UnifyStrategy`] resolves ties
+/// by value order, so the output is a pure function of the input and
+/// no seed field is needed.
 #[derive(Debug, Clone)]
 pub struct RedundancyRemovalAttack {
     /// The (mined) FDs whose redundancy is removed.

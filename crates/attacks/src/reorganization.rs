@@ -10,6 +10,9 @@ use wmx_xml::Document;
 /// Restructures the document under a new schema via the logical-record
 /// extraction/composition machinery of `wmx-rewrite` — the db1→db2
 /// transformation of the paper's Fig. 1.
+///
+/// Deterministic: uses no randomness (the layout fully determines the
+/// output), hence no seed field.
 #[derive(Debug, Clone)]
 pub struct ReorganizationAttack {
     /// The entity to restructure around.
@@ -77,6 +80,9 @@ impl ShuffleAttack {
 
 /// Renames elements/attributes ("redesign the schema" in its mildest
 /// form). Mappings: `(old element name, new element name)`.
+///
+/// Deterministic: uses no randomness (the rename table fully determines
+/// the output), hence no seed field.
 #[derive(Debug, Clone)]
 pub struct RenameAttack {
     /// Element renames.

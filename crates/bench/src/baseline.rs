@@ -326,6 +326,10 @@ mod tests {
                 votes_ones: 10,
                 votes_zeros: 5,
             }],
+            forensics: vec![crate::report::ForensicsStat::new(
+                "localize@0.05",
+                vec![("precision", 1.0)],
+            )],
         }
     }
 

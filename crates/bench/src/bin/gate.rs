@@ -76,6 +76,7 @@ fn main() {
         Ok(outcome) => {
             println!("report: {}", outcome.report_path.display());
             println!("telemetry: {}", outcome.telemetry_path.display());
+            println!("forensics: {}", outcome.forensics_path.display());
             println!("{}", outcome.summary);
             std::process::exit(outcome.exit_code);
         }

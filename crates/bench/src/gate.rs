@@ -14,16 +14,24 @@
 
 use crate::baseline::{baseline_from_report, compare, Baseline, Comparison};
 use crate::measure::{peak_rss_kb, MeasureConfig, Measurement};
-use crate::report::{BenchReport, RobustnessStat, RunContext, ThroughputStat, SCHEMA_VERSION};
+use crate::report::{
+    BenchReport, ForensicsStat, RobustnessStat, RunContext, ThroughputStat, SCHEMA_VERSION,
+};
 use crate::workloads::{escape_microbench_input, marked_publications, streaming_publications};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use wmx_attacks::redundancy::UnifyStrategy;
-use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, RoundingAttack};
+use wmx_attacks::{
+    AlterationAttack, GarbleAttack, GarbleMode, ReductionAttack, RedundancyRemovalAttack,
+    RoundingAttack, TruncationAttack,
+};
 use wmx_core::{
-    detect, embed, DetectionInput, DetectionReport, EncoderConfig, MarkableAttr, Watermark,
+    detect, detect_forensic, embed, DetectionInput, DetectionReport, EncoderConfig,
+    ForensicContext, MarkableAttr, UnitStatus, Watermark,
 };
 use wmx_crypto::SecretKey;
 use wmx_data::publications::{self, PublicationsConfig};
+use wmx_telemetry::json::Json as TJson;
 
 /// Parameters of one gate suite run. All seeds are fixed so the
 /// robustness grid is bit-for-bit reproducible across machines.
@@ -106,6 +114,31 @@ fn grid_point_names() -> Vec<String> {
     names
 }
 
+/// Forensic-scenario names and their metric keys, in emission order.
+/// Every metric is a deterministic function of the suite seeds, so the
+/// baseline pins them with zero tolerance (like the robustness grid):
+///
+/// * `localize@0.05` — 5% of the selected numeric units perturbed;
+///   `precision`/`recall` of suspect-record localization against the
+///   known damage set.
+/// * `recover@r3` — redundancy-3 embedding with every 8th year
+///   perturbed; `rate` is recovered/(suspect+recovered+unrecoverable)
+///   units, `detected` the verdict after group decode.
+/// * `fault_truncate@0.60` — marked stream cut at 60% of its bytes;
+///   `partial` is 1.0 iff the fault-tolerant decoder salvaged a
+///   truncated partial verdict that still detects the mark.
+/// * `fault_garble` — a digit-scrambled byte window mid-stream;
+///   `isolated` is 1.0 iff detection survives and the suspects form a
+///   non-empty strict subset of the records.
+fn forensic_points() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("localize@0.05", vec!["precision", "recall"]),
+        ("recover@r3", vec!["rate", "detected"]),
+        ("fault_truncate@0.60", vec!["partial"]),
+        ("fault_garble", vec!["isolated"]),
+    ]
+}
+
 impl SuiteParams {
     /// The CI smoke suite: small and fast, deterministic seeds.
     pub fn smoke() -> SuiteParams {
@@ -151,12 +184,24 @@ impl SuiteParams {
             out.push(format!("robustness/{point}/detected"));
             out.push(format!("robustness/{point}/match_fraction"));
         }
+        for (point, metrics) in forensic_points() {
+            for metric in metrics {
+                out.push(format!("forensics/{point}/{metric}"));
+            }
+        }
         out
     }
 }
 
 /// Runs the measurement suite and assembles the report.
 pub fn run_suite(p: &SuiteParams) -> BenchReport {
+    run_suite_full(p).0
+}
+
+/// Runs the measurement suite and also returns the forensic-scenario
+/// artifact (the record-level localization detail behind the flattened
+/// `forensics/…` metrics) the gate writes to `FORENSICS_<workload>.json`.
+pub fn run_suite_full(p: &SuiteParams) -> (BenchReport, TJson) {
     let mcfg = MeasureConfig {
         warmup: p.warmup,
         iters: p.iters,
@@ -391,7 +436,8 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
     });
     throughput.push(ThroughputStat::from_measurement("batch_detect", &m));
 
-    BenchReport {
+    let (forensics, forensics_artifact) = forensics_grid(p, &w, &sw, &marked_text);
+    let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         workload: p.workload.clone(),
         context: RunContext {
@@ -405,7 +451,9 @@ pub fn run_suite(p: &SuiteParams) -> BenchReport {
         },
         throughput,
         robustness: attack_grid(p, &w),
-    }
+        forensics,
+    };
+    (report, forensics_artifact)
 }
 
 fn detect_with(w: &crate::MarkedWorkload, doc: &wmx_xml::Document) -> DetectionReport {
@@ -547,6 +595,266 @@ fn attack_grid(p: &SuiteParams, w: &crate::MarkedWorkload) -> Vec<RobustnessStat
     grid
 }
 
+fn tobj(members: Vec<(&str, TJson)>) -> TJson {
+    TJson::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// The deterministic forensic-scenario grid (see [`forensic_points`]):
+/// flattened gate metrics plus the record-level artifact written to
+/// `FORENSICS_<workload>.json`.
+fn forensics_grid(
+    p: &SuiteParams,
+    w: &crate::MarkedWorkload,
+    sw: &crate::StreamingWorkload,
+    marked_stream: &str,
+) -> (Vec<ForensicsStat>, TJson) {
+    let mut stats = Vec::new();
+    let mut scenarios = Vec::new();
+
+    // localize@0.05 — perturb 5% of the selected numeric units (the +7
+    // flips the parity mark) and demand that the suspect records the
+    // forensic pass flags are exactly the damaged ones.
+    {
+        let table = wmx_core::SelectionTable::build(&w.dataset.config, &w.dataset.fds);
+        let units = wmx_core::enumerate_units(
+            &w.marked,
+            &w.dataset.binding,
+            &w.dataset.fds,
+            &w.dataset.config,
+            &table,
+        )
+        .expect("forensic enumerate");
+        let marker = wmx_core::UnitMarker::new(w.key.clone());
+        let mut doc = w.marked.clone();
+        let mut damaged: BTreeSet<String> = BTreeSet::new();
+        let mut numeric_seen = 0usize;
+        for unit in &units {
+            if !marker.is_selected(&unit.key.id(&table), w.dataset.config.gamma) {
+                continue;
+            }
+            let Ok(year) = unit.nodes[0].string_value(&doc).parse::<i64>() else {
+                continue;
+            };
+            numeric_seen += 1;
+            if !numeric_seen.is_multiple_of(20) {
+                continue;
+            }
+            wmx_core::write_value(&mut doc, &unit.nodes[0], &(year + 7).to_string())
+                .expect("damage year");
+            damaged.insert(unit.key.record_scope(&table));
+        }
+        assert!(!damaged.is_empty(), "localize scenario must damage records");
+        let d = detect_forensic(
+            &doc,
+            &DetectionInput {
+                queries: &w.report.queries,
+                key: w.key.clone(),
+                watermark: w.watermark.clone(),
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+            ForensicContext {
+                binding: &w.dataset.binding,
+                fds: &w.dataset.fds,
+                config: &w.dataset.config,
+            },
+        )
+        .expect("localize forensic detect");
+        let f = d.forensics.as_ref().expect("forensics attached");
+        let suspects: BTreeSet<String> = f
+            .records
+            .iter()
+            .filter(|r| r.status == UnitStatus::Suspect)
+            .map(|r| r.record.clone())
+            .collect();
+        let hits = suspects.intersection(&damaged).count() as f64;
+        let precision = if suspects.is_empty() {
+            0.0
+        } else {
+            hits / suspects.len() as f64
+        };
+        let recall = hits / damaged.len() as f64;
+        stats.push(ForensicsStat::new(
+            "localize@0.05",
+            vec![("precision", precision), ("recall", recall)],
+        ));
+        scenarios.push(tobj(vec![
+            ("name", TJson::String("localize@0.05".into())),
+            ("damaged_records", TJson::Number(damaged.len() as f64)),
+            ("suspect_records", TJson::Number(suspects.len() as f64)),
+            ("precision", TJson::Number(precision)),
+            ("recall", TJson::Number(recall)),
+            ("forensics", f.to_json()),
+        ]));
+    }
+
+    // recover@r3 — embed with 3-way group redundancy, damage every 8th
+    // year, and demand the group decode recovers every damaged unit.
+    {
+        let dataset = publications::generate(&PublicationsConfig {
+            records: p.records,
+            editors: p.editors,
+            seed: p.seed + 300,
+            gamma: 1,
+        });
+        let config = dataset.config.clone().with_redundancy(3);
+        let key = SecretKey::from_passphrase("gate-forensics");
+        let wm = Watermark::from_message("gate-forensics", 16);
+        let mut marked = dataset.doc.clone();
+        let report = embed(
+            &mut marked,
+            &dataset.binding,
+            &dataset.fds,
+            &config,
+            &key,
+            &wm,
+        )
+        .expect("r3 embed");
+        let years = wmx_xpath::Query::compile("//book/year")
+            .expect("year query")
+            .select(&marked);
+        for (i, node) in years.iter().enumerate() {
+            if !i.is_multiple_of(8) {
+                continue;
+            }
+            let year: i64 = node.string_value(&marked).parse().expect("numeric year");
+            wmx_core::write_value(&mut marked, node, &(year + 7).to_string()).expect("damage year");
+        }
+        let d = detect_forensic(
+            &marked,
+            &DetectionInput {
+                queries: &report.queries,
+                key,
+                watermark: wm,
+                threshold: THRESHOLD,
+                mapping: None,
+            },
+            ForensicContext {
+                binding: &dataset.binding,
+                fds: &dataset.fds,
+                config: &config,
+            },
+        )
+        .expect("r3 forensic detect");
+        let f = d.forensics.as_ref().expect("forensics attached");
+        let flagged = f.suspect_units + f.recovered_units + f.unrecoverable_units;
+        let rate = if flagged == 0 {
+            0.0
+        } else {
+            f.recovered_units as f64 / flagged as f64
+        };
+        let detected = if d.detected { 1.0 } else { 0.0 };
+        stats.push(ForensicsStat::new(
+            "recover@r3",
+            vec![("rate", rate), ("detected", detected)],
+        ));
+        scenarios.push(tobj(vec![
+            ("name", TJson::String("recover@r3".into())),
+            ("recovered_units", TJson::Number(f.recovered_units as f64)),
+            ("suspect_units", TJson::Number(f.suspect_units as f64)),
+            (
+                "unrecoverable_units",
+                TJson::Number(f.unrecoverable_units as f64),
+            ),
+            ("rate", TJson::Number(rate)),
+            ("detected", TJson::Bool(d.detected)),
+        ]));
+    }
+
+    // fault_truncate@0.60 — cut the marked stream at 60% of its bytes;
+    // the fault-tolerant decoder must salvage a truncated partial
+    // verdict that still detects the mark from the surviving prefix.
+    {
+        let cut = TruncationAttack::new(0.60).apply(marked_stream);
+        let r = wmx_stream::stream_detect_forensic(
+            cut.as_bytes(),
+            sw.ctx(),
+            &sw.key,
+            &sw.watermark,
+            THRESHOLD,
+        )
+        .expect("truncated stream salvages a partial verdict");
+        let partial = match &r.fault {
+            Some(fault)
+                if fault.truncated
+                    && r.records > 0
+                    && r.records < p.records
+                    && r.report.detected =>
+            {
+                1.0
+            }
+            _ => 0.0,
+        };
+        stats.push(ForensicsStat::new(
+            "fault_truncate@0.60",
+            vec![("partial", partial)],
+        ));
+        scenarios.push(tobj(vec![
+            ("name", TJson::String("fault_truncate@0.60".into())),
+            ("records_processed", TJson::Number(r.records as f64)),
+            ("records_total", TJson::Number(p.records as f64)),
+            (
+                "truncated",
+                TJson::Bool(r.fault.as_ref().is_some_and(|f| f.truncated)),
+            ),
+            ("detected", TJson::Bool(r.report.detected)),
+            ("partial", TJson::Number(partial)),
+        ]));
+    }
+
+    // fault_garble — scramble the digits in a mid-stream byte window
+    // (still well-formed XML); detection must survive and the suspects
+    // must be a non-empty strict subset of the records: the damage is
+    // noticed AND isolated.
+    {
+        let garble = GarbleAttack::new(0.45, 1000, GarbleMode::ScrambleDigits, 2);
+        let garbled =
+            String::from_utf8(garble.apply(marked_stream)).expect("digit scramble stays UTF-8");
+        let r = wmx_stream::stream_detect_forensic(
+            garbled.as_bytes(),
+            sw.ctx(),
+            &sw.key,
+            &sw.watermark,
+            THRESHOLD,
+        )
+        .expect("garbled stream still parses");
+        let f = r.report.forensics.as_ref().expect("forensics attached");
+        let isolated = if f.tampered
+            && f.suspect_records > 0
+            && f.suspect_records < f.records.len()
+            && r.report.detected
+        {
+            1.0
+        } else {
+            0.0
+        };
+        stats.push(ForensicsStat::new(
+            "fault_garble",
+            vec![("isolated", isolated)],
+        ));
+        scenarios.push(tobj(vec![
+            ("name", TJson::String("fault_garble".into())),
+            ("suspect_records", TJson::Number(f.suspect_records as f64)),
+            ("records_total", TJson::Number(f.records.len() as f64)),
+            ("tampered", TJson::Bool(f.tampered)),
+            ("detected", TJson::Bool(r.report.detected)),
+            ("isolated", TJson::Number(isolated)),
+        ]));
+    }
+
+    let artifact = tobj(vec![
+        ("schema_version", TJson::Number(SCHEMA_VERSION as f64)),
+        ("workload", TJson::String(p.workload.clone())),
+        ("scenarios", TJson::Array(scenarios)),
+    ]);
+    (stats, artifact)
+}
+
 /// Options for one gate invocation.
 #[derive(Debug, Clone)]
 pub struct GateOptions {
@@ -584,6 +892,9 @@ pub struct GateOutcome {
     pub report_path: PathBuf,
     /// Where the validated telemetry snapshot was written.
     pub telemetry_path: PathBuf,
+    /// Where the forensic-scenario artifact was written
+    /// (`FORENSICS_<workload>.json`).
+    pub forensics_path: PathBuf,
     /// The comparison (absent with `--write-baseline`/`--no-compare`).
     pub comparison: Option<Comparison>,
     /// Process exit code per the module contract.
@@ -625,7 +936,7 @@ fn write_telemetry_snapshot(workload: &str, out_dir: &Path) -> Result<PathBuf, S
 /// baseline. `Err` means an operational failure (exit 1 in the binary);
 /// a failed comparison is `Ok` with `exit_code` 2.
 pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
-    let report = run_suite(&opts.params);
+    let (report, forensics_artifact) = run_suite_full(&opts.params);
     let report_path = report
         .write_to_dir(&opts.out_dir)
         .map_err(|e| format!("cannot write report into {}: {e}", opts.out_dir.display()))?;
@@ -634,6 +945,13 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
     // BENCH report and hold it to the snapshot schema — the gate is
     // also the CI proof that instrumentation stays well-formed.
     let telemetry_path = write_telemetry_snapshot(&opts.params.workload, &opts.out_dir)?;
+    // Record-level localization detail behind the flattened forensics
+    // metrics — the artifact CI uploads for post-mortem inspection.
+    let forensics_path = opts
+        .out_dir
+        .join(format!("FORENSICS_{}.json", opts.params.workload));
+    std::fs::write(&forensics_path, forensics_artifact.to_pretty_string())
+        .map_err(|e| format!("cannot write {}: {e}", forensics_path.display()))?;
     let baseline_path = opts
         .baseline_path
         .clone()
@@ -649,6 +967,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
         return Ok(GateOutcome {
             report_path,
             telemetry_path,
+            forensics_path,
             comparison: None,
             exit_code: 0,
             summary: format!(
@@ -666,6 +985,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
         return Ok(GateOutcome {
             report_path,
             telemetry_path,
+            forensics_path,
             comparison: None,
             exit_code: 0,
             summary,
@@ -693,6 +1013,7 @@ pub fn run_gate(opts: &GateOptions) -> Result<GateOutcome, String> {
     Ok(GateOutcome {
         report_path,
         telemetry_path,
+        forensics_path,
         comparison: Some(comparison),
         exit_code: if passed { 0 } else { 2 },
         summary,

@@ -13,6 +13,10 @@
 //! * **Robustness**: the detection verdict and vote tallies across the
 //!   fixed E2/E3/E5/E10 attack grid — the survey's point that robustness
 //!   claims are only meaningful as detection rates under a fixed grid.
+//! * **Forensics**: deterministic tamper-localization and recovery
+//!   scenarios (localization precision/recall, redundant-group recovery
+//!   rate, fault-injection partial verdicts), flattened as
+//!   `forensics/<scenario>/<metric>` and pinned with zero tolerance.
 //!
 //! The flattened metric view ([`BenchReport::metrics`]) is what the
 //! baseline comparator gates on; every metric is oriented so that
@@ -40,6 +44,10 @@ pub struct BenchReport {
     pub throughput: Vec<ThroughputStat>,
     /// Detection outcome per attack-grid point.
     pub robustness: Vec<RobustnessStat>,
+    /// Deterministic forensic-scenario metrics (localization, recovery,
+    /// fault injection). Absent from pre-forensics reports, which read
+    /// back as an empty list.
+    pub forensics: Vec<ForensicsStat>,
 }
 
 /// Deterministic parameters of a report run.
@@ -157,6 +165,33 @@ impl RobustnessStat {
     }
 }
 
+/// Metrics of one deterministic forensic scenario.
+///
+/// Unlike [`ThroughputStat`], every value here is a pure function of
+/// the suite seeds (selection is keyed-PRF-driven and the attacks are
+/// explicitly seeded), so the baseline pins them with tolerance `0.0`
+/// exactly like the robustness grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsStat {
+    /// Scenario name, e.g. `localize@0.05` or `fault_truncate@0.60`.
+    pub name: String,
+    /// Named metric values, flattened as `forensics/<name>/<metric>`.
+    pub values: Vec<(String, f64)>,
+}
+
+impl ForensicsStat {
+    /// Creates the stat from `(metric, value)` pairs.
+    pub fn new(name: &str, values: Vec<(&str, f64)>) -> ForensicsStat {
+        ForensicsStat {
+            name: name.to_string(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        }
+    }
+}
+
 impl BenchReport {
     /// The canonical file name, `BENCH_<workload>.json`.
     pub fn file_name(&self) -> String {
@@ -249,6 +284,33 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
+            (
+                "forensics",
+                Json::Array(
+                    self.forensics
+                        .iter()
+                        .map(|f| {
+                            obj(vec![
+                                ("name", Json::String(f.name.clone())),
+                                (
+                                    "values",
+                                    Json::Array(
+                                        f.values
+                                            .iter()
+                                            .map(|(k, v)| {
+                                                obj(vec![
+                                                    ("name", Json::String(k.clone())),
+                                                    ("value", Json::Number(*v)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -326,12 +388,30 @@ impl BenchReport {
                 votes_zeros: field_usize(r, "votes_zeros")?,
             });
         }
+        // Tolerant of the section's absence: reports written before the
+        // forensic suite existed stay readable.
+        let mut forensics = Vec::new();
+        for f in json
+            .get("forensics")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            let mut values = Vec::new();
+            for v in f.get("values").and_then(Json::as_array).unwrap_or(&[]) {
+                values.push((field_str(v, "name")?, field_f64(v, "value")?));
+            }
+            forensics.push(ForensicsStat {
+                name: field_str(f, "name")?,
+                values,
+            });
+        }
         Ok(BenchReport {
             schema_version: version,
             workload,
             context,
             throughput,
             robustness,
+            forensics,
         })
     }
 
@@ -348,6 +428,7 @@ impl BenchReport {
     /// * `throughput/<name>/mb_per_s` and `.../records_per_s`
     /// * `robustness/<name>/detected` (1.0 or 0.0)
     /// * `robustness/<name>/match_fraction`
+    /// * `forensics/<name>/<metric>` (deterministic, pinned exactly)
     pub fn metrics(&self) -> Vec<(String, f64)> {
         let mut out = Vec::new();
         for t in &self.throughput {
@@ -366,6 +447,11 @@ impl BenchReport {
                 format!("robustness/{}/match_fraction", r.name),
                 r.match_fraction,
             ));
+        }
+        for f in &self.forensics {
+            for (metric, value) in &f.values {
+                out.push((format!("forensics/{}/{metric}", f.name), *value));
+            }
         }
         out
     }
@@ -443,6 +529,10 @@ mod tests {
                 votes_ones: 321,
                 votes_zeros: 123,
             }],
+            forensics: vec![ForensicsStat::new(
+                "localize@0.05",
+                vec![("precision", 1.0), ("recall", 1.0)],
+            )],
         }
     }
 
@@ -498,7 +588,23 @@ mod tests {
         assert_eq!(find("throughput/stream_embed/records_per_s"), 50000.0);
         assert_eq!(find("robustness/e2_alteration@0.30/detected"), 1.0);
         assert_eq!(find("robustness/e2_alteration@0.30/match_fraction"), 1.0);
-        assert_eq!(metrics.len(), 6);
+        assert_eq!(find("forensics/localize@0.05/precision"), 1.0);
+        assert_eq!(find("forensics/localize@0.05/recall"), 1.0);
+        assert_eq!(metrics.len(), 8);
+    }
+
+    #[test]
+    fn reports_without_a_forensics_section_still_parse() {
+        let mut report = sample_report();
+        report.forensics.clear();
+        let text = report.to_json_string();
+        // Simulate a pre-forensics report by dropping the section
+        // (it is the last member, so the preceding comma goes too).
+        let stripped = text.replace(",\n  \"forensics\": []", "");
+        assert_ne!(stripped, text, "section must have been present");
+        let parsed = BenchReport::from_json_str(&stripped).expect("old schema parses");
+        assert!(parsed.forensics.is_empty());
+        assert_eq!(parsed.robustness, report.robustness);
     }
 
     #[test]

@@ -35,6 +35,10 @@ fn suite_robustness_is_deterministic_and_roundtrips() {
     assert_eq!(r1.robustness, r2.robustness);
     assert!(!r1.robustness.is_empty());
 
+    // So does the forensic-scenario grid, one stat per scenario.
+    assert_eq!(r1.forensics, r2.forensics);
+    assert_eq!(r1.forensics.len(), 4);
+
     let parsed = BenchReport::from_json_str(&r1.to_json_string()).expect("roundtrip");
     assert_eq!(parsed.robustness, r1.robustness);
     assert_eq!(parsed.context, r1.context);
@@ -74,6 +78,8 @@ fn gate_exit_codes_cover_refresh_pass_regression_and_errors() {
     assert_eq!(outcome.exit_code, 0);
     assert!(outcome.comparison.is_none());
     assert!(outcome.report_path.ends_with("BENCH_gatetest.json"));
+    assert!(outcome.forensics_path.ends_with("FORENSICS_gatetest.json"));
+    assert!(outcome.forensics_path.exists());
     assert!(baseline_path.exists());
 
     // A clean compare against the just-written baseline passes.
@@ -139,13 +145,31 @@ fn checked_in_smoke_baseline_parses_and_matches_the_schema() {
     let baseline = Baseline::load(&path).expect("checked-in baseline parses");
     assert_eq!(baseline.workload, "smoke");
     assert_eq!(baseline.schema_version, wmx_bench::SCHEMA_VERSION);
-    // Robustness metrics are pinned exactly; throughput has slack.
+    // Robustness and forensic metrics are deterministic and pinned
+    // exactly; throughput has slack.
     for m in &baseline.metrics {
-        if m.name.starts_with("robustness/") {
+        if m.name.starts_with("robustness/") || m.name.starts_with("forensics/") {
             assert_eq!(m.tolerance, 0.0, "{}", m.name);
         } else {
             assert!(m.tolerance > 0.0, "{}", m.name);
         }
+    }
+    // The forensic scenarios hold localization and recovery to
+    // perfection under the smoke seeds: any drop fails the gate.
+    for name in [
+        "forensics/localize@0.05/precision",
+        "forensics/localize@0.05/recall",
+        "forensics/recover@r3/rate",
+        "forensics/recover@r3/detected",
+        "forensics/fault_truncate@0.60/partial",
+        "forensics/fault_garble/isolated",
+    ] {
+        let m = baseline
+            .metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("missing pinned forensic metric {name}"));
+        assert_eq!(m.value, 1.0, "{name}");
     }
     // The smoke suite's metric names line up with what is pinned, so
     // the gate can never silently skip a metric.

@@ -7,7 +7,10 @@ use crate::queryfile;
 use std::fs;
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{AlterationAttack, ReductionAttack, RedundancyRemovalAttack, ShuffleAttack};
-use wmx_core::{detect, embed, measure_usability, DetectionInput, Watermark};
+use wmx_core::{
+    detect, detect_forensic, embed, measure_usability, DetectionInput, ForensicContext,
+    ForensicsReport, UnitStatus, Watermark,
+};
 use wmx_crypto::SecretKey;
 use wmx_data::{jobs, library, publications};
 use wmx_telemetry::{span, AuditEvent};
@@ -45,22 +48,33 @@ COMMANDS
   generate  --profile P --records N [--seed S] --out FILE
             synthesize a dataset document
   embed     --profile P --in FILE --key K --message M [--bits N]
-            [--gamma G] --out FILE --queries FILE
-            watermark a document; writes the marked XML and the query set
+            [--gamma G] [--redundancy R] --out FILE --queries FILE
+            watermark a document; writes the marked XML and the query
+            set; --redundancy R embeds each bit into R disjoint unit
+            groups for error-correcting recovery (detect with the same R)
   detect    --in FILE --key K --message M [--bits N] [--threshold T]
-            --queries FILE
-            detect the watermark (exit 0 = detected, 2 = not detected)
+            --queries FILE [--forensics [json] --profile P
+            [--gamma G] [--redundancy R]]
+            detect the watermark (exit 0 = detected, 2 = not detected,
+            3 = detected but tampered); --forensics re-derives the
+            marked units from the profile and localizes tampering to
+            records (bare flag = summary, `--forensics json` = the full
+            per-unit report)
   stream-embed
             --profile P --in FILE --key K --message M [--bits N]
-            [--gamma G] [--workers W] --out FILE --queries FILE
+            [--gamma G] [--redundancy R] [--workers W]
+            --out FILE --queries FILE
             single-pass streaming embed: O(record) memory at --workers 1,
             parallel record chunking at --workers > 1; output bytes are
             identical to the DOM engine's compact serialization
   stream-detect
             --profile P --in FILE --key K --message M [--bits N]
-            [--gamma G] [--threshold T] [--workers W]
+            [--gamma G] [--redundancy R] [--threshold T] [--workers W]
+            [--forensics [json]]
             single-pass detection without a query file (the key + profile
-            re-derive the marked units); exit codes as for detect
+            re-derive the marked units); exit codes as for detect; with
+            --forensics a truncated or garbled stream yields a partial
+            verdict over the salvaged records instead of an error
   attack    --in FILE --kind alteration|reduction|shuffle|redundancy
             [--intensity X] [--seed S] [--profile P] --out FILE
             apply a demo attack
@@ -75,10 +89,11 @@ COMMANDS
             print document statistics
   bench     [--suite smoke|full] [--out DIR] [--baseline FILE]
             [--write-baseline] [--no-compare]
-            run the telemetry suite, write BENCH_<workload>.json and
-            TELEMETRY_<workload>.json, and gate against the checked-in
-            baseline (exit 0 = pass, 2 = throughput regression or
-            detection-rate drop)
+            run the telemetry suite, write BENCH_<workload>.json,
+            TELEMETRY_<workload>.json, and FORENSICS_<workload>.json,
+            and gate against the checked-in baseline (exit 0 = pass,
+            2 = throughput regression, detection-rate drop, or
+            localization/recovery drop)
 
 OBSERVABILITY (embed, detect, stream-embed, stream-detect)
   --telemetry-json FILE   write a schema-versioned metrics snapshot
@@ -111,9 +126,11 @@ fn load_profile(args: &Args) -> Result<crate::profile::Profile, String> {
     })
 }
 
-/// The encoder configuration both streaming commands share: the
-/// profile's defaults with the `--gamma` override applied.
-fn stream_config(
+/// The encoder configuration the embed/detect commands share: the
+/// profile's defaults with the `--gamma` and `--redundancy` overrides
+/// applied. Redundancy widens the effective watermark, so the same
+/// value must be passed to embedding and (forensic) detection.
+fn encoder_config(
     args: &Args,
     profile: &crate::profile::Profile,
 ) -> Result<wmx_core::EncoderConfig, String> {
@@ -121,7 +138,88 @@ fn stream_config(
     config.gamma = args
         .parsed_or("gamma", config.gamma)
         .map_err(|e| e.to_string())?;
-    Ok(config)
+    let redundancy: u32 = args
+        .parsed_or("redundancy", config.redundancy)
+        .map_err(|e| e.to_string())?;
+    if redundancy == 0 {
+        return Err("--redundancy must be at least 1".to_string());
+    }
+    Ok(config.with_redundancy(redundancy))
+}
+
+/// How `--forensics` was requested on a detect command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ForensicsMode {
+    /// Flag absent: plain detection, no localization pass.
+    Off,
+    /// Bare `--forensics`: human-readable suspect-record summary.
+    Summary,
+    /// `--forensics json`: the full forensics report as JSON.
+    Json,
+}
+
+fn forensics_mode(args: &Args) -> Result<ForensicsMode, String> {
+    match args.optional("forensics") {
+        None => Ok(ForensicsMode::Off),
+        // A bare flag parses as the literal "true".
+        Some("true") | Some("summary") => Ok(ForensicsMode::Summary),
+        Some("json") => Ok(ForensicsMode::Json),
+        Some(other) => Err(format!(
+            "unknown --forensics mode {other:?}; use a bare --forensics for a summary or --forensics json"
+        )),
+    }
+}
+
+/// Renders the localization report: full JSON in `Json` mode, otherwise
+/// a tally line plus the first flagged records.
+fn print_forensics(f: &ForensicsReport, mode: ForensicsMode) {
+    if mode == ForensicsMode::Json {
+        println!("{}", f.to_json().to_pretty_string());
+        return;
+    }
+    println!(
+        "forensics: {} unit(s), {} selected: {} clean, {} suspect, {} recovered, {} unrecoverable",
+        f.total_units,
+        f.selected_units,
+        f.clean_units,
+        f.suspect_units,
+        f.recovered_units,
+        f.unrecoverable_units
+    );
+    println!("suspect records: {}/{}", f.suspect_records, f.records.len());
+    let flagged: Vec<_> = f
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.status,
+                UnitStatus::Suspect | UnitStatus::Recovered | UnitStatus::Unrecoverable
+            )
+        })
+        .collect();
+    for r in flagged.iter().take(10) {
+        println!(
+            "  {} [{}]: {}/{} selected unit(s) suspect, {} recovered",
+            r.record,
+            r.status.label(),
+            r.suspect_units,
+            r.selected_units,
+            r.recovered_units
+        );
+    }
+    if flagged.len() > 10 {
+        println!("  … and {} more flagged record(s)", flagged.len() - 10);
+    }
+}
+
+/// Appends the forensic tallies to an audit event's `counts`.
+fn forensic_counts(counts: &mut Vec<(String, u64)>, f: &ForensicsReport) {
+    counts.push((
+        "suspect_units".to_string(),
+        (f.suspect_units + f.unrecoverable_units) as u64,
+    ));
+    counts.push(("suspect_records".to_string(), f.suspect_records as u64));
+    counts.push(("recovered_units".to_string(), f.recovered_units as u64));
 }
 
 fn watermark_from(args: &Args) -> Result<Watermark, String> {
@@ -184,10 +282,7 @@ fn cmd_embed(args: &Args) -> Result<i32, String> {
     obs.begin();
 
     let original = read_doc(in_path)?;
-    let mut config = profile.config.clone();
-    config.gamma = args
-        .parsed_or("gamma", config.gamma)
-        .map_err(|e| e.to_string())?;
+    let config = encoder_config(args, &profile)?;
 
     let issues = wmx_schema::validate(&original, &profile.schema);
     if !issues.is_empty() {
@@ -263,6 +358,13 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
     let threshold: f64 = args
         .parsed_or("threshold", 0.85)
         .map_err(|e| e.to_string())?;
+    let mode = forensics_mode(args)?;
+    if mode == ForensicsMode::Off && args.optional("redundancy").is_some() {
+        return Err(
+            "--redundancy on detect requires --forensics (the group decode runs on the forensic path)"
+                .to_string(),
+        );
+    }
     let obs = Obs::from_args(args);
     obs.begin();
 
@@ -271,32 +373,53 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
         fs::read_to_string(queries_path).map_err(|e| format!("cannot read {queries_path}: {e}"))?;
     let queries = queryfile::from_string(&queries_text).map_err(|e| e.to_string())?;
 
-    let report = detect(
-        &doc,
-        &DetectionInput {
-            queries: &queries,
-            key,
-            watermark,
-            threshold,
-            mapping: None,
-        },
-    );
+    let input = DetectionInput {
+        queries: &queries,
+        key,
+        watermark,
+        threshold,
+        mapping: None,
+    };
+    let report = if mode == ForensicsMode::Off {
+        detect(&doc, &input)
+    } else {
+        // Localization re-derives the marked units from the schema
+        // binding, so the forensic path needs the profile the document
+        // was embedded under.
+        let profile = load_profile(args)
+            .map_err(|e| format!("--forensics re-derives the marked units from a profile: {e}"))?;
+        let config = encoder_config(args, &profile)?;
+        detect_forensic(
+            &doc,
+            &input,
+            ForensicContext {
+                binding: &profile.binding,
+                fds: &profile.fds,
+                config: &config,
+            },
+        )
+        .map_err(|e| format!("forensic detection failed: {e}"))?
+    };
     let (votes_ones, votes_zeros) = report.vote_totals();
+    let mut counts = vec![
+        ("total_queries".to_string(), report.total_queries as u64),
+        ("located_queries".to_string(), report.located_queries as u64),
+        ("votes_cast".to_string(), report.votes_cast as u64),
+        ("votes_ones".to_string(), votes_ones as u64),
+        ("votes_zeros".to_string(), votes_zeros as u64),
+        ("matched_bits".to_string(), report.matched_bits as u64),
+        ("voted_bits".to_string(), report.voted_bits as u64),
+    ];
+    if let Some(f) = &report.forensics {
+        forensic_counts(&mut counts, f);
+    }
     obs.finish(AuditEvent {
         operation: "detect".to_string(),
         engine: "dom".to_string(),
         workload: in_path.to_string(),
         records: None,
         phases: Vec::new(),
-        counts: vec![
-            ("total_queries".to_string(), report.total_queries as u64),
-            ("located_queries".to_string(), report.located_queries as u64),
-            ("votes_cast".to_string(), report.votes_cast as u64),
-            ("votes_ones".to_string(), votes_ones as u64),
-            ("votes_zeros".to_string(), votes_zeros as u64),
-            ("matched_bits".to_string(), report.matched_bits as u64),
-            ("voted_bits".to_string(), report.voted_bits as u64),
-        ],
+        counts,
         detected: Some(report.detected),
         p_value: Some(report.p_value),
     })?;
@@ -309,7 +432,14 @@ fn cmd_detect(args: &Args) -> Result<i32, String> {
         100.0 * report.match_fraction(),
         report.p_value
     );
-    if report.detected {
+    if let Some(f) = &report.forensics {
+        print_forensics(f, mode);
+    }
+    let tampered = report.forensics.as_ref().is_some_and(|f| f.tampered);
+    if report.detected && tampered {
+        println!("WATERMARK DETECTED but TAMPERED (τ = {threshold})");
+        Ok(3)
+    } else if report.detected {
         println!("WATERMARK DETECTED (τ = {threshold})");
         Ok(0)
     } else {
@@ -329,7 +459,7 @@ fn cmd_stream_embed(args: &Args) -> Result<i32, String> {
     let obs = Obs::from_args(args);
     obs.begin();
 
-    let config = stream_config(args, &profile)?;
+    let config = encoder_config(args, &profile)?;
     let ctx = wmx_stream::StreamContext {
         binding: &profile.binding,
         fds: &profile.fds,
@@ -416,10 +546,11 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
         .parsed_or("threshold", 0.85)
         .map_err(|e| e.to_string())?;
     let workers: usize = args.parsed_or("workers", 1).map_err(|e| e.to_string())?;
+    let mode = forensics_mode(args)?;
     let obs = Obs::from_args(args);
     obs.begin();
 
-    let config = stream_config(args, &profile)?;
+    let config = encoder_config(args, &profile)?;
     let ctx = wmx_stream::StreamContext {
         binding: &profile.binding,
         fds: &profile.fds,
@@ -430,40 +561,53 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
     let detection = if workers > 1 {
         let text =
             fs::read_to_string(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
-        wmx_stream::par_detect(&text, workers, ctx, &key, &watermark, threshold)
-            .map_err(|e| format!("streaming detect failed: {e}"))?
+        if mode == ForensicsMode::Off {
+            wmx_stream::par_detect(&text, workers, ctx, &key, &watermark, threshold)
+        } else {
+            wmx_stream::par_detect_forensic(&text, workers, ctx, &key, &watermark, threshold)
+        }
+        .map_err(|e| format!("streaming detect failed: {e}"))?
     } else {
         let input = fs::File::open(in_path).map_err(|e| format!("cannot read {in_path}: {e}"))?;
-        wmx_stream::stream_detect(
-            std::io::BufReader::new(input),
-            ctx,
-            &key,
-            &watermark,
-            threshold,
-        )
+        let reader = std::io::BufReader::new(input);
+        if mode == ForensicsMode::Off {
+            wmx_stream::stream_detect(reader, ctx, &key, &watermark, threshold)
+        } else {
+            wmx_stream::stream_detect_forensic(reader, ctx, &key, &watermark, threshold)
+        }
         .map_err(|e| format!("streaming detect failed: {e}"))?
     };
     drop(detect_span);
 
     let report = &detection.report;
     let (votes_ones, votes_zeros) = report.vote_totals();
+    let mut counts = vec![
+        ("total_units".to_string(), report.total_queries as u64),
+        ("located_units".to_string(), report.located_queries as u64),
+        ("votes_cast".to_string(), report.votes_cast as u64),
+        ("votes_ones".to_string(), votes_ones as u64),
+        ("votes_zeros".to_string(), votes_zeros as u64),
+        (
+            "chunks".to_string(),
+            detection.chunk_summary().map_or(0, |s| s.chunks as u64),
+        ),
+    ];
+    if let Some(f) = &report.forensics {
+        forensic_counts(&mut counts, f);
+    }
+    if let Some(fault) = &detection.fault {
+        counts.push((
+            "skipped_records".to_string(),
+            fault.skipped_records.len() as u64,
+        ));
+    }
     obs.finish(AuditEvent {
         operation: "stream-detect".to_string(),
         engine: if workers > 1 { "parallel" } else { "stream" }.to_string(),
         workload: in_path.to_string(),
         records: Some(detection.records as u64),
         phases: Vec::new(),
-        counts: vec![
-            ("total_units".to_string(), report.total_queries as u64),
-            ("located_units".to_string(), report.located_queries as u64),
-            ("votes_cast".to_string(), report.votes_cast as u64),
-            ("votes_ones".to_string(), votes_ones as u64),
-            ("votes_zeros".to_string(), votes_zeros as u64),
-            (
-                "chunks".to_string(),
-                detection.chunk_summary().map_or(0, |s| s.chunks as u64),
-            ),
-        ],
+        counts,
         detected: Some(report.detected),
         p_value: Some(report.p_value),
     })?;
@@ -487,7 +631,31 @@ fn cmd_stream_detect(args: &Args) -> Result<i32, String> {
         100.0 * report.match_fraction(),
         report.p_value
     );
-    if report.detected {
+    if let Some(fault) = &detection.fault {
+        if fault.truncated {
+            println!(
+                "stream fault: stream broke after {} record(s) ({}); verdict covers the salvaged prefix",
+                fault.records_processed, fault.error
+            );
+        } else {
+            println!(
+                "stream fault: {} record(s) skipped ({})",
+                fault.skipped_records.len(),
+                fault.error
+            );
+        }
+    }
+    if let Some(f) = &report.forensics {
+        print_forensics(f, mode);
+    }
+    // A stream fault is tampering evidence even when the salvaged
+    // prefix itself is clean (the rest of the stream is gone).
+    let tampered =
+        report.forensics.as_ref().is_some_and(|f| f.tampered) || detection.fault.is_some();
+    if report.detected && tampered {
+        println!("WATERMARK DETECTED but TAMPERED (τ = {threshold})");
+        Ok(3)
+    } else if report.detected {
         println!("WATERMARK DETECTED (τ = {threshold})");
         Ok(0)
     } else {
@@ -630,6 +798,7 @@ fn cmd_bench(args: &Args) -> Result<i32, String> {
     let outcome = wmx_bench::run_gate(&opts)?;
     println!("report: {}", outcome.report_path.display());
     println!("telemetry: {}", outcome.telemetry_path.display());
+    println!("forensics: {}", outcome.forensics_path.display());
     println!("{}", outcome.summary);
     Ok(outcome.exit_code)
 }
@@ -1108,6 +1277,333 @@ mod tests {
             "validate-telemetry",
             "--in",
             &tmp("obs-missing.json")
+        ]))
+        .is_err());
+    }
+
+    /// Bumps every `every`-th `//book/year` by 7 (a parity flip) and
+    /// writes the damaged document to `out` — localized tampering that
+    /// leaves the watermark detectable.
+    fn bump_years(marked: &str, every: usize, out: &str) {
+        let mut doc = parse(&fs::read_to_string(marked).unwrap()).unwrap();
+        let years = wmx_xpath::Query::compile("//book/year")
+            .unwrap()
+            .select(&doc);
+        assert!(!years.is_empty());
+        for (i, node) in years.iter().enumerate() {
+            if !i.is_multiple_of(every) {
+                continue;
+            }
+            let year: i64 = node.string_value(&doc).trim().parse().unwrap();
+            wmx_core::write_value(&mut doc, node, &(year + 7).to_string()).unwrap();
+        }
+        fs::write(out, to_pretty_string(&doc)).unwrap();
+    }
+
+    fn audit_count(line: &str, name: &str) -> usize {
+        wmx_telemetry::Json::parse(line)
+            .unwrap()
+            .get("counts")
+            .and_then(|c| c.get(name))
+            .and_then(wmx_telemetry::Json::as_usize)
+            .unwrap_or_else(|| panic!("audit line missing count {name}"))
+    }
+
+    #[test]
+    fn forensics_flag_localizes_tampering_and_sets_exit_code_3() {
+        let db = tmp("fx-db.xml");
+        let marked = tmp("fx-marked.xml");
+        let queries = tmp("fx-q.wmxq");
+        let tampered = tmp("fx-tampered.xml");
+        let audit = tmp("fx-audit.jsonl");
+        let _ = fs::remove_file(&audit);
+
+        run(&args(&[
+            "generate",
+            "--profile",
+            "publications",
+            "--records",
+            "120",
+            "--out",
+            &db,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "embed",
+            "--profile",
+            "publications",
+            "--in",
+            &db,
+            "--key",
+            "fx-secret",
+            "--message",
+            "© fx",
+            "--out",
+            &marked,
+            "--queries",
+            &queries,
+        ]))
+        .unwrap();
+        bump_years(&marked, 8, &tampered);
+
+        // A clean document stays exit 0 even with forensics on.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "fx-secret",
+                "--message",
+                "© fx",
+                "--queries",
+                &queries,
+                "--forensics",
+                "--profile",
+                "publications",
+            ]))
+            .unwrap(),
+            0
+        );
+        // The tampered one is still detected, but flagged: exit 3.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &tampered,
+                "--key",
+                "fx-secret",
+                "--message",
+                "© fx",
+                "--queries",
+                &queries,
+                "--forensics",
+                "--profile",
+                "publications",
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            3
+        );
+        // JSON mode and the parallel streaming engine agree on the verdict.
+        assert_eq!(
+            run(&args(&[
+                "stream-detect",
+                "--profile",
+                "publications",
+                "--in",
+                &tampered,
+                "--key",
+                "fx-secret",
+                "--message",
+                "© fx",
+                "--workers",
+                "2",
+                "--forensics",
+                "json",
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            3
+        );
+        // Without --forensics the same document collapses to plain exit 0:
+        // the distortion is too small to defeat majority voting.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &tampered,
+                "--key",
+                "fx-secret",
+                "--message",
+                "© fx",
+                "--queries",
+                &queries,
+            ]))
+            .unwrap(),
+            0
+        );
+        // --redundancy on detect only means something on the forensic path.
+        assert!(run(&args(&[
+            "detect",
+            "--in",
+            &tampered,
+            "--key",
+            "fx-secret",
+            "--message",
+            "© fx",
+            "--queries",
+            &queries,
+            "--redundancy",
+            "3",
+        ]))
+        .is_err());
+        // Unknown --forensics modes are rejected.
+        assert!(run(&args(&[
+            "detect",
+            "--in",
+            &tampered,
+            "--key",
+            "fx-secret",
+            "--message",
+            "© fx",
+            "--queries",
+            &queries,
+            "--forensics",
+            "yaml",
+            "--profile",
+            "publications",
+        ]))
+        .is_err());
+
+        // Both audit lines carry the suspect tallies, and the DOM and
+        // stream engines agree on them.
+        let audit_text = fs::read_to_string(&audit).unwrap();
+        let lines: Vec<&str> = audit_text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            wmx_telemetry::validate_audit_line(line).unwrap();
+            assert!(audit_count(line, "suspect_records") > 0);
+            assert!(audit_count(line, "suspect_units") > 0);
+            assert_eq!(audit_count(line, "recovered_units"), 0);
+        }
+        assert_eq!(
+            audit_count(lines[0], "suspect_records"),
+            audit_count(lines[1], "suspect_records")
+        );
+        assert_eq!(
+            audit_count(lines[0], "suspect_units"),
+            audit_count(lines[1], "suspect_units")
+        );
+    }
+
+    #[test]
+    fn redundancy_roundtrip_recovers_damage_via_cli() {
+        let db = tmp("rx-db.xml");
+        let marked = tmp("rx-marked.xml");
+        let queries = tmp("rx-q.wmxq");
+        let tampered = tmp("rx-tampered.xml");
+        let audit = tmp("rx-audit.jsonl");
+        let _ = fs::remove_file(&audit);
+
+        run(&args(&[
+            "generate",
+            "--profile",
+            "publications",
+            "--records",
+            "120",
+            "--out",
+            &db,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "embed",
+            "--profile",
+            "publications",
+            "--in",
+            &db,
+            "--key",
+            "rx-secret",
+            "--message",
+            "rx",
+            "--bits",
+            "8",
+            "--redundancy",
+            "3",
+            "--out",
+            &marked,
+            "--queries",
+            &queries,
+        ]))
+        .unwrap();
+
+        // Clean detection works on both engines when R matches.
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &marked,
+                "--key",
+                "rx-secret",
+                "--message",
+                "rx",
+                "--bits",
+                "8",
+                "--queries",
+                &queries,
+            ]))
+            .unwrap(),
+            0
+        );
+        assert_eq!(
+            run(&args(&[
+                "stream-detect",
+                "--profile",
+                "publications",
+                "--in",
+                &marked,
+                "--key",
+                "rx-secret",
+                "--message",
+                "rx",
+                "--bits",
+                "8",
+                "--redundancy",
+                "3",
+            ]))
+            .unwrap(),
+            0
+        );
+
+        // Thin damage is localized AND recovered by the group decode.
+        bump_years(&marked, 10, &tampered);
+        assert_eq!(
+            run(&args(&[
+                "detect",
+                "--in",
+                &tampered,
+                "--key",
+                "rx-secret",
+                "--message",
+                "rx",
+                "--bits",
+                "8",
+                "--queries",
+                &queries,
+                "--forensics",
+                "--profile",
+                "publications",
+                "--redundancy",
+                "3",
+                "--audit-log",
+                &audit,
+            ]))
+            .unwrap(),
+            3
+        );
+        let audit_text = fs::read_to_string(&audit).unwrap();
+        let line = audit_text.lines().next().unwrap();
+        assert!(audit_count(line, "recovered_units") > 0);
+
+        // --redundancy 0 is rejected up front.
+        assert!(run(&args(&[
+            "embed",
+            "--profile",
+            "publications",
+            "--in",
+            &db,
+            "--key",
+            "rx-secret",
+            "--message",
+            "rx",
+            "--redundancy",
+            "0",
+            "--out",
+            &marked,
+            "--queries",
+            &queries,
         ]))
         .is_err());
     }

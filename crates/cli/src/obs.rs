@@ -23,7 +23,7 @@ use wmx_telemetry::{
 /// snapshot still get the full catalog with zero values, the standard
 /// metrics-exporter contract. Kept in one place so the README catalog,
 /// this list, and the snapshot contents cannot drift apart.
-pub const COUNTER_CATALOG: [&str; 13] = [
+pub const COUNTER_CATALOG: [&str; 17] = [
     "core.plan_cache.hits",
     "core.plan_cache.misses",
     "stream.records",
@@ -36,12 +36,16 @@ pub const COUNTER_CATALOG: [&str; 13] = [
     "xpath.batch.fallback",
     "lexer.text_spans_zero_copy",
     "lexer.text_spans_materialized",
+    "detect.suspect_units",
+    "detect.suspect_records",
+    "detect.recovered_units",
+    "recovery.repaired_nodes",
     "cli.invocations",
 ];
 
 /// Histograms: the streaming chunk latencies plus one `span.<name>`
 /// histogram per phase span the engines emit.
-pub const HISTOGRAM_CATALOG: [&str; 13] = [
+pub const HISTOGRAM_CATALOG: [&str; 15] = [
     "stream.chunk_micros",
     "span.parse",
     "span.serialize",
@@ -53,8 +57,10 @@ pub const HISTOGRAM_CATALOG: [&str; 13] = [
     "span.detect.resolve",
     "span.detect.select",
     "span.detect.extract",
+    "span.detect.forensic",
     "span.stream_embed",
     "span.stream_detect",
+    "span.recovery.repair",
 ];
 
 /// Telemetry switches parsed from one command invocation.

@@ -144,6 +144,16 @@ pub struct EncoderConfig {
     /// Disabling this reproduces the FD-unaware scheme the paper's
     /// challenge (C) warns about — the E5 ablation.
     pub use_fd_groups: bool,
+    /// Error-correcting redundancy factor `r` (default 1 = off). When
+    /// `r > 1` the embedded watermark is the base watermark repeated `r`
+    /// times: each base bit is carried by `r` disjoint unit groups and
+    /// detection decodes by majority *of group verdicts*, so a locally
+    /// concentrated distortion that flips one group's votes is outvoted
+    /// by the untouched groups. Selection plans are redundancy-agnostic
+    /// (unit enumeration and PRF selection do not depend on `r`); only
+    /// the bit-index width changes, so embed and detect must agree on
+    /// `r` exactly like they must agree on the key.
+    pub redundancy: u32,
 }
 
 impl EncoderConfig {
@@ -155,7 +165,15 @@ impl EncoderConfig {
             markable,
             structural: Vec::new(),
             use_fd_groups: true,
+            redundancy: 1,
         }
+    }
+
+    /// Returns the config with error-correcting redundancy factor `r`
+    /// (values `0` and `1` both mean "off").
+    pub fn with_redundancy(mut self, r: u32) -> Self {
+        self.redundancy = r.max(1);
+        self
     }
 
     /// Adds a structure-unit declaration.

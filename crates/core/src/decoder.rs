@@ -93,6 +93,9 @@ pub struct DetectionReport {
     /// Sign-test probability of observing ≥ `matched_bits` agreements
     /// among `voted_bits` fair coin flips (the false-positive odds).
     pub p_value: f64,
+    /// Per-unit/per-record tamper localization (`None` on the default
+    /// detect path; populated by the opt-in forensic passes).
+    pub forensics: Option<crate::forensics::ForensicsReport>,
 }
 
 impl DetectionReport {
@@ -126,8 +129,21 @@ impl DetectionReport {
 /// Runs detection over `doc`.
 pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     let _detect_span = wmx_telemetry::span("detect");
+    let (bit_votes, counters) = collect_query_votes(doc, input, input.watermark.len());
+    report_from_votes(bit_votes, &input.watermark, input.threshold, counters)
+}
+
+/// The query-driven extraction pass shared by [`detect`] and the
+/// forensic decoder: resolves and batch-answers the stored query set and
+/// tallies one vote per located value node into `wm_len` bit slots
+/// (`wm_len` is the *effective* watermark width — base length times the
+/// redundancy factor).
+pub(crate) fn collect_query_votes(
+    doc: &Document,
+    input: &DetectionInput<'_>,
+    wm_len: usize,
+) -> (Vec<BitVotes>, VoteCounters) {
     let marker = UnitMarker::new(input.key.clone());
-    let wm_len = input.watermark.len();
     let mut bit_votes = vec![BitVotes::default(); wm_len];
     let mut located_queries = 0usize;
     let mut unrewritable = 0usize;
@@ -187,10 +203,8 @@ pub fn detect(doc: &Document, input: &DetectionInput<'_>) -> DetectionReport {
     }
     drop(_extract_span);
 
-    report_from_votes(
+    (
         bit_votes,
-        &input.watermark,
-        input.threshold,
         VoteCounters {
             total_queries: input.queries.len(),
             located_queries,
@@ -256,6 +270,7 @@ pub fn report_from_votes(
         matched_bits,
         detected,
         p_value,
+        forensics: None,
     }
 }
 
@@ -300,7 +315,7 @@ fn resolve_query(stored: &StoredQuery, mapping: Option<&SchemaMapping>) -> Resul
 }
 
 /// P[X ≥ matched] for X ~ Binomial(voted, 1/2), computed in log space.
-fn sign_test_p(voted: usize, matched: usize) -> f64 {
+pub(crate) fn sign_test_p(voted: usize, matched: usize) -> f64 {
     if voted == 0 {
         return 1.0;
     }

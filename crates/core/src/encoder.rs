@@ -71,6 +71,17 @@ pub fn embed(
     if watermark.is_empty() {
         return Err(WmError::new("watermark must have at least one bit"));
     }
+    // Redundancy mode widens the embedded watermark to r back-to-back
+    // copies; selection and unit enumeration are untouched, each unit
+    // just indexes into the wider bit string (see `Watermark::repeat`).
+    let redundancy = config.redundancy.max(1) as usize;
+    let eff;
+    let watermark = if redundancy > 1 {
+        eff = watermark.repeat(redundancy);
+        &eff
+    } else {
+        watermark
+    };
     // The compiled plan replays `enumerate_units` with its name
     // lookups and query parsing hoisted to (cached) compile time;
     // `plan_equivalence.rs` pins the bit-for-bit agreement.

@@ -183,6 +183,20 @@ impl UnitKey {
             ),
         }
     }
+
+    /// Renders the *record scope* forensics group units by: the entity
+    /// plus its key value for key-identified units (value and order
+    /// units of one record share a scope), or the full group id for FD
+    /// groups (which span records by construction). Rendered only at
+    /// report-build time — never on the per-unit vote path.
+    pub fn record_scope(&self, table: &SelectionTable) -> String {
+        match self.tag {
+            UnitTag::KeyAttr | UnitTag::SiblingOrder => {
+                format!("{}|{}", table.resolve(self.name), self.values[0])
+            }
+            UnitTag::FdGroup => self.display(table),
+        }
+    }
 }
 
 /// Borrowed PRF-input view of a [`UnitKey`] (see [`UnitKey::id`]).

@@ -34,9 +34,11 @@ pub mod config;
 pub mod decoder;
 pub mod embed;
 pub mod encoder;
+pub mod forensics;
 pub mod identifier;
 pub mod nodectx;
 pub mod plan;
+pub mod recovery;
 pub mod template;
 pub mod usability;
 pub mod wm;
@@ -46,9 +48,16 @@ pub use decoder::{
     detect, report_from_votes, BitVotes, DetectionInput, DetectionReport, VoteCounters,
 };
 pub use encoder::{embed, EmbedReport, StoredQuery};
+pub use forensics::{
+    detect_forensic, finalize_forensic_report, ForensicContext, ForensicTallies, ForensicsReport,
+    RecordForensics, UnitForensics, UnitStatus,
+};
 pub use identifier::{enumerate_units, MarkKind, MarkUnit, SelectionTable, UnitKey, UnitTag};
 pub use nodectx::{DomNodes, DomNodesMut, NodeCtx, NodeCtxMut, UnitMarker, UnitVotes};
 pub use plan::{global_plan_cache, PlanCache, SelectionPlan};
+pub use recovery::{
+    decode_redundant, repair_document, report_from_redundant_votes, RedundantDecode, RepairReport,
+};
 pub use template::QueryTemplate;
 pub use usability::{measure_usability, UsabilityReport};
 pub use wm::Watermark;

@@ -84,6 +84,23 @@ impl Watermark {
         &self.bits
     }
 
+    /// The watermark repeated `r` times back to back — the *effective*
+    /// watermark of the error-correcting redundancy mode: a unit whose
+    /// PRF bit index lands in copy `g` joins disjoint unit group `g` of
+    /// base bit `index % len`, so each base bit is carried by `r`
+    /// independent unit populations that decode by group majority.
+    ///
+    /// # Panics
+    /// Panics if `r == 0`.
+    pub fn repeat(&self, r: usize) -> Self {
+        assert!(r > 0, "redundancy factor must be positive");
+        let mut bits = Vec::with_capacity(self.bits.len() * r);
+        for _ in 0..r {
+            bits.extend_from_slice(&self.bits);
+        }
+        Watermark { bits }
+    }
+
     /// Fraction of positions on which `self` and `other` agree
     /// (`None` when lengths differ).
     pub fn match_fraction(&self, other: &Watermark) -> Option<f64> {

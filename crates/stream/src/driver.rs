@@ -188,7 +188,7 @@ pub fn stream_detect<R: BufRead>(
     }
     let mut reader = TopLevelReader::new(input);
     let mut engine: Option<RecordEngine<'_>> = None;
-    let mut partial = PartialDetect::new(watermark.len());
+    let mut partial = PartialDetect::new(effective_len(&ctx, watermark));
     let start = Instant::now();
     while let Some(ev) = reader.next_event()? {
         match &ev {
@@ -213,6 +213,108 @@ pub fn stream_detect<R: BufRead>(
     metrics.votes.add(partial.votes_cast as u64);
     partial.chunk_timings.push(timing);
     Ok(partial.finalize(watermark, threshold))
+}
+
+/// Effective vote-tally width: base watermark length times the
+/// redundancy factor.
+pub(crate) fn effective_len(ctx: &StreamContext<'_>, watermark: &Watermark) -> usize {
+    watermark.len() * ctx.config.redundancy.max(1) as usize
+}
+
+/// Fault-tolerant streaming detect with per-unit forensics.
+///
+/// Unlike [`stream_detect`], a stream that breaks mid-way (truncated
+/// file, garbled bytes, I/O error) does **not** error out once the root
+/// element has been seen: the verdict over the records processed so far
+/// is returned as a *partial verdict* with
+/// [`StreamFault`](crate::StreamFault) describing what happened, and a
+/// record whose own bytes fail to parse is skipped and noted while the
+/// scan continues. Errors before the root (or semantic-package errors)
+/// still fail hard — there is nothing to salvage.
+pub fn stream_detect_forensic<R: BufRead>(
+    input: R,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+    threshold: f64,
+) -> Result<StreamDetectReport, StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let mut reader = TopLevelReader::new(input);
+    let mut engine: Option<RecordEngine<'_>> = None;
+    let mut partial = PartialDetect::with_forensics(effective_len(&ctx, watermark));
+    let mut skipped_records: Vec<usize> = Vec::new();
+    let mut record_index = 0usize;
+    let mut stream_error: Option<StreamError> = None;
+    let start = Instant::now();
+    loop {
+        match reader.next_event() {
+            Ok(Some(ev)) => match &ev {
+                TopEvent::RootStart { name, attributes } => {
+                    engine = Some(RecordEngine::new(ctx, key, watermark, name, attributes)?);
+                }
+                TopEvent::Record(raw) => {
+                    let index = record_index;
+                    record_index += 1;
+                    let result = engine
+                        .as_ref()
+                        .expect("record implies root")
+                        .detect_record(raw, &mut partial);
+                    if result.is_err() {
+                        // Per-record damage: skip the record, keep the
+                        // verdict over everything else.
+                        skipped_records.push(index);
+                    }
+                }
+                _ => {}
+            },
+            Ok(None) => break,
+            Err(e) => {
+                if engine.is_none() {
+                    return Err(e); // broke before any watermark-bearing content
+                }
+                stream_error = Some(e);
+                break;
+            }
+        }
+    }
+    let engine = match engine {
+        Some(engine) => engine,
+        // Clean end without a root element cannot happen (the reader
+        // errors first), but handle it as a hard error for completeness.
+        None => {
+            return Err(StreamError::Unsupported(
+                "stream ended before a root element".to_string(),
+            ))
+        }
+    };
+    let timing = ChunkTiming {
+        records: partial.records,
+        micros: start.elapsed().as_micros(),
+    };
+    let metrics = stream_metrics();
+    metrics.record_chunk(&timing);
+    metrics.votes.add(partial.votes_cast as u64);
+    partial.chunk_timings.push(timing);
+    let fault = match (&stream_error, skipped_records.is_empty()) {
+        (None, true) => None,
+        _ => Some(crate::StreamFault {
+            records_processed: partial.records,
+            skipped_records,
+            error: stream_error
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "damaged records skipped".to_string()),
+            truncated: matches!(
+                stream_error,
+                Some(StreamError::Xml(_)) | Some(StreamError::Io(_))
+            ),
+        }),
+    };
+    let mut report = partial.finalize_forensic(watermark, threshold, engine.table());
+    report.fault = fault;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -362,6 +464,58 @@ mod tests {
             .unwrap();
             assert_eq!(out, wmx_xml::to_string(&dom), "input {input:?}");
         }
+    }
+
+    #[test]
+    fn forensic_detect_matches_plain_on_clean_stream() {
+        let input = doc(80);
+        let (marked, _) = run_embed(&input);
+        let binding = binding();
+        let config = config();
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("drv");
+        let wm = Watermark::parse("1011").unwrap();
+        let plain = stream_detect(marked.as_bytes(), ctx, &key, &wm, 0.85).unwrap();
+        let forensic = stream_detect_forensic(marked.as_bytes(), ctx, &key, &wm, 0.85).unwrap();
+        assert_eq!(forensic.report.bit_votes, plain.report.bit_votes);
+        assert_eq!(forensic.report.detected, plain.report.detected);
+        assert!(forensic.fault.is_none());
+        let f = forensic.report.forensics.unwrap();
+        assert!(!f.tampered);
+        assert_eq!(f.total_units, 80);
+    }
+
+    #[test]
+    fn truncated_stream_yields_partial_verdict_not_error() {
+        let input = doc(100);
+        let (marked, _) = run_embed(&input);
+        let binding = binding();
+        let config = config();
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("drv");
+        let wm = Watermark::parse("1011").unwrap();
+        // Chop the marked stream at 60% — mid-record, no closing root.
+        let cut = marked.len() * 60 / 100;
+        let truncated = &marked[..cut];
+        // The strict driver errors...
+        assert!(stream_detect(truncated.as_bytes(), ctx, &key, &wm, 0.85).is_err());
+        // ...the forensic driver salvages a partial verdict.
+        let partial = stream_detect_forensic(truncated.as_bytes(), ctx, &key, &wm, 0.85).unwrap();
+        let fault = partial.fault.expect("truncation must be reported");
+        assert!(fault.truncated);
+        assert!(fault.records_processed > 0 && fault.records_processed < 100);
+        assert_eq!(fault.records_processed, partial.records);
+        assert!(partial.report.detected, "surviving records still testify");
+        let f = partial.report.forensics.unwrap();
+        assert!(!f.tampered, "surviving records are clean");
     }
 
     #[test]

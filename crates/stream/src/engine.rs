@@ -39,7 +39,10 @@ use wmx_xml::{parse, parse_seeded_owned, Document, Interner, ParseOptions};
 pub(crate) struct RecordEngine<'a> {
     ctx: StreamContext<'a>,
     marker: UnitMarker,
-    watermark: &'a Watermark,
+    /// The *effective* watermark: the caller's watermark repeated
+    /// `config.redundancy` times when redundancy mode is on, otherwise a
+    /// plain copy. Every per-record embed/extract indexes into this.
+    watermark: Watermark,
     root_open: String,
     root_close: String,
     /// Compiled selection plan shared across records, chunks, and worker
@@ -150,6 +153,12 @@ impl<'a> RecordEngine<'a> {
                 }
             }
         }
+        let redundancy = ctx.config.redundancy.max(1) as usize;
+        let watermark = if redundancy > 1 {
+            watermark.repeat(redundancy)
+        } else {
+            watermark.clone()
+        };
         Ok(RecordEngine {
             ctx,
             marker: UnitMarker::new(key.clone()),
@@ -159,6 +168,12 @@ impl<'a> RecordEngine<'a> {
             plan,
             prototype,
         })
+    }
+
+    /// The compiled plan's interned selection vocabulary — needed to
+    /// render forensic unit keys at finalize time.
+    pub fn table(&self) -> &wmx_core::SelectionTable {
+        self.plan.table()
     }
 
     /// Parses one raw record slice into its wrapped mini-document.
@@ -222,7 +237,7 @@ impl<'a> RecordEngine<'a> {
                 &mut DomNodesMut::new(&mut mini, &unit.nodes),
                 &unit.key.id(table),
                 unit.mark,
-                self.watermark,
+                &self.watermark,
             )?;
             if marked_nodes == 0 {
                 continue;
@@ -277,6 +292,9 @@ impl<'a> RecordEngine<'a> {
                 .marker
                 .is_selected(&unit.key.id(table), self.ctx.config.gamma)
             {
+                if let Some(tallies) = partial.forensics.as_mut() {
+                    tallies.observe_unselected(&unit.key);
+                }
                 continue;
             }
             let is_fd = unit.key.tag == UnitTag::FdGroup;
@@ -286,6 +304,14 @@ impl<'a> RecordEngine<'a> {
                 unit.mark,
                 wm_len,
             );
+            if let Some(tallies) = partial.forensics.as_mut() {
+                tallies.observe(
+                    &unit.key,
+                    votes.bit_index,
+                    self.watermark.bit(votes.bit_index),
+                    &votes.bits,
+                );
+            }
             let located = !votes.bits.is_empty();
             if is_fd {
                 // Map presence = selected FD unit; the flag = located.

@@ -49,10 +49,10 @@ pub mod parallel;
 pub mod reader;
 pub mod report;
 
-pub use driver::{stream_detect, stream_embed};
-pub use parallel::{par_detect, par_embed};
+pub use driver::{stream_detect, stream_detect_forensic, stream_embed};
+pub use parallel::{par_detect, par_detect_forensic, par_embed};
 pub use reader::{Misc, TopEvent, TopLevelReader};
-pub use report::{ChunkSummary, ChunkTiming, StreamDetectReport, StreamEmbedReport};
+pub use report::{ChunkSummary, ChunkTiming, StreamDetectReport, StreamEmbedReport, StreamFault};
 
 use wmx_core::WmError;
 use wmx_xml::XmlError;

@@ -30,6 +30,20 @@ fn collect_events(input: &str) -> Result<Vec<TopEvent>, StreamError> {
     Ok(events)
 }
 
+/// Fault-tolerant twin of [`collect_events`]: salvages every event read
+/// before the first stream-level error and returns the error alongside.
+fn collect_events_tolerant(input: &str) -> (Vec<TopEvent>, Option<StreamError>) {
+    let mut reader = TopLevelReader::new(input.as_bytes());
+    let mut events = Vec::new();
+    loop {
+        match reader.next_event() {
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => return (events, None),
+            Err(e) => return (events, Some(e)),
+        }
+    }
+}
+
 fn root_of(events: &[TopEvent]) -> (&str, &[wmx_xml::TokenAttribute]) {
     events
         .iter()
@@ -45,10 +59,10 @@ fn root_of(events: &[TopEvent]) -> (&str, &[wmx_xml::TokenAttribute]) {
 /// Splits `records` into at most `workers` contiguous chunks, runs
 /// `work` on each chunk concurrently, and returns the per-chunk results
 /// in record order.
-fn fan_out<T: Send>(
-    records: &[&str],
+fn fan_out<I: Sync, T: Send>(
+    records: &[I],
     workers: usize,
-    work: impl Fn(&[&str]) -> Result<T, StreamError> + Sync,
+    work: impl Fn(&[I]) -> Result<T, StreamError> + Sync,
 ) -> Result<Vec<T>, StreamError> {
     if records.is_empty() {
         return Ok(Vec::new());
@@ -159,9 +173,10 @@ pub fn par_detect(
         })
         .collect();
 
+    let eff_len = crate::driver::effective_len(&ctx, watermark);
     let chunk_results = fan_out(&records, workers, |slice| {
         let start = Instant::now();
-        let mut partial = PartialDetect::new(watermark.len());
+        let mut partial = PartialDetect::new(eff_len);
         for raw in slice {
             engine.detect_record(raw, &mut partial)?;
         }
@@ -176,12 +191,100 @@ pub fn par_detect(
         Ok(partial)
     })?;
 
-    let mut merged = PartialDetect::new(watermark.len());
+    let mut merged = PartialDetect::new(eff_len);
     for chunk_partial in chunk_results {
         merged.merge(chunk_partial);
         stream_metrics().merges.inc();
     }
     Ok(merged.finalize(watermark, threshold))
+}
+
+/// Fault-tolerant parallel detect with per-unit forensics — the
+/// parallel twin of [`crate::stream_detect_forensic`]. Records fan out
+/// across `workers` threads; per-chunk forensic tallies merge by unit
+/// key, so the rendered forensics are identical for every worker count
+/// (and identical to the sequential and DOM forensic passes). A broken
+/// tail of the input yields a partial verdict with a
+/// [`crate::StreamFault`]; records whose own bytes fail to parse are
+/// skipped and noted.
+pub fn par_detect_forensic(
+    input: &str,
+    workers: usize,
+    ctx: StreamContext<'_>,
+    key: &SecretKey,
+    watermark: &Watermark,
+    threshold: f64,
+) -> Result<StreamDetectReport, StreamError> {
+    if watermark.is_empty() {
+        return Err(WmError::new("watermark must have at least one bit").into());
+    }
+    let (events, stream_error) = collect_events_tolerant(input);
+    let Some((root_name, root_attrs)) = events.iter().find_map(|ev| match ev {
+        TopEvent::RootStart { name, attributes } => Some((name.as_str(), attributes.as_slice())),
+        _ => None,
+    }) else {
+        // Broke before any watermark-bearing content: nothing to salvage.
+        return Err(stream_error.unwrap_or_else(|| {
+            StreamError::Unsupported("stream ended before a root element".to_string())
+        }));
+    };
+    let engine = RecordEngine::new(ctx, key, watermark, root_name, root_attrs)?;
+    let records: Vec<(usize, &str)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TopEvent::Record(raw) => Some(raw.as_str()),
+            _ => None,
+        })
+        .enumerate()
+        .collect();
+
+    let eff_len = crate::driver::effective_len(&ctx, watermark);
+    let chunk_results = fan_out(&records, workers, |slice| {
+        let start = Instant::now();
+        let mut partial = PartialDetect::with_forensics(eff_len);
+        let mut skipped = Vec::new();
+        for (index, raw) in slice {
+            if engine.detect_record(raw, &mut partial).is_err() {
+                skipped.push(*index);
+            }
+        }
+        let timing = ChunkTiming {
+            records: slice.len(),
+            micros: start.elapsed().as_micros(),
+        };
+        let metrics = stream_metrics();
+        metrics.record_chunk(&timing);
+        metrics.votes.add(partial.votes_cast as u64);
+        partial.chunk_timings.push(timing);
+        Ok((partial, skipped))
+    })?;
+
+    let mut merged = PartialDetect::with_forensics(eff_len);
+    let mut skipped_records: Vec<usize> = Vec::new();
+    for (chunk_partial, chunk_skipped) in chunk_results {
+        merged.merge(chunk_partial);
+        skipped_records.extend(chunk_skipped);
+        stream_metrics().merges.inc();
+    }
+    skipped_records.sort_unstable();
+    let fault = match (&stream_error, skipped_records.is_empty()) {
+        (None, true) => None,
+        _ => Some(crate::StreamFault {
+            records_processed: merged.records,
+            skipped_records,
+            error: stream_error
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "damaged records skipped".to_string()),
+            truncated: matches!(
+                stream_error,
+                Some(StreamError::Xml(_)) | Some(StreamError::Io(_))
+            ),
+        }),
+    };
+    let mut report = merged.finalize_forensic(watermark, threshold, engine.table());
+    report.fault = fault;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -277,6 +380,76 @@ mod tests {
         let mut dom = wmx_xml::parse(&input).unwrap();
         wmx_core::embed(&mut dom, &binding, &fds, &config, &key, &wm).unwrap();
         assert_eq!(seq_out, wmx_xml::to_string(&dom));
+    }
+
+    #[test]
+    fn forensics_are_worker_count_invariant() {
+        let input = doc(130);
+        let binding = binding();
+        let config = config();
+        let fds = [fd()];
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &fds,
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("par-forensic");
+        let wm = Watermark::parse("10110100").unwrap();
+        let (marked, _) = par_embed(&input, 4, ctx, &key, &wm).unwrap();
+        // Vandalize every 9th year by +7 (odd: guaranteed parity flip)
+        // so there is something to localize.
+        let mut dom = wmx_xml::parse(&marked).unwrap();
+        let years = wmx_xpath::Query::compile("/db/book/year")
+            .unwrap()
+            .select(&dom);
+        for node in years.iter().step_by(9) {
+            let v: i64 = node.string_value(&dom).parse().unwrap();
+            wmx_core::write_value(&mut dom, node, &(v + 7).to_string()).unwrap();
+        }
+        let damaged = wmx_xml::to_string(&dom);
+        let seq = crate::stream_detect_forensic(damaged.as_bytes(), ctx, &key, &wm, 0.85)
+            .unwrap()
+            .report
+            .forensics
+            .unwrap();
+        assert!(seq.tampered);
+        for workers in [1usize, 2, 3, 5, 8] {
+            let par = par_detect_forensic(&damaged, workers, ctx, &key, &wm, 0.85)
+                .unwrap()
+                .report
+                .forensics
+                .unwrap();
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_forensic_skips_garbled_records() {
+        let input = doc(90);
+        let binding = binding();
+        let config = config();
+        let ctx = StreamContext {
+            binding: &binding,
+            fds: &[],
+            config: &config,
+        };
+        let key = SecretKey::from_passphrase("par-skip");
+        let wm = Watermark::parse("1011").unwrap();
+        let (marked, _) = par_embed(&input, 2, ctx, &key, &wm).unwrap();
+        // Truncate mid-stream: the tolerant collector salvages the head.
+        let cut = marked.len() * 70 / 100;
+        let report = par_detect_forensic(&marked[..cut], 4, ctx, &key, &wm, 0.85).unwrap();
+        let fault = report.fault.expect("truncation reported");
+        assert!(fault.truncated);
+        assert!(report.report.detected);
+        // And the partial forensics agree with the sequential salvage.
+        let seq =
+            crate::stream_detect_forensic(&marked.as_bytes()[..cut], ctx, &key, &wm, 0.85).unwrap();
+        assert_eq!(
+            report.report.forensics.unwrap(),
+            seq.report.forensics.unwrap()
+        );
+        assert_eq!(report.records, seq.records);
     }
 
     #[test]

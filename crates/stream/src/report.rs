@@ -12,7 +12,7 @@
 //! on the merge path.
 
 use std::collections::{BTreeMap, BTreeSet};
-use wmx_core::{BitVotes, EmbedReport, StoredQuery, UnitKey};
+use wmx_core::{BitVotes, EmbedReport, ForensicTallies, SelectionTable, StoredQuery, UnitKey};
 
 /// Wall-clock telemetry for one contiguous run of records, consumed by
 /// the `wmx-bench` telemetry reports. The two driver families time
@@ -99,6 +99,25 @@ impl StreamEmbedReport {
     }
 }
 
+/// What went wrong mid-stream when the fault-tolerant detect drivers
+/// kept going: the verdict in the accompanying report covers only the
+/// records processed before the fault (a *partial verdict*), never an
+/// error and never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamFault {
+    /// Records fully processed before the fault stopped the reader.
+    pub records_processed: usize,
+    /// Indices (0-based, in stream order) of records that were skipped
+    /// because their own bytes failed to parse; processing continued
+    /// with the next record.
+    pub skipped_records: Vec<usize>,
+    /// Human-readable description of the first stream-level error.
+    pub error: String,
+    /// Whether the stream itself broke (truncation / malformed bytes /
+    /// I/O) as opposed to per-record damage only.
+    pub truncated: bool,
+}
+
 /// Streaming detect outcome.
 #[derive(Debug, Clone)]
 pub struct StreamDetectReport {
@@ -112,6 +131,9 @@ pub struct StreamDetectReport {
     /// Per-chunk wall-clock timings (one entry for sequential runs, one
     /// per worker chunk for parallel runs).
     pub chunk_timings: Vec<ChunkTiming>,
+    /// Mid-stream fault, when the fault-tolerant drivers salvaged a
+    /// partial verdict (`None` on a complete pass).
+    pub fault: Option<StreamFault>,
 }
 
 impl StreamDetectReport {
@@ -213,6 +235,9 @@ pub(crate) struct PartialDetect {
     pub located_local: usize,
     /// Selected FD groups → whether any chunk located votes for them.
     pub fd_located: BTreeMap<UnitKey, bool>,
+    /// Per-unit forensic tallies, accumulated only when the forensic
+    /// drivers enable them (`None` keeps the default hot path untouched).
+    pub forensics: Option<ForensicTallies>,
     pub chunk_timings: Vec<ChunkTiming>,
 }
 
@@ -226,8 +251,16 @@ impl PartialDetect {
             total_local: 0,
             located_local: 0,
             fd_located: BTreeMap::new(),
+            forensics: None,
             chunk_timings: Vec::new(),
         }
+    }
+
+    /// A fresh accumulator with forensic tallies enabled.
+    pub fn with_forensics(wm_len: usize) -> Self {
+        let mut partial = PartialDetect::new(wm_len);
+        partial.forensics = Some(ForensicTallies::new());
+        partial
     }
 
     /// The located flag for a selected FD group. Takes the key by value:
@@ -248,27 +281,66 @@ impl PartialDetect {
         for (key, located) in other.fd_located {
             *self.fd_located.entry(key).or_default() |= located;
         }
+        match (&mut self.forensics, other.forensics) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (mine @ None, Some(theirs)) => *mine = Some(theirs),
+            (_, None) => {}
+        }
         self.chunk_timings.extend(other.chunk_timings);
     }
 
-    pub fn finalize(self, watermark: &wmx_core::Watermark, threshold: f64) -> StreamDetectReport {
+    fn counters(&self) -> wmx_core::VoteCounters {
         let fd_located = self.fd_located.values().filter(|l| **l).count();
-        let report = wmx_core::report_from_votes(
+        wmx_core::VoteCounters {
+            total_queries: self.total_local + self.fd_located.len(),
+            located_queries: self.located_local + fd_located,
+            unrewritable_queries: 0,
+            votes_cast: self.votes_cast,
+        }
+    }
+
+    pub fn finalize(self, watermark: &wmx_core::Watermark, threshold: f64) -> StreamDetectReport {
+        let counters = self.counters();
+        // The base-width, no-forensics case keeps the original pinned
+        // path; a wider tally means redundancy mode, which needs the
+        // group-majority decode.
+        let report = if self.bit_votes.len() == watermark.len() {
+            wmx_core::report_from_votes(self.bit_votes, watermark, threshold, counters)
+        } else {
+            wmx_core::finalize_forensic_report(self.bit_votes, watermark, threshold, counters, None)
+        };
+        StreamDetectReport {
+            report,
+            records: self.records,
+            peak_resident_nodes: self.peak_resident_nodes,
+            chunk_timings: self.chunk_timings,
+            fault: None,
+        }
+    }
+
+    /// Finalize with the forensic tallies rendered through the same
+    /// [`wmx_core::finalize_forensic_report`] seam the DOM forensic
+    /// decoder uses — DOM and stream forensics agree by construction.
+    pub fn finalize_forensic(
+        self,
+        watermark: &wmx_core::Watermark,
+        threshold: f64,
+        table: &SelectionTable,
+    ) -> StreamDetectReport {
+        let counters = self.counters();
+        let report = wmx_core::finalize_forensic_report(
             self.bit_votes,
             watermark,
             threshold,
-            wmx_core::VoteCounters {
-                total_queries: self.total_local + self.fd_located.len(),
-                located_queries: self.located_local + fd_located,
-                unrewritable_queries: 0,
-                votes_cast: self.votes_cast,
-            },
+            counters,
+            self.forensics.as_ref().map(|t| (t, table)),
         );
         StreamDetectReport {
             report,
             records: self.records,
             peak_resident_nodes: self.peak_resident_nodes,
             chunk_timings: self.chunk_timings,
+            fault: None,
         }
     }
 }

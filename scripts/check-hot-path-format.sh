@@ -14,10 +14,29 @@ set -eu
 
 cd "$(dirname "$0")/.."
 status=0
-for f in crates/core/src/encoder.rs crates/core/src/decoder.rs crates/stream/src/engine.rs; do
+for f in crates/core/src/encoder.rs crates/core/src/decoder.rs crates/stream/src/engine.rs \
+         crates/stream/src/report.rs; do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} /format!/{print FILENAME ":" FNR ": " $0}' "$f")
     if [ -n "$hits" ]; then
         echo "error: format! on the embed/detect hot path (use UnitKey/display or push_str):" >&2
+        printf '%s\n' "$hits" >&2
+        status=1
+    fi
+done
+# The forensic vote path extends the same contract: per-unit tallies
+# are accumulated against the interned UnitKey (ForensicTallies::observe
+# in the decode loops); textual unit ids are rendered exactly once, by
+# ForensicsReport::from_tallies. A `.display(` creeping into the
+# non-test region of the detect-side files would put a per-unit string
+# render on every vote, so it is denied here. forensics.rs hosts the
+# sanctioned render pass and engine.rs's embed path renders ids only
+# for marked units (StoredQuery), so both stay exempt.
+for f in crates/core/src/decoder.rs crates/stream/src/report.rs; do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit}
+        /^[[:space:]]*\/\//{next}
+        /\.display\(/{print FILENAME ":" FNR ": " $0}' "$f")
+    if [ -n "$hits" ]; then
+        echo "error: per-vote unit-id rendering on the forensic tally path (render once via ForensicsReport::from_tallies):" >&2
         printf '%s\n' "$hits" >&2
         status=1
     fi

@@ -1,11 +1,17 @@
 //! End-to-end attack/defense tests: each §4 demo attack against a
 //! watermarked document, asserting the paper's claimed outcomes.
 
+use std::collections::BTreeSet;
 use wmx_attacks::redundancy::UnifyStrategy;
 use wmx_attacks::{
-    AlterationAttack, ReductionAttack, RedundancyRemovalAttack, RenameAttack, ShuffleAttack,
+    AlterationAttack, GarbleAttack, GarbleMode, ReductionAttack, RedundancyRemovalAttack,
+    RenameAttack, ShuffleAttack,
 };
-use wmx_core::{detect, embed, measure_usability, DetectionInput, EmbedReport, Watermark};
+use wmx_core::{
+    detect, detect_forensic, embed, enumerate_units, measure_usability, repair_document,
+    write_value, DetectionInput, EmbedReport, ForensicContext, SelectionTable, UnitMarker,
+    UnitStatus, Watermark,
+};
 use wmx_crypto::SecretKey;
 use wmx_data::publications::{generate, PublicationsConfig};
 use wmx_data::Dataset;
@@ -303,4 +309,196 @@ fn combined_attacks_within_usability_budget_fail_to_erase() {
         "combined mild attacks erased the mark: match {:.2}",
         detection.match_fraction()
     );
+}
+
+// ---------------------------------------------------------------------
+// Tamper localization and error-correcting recovery under the same
+// attack families.
+
+fn forensic_detection(
+    doc: &Document,
+    dataset: &Dataset,
+    config: &wmx_core::EncoderConfig,
+    report: &EmbedReport,
+    key: &SecretKey,
+    wm: &Watermark,
+) -> wmx_core::DetectionReport {
+    detect_forensic(
+        doc,
+        &DetectionInput {
+            queries: &report.queries,
+            key: key.clone(),
+            watermark: wm.clone(),
+            threshold: 0.8,
+            mapping: None,
+        },
+        ForensicContext {
+            binding: &dataset.binding,
+            fds: &dataset.fds,
+            config,
+        },
+    )
+    .expect("forensic detect")
+}
+
+#[test]
+fn forensics_localize_targeted_damage_to_the_exact_records() {
+    let (dataset, marked, report, key, wm) = setup(2);
+
+    // Flip the parity of every 12th selected numeric unit (+7 always
+    // crosses parity), remembering exactly which records were hit.
+    let table = SelectionTable::build(&dataset.config, &dataset.fds);
+    let units = enumerate_units(
+        &marked,
+        &dataset.binding,
+        &dataset.fds,
+        &dataset.config,
+        &table,
+    )
+    .unwrap();
+    let marker = UnitMarker::new(key.clone());
+    let mut attacked = marked.clone();
+    let mut damaged: BTreeSet<String> = BTreeSet::new();
+    let mut numeric = 0usize;
+    for unit in &units {
+        if !marker.is_selected(&unit.key.id(&table), dataset.config.gamma) {
+            continue;
+        }
+        let Ok(year) = unit.nodes[0].string_value(&attacked).parse::<i64>() else {
+            continue;
+        };
+        numeric += 1;
+        if !numeric.is_multiple_of(12) {
+            continue;
+        }
+        write_value(&mut attacked, &unit.nodes[0], &(year + 7).to_string()).unwrap();
+        damaged.insert(unit.key.record_scope(&table));
+    }
+    assert!(damaged.len() >= 3, "need a non-trivial damage set");
+
+    let detection = forensic_detection(&attacked, &dataset, &dataset.config, &report, &key, &wm);
+    assert!(detection.detected, "thin damage must not defeat detection");
+    let forensics = detection.forensics.expect("forensics attached");
+    assert!(forensics.tampered);
+    let suspects: BTreeSet<String> = forensics
+        .records
+        .iter()
+        .filter(|r| r.status == UnitStatus::Suspect)
+        .map(|r| r.record.clone())
+        .collect();
+    assert_eq!(
+        suspects, damaged,
+        "suspect records must be exactly the damaged ones"
+    );
+
+    // The untouched original reports no tampering evidence at all.
+    let clean = forensic_detection(&marked, &dataset, &dataset.config, &report, &key, &wm);
+    let clean_forensics = clean.forensics.unwrap();
+    assert!(!clean_forensics.tampered);
+    assert_eq!(clean_forensics.suspect_records, 0);
+}
+
+#[test]
+fn seeded_attacks_reproduce_identical_forensics() {
+    // Every randomized attack takes an explicit seed; the same seed
+    // must reproduce the same attacked bytes and the same forensics.
+    let (dataset, marked, report, key, wm) = setup(3);
+    let attack = |seed: u64| {
+        let mut doc = marked.clone();
+        AlterationAttack::values(0.2, vec!["//book/year".into()], seed).apply(&mut doc);
+        ShuffleAttack::new(seed).apply(&mut doc);
+        wmx_xml::to_string(&doc)
+    };
+    let a = attack(9);
+    assert_eq!(a, attack(9), "same seed, same attacked bytes");
+    assert_ne!(a, attack(10), "different seed, different attack");
+
+    let forensics_of = |text: &str| {
+        let doc = wmx_xml::parse(text).unwrap();
+        forensic_detection(&doc, &dataset, &dataset.config, &report, &key, &wm)
+            .forensics
+            .unwrap()
+    };
+    assert_eq!(forensics_of(&a), forensics_of(&attack(9)));
+
+    // Byte-level attacks are seeded the same way.
+    let serialized = wmx_xml::to_string(&marked);
+    let garble = |seed: u64| {
+        GarbleAttack::new(0.4, 300, GarbleMode::ScrambleDigits, seed).apply(&serialized)
+    };
+    assert_eq!(garble(5), garble(5));
+    assert_ne!(garble(5), garble(6));
+}
+
+#[test]
+fn redundant_embedding_recovers_attacked_units_and_repair_clears_them() {
+    // γ=1 + redundancy 3: every unit is selected and every watermark
+    // bit lands in three disjoint unit groups.
+    let dataset = generate(&PublicationsConfig {
+        records: 400,
+        editors: 10,
+        seed: 606,
+        gamma: 1,
+    });
+    let config = dataset.config.clone().with_redundancy(3);
+    let key = SecretKey::from_passphrase("recovery-suite");
+    let wm = Watermark::from_message("© recover", 12);
+    let mut marked = dataset.doc.clone();
+    let report = embed(
+        &mut marked,
+        &dataset.binding,
+        &dataset.fds,
+        &config,
+        &key,
+        &wm,
+    )
+    .unwrap();
+
+    // Thin spread of parity flips across the year family.
+    let mut attacked = marked.clone();
+    let years = wmx_xpath::Query::compile("//book/year")
+        .unwrap()
+        .select(&attacked);
+    assert!(!years.is_empty());
+    for (i, node) in years.iter().enumerate() {
+        if !i.is_multiple_of(9) {
+            continue;
+        }
+        let year: i64 = node.string_value(&attacked).trim().parse().unwrap();
+        write_value(&mut attacked, node, &(year + 7).to_string()).unwrap();
+    }
+
+    let detection = forensic_detection(&attacked, &dataset, &config, &report, &key, &wm);
+    assert!(detection.detected);
+    let forensics = detection.forensics.unwrap();
+    assert!(forensics.tampered);
+    assert!(
+        forensics.recovered_units > 0,
+        "the group decode must recover the damaged units"
+    );
+    assert_eq!(
+        forensics.unrecoverable_units, 0,
+        "thin damage stays recoverable"
+    );
+
+    // Repair re-embeds the expected bits; afterwards the forensics are
+    // clean again and detection still succeeds.
+    let mut repaired = attacked.clone();
+    let repair = repair_document(
+        &mut repaired,
+        ForensicContext {
+            binding: &dataset.binding,
+            fds: &dataset.fds,
+            config: &config,
+        },
+        &key,
+        &wm,
+    )
+    .unwrap();
+    assert!(repair.repaired_units > 0);
+    assert_eq!(repair.unrecoverable_units, 0);
+    let after = forensic_detection(&repaired, &dataset, &config, &report, &key, &wm);
+    assert!(after.detected);
+    let after_forensics = after.forensics.unwrap();
+    assert!(!after_forensics.tampered, "repair must clear all suspects");
 }

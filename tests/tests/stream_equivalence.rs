@@ -12,10 +12,18 @@
 //!   O(depth + one record) nodes (asserted via the resident-node
 //!   high-water mark vs the full DOM arena).
 
-use wmx_core::{detect, embed, DetectionInput, StoredQuery, Watermark};
+use proptest::prelude::*;
+use wmx_attacks::{AlterationAttack, GarbleAttack, GarbleMode, ShuffleAttack, TruncationAttack};
+use wmx_core::{
+    detect, detect_forensic, embed, DetectionInput, ForensicContext, ForensicsReport, StoredQuery,
+    Watermark,
+};
 use wmx_crypto::SecretKey;
 use wmx_data::{jobs, library, publications, Dataset};
-use wmx_stream::{par_detect, par_embed, stream_detect, stream_embed, StreamContext};
+use wmx_stream::{
+    par_detect, par_detect_forensic, par_embed, stream_detect, stream_detect_forensic,
+    stream_embed, StreamContext,
+};
 use wmx_xml::{parse, to_pretty_string, to_string};
 
 fn datasets() -> Vec<Dataset> {
@@ -358,6 +366,121 @@ fn adversarial_documents_stream_identically() {
             stream.report.bit_votes, dom_detect.bit_votes,
             "votes diverge for {input:?}"
         );
+    }
+}
+
+/// DOM reference forensics for a (possibly attacked) serialized
+/// document.
+fn dom_forensics(text: &str, dataset: &Dataset, queries: &[StoredQuery]) -> ForensicsReport {
+    let doc = parse(text).expect("attacked document still parses");
+    let report = detect_forensic(
+        &doc,
+        &DetectionInput {
+            queries,
+            key: key(),
+            watermark: wm(),
+            threshold: 0.85,
+            mapping: None,
+        },
+        ForensicContext {
+            binding: &dataset.binding,
+            fds: &dataset.fds,
+            config: &dataset.config,
+        },
+    )
+    .expect("forensic detect");
+    report.forensics.expect("forensics attached")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On attacked corpora, the per-record forensics — unit tallies,
+    /// statuses, record rollups, the lot — are invariant across the DOM
+    /// decoder, the sequential stream decoder, and every parallel
+    /// worker count.
+    #[test]
+    fn forensics_are_engine_and_worker_invariant_on_attacked_corpora(
+        seed in 0u64..1000,
+        attack in 0usize..3,
+    ) {
+        let dataset = publications::generate(&publications::PublicationsConfig {
+            records: 80,
+            editors: 6,
+            seed: 4600 + seed,
+            gamma: 3,
+        });
+        let input = to_string(&dataset.doc);
+        let (marked, report) = dom_embed_bytes(&input, &dataset);
+        let attacked = match attack {
+            0 => {
+                // Seeded value alteration on the marked year family.
+                let mut doc = parse(&marked).unwrap();
+                AlterationAttack::values(0.15, vec!["//book/year".to_string()], seed)
+                    .apply(&mut doc);
+                to_string(&doc)
+            }
+            1 => {
+                // Seeded digit garbling at a seed-dependent offset.
+                let offset = 0.2 + (seed % 6) as f64 * 0.1;
+                String::from_utf8(
+                    GarbleAttack::new(offset, 400, GarbleMode::ScrambleDigits, seed)
+                        .apply(&marked),
+                )
+                .unwrap()
+            }
+            _ => {
+                // Seeded record shuffle: localization is order-free.
+                let mut doc = parse(&marked).unwrap();
+                ShuffleAttack::new(seed).apply(&mut doc);
+                to_string(&doc)
+            }
+        };
+
+        let reference = dom_forensics(&attacked, &dataset, &report.queries);
+        let seq =
+            stream_detect_forensic(attacked.as_bytes(), ctx(&dataset), &key(), &wm(), 0.85)
+                .unwrap();
+        prop_assert!(seq.fault.is_none());
+        prop_assert_eq!(seq.report.forensics.as_ref().unwrap(), &reference);
+        for workers in [2usize, 3, 5, 8] {
+            let par =
+                par_detect_forensic(&attacked, workers, ctx(&dataset), &key(), &wm(), 0.85)
+                    .unwrap();
+            prop_assert!(par.fault.is_none());
+            prop_assert_eq!(par.report.forensics.as_ref().unwrap(), &reference);
+        }
+    }
+
+    /// Truncating the stream at an arbitrary byte yields a partial
+    /// verdict over the salvaged prefix — never an error, never a panic
+    /// — and the sequential and parallel drivers salvage identically.
+    #[test]
+    fn truncation_yields_identical_partial_verdicts(keep_pct in 15u32..95) {
+        let dataset = publications::generate(&publications::PublicationsConfig {
+            records: 100,
+            editors: 5,
+            seed: 47,
+            gamma: 3,
+        });
+        let input = to_string(&dataset.doc);
+        let (marked, _) = dom_embed_bytes(&input, &dataset);
+        let cut = TruncationAttack::new(keep_pct as f64 / 100.0).apply(&marked);
+
+        let seq =
+            stream_detect_forensic(cut.as_bytes(), ctx(&dataset), &key(), &wm(), 0.85).unwrap();
+        let fault = seq.fault.clone().expect("truncation must be reported");
+        prop_assert!(fault.truncated);
+        prop_assert!(seq.records < 100);
+        prop_assert_eq!(fault.records_processed, seq.records);
+        for workers in [2usize, 5] {
+            let par = par_detect_forensic(&cut, workers, ctx(&dataset), &key(), &wm(), 0.85)
+                .unwrap();
+            prop_assert_eq!(par.records, seq.records);
+            prop_assert_eq!(&par.report.bit_votes, &seq.report.bit_votes);
+            prop_assert_eq!(&par.report.forensics, &seq.report.forensics);
+            prop_assert!(par.fault.as_ref().is_some_and(|f| f.truncated));
+        }
     }
 }
 
